@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure via
+:mod:`repro.harness.experiments`, prints the paper-vs-measured rows (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section on stdout), and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print past pytest's capture so tables always reach the console."""
+
+    def _show(text: str) -> None:
+        import sys
+
+        capman = None
+        try:
+            from _pytest.capture import CaptureManager  # noqa: F401
+        except Exception:  # pragma: no cover
+            pass
+        # Write to the real stdout; pytest's -s users see it inline, and
+        # captured runs surface it in the test's captured output section.
+        print(text, file=sys.stderr)
+
+    return _show
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The packet-simulator experiments are seconds-scale and deterministic;
+    repeating them only slows the suite without adding information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

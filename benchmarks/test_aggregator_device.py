@@ -1,0 +1,72 @@
+"""SS6 extension: the "parameter aggregator" deployment model.
+
+The paper proposes, without evaluation, deploying SwitchML's logic on a
+server unit with a programmable network attachment behind a legacy ToR,
+"attached for example ... using several 100 Gbps or 400 Gbps ports".
+This bench measures the sizing rule that sentence implies: the device's
+attachment must carry the n-fold result fan-out, so it needs ~n x the
+worker rate; anything less divides throughput accordingly.
+"""
+
+from conftest import once
+
+from repro.collectives.models import line_rate_ate
+from repro.core.aggregator_device import (
+    AggregatorDeviceConfig,
+    AggregatorDeviceJob,
+)
+from repro.harness.report import format_table
+from repro.net.link import LinkSpec
+
+ATTACHMENTS = (10.0, 20.0, 40.0, 100.0)
+WORKERS = 8
+N_ELEMENTS = 32 * 4096
+
+
+def run_sizing():
+    rows = []
+    for rate in ATTACHMENTS:
+        job = AggregatorDeviceJob(
+            AggregatorDeviceConfig(
+                num_workers=WORKERS,
+                aggregator_link=LinkSpec(rate_gbps=rate),
+            )
+        )
+        out = job.all_reduce(num_elements=N_ELEMENTS, verify=False)
+        assert out.completed
+        rows.append(
+            {
+                "attachment": rate,
+                "ate": out.aggregated_elements_per_second(N_ELEMENTS),
+            }
+        )
+    return rows
+
+
+def test_aggregator_device_sizing(benchmark, show):
+    rows = once(benchmark, run_sizing)
+
+    line = line_rate_ate(10.0)
+    show(
+        "\n"
+        + format_table(
+            ["aggregator attachment", "ATE/s", "of 10G line rate"],
+            [
+                [f"{r['attachment']:g} Gbps", f"{r['ate'] / 1e6:.0f}M",
+                 f"{r['ate'] / line:.1%}"]
+                for r in rows
+            ],
+            title=f"SS6 parameter aggregator: attachment sizing, "
+                  f"{WORKERS} x 10 Gbps workers",
+        )
+    )
+
+    by = {r["attachment"]: r["ate"] for r in rows}
+    # a 1x attachment divides throughput by ~n
+    assert by[10.0] < 0.2 * line
+    # n x the worker rate restores (near) line rate -- the paper's
+    # "several 100 Gbps ports" guidance
+    assert by[100.0] > 0.85 * line
+    # monotone in between
+    ates = [by[r] for r in ATTACHMENTS]
+    assert ates == sorted(ates)

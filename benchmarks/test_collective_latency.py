@@ -1,0 +1,71 @@
+"""Extension: collective latency/bandwidth crossover on the simulator.
+
+SS2.1 names both all-reduce families (ring; halving-doubling [57]) and
+SwitchML's design goal is the sub-RTT latency neither can reach (SS2.3).
+This bench sweeps tensor size across all three *as packet-level
+systems*: halving-doubling wins over the ring at small tensors (2 log n
+rounds vs 2 (n-1)); both converge toward their shared bandwidth bound at
+large tensors; SwitchML beats both everywhere, and its lead is biggest
+exactly where the paper claims -- latency-sensitive small reductions.
+"""
+
+from conftest import once
+
+from repro.collectives.hd_simulation import HDJob, HDJobConfig
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.report import format_table
+
+SIZES = (512, 8192, 131072, 1048576)
+WORKERS = 8
+
+
+def run_sweep():
+    rows = []
+    for n_elem in SIZES:
+        row = {"elements": n_elem}
+        sw = SwitchMLJob(SwitchMLConfig(num_workers=WORKERS, pool_size=128))
+        row["switchml"] = sw.all_reduce(num_elements=n_elem, verify=False).max_tat
+        hd = HDJob(HDJobConfig(num_workers=WORKERS))
+        row["hd"] = hd.all_reduce(num_elements=n_elem, verify=False).max_tat
+        ring = RingJob(RingJobConfig(num_workers=WORKERS))
+        row["ring"] = ring.all_reduce(num_elements=n_elem, verify=False).max_tat
+        rows.append(row)
+    return rows
+
+
+def test_collective_latency_crossover(benchmark, show):
+    rows = once(benchmark, run_sweep)
+
+    show(
+        "\n"
+        + format_table(
+            ["elements", "SwitchML", "halving-doubling", "ring",
+             "SwitchML lead vs best"],
+            [
+                [
+                    r["elements"],
+                    f"{r['switchml'] * 1e6:.0f} us",
+                    f"{r['hd'] * 1e6:.0f} us",
+                    f"{r['ring'] * 1e6:.0f} us",
+                    f"{min(r['hd'], r['ring']) / r['switchml']:.2f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Collective TAT vs tensor size ({WORKERS} workers, 10 Gbps)",
+        )
+    )
+
+    for r in rows:
+        # SwitchML ahead of both host-based collectives at every size
+        assert r["switchml"] < r["hd"]
+        assert r["switchml"] < r["ring"]
+    # recursive HD beats the ring at the smallest size (round count)
+    assert rows[0]["hd"] < rows[0]["ring"]
+    # at large sizes the two host collectives converge (within 40 %)
+    big = rows[-1]
+    assert big["hd"] / big["ring"] < 1.4 and big["ring"] / big["hd"] < 1.4
+    # SwitchML's relative lead is biggest at the small end
+    lead_small = min(rows[0]["hd"], rows[0]["ring"]) / rows[0]["switchml"]
+    lead_big = min(big["hd"], big["ring"]) / big["switchml"]
+    assert lead_small > lead_big

@@ -1,0 +1,70 @@
+"""SS5.1 extension: the worker-core bottleneck at 100 Gbps.
+
+The paper: "We use 4 CPU cores per worker.  This introduces a penalty
+gap at 100 Gbps; but due to a bug in our Flow Director setup we are
+unable to use more cores.  This means that our results at 100 Gbps are a
+lower bound."  The simulator has no such bug: this bench sweeps the core
+count and shows ATE/s scaling with cores until the link itself binds --
+quantifying exactly how much the paper's 100 Gbps numbers left on the
+table.
+"""
+
+from conftest import once
+
+from repro.collectives.models import line_rate_ate
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.report import format_table
+from repro.net.host import HostSpec
+from repro.net.link import LinkSpec
+
+CORE_COUNTS = (1, 2, 4, 8, 16)
+N_ELEMENTS = 32 * 8192
+
+
+def run_core_sweep():
+    rows = []
+    for cores in CORE_COUNTS:
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=4,
+                pool_size=512,
+                link=LinkSpec(rate_gbps=100.0),
+                host=HostSpec(num_cores=cores),
+            )
+        )
+        out = job.all_reduce(num_elements=N_ELEMENTS, verify=False)
+        assert out.completed
+        rows.append(
+            {
+                "cores": cores,
+                "ate": out.aggregated_elements_per_second(N_ELEMENTS),
+            }
+        )
+    return rows
+
+
+def test_core_scaling_at_100g(benchmark, show):
+    rows = once(benchmark, run_core_sweep)
+
+    line = line_rate_ate(100.0)
+    show(
+        "\n"
+        + format_table(
+            ["worker cores", "ATE/s", "of line rate"],
+            [
+                [r["cores"], f"{r['ate'] / 1e6:.0f}M", f"{r['ate'] / line:.1%}"]
+                for r in rows
+            ],
+            title="SS5.1: ATE/s vs worker cores at 100 Gbps (paper used 4)",
+        )
+    )
+
+    by = {r["cores"]: r["ate"] for r in rows}
+    # host-bound regime scales with cores...
+    assert by[2] > 1.6 * by[1]
+    assert by[4] > 1.6 * by[2]
+    # ...the paper's 4-core setting sits below line rate (the "penalty
+    # gap"; "our results at 100 Gbps are a lower bound")...
+    assert by[4] < 0.85 * line
+    # ...and enough cores reach the header-limited line rate.
+    assert by[16] > 0.9 * line

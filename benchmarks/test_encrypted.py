@@ -1,0 +1,81 @@
+"""Appendix D extension: encrypted in-network aggregation.
+
+The paper observes that Paillier-style additive homomorphism matches the
+switch's aggregation operation exactly -- E(x) * E(y) = E(x + y) -- and
+leaves the cost question open.  This bench runs the encrypted pipeline
+end to end (quantize, encrypt, ciphertext aggregation, decrypt,
+dequantize), verifies exactness, and quantifies the costs that make
+dataplane crypto "likely costly": wire expansion and per-element modular
+multiplication time vs the plaintext 32-bit add.
+"""
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.crypto import encrypted_allreduce, generate_keypair
+from repro.harness.report import format_table
+from repro.quant.theory import aggregation_error_bound
+
+
+def run_encrypted():
+    keys = generate_keypair(bits=256, seed=5)
+    rng = np.random.default_rng(1)
+    n, size, f = 4, 256, 1e6
+    updates = [rng.normal(size=size) for _ in range(n)]
+
+    start = time.perf_counter()
+    out = encrypted_allreduce(updates, keys, scaling_factor=f, seed=2)
+    encrypted_wall = time.perf_counter() - start
+
+    exact = np.sum(updates, axis=0)
+    max_err = float(np.abs(out.aggregate - exact).max())
+    bound = aggregation_error_bound(n, f)
+
+    start = time.perf_counter()
+    for _ in range(50):
+        sum(np.rint(u * f).astype(np.int64) for u in updates)
+    plaintext_wall = (time.perf_counter() - start) / 50
+
+    return {
+        "n": n,
+        "size": size,
+        "max_err": max_err,
+        "bound": bound,
+        "wire_expansion": out.wire_expansion,
+        "modmuls": out.modular_multiplications,
+        "encrypted_wall_s": encrypted_wall,
+        "plaintext_wall_s": plaintext_wall,
+        "cipher_bytes": out.ciphertext_bytes_per_element,
+    }
+
+
+def test_encrypted_aggregation(benchmark, show):
+    r = once(benchmark, run_encrypted)
+
+    slowdown = r["encrypted_wall_s"] / max(r["plaintext_wall_s"], 1e-12)
+    show(
+        "\n"
+        + format_table(
+            ["metric", "value"],
+            [
+                ["workers x elements", f"{r['n']} x {r['size']}"],
+                ["max |error| vs exact float sum", f"{r['max_err']:.3g}"],
+                ["Theorem 1 bound (n/f)", f"{r['bound']:.3g}"],
+                ["ciphertext bytes per 4-byte element", r["cipher_bytes"]],
+                ["wire expansion", f"{r['wire_expansion']:.0f}x"],
+                ["switch modular multiplications", r["modmuls"]],
+                ["encrypted pipeline wall time", f"{r['encrypted_wall_s'] * 1e3:.1f} ms"],
+                ["plaintext aggregation wall time", f"{r['plaintext_wall_s'] * 1e3:.3f} ms"],
+                ["slowdown", f"{slowdown:.0f}x"],
+            ],
+            title="Appendix D: homomorphic (Paillier) in-network aggregation",
+        )
+    )
+
+    # correctness: within the fixed-point error bound, despite crypto
+    assert r["max_err"] <= r["bound"]
+    # the costs the paper alludes to are real and large
+    assert r["wire_expansion"] >= 16  # 256-bit n -> 64-byte ciphertexts
+    assert slowdown > 10

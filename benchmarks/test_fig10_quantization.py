@@ -1,0 +1,50 @@
+"""Figure 10 / Appendix C: accuracy vs scaling factor.
+
+Paper shape (GoogLeNet on ImageNet): a plateau of scaling factors
+spanning many orders of magnitude trains to the unquantized accuracy;
+factors that push scaled gradients past int32 (or quantize them to
+zero) cause training to diverge or stall.
+
+Substitution (DESIGN.md SS1): an actual numpy MLP on synthetic data,
+trained through bit-faithful SwitchML arithmetic (int32 saturation at
+workers, 32-bit wraparound in the switch).
+"""
+
+from conftest import once
+
+from repro.harness.experiments import fig10_quantization
+from repro.harness.report import format_table
+
+FACTORS = (1e-2, 1e0, 1e2, 1e4, 1e6, 1e8, 1e12)
+
+
+def test_fig10_quantization(benchmark, show):
+    rows = once(benchmark, fig10_quantization, scaling_factors=FACTORS)
+
+    show(
+        "\n"
+        + format_table(
+            ["scaling factor", "val accuracy", "diverged"],
+            [
+                [
+                    "none (float)" if r["scaling_factor"] is None
+                    else f"{r['scaling_factor']:.0e}",
+                    f"{r['accuracy']:.3f}",
+                    r["diverged"],
+                ]
+                for r in rows
+            ],
+            title="Figure 10: accuracy vs scaling factor (quantized SGD)",
+        )
+    )
+
+    reference = rows[0]["accuracy"]
+    accuracy = {r["scaling_factor"]: r for r in rows[1:]}
+    # the plateau spans at least four orders of magnitude
+    plateau = [1e2, 1e4, 1e6, 1e8]
+    for f in plateau:
+        assert accuracy[f]["accuracy"] >= reference - 0.05
+    # both cliffs exist
+    assert accuracy[1e-2]["accuracy"] < reference - 0.1  # rounds to zero
+    huge = accuracy[1e12]
+    assert huge["diverged"] or huge["accuracy"] < reference - 0.1  # overflow

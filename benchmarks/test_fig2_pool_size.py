@@ -1,0 +1,45 @@
+"""Figure 2: effect of pool size on TAT and per-packet RTT.
+
+Paper shape (10 Gbps, 100 MB tensor, s = 32..16384): TAT falls until the
+pool covers the BDP (~128 slots), then flattens onto the line-rate TAT;
+RTT keeps climbing with s (extra in-flight packets are pure queueing).
+We sweep the same knee on a 2 MB tensor on the packet simulator -- ATE/s
+is size-insensitive (SS5.3, re-verified in tests/integration).
+"""
+
+from conftest import once
+
+from repro.harness.experiments import fig2_pool_size
+from repro.harness.report import format_table
+
+POOL_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig2_pool_size(benchmark, show):
+    rows = once(benchmark, fig2_pool_size, pool_sizes=POOL_SIZES)
+
+    show(
+        "\n"
+        + format_table(
+            ["pool size", "TAT (ms)", "TAT @line rate (ms)", "mean RTT (us)"],
+            [
+                [
+                    r["pool_size"],
+                    f"{r['tat_s'] * 1e3:.3f}",
+                    f"{r['line_rate_tat_s'] * 1e3:.3f}",
+                    f"{r['mean_rtt_s'] * 1e6:.1f}",
+                ]
+                for r in rows
+            ],
+            title="Figure 2: pool size vs TAT and RTT (10 Gbps, 2 MB tensor)",
+        )
+    )
+
+    tat = {r["pool_size"]: r["tat_s"] for r in rows}
+    rtt = {r["pool_size"]: r["mean_rtt_s"] for r in rows}
+    # knee at the paper's deployment value: s = 128
+    assert tat[8] > 5 * tat[128]
+    assert tat[1024] > 0.95 * tat[128] and tat[1024] < 1.05 * tat[128]
+    assert tat[128] < 1.1 * rows[0]["line_rate_tat_s"]
+    # RTT grows monotonically past the knee
+    assert rtt[1024] > rtt[256] > rtt[64]

@@ -1,0 +1,61 @@
+"""Figure 3: training speedup over NCCL, nine models, 10 and 100 Gbps.
+
+Paper values: 10 Gbps  alexnet 2.2, googlenet 1.3, inception3 1.3,
+inception4 1.2, resnet50 1.5, resnet101 1.8, vgg11 3.0, vgg16 2.2,
+vgg19 2.7; 100 Gbps  2.6/1.4/1.5/1.2/1.8/1.6/2.8/2.8/2.6.
+"""
+
+from conftest import once
+
+from repro.harness.experiments import fig3_speedups
+from repro.harness.report import format_table
+
+PAPER = {
+    "alexnet": (2.2, 2.6),
+    "googlenet": (1.3, 1.4),
+    "inception3": (1.3, 1.5),
+    "inception4": (1.2, 1.2),
+    "resnet50": (1.5, 1.8),
+    "resnet101": (1.8, 1.6),
+    "vgg11": (3.0, 2.8),
+    "vgg16": (2.2, 2.8),
+    "vgg19": (2.7, 2.6),
+}
+
+
+def test_fig3_speedups(benchmark, show):
+    rows = once(benchmark, fig3_speedups)
+
+    show(
+        "\n"
+        + format_table(
+            ["model", "10G", "(paper)", "100G", "(paper)"],
+            [
+                [
+                    r["model"],
+                    f"{r['speedup_10g']:.2f}x",
+                    f"{PAPER[r['model']][0]:.1f}x",
+                    f"{r['speedup_100g']:.2f}x",
+                    f"{PAPER[r['model']][1]:.1f}x",
+                ]
+                for r in rows
+            ],
+            title="Figure 3: SwitchML training speedup over Horovod+NCCL",
+        )
+    )
+
+    by_model = {r["model"]: r for r in rows}
+    # Every model speeds up (>= 1x), none beyond the paper's ceiling band.
+    for r in rows:
+        assert 0.99 <= r["speedup_10g"] < 4.0
+        assert 0.99 <= r["speedup_100g"] < 4.0
+    # Communication-bound families gain the most (SS5.2): VGG/AlexNet over
+    # the inception/googlenet end at 10 Gbps.
+    heavy = min(by_model[m]["speedup_10g"] for m in ("vgg16", "vgg19", "resnet101"))
+    light = max(by_model[m]["speedup_10g"] for m in ("googlenet", "inception4"))
+    assert heavy > light
+    # Within-band agreement: mean absolute deviation from the paper < 0.6x.
+    deviations = [
+        abs(by_model[m]["speedup_10g"] - PAPER[m][0]) for m in PAPER
+    ] + [abs(by_model[m]["speedup_100g"] - PAPER[m][1]) for m in PAPER]
+    assert sum(deviations) / len(deviations) < 0.6

@@ -1,0 +1,86 @@
+"""Figure 4: aggregated tensor elements per second vs worker count.
+
+Paper shape (10 and 100 Gbps, 4/8/16 workers): SwitchML flat at the
+header-limited line rate (~222 M ATE/s at 10 Gbps) and above every
+other strategy; Dedicated PS matches SwitchML (with 2x the machines);
+Colocated PS at half; Gloo/NCCL below, degrading slightly with workers
+and barely improving at 100 Gbps (CPU-bound TCP).
+
+This bench reports the analytic model sweep AND a packet-simulator spot
+check at 8 workers to show the two agree.
+"""
+
+from conftest import once
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.tuning import pool_size_for_rate
+from repro.harness.experiments import fig4_microbench
+from repro.harness.report import format_table
+from repro.net.link import LinkSpec
+
+
+def _sim_spot_check(rate_gbps: float) -> float:
+    n_elem = 32 * 8192
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=8,
+            pool_size=pool_size_for_rate(rate_gbps),
+            link=LinkSpec(rate_gbps=rate_gbps),
+        )
+    )
+    out = job.all_reduce(num_elements=n_elem, verify=False)
+    return out.aggregated_elements_per_second(n_elem)
+
+
+def run_fig4():
+    rows = fig4_microbench()
+    sim = {rate: _sim_spot_check(rate) for rate in (10.0, 100.0)}
+    return rows, sim
+
+
+def test_fig4_microbench(benchmark, show):
+    rows, sim = once(benchmark, run_fig4)
+
+    def fmt(v):
+        return "-" if v is None else f"{v / 1e6:.0f}M"
+
+    show(
+        "\n"
+        + format_table(
+            ["rate", "n", "switchml", "gloo", "nccl", "ded.PS", "colo.PS",
+             "line(sw)", "line(ring)"],
+            [
+                [
+                    f"{r['rate_gbps']:g}G",
+                    r["workers"],
+                    fmt(r["switchml"]),
+                    fmt(r["gloo"]),
+                    fmt(r["nccl"]),
+                    fmt(r["dedicated_ps"]),
+                    fmt(r["colocated_ps"]),
+                    fmt(r["line_rate_switchml"]),
+                    fmt(r["line_rate_ring"]),
+                ]
+                for r in rows
+            ],
+            title="Figure 4: ATE/s by strategy (model sweep)",
+        )
+        + "\npacket-simulator spot check (8 workers): "
+        + ", ".join(f"{rate:g}G -> {v / 1e6:.0f}M ATE/s" for rate, v in sim.items())
+    )
+
+    by = {(r["rate_gbps"], r["workers"]): r for r in rows}
+    # paper headline number: ~222M ATE/s at 10 Gbps
+    assert 210e6 < by[(10.0, 8)]["switchml"] < 230e6
+    # SwitchML wins everywhere it is defined
+    for r in rows:
+        for s in ("gloo", "nccl", "colocated_ps"):
+            if r[s] is not None:
+                assert r["switchml"] > r[s]
+    # dedicated PS parity, colocated at half
+    r8 = by[(10.0, 8)]
+    assert abs(r8["dedicated_ps"] - r8["switchml"]) / r8["switchml"] < 0.1
+    assert abs(r8["colocated_ps"] - r8["switchml"] / 2) / r8["switchml"] < 0.1
+    # simulator agrees with the model at both rates
+    assert abs(sim[10.0] - r8["switchml"]) / r8["switchml"] < 0.1
+    assert abs(sim[100.0] - by[(100.0, 8)]["switchml"]) / by[(100.0, 8)]["switchml"] < 0.15

@@ -1,0 +1,80 @@
+"""Figure 4, measured entirely on the packet simulator.
+
+The main Figure 4 bench sweeps the analytic models; this companion runs
+SwitchML, the dedicated PS, the colocated PS, and ring all-reduce as
+*actual packet-level systems* on identical simulated racks, so the
+paper's comparison emerges from protocol behaviour, not from the cost
+formulas.  Expected ordering (paper Fig. 4 top): SwitchML first, the
+dedicated PS close behind (with 2x the machines), ring next, colocated
+PS at roughly half of SwitchML.
+"""
+
+from conftest import once
+
+from repro.collectives.models import line_rate_ate
+from repro.collectives.ps_simulation import PSJob, PSJobConfig
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.report import format_table
+
+N_ELEMENTS = 32 * 8192
+WORKERS = 8
+
+
+def run_all():
+    results = {}
+    sw = SwitchMLJob(SwitchMLConfig(num_workers=WORKERS, pool_size=128))
+    results["switchml"] = sw.all_reduce(
+        num_elements=N_ELEMENTS, verify=False
+    ).aggregated_elements_per_second(N_ELEMENTS)
+
+    for label, colocated in (("dedicated_ps", False), ("colocated_ps", True)):
+        job = PSJob(PSJobConfig(num_workers=WORKERS, colocated=colocated,
+                                window=128))
+        results[label] = job.all_reduce(
+            num_elements=N_ELEMENTS, verify=False
+        ).aggregated_elements_per_second(N_ELEMENTS)
+
+    ring = RingJob(RingJobConfig(num_workers=WORKERS))
+    results["ring"] = ring.all_reduce(
+        num_elements=N_ELEMENTS, verify=False
+    ).aggregated_elements_per_second(N_ELEMENTS)
+    return results
+
+
+def test_fig4_simulated(benchmark, show):
+    results = once(benchmark, run_all)
+
+    line_sw = line_rate_ate(10.0)
+    line_ring = line_rate_ate(10.0, "ring", num_workers=WORKERS)
+    show(
+        "\n"
+        + format_table(
+            ["system (measured on the simulator)", "ATE/s", "vs its bound"],
+            [
+                ["SwitchML", f"{results['switchml'] / 1e6:.0f}M",
+                 f"{results['switchml'] / line_sw:.1%}"],
+                ["Dedicated PS (2x machines)",
+                 f"{results['dedicated_ps'] / 1e6:.0f}M",
+                 f"{results['dedicated_ps'] / line_sw:.1%}"],
+                ["Ring all-reduce",
+                 f"{results['ring'] / 1e6:.0f}M",
+                 f"{results['ring'] / line_ring:.1%}"],
+                ["Colocated PS",
+                 f"{results['colocated_ps'] / 1e6:.0f}M",
+                 f"{results['colocated_ps'] / line_sw:.1%}"],
+            ],
+            title="Figure 4 (packet-level): 8 workers, 10 Gbps, 1 MB tensor",
+        )
+    )
+
+    # the paper's ordering, measured
+    assert results["switchml"] > results["dedicated_ps"]
+    assert results["dedicated_ps"] > results["ring"]
+    assert results["ring"] > results["colocated_ps"]
+    # SwitchML at the header-limited line rate
+    assert results["switchml"] > 0.95 * line_sw
+    # dedicated PS close to SwitchML; colocated at roughly half
+    assert results["dedicated_ps"] > 0.75 * results["switchml"]
+    ratio = results["colocated_ps"] / results["switchml"]
+    assert 0.35 < ratio < 0.65

@@ -1,0 +1,57 @@
+"""SS5.5 "Switch resources": SRAM and stage accounting.
+
+Paper claims: the BDP-tuned pools occupy 32 KB (s=128, 10 Gbps) and
+128 KB (s=512, 100 Gbps) of register space -- "much less than 10 %" of
+switch capacity, with "two orders of magnitude" of slot headroom -- and
+worker count does not affect the line-rate aggregation resources.
+"""
+
+from conftest import once
+
+from repro.dataplane.pipeline import TOFINO
+from repro.dataplane.resources import switchml_resource_report
+from repro.harness.experiments import switch_resources
+from repro.harness.report import format_table
+
+
+def run_resources():
+    rows = switch_resources()
+    headroom = switchml_resource_report(128 * 100, num_workers=16)
+    return rows, headroom
+
+
+def test_switch_resources(benchmark, show):
+    rows, headroom = once(benchmark, run_resources)
+
+    show(
+        "\n"
+        + format_table(
+            ["pool", "rate", "value SRAM", "total SRAM", "of pipeline",
+             "stages", "fits"],
+            [
+                [
+                    r["pool_size"],
+                    f"{r['recommended_rate_gbps']:g}G",
+                    f"{r['value_sram_kb']:.0f} KB",
+                    f"{r['total_sram_kb']:.1f} KB",
+                    f"{r['sram_fraction']:.3%}",
+                    f"{r['stages']}/{TOFINO.num_stages}",
+                    r["fits"],
+                ]
+                for r in rows
+            ],
+            title="SS5.5: SwitchML switch resource usage",
+        )
+        + f"\n100x slot headroom check: s={headroom.pool_size} -> "
+        f"{headroom.total_sram_bytes / 1024:.0f} KB "
+        f"({headroom.sram_fraction:.1%} of pipeline SRAM)"
+    )
+
+    by = {r["pool_size"]: r for r in rows}
+    assert by[128]["value_sram_kb"] == 32  # paper: 32 KB at 10 Gbps
+    assert by[512]["value_sram_kb"] == 128  # paper: 128 KB at 100 Gbps
+    for r in rows:
+        assert r["sram_fraction"] < 0.01  # << 10 %
+        assert r["fits"]
+    # two orders of magnitude more slots still fit (SS3.6)
+    assert headroom.total_sram_bytes <= TOFINO.sram_bytes

@@ -1,0 +1,77 @@
+"""SS6 extension: self-clocking under stragglers/congestion (X3).
+
+The paper argues (SS6, "Lack of congestion control") that the tight
+coupling between the communication loop and the pool makes the system
+self-clock to the rate of the slowest worker: a congested or late worker
+throttles everyone instead of causing loss blow-up.  We inject a
+straggler (late start) and a congested downlink and measure both.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.report import format_table
+from repro.net.link import LinkSpec
+
+
+def run_straggler():
+    # pool sized for line rate so bandwidth (not latency) is binding
+    n_elem = 32 * 128 * 32
+    rows = []
+    for delay_ms in (0.0, 1.0, 4.0):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=128, timeout_s=50e-3)
+        )
+        start_times = [0.0, 0.0, 0.0, delay_ms * 1e-3]
+        out = job.all_reduce(
+            num_elements=n_elem, start_times=start_times, verify=False
+        )
+        rows.append(
+            {
+                "delay_ms": delay_ms,
+                "tat_s": out.max_tat,
+                "retransmissions": out.retransmissions,
+                "completed": out.completed,
+            }
+        )
+
+    # congestion: one worker's downlink runs at a third of the rate
+    slow = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=128,
+                                      timeout_s=50e-3))
+    slow.rack.downlinks[3].spec = LinkSpec(rate_gbps=3.3)
+    congested = slow.all_reduce(num_elements=n_elem, verify=False)
+    return rows, congested
+
+
+def test_straggler_self_clocking(benchmark, show):
+    rows, congested = once(benchmark, run_straggler)
+
+    show(
+        "\n"
+        + format_table(
+            ["straggler delay", "TAT (ms)", "retransmissions"],
+            [
+                [f"{r['delay_ms']:g} ms", f"{r['tat_s'] * 1e3:.3f}",
+                 r["retransmissions"]]
+                for r in rows
+            ],
+            title="SS6: self-clocking with a late worker (4 workers, 10G)",
+        )
+        + f"\ncongested downlink (3.3 Gbps on one worker): "
+        f"TAT {congested.max_tat * 1e3:.3f} ms, "
+        f"retransmissions {congested.retransmissions}"
+    )
+
+    base = rows[0]["tat_s"]
+    for r in rows:
+        assert r["completed"]
+        # the whole job shifts by ~the straggler delay -- no more, no less
+        assert r["tat_s"] >= base
+        assert r["tat_s"] < base + r["delay_ms"] * 1e-3 + 0.5e-3
+        # self-clocking absorbs the skew without retransmission storms
+        assert r["retransmissions"] == 0
+    # congestion: the system slows to the bottleneck without loss blow-up
+    assert congested.completed
+    assert congested.retransmissions == 0
+    assert congested.max_tat > 2.0 * base

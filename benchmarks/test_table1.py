@@ -1,0 +1,59 @@
+"""Table 1: training throughput (images/s), 8 workers, 10 Gbps, batch 64.
+
+Paper values (percent of ideal):
+    inception3  multi-GPU 95.3  NCCL 70.6  SwitchML 95.3
+    resnet50    multi-GPU 88.7  NCCL 49.6  SwitchML 76.8
+    vgg16       multi-GPU 76.1  NCCL 17.5  SwitchML 38.5
+"""
+
+from conftest import once
+
+from repro.harness.experiments import table1
+from repro.harness.report import format_table
+
+PAPER = {
+    "inception3": {"ideal": 1132, "multi_gpu": 1079, "nccl": 799, "switchml": 1079},
+    "resnet50": {"ideal": 1838, "multi_gpu": 1630, "nccl": 911, "switchml": 1412},
+    "vgg16": {"ideal": 1180, "multi_gpu": 898, "nccl": 207, "switchml": 454},
+}
+
+
+def test_table1(benchmark, show):
+    rows = once(benchmark, table1)
+
+    lines = []
+    for row in rows:
+        paper = PAPER[row["model"]]
+        lines.append(
+            [
+                row["model"],
+                f"{row['ideal']:.0f}",
+                f"{row['multi_gpu']:.0f} ({row['multi_gpu_pct']:.1f}%)",
+                f"{paper['multi_gpu']} ({100 * paper['multi_gpu'] / paper['ideal']:.1f}%)",
+                f"{row['nccl']:.0f} ({row['nccl_pct']:.1f}%)",
+                f"{paper['nccl']} ({100 * paper['nccl'] / paper['ideal']:.1f}%)",
+                f"{row['switchml']:.0f} ({row['switchml_pct']:.1f}%)",
+                f"{paper['switchml']} ({100 * paper['switchml'] / paper['ideal']:.1f}%)",
+            ]
+        )
+    show(
+        "\n"
+        + format_table(
+            [
+                "model", "ideal",
+                "multi-gpu", "(paper)",
+                "nccl", "(paper)",
+                "switchml", "(paper)",
+            ],
+            lines,
+            title="Table 1: training throughput, 8 workers, 10 Gbps",
+        )
+    )
+
+    # Shape assertions: ordering everywhere; SwitchML's fraction of ideal
+    # within 10 points of the paper for each model.
+    for row in rows:
+        paper = PAPER[row["model"]]
+        assert row["nccl"] < row["switchml"] <= row["multi_gpu"] * 1.02
+        paper_pct = 100 * paper["switchml"] / paper["ideal"]
+        assert abs(row["switchml_pct"] - paper_pct) < 10.0

@@ -1,0 +1,56 @@
+"""SS5.1 methodology: TAT distributions over 100 repeated tensors.
+
+The paper reports every microbenchmark as a violin plot over 100
+aggregations of the same size, highlighting median/min/max.  This bench
+runs that exact procedure on the simulator for the clean rack and a 1 %
+lossy rack, printing the violin statistics and a text violin.
+"""
+
+from conftest import once
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.distributions import measure_tat_distribution
+from repro.net.loss import BernoulliLoss
+
+N_ELEMENTS = 32 * 128 * 8
+REPETITIONS = 100
+
+
+def run_distributions():
+    clean = measure_tat_distribution(
+        SwitchMLJob(SwitchMLConfig(num_workers=8, pool_size=128, seed=1)),
+        num_elements=N_ELEMENTS,
+        repetitions=REPETITIONS,
+    )
+    lossy = measure_tat_distribution(
+        SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=8, pool_size=128, timeout_s=1e-4,
+                loss_factory=lambda: BernoulliLoss(0.01), seed=1,
+            )
+        ),
+        num_elements=N_ELEMENTS,
+        repetitions=REPETITIONS,
+    )
+    return clean, lossy
+
+
+def test_tat_distribution(benchmark, show):
+    clean, lossy = once(benchmark, run_distributions)
+
+    show(
+        "\nSS5.1: TAT over 100 aggregations of the same tensor "
+        f"({N_ELEMENTS * 4 // 1024} KB, 8 workers, 10 Gbps)"
+        f"\n  lossless: {clean.summary()}"
+        f"\n  1% loss : {lossy.summary()}"
+        "\n  1% loss violin:"
+        "\n" + lossy.violin(width=36, bins=8)
+    )
+
+    # 800 samples each (100 repetitions x 8 workers)
+    assert len(clean.samples) == REPETITIONS * 8
+    # the lossless violin is a needle; loss fattens it and shifts it up
+    assert clean.relative_spread < 0.05
+    assert lossy.relative_spread > 0.2
+    assert lossy.median > clean.median
+    assert lossy.maximum > lossy.median * 1.1

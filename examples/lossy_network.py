@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Loss recovery in action (paper SS3.5, Figures 5 and 6).
+
+Runs the same aggregation over a clean rack and over racks with 0.1 %
+and 1 % per-link random loss, printing the TAT inflation, the recovery
+machinery's counters (timeouts, retransmissions, switch-side duplicate
+drops and unicast replies), and a packets-per-interval timeline for a
+representative worker.  The aggregates stay bit-exact in every case --
+that is the whole point of Algorithm 3's seen-bitmap + shadow-copy
+design.
+
+Run:  python examples/lossy_network.py
+"""
+
+import numpy as np
+
+from repro import SwitchMLConfig, SwitchMLJob
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+
+def run(loss: float, tensors, seed: int = 7):
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=len(tensors),
+            pool_size=128,
+            timeout_s=1e-4,  # ~9x the rack RTT (SS6: adapt timeout to RTT)
+            link=LinkSpec(rate_gbps=10.0),
+            loss_factory=lambda: BernoulliLoss(loss),
+            check_invariants=True,  # assert the <=1-phase-lag property live
+            seed=seed,
+        )
+    )
+    job.trace.bucket_seconds = 0.0005
+    return job.all_reduce(tensors)  # verify=True: raises if any bit is wrong
+
+
+def main() -> None:
+    num_workers = 8
+    rng = np.random.default_rng(1)
+    tensors = [
+        rng.integers(-1000, 1000, 32 * 128 * 40).astype(np.int64)
+        for _ in range(num_workers)
+    ]
+
+    baseline = None
+    for loss in (0.0, 0.001, 0.01):
+        out = run(loss, tensors)
+        if baseline is None:
+            baseline = out.max_tat
+        print(f"\n=== loss {loss:.2%} ===")
+        print(f"  TAT                {out.max_tat * 1e3:8.3f} ms "
+              f"({out.max_tat / baseline:.2f}x the lossless run)")
+        print(f"  frames lost        {out.frames_lost:6d}")
+        print(f"  retransmissions    {out.retransmissions:6d}")
+        print(f"  dup drops @switch  {out.switch_ignored_duplicates:6d}")
+        print(f"  unicast replies    {out.switch_unicast_retransmits:6d}")
+        print("  aggregate verified bit-exact despite the losses")
+        if loss:
+            sent = out.trace.series("sent")
+            resent = out.trace.series("resent")
+            resent_at = dict(resent)
+            print("  worker-0 timeline (packets per 0.5 ms):")
+            for t, count in sent[:14]:
+                extra = resent_at.get(t, 0)
+                bar = "#" * max(1, count // 40)
+                print(f"    t={t * 1e3:5.1f}ms {count:5d} sent"
+                      + (f" +{extra} resent " if extra else "         ")
+                      + bar)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools entry point (legacy editable installs without the wheel pkg)."""
+from setuptools import setup
+
+setup()

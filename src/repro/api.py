@@ -1,0 +1,112 @@
+"""High-level convenience API: float tensors in, float aggregates out.
+
+This is the layer an ML framework integration calls (the role of the
+paper's Gloo/Horovod hooks): it hides quantization, scaling-factor
+selection, padding, the packet protocol, and dequantization behind one
+function.
+
+>>> import numpy as np
+>>> from repro.api import allreduce_float
+>>> grads = [np.random.default_rng(w).normal(size=100) for w in range(4)]
+>>> out = allreduce_float(grads)
+>>> bool(abs(out.aggregate - np.sum(grads, axis=0)).max() < 1e-4)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.quant.fixedpoint import dequantize, quantize
+from repro.quant.profiler import choose_scaling_factor, profile_gradients
+from repro.quant.theory import aggregation_error_bound
+
+__all__ = ["FloatAllReduceResult", "allreduce_float"]
+
+
+@dataclass
+class FloatAllReduceResult:
+    """A float all-reduce outcome with its quality certificate."""
+
+    aggregate: np.ndarray
+    scaling_factor: float
+    error_bound: float
+    tat_s: float
+    retransmissions: int
+    completed: bool
+
+    def mean(self, num_workers: int) -> np.ndarray:
+        """The averaged update (the division SwitchML leaves to hosts)."""
+        return self.aggregate / num_workers
+
+
+def allreduce_float(
+    tensors: list[np.ndarray],
+    config: SwitchMLConfig | None = None,
+    job: SwitchMLJob | None = None,
+    scaling_factor: float | None = None,
+    headroom: float = 2.0,
+) -> FloatAllReduceResult:
+    """Aggregate float gradient tensors through simulated SwitchML.
+
+    Parameters
+    ----------
+    tensors:
+        One float array per worker (equal lengths; any shape, flattened).
+    config / job:
+        Deployment to use.  Pass a ``job`` to amortize rack construction
+        across iterations (as a framework integration would); otherwise a
+        fresh job is built from ``config`` (default: the paper's 8-worker
+        10 Gbps rack, resized to the tensor count).
+    scaling_factor:
+        Fixed-point scale ``f``.  ``None`` selects it automatically from
+        the tensors via the Theorem 2 rule (Appendix C: "this selection
+        could be automated").
+    headroom:
+        Safety margin on the profiled gradient bound when auto-selecting.
+    """
+    if not tensors:
+        raise ValueError("need at least one worker tensor")
+    flats = [np.asarray(t, dtype=np.float64).reshape(-1) for t in tensors]
+    sizes = {len(f) for f in flats}
+    if len(sizes) != 1:
+        raise ValueError("all workers must contribute equal-length tensors")
+    num_workers = len(flats)
+
+    if job is None:
+        if config is None:
+            config = SwitchMLConfig(num_workers=num_workers)
+        if config.num_workers != num_workers:
+            raise ValueError(
+                f"config is for {config.num_workers} workers; got "
+                f"{num_workers} tensors"
+            )
+        job = SwitchMLJob(config)
+    elif job.config.num_workers != num_workers:
+        raise ValueError(
+            f"job is for {job.config.num_workers} workers; got "
+            f"{num_workers} tensors"
+        )
+
+    if scaling_factor is None:
+        profile = profile_gradients(flats)
+        scaling_factor = choose_scaling_factor(profile, num_workers, headroom)
+
+    quantized = [quantize(f, scaling_factor) for f in flats]
+    outcome = job.all_reduce(quantized)
+    if not outcome.completed:
+        raise RuntimeError("all-reduce did not complete within the deadline")
+    assert outcome.results[0] is not None
+    aggregate = dequantize(outcome.results[0], scaling_factor)
+
+    return FloatAllReduceResult(
+        aggregate=aggregate.reshape(np.asarray(tensors[0]).shape),
+        scaling_factor=scaling_factor,
+        error_bound=aggregation_error_bound(num_workers, scaling_factor),
+        tat_s=outcome.max_tat,
+        retransmissions=outcome.retransmissions,
+        completed=outcome.completed,
+    )

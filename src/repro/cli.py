@@ -1,0 +1,366 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli experiment table1
+    python -m repro.cli experiment fig4
+    python -m repro.cli allreduce --workers 8 --rate 10 --mbytes 4
+    python -m repro.cli resources --pool 512
+
+Each ``experiment`` subcommand prints the same rows/series the paper's
+table or figure reports (see EXPERIMENTS.md for the recorded runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.collectives.models import line_rate_ate
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.tuning import pool_size_for_rate
+from repro.dataplane.pipeline import TOFINO
+from repro.harness import experiments as E
+from repro.harness.figures import bar_chart, line_plot, sparkline
+from repro.harness.report import format_series, format_table
+from repro.net.link import LinkSpec
+
+__all__ = ["main"]
+
+
+def _print_table1() -> None:
+    rows = E.table1()
+    print(
+        format_table(
+            ["model", "ideal", "multi-gpu", "nccl", "switchml"],
+            [
+                [
+                    r["model"],
+                    f"{r['ideal']:.0f}",
+                    f"{r['multi_gpu']:.0f} ({r['multi_gpu_pct']:.1f}%)",
+                    f"{r['nccl']:.0f} ({r['nccl_pct']:.1f}%)",
+                    f"{r['switchml']:.0f} ({r['switchml_pct']:.1f}%)",
+                ]
+                for r in rows
+            ],
+            title="Table 1: training throughput (images/s), 8 workers, 10 Gbps",
+        )
+    )
+
+
+def _print_fig2() -> None:
+    rows = E.fig2_pool_size()
+    print(
+        format_table(
+            ["pool size", "TAT (ms)", "line-rate TAT (ms)", "RTT (us)"],
+            [
+                [r["pool_size"], f"{r['tat_s'] * 1e3:.3f}",
+                 f"{r['line_rate_tat_s'] * 1e3:.3f}",
+                 f"{r['mean_rtt_s'] * 1e6:.1f}"]
+                for r in rows
+            ],
+            title="Figure 2: pool size sweep (packet simulator)",
+        )
+    )
+
+
+def _print_fig3() -> None:
+    rows = E.fig3_speedups()
+    print(
+        format_table(
+            ["model", "speedup @10G", "speedup @100G"],
+            [[r["model"], f"{r['speedup_10g']:.2f}x", f"{r['speedup_100g']:.2f}x"]
+             for r in rows],
+            title="Figure 3: SwitchML speedup over NCCL",
+        )
+    )
+
+
+def _print_fig4() -> None:
+    rows = E.fig4_microbench()
+
+    def fmt(v):
+        return "-" if v is None else f"{v / 1e6:.0f}M"
+
+    print(
+        format_table(
+            ["rate", "workers", "switchml", "gloo", "nccl", "ded.PS",
+             "colo.PS", "line(sw)"],
+            [
+                [f"{r['rate_gbps']:g}G", r["workers"], fmt(r["switchml"]),
+                 fmt(r["gloo"]), fmt(r["nccl"]), fmt(r["dedicated_ps"]),
+                 fmt(r["colocated_ps"]), fmt(r["line_rate_switchml"])]
+                for r in rows
+            ],
+            title="Figure 4: ATE/s by strategy",
+        )
+    )
+
+
+def _print_fig5() -> None:
+    rows = E.fig5_loss_inflation()
+    print(
+        format_table(
+            ["loss", "SwitchML", "Gloo", "NCCL"],
+            [[f"{r['loss']:.2%}", f"{r['switchml_inflation']:.2f}x",
+              f"{r['gloo_inflation']:.2f}x", f"{r['nccl_inflation']:.2f}x"]
+             for r in rows],
+            title="Figure 5: TAT inflation under loss",
+        )
+    )
+
+
+def _print_fig6() -> None:
+    out = E.fig6_timeline()
+    for loss, data in out.items():
+        print(f"loss {loss:.2%}: TAT {data['tat_s'] * 1e3:.3f} ms")
+        print("  " + format_series("sent", data["sent"][:15]))
+        if sum(c for _, c in data["resent"]):
+            print("  " + format_series("resent", data["resent"][:15]))
+
+
+def _print_fig7() -> None:
+    rows = E.fig7_mtu()
+    print(
+        format_table(
+            ["tensor", "SwitchML", "SwitchML(MTU)", "Ded.PS(MTU)"],
+            [[f"{r['tensor_mb']} MB", f"{r['switchml_tat_s'] * 1e3:.0f} ms",
+              f"{r['switchml_mtu_tat_s'] * 1e3:.0f} ms",
+              f"{r['dedicated_ps_mtu_tat_s'] * 1e3:.0f} ms"]
+             for r in rows],
+            title="Figure 7: small frames vs MTU",
+        )
+    )
+
+
+def _print_fig8() -> None:
+    rows = E.fig8_datatypes()
+    print(
+        format_table(
+            ["dtype", "SwitchML TAT", "Gloo TAT"],
+            [[r["dtype"], f"{r['switchml_tat_s'] * 1e3:.0f} ms",
+              f"{r['gloo_tat_s'] * 1e3:.0f} ms"] for r in rows],
+            title="Figure 8: data types (100 MB, 10 Gbps)",
+        )
+    )
+
+
+def _print_fig10() -> None:
+    rows = E.fig10_quantization()
+    print(
+        format_table(
+            ["scaling factor", "accuracy", "diverged"],
+            [["reference" if r["scaling_factor"] is None
+              else f"{r['scaling_factor']:.0e}",
+              f"{r['accuracy']:.3f}", r["diverged"]] for r in rows],
+            title="Figure 10: accuracy vs scaling factor",
+        )
+    )
+
+
+def _print_resources(pool: int | None) -> None:
+    pools = (pool,) if pool else (128, 512)
+    rows = E.switch_resources(pool_sizes=tuple(pools))
+    print(
+        format_table(
+            ["pool", "value SRAM (KB)", "total (KB)", "of pipeline", "stages"],
+            [[r["pool_size"], f"{r['value_sram_kb']:.0f}",
+              f"{r['total_sram_kb']:.1f}", f"{r['sram_fraction']:.3%}",
+              f"{r['stages']}/{TOFINO.num_stages}"] for r in rows],
+            title="SS5.5: switch resources",
+        )
+    )
+
+
+def _plot_fig2() -> None:
+    rows = E.fig2_pool_size()
+    print(
+        line_plot(
+            {
+                "TAT (ms)": [(r["pool_size"], r["tat_s"] * 1e3) for r in rows],
+                "RTT (us)": [(r["pool_size"], r["mean_rtt_s"] * 1e6) for r in rows],
+            },
+            title="Figure 2: pool size vs TAT and RTT (log-log)",
+            log_x=True, log_y=True,
+        )
+    )
+
+
+def _plot_fig3() -> None:
+    rows = E.fig3_speedups()
+    print(
+        bar_chart(
+            [r["model"] for r in rows],
+            [r["speedup_10g"] for r in rows],
+            title="Figure 3: speedup over NCCL at 10 Gbps",
+            unit="x",
+        )
+    )
+
+
+def _plot_fig5() -> None:
+    rows = E.fig5_loss_inflation()
+    print(
+        line_plot(
+            {
+                "SwitchML": [(r["loss"], r["switchml_inflation"]) for r in rows],
+                "Gloo": [(r["loss"], r["gloo_inflation"]) for r in rows],
+            },
+            title="Figure 5: TAT inflation vs loss (log-log)",
+            log_x=True, log_y=True,
+        )
+    )
+
+
+def _plot_fig6() -> None:
+    out = E.fig6_timeline()
+    print("Figure 6: packets per bucket at worker 0 (intensity strips)")
+    for loss, data in out.items():
+        strip = sparkline([c for _, c in data["sent"]], width=60)
+        print(f"  loss {loss:6.2%} |{strip}| TAT {data['tat_s'] * 1e3:.2f} ms")
+
+
+def _plot_fig10() -> None:
+    rows = [r for r in E.fig10_quantization() if r["scaling_factor"]]
+    print(
+        line_plot(
+            {"accuracy": [(r["scaling_factor"], max(r["accuracy"], 1e-3))
+                           for r in rows]},
+            title="Figure 10: accuracy vs scaling factor (log x)",
+            log_x=True,
+        )
+    )
+
+
+_FIGURES = {
+    "fig2": _plot_fig2,
+    "fig3": _plot_fig3,
+    "fig5": _plot_fig5,
+    "fig6": _plot_fig6,
+    "fig10": _plot_fig10,
+}
+
+
+_EXPERIMENTS = {
+    "table1": _print_table1,
+    "fig2": _print_fig2,
+    "fig3": _print_fig3,
+    "fig4": _print_fig4,
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "fig10": _print_fig10,
+}
+
+
+def _cmd_allreduce(args: argparse.Namespace) -> None:
+    rate = args.rate
+    n_elem = int(args.mbytes * 1e6 / 4)
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=args.workers,
+            pool_size=pool_size_for_rate(rate),
+            link=LinkSpec(rate_gbps=rate),
+            seed=args.seed,
+        )
+    )
+    out = job.all_reduce(num_elements=n_elem, verify=False)
+    ate = out.aggregated_elements_per_second(n_elem)
+    print(f"{args.workers} workers, {rate:g} Gbps, {args.mbytes:g} MB tensor")
+    print(f"TAT {out.max_tat * 1e3:.3f} ms | ATE/s {ate / 1e6:.1f}M "
+          f"({ate / line_rate_ate(rate):.1%} of line rate) | "
+          f"mean RTT {out.mean_rtt * 1e6:.1f} us")
+
+
+def _cmd_violin(args: argparse.Namespace) -> None:
+    from repro.harness.distributions import measure_tat_distribution
+    from repro.net.loss import BernoulliLoss
+
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=args.workers,
+            pool_size=pool_size_for_rate(args.rate),
+            timeout_s=1e-4,
+            link=LinkSpec(rate_gbps=args.rate),
+            loss_factory=lambda: BernoulliLoss(args.loss),
+        )
+    )
+    dist = measure_tat_distribution(
+        job, num_elements=int(args.mbytes * 1e6 / 4),
+        repetitions=args.repetitions,
+    )
+    print(f"{args.repetitions} aggregations of {args.mbytes:g} MB on "
+          f"{args.workers} x {args.rate:g} Gbps (loss {args.loss:.2%})")
+    print(f"TAT {dist.summary()}")
+    print(dist.violin())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SwitchML reproduction toolbox"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    fig = sub.add_parser("figure", help="draw a figure's shape in the terminal")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+
+    ar = sub.add_parser("allreduce", help="run one all-reduce on the simulator")
+    ar.add_argument("--workers", type=int, default=8)
+    ar.add_argument("--rate", type=float, default=10.0, help="link Gbps")
+    ar.add_argument("--mbytes", type=float, default=4.0, help="tensor MB")
+    ar.add_argument("--seed", type=int, default=0)
+
+    res = sub.add_parser("resources", help="switch resource report")
+    res.add_argument("--pool", type=int, default=None)
+
+    sub.add_parser("claims", help="run the executable audit of the paper's claims")
+
+    vio = sub.add_parser(
+        "violin", help="SS5.1 methodology: TAT distribution over N tensors"
+    )
+    vio.add_argument("--workers", type=int, default=8)
+    vio.add_argument("--rate", type=float, default=10.0)
+    vio.add_argument("--mbytes", type=float, default=0.5)
+    vio.add_argument("--loss", type=float, default=0.0)
+    vio.add_argument("--repetitions", type=int, default=50)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+    elif args.command == "experiment":
+        _EXPERIMENTS[args.name]()
+    elif args.command == "figure":
+        _FIGURES[args.name]()
+    elif args.command == "allreduce":
+        _cmd_allreduce(args)
+    elif args.command == "resources":
+        _print_resources(args.pool)
+    elif args.command == "violin":
+        _cmd_violin(args)
+    elif args.command == "claims":
+        from repro.harness.claims import audit
+
+        results = audit()
+        failed = 0
+        for claim, passed in results:
+            mark = "PASS" if passed else "FAIL"
+            if not passed:
+                failed += 1
+            print(f"[{mark}] {claim.section:12s} {claim.text}")
+        print(f"\n{len(results) - failed}/{len(results)} claims verified")
+        return 1 if failed else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Baseline communication strategies and their cost models.
+
+The paper compares SwitchML against:
+
+* **ring all-reduce** (Gloo's default; NCCL's core algorithm) --
+  bandwidth-optimal, each worker sends and receives ``4 (n-1) |U| / n``
+  bytes total (SS2.3);
+* **halving-doubling all-reduce** [57] -- recursive binary-tree
+  reduce-scatter + all-gather;
+* **parameter servers**, dedicated (2x machines) and colocated (shares
+  the worker NIC) -- "a multi-core DPDK-based program that implements
+  the logic of Algorithm 1" (SS5.3).
+
+Two layers:
+
+* :mod:`repro.collectives.ring_allreduce` /
+  :mod:`repro.collectives.halving_doubling` /
+  :mod:`repro.collectives.parameter_server` are *algorithm*
+  implementations on numpy data with exact byte accounting -- they
+  verify correctness and the communication-volume formulas.
+* :mod:`repro.collectives.models` are the *timing* models (TAT, ATE/s,
+  line-rate bounds) used by the figure sweeps, with the calibration
+  constants documented in :mod:`repro.collectives.base`.
+"""
+
+from repro.collectives.base import (
+    CollectiveTrace,
+    CostParams,
+    DEFAULT_COST_PARAMS,
+    Strategy,
+)
+from repro.collectives.halving_doubling import halving_doubling_allreduce
+from repro.collectives.models import (
+    ate_per_second,
+    line_rate_ate,
+    ring_allreduce_tat,
+    ps_tat,
+    switchml_tat,
+    tat_for,
+)
+from repro.collectives.hd_simulation import HDJob, HDJobConfig
+from repro.collectives.parameter_server import ps_allreduce
+from repro.collectives.ps_simulation import PSJob, PSJobConfig
+from repro.collectives.ring_allreduce import ring_allreduce
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+
+__all__ = [
+    "CollectiveTrace",
+    "HDJob",
+    "HDJobConfig",
+    "PSJob",
+    "PSJobConfig",
+    "RingJob",
+    "RingJobConfig",
+    "CostParams",
+    "DEFAULT_COST_PARAMS",
+    "Strategy",
+    "ate_per_second",
+    "halving_doubling_allreduce",
+    "line_rate_ate",
+    "ps_allreduce",
+    "ps_tat",
+    "ring_allreduce",
+    "ring_allreduce_tat",
+    "switchml_tat",
+    "tat_for",
+]

@@ -1,0 +1,131 @@
+"""Halving-doubling all-reduce (Thakur, Rabenseifner & Gropp [57]).
+
+A recursive-distance algorithm: ``log2 n`` reduce-scatter steps in which
+pair distance doubles and exchanged volume halves, then ``log2 n``
+all-gather steps mirroring them.  Per-worker volume matches the ring
+(``2 (n-1)/n |U|`` each direction) but in only ``2 log2 n`` rounds,
+which is why it wins at small sizes / high latencies -- the crossover
+the latency-vs-bandwidth tests check.
+
+Non-power-of-two worker counts use the standard pre/post folding: the
+first ``r = n - 2^floor(log2 n)`` "extra" workers fold their data into a
+partner up front, sit out the core exchange, and get the result back at
+the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import CollectiveTrace
+
+__all__ = ["halving_doubling_allreduce"]
+
+
+def halving_doubling_allreduce(
+    tensors: list[np.ndarray], bytes_per_element: int = 4
+) -> tuple[list[np.ndarray], CollectiveTrace]:
+    """Run halving-doubling all-reduce; returns results and accounting.
+
+    The trace reports the *maximum* per-worker byte counts (the busiest
+    worker bounds completion time).
+    """
+    n = len(tensors)
+    if n == 0:
+        raise ValueError("need at least one worker")
+    sizes = {len(t) for t in tensors}
+    if len(sizes) != 1:
+        raise ValueError("all workers must contribute equal-length tensors")
+    size = sizes.pop()
+    if size == 0:
+        raise ValueError("tensors must be non-empty")
+
+    work = [np.array(t, dtype=np.int64, copy=True) for t in tensors]
+    sent = [0] * n
+    received = [0] * n
+    trace = CollectiveTrace()
+    if n == 1:
+        return work, trace
+
+    pow2 = 1 << (n.bit_length() - 1)
+    if pow2 == n:
+        core = list(range(n))
+        extras: list[tuple[int, int]] = []
+    else:
+        r = n - (pow2 := 1 << (n.bit_length() - 1))
+        # extras 0..r-1 fold into partners r..2r-1; core = workers r..n-1
+        extras = [(i, i + r) for i in range(r)]
+        core = list(range(r, n))
+
+    # Pre-fold: extra workers contribute their whole vector to a partner.
+    for extra, partner in extras:
+        work[partner] += work[extra]
+        sent[extra] += size * bytes_per_element
+        received[partner] += size * bytes_per_element
+        trace.steps += 0  # folded into step accounting below
+    if extras:
+        trace.steps += 1
+
+    m = len(core)  # power of two
+
+    # Reduce-scatter among the core set: each core worker ends up owning
+    # the fully reduced values of one 1/m segment.
+    seg_lo = {w: 0 for w in core}
+    seg_hi = {w: size for w in core}
+    distance = m // 2
+    while distance >= 1:
+        for rank, w in enumerate(core):
+            peer = core[rank ^ distance]
+            if rank & distance:
+                continue  # handle each pair once, from the lower rank
+            lo, hi = seg_lo[w], seg_hi[w]
+            mid = (lo + hi) // 2
+            # lower rank keeps [lo, mid), sends [mid, hi); peer mirrors.
+            send_w = work[w][mid:hi].copy()
+            send_p = work[peer][lo:mid].copy()
+            work[peer][mid:hi] += send_w
+            work[w][lo:mid] += send_p
+            volume = (hi - mid) * bytes_per_element
+            volume_p = (mid - lo) * bytes_per_element
+            sent[w] += volume
+            received[peer] += volume
+            sent[peer] += volume_p
+            received[w] += volume_p
+            seg_lo[w], seg_hi[w] = lo, mid
+            seg_lo[peer], seg_hi[peer] = mid, hi
+        distance //= 2
+        trace.steps += 1
+
+    # All-gather: mirror the exchanges, doubling segment size each step.
+    distance = 1
+    while distance < m:
+        for rank, w in enumerate(core):
+            if rank & distance:
+                continue
+            peer = core[rank ^ distance]
+            lo_w, hi_w = seg_lo[w], seg_hi[w]
+            lo_p, hi_p = seg_lo[peer], seg_hi[peer]
+            work[peer][lo_w:hi_w] = work[w][lo_w:hi_w]
+            work[w][lo_p:hi_p] = work[peer][lo_p:hi_p]
+            sent[w] += (hi_w - lo_w) * bytes_per_element
+            received[peer] += (hi_w - lo_w) * bytes_per_element
+            sent[peer] += (hi_p - lo_p) * bytes_per_element
+            received[w] += (hi_p - lo_p) * bytes_per_element
+            new_lo, new_hi = min(lo_w, lo_p), max(hi_w, hi_p)
+            seg_lo[w] = seg_lo[peer] = new_lo
+            seg_hi[w] = seg_hi[peer] = new_hi
+        distance *= 2
+        trace.steps += 1
+
+    # Post-fold: partners return the full result to the extras.
+    for extra, partner in extras:
+        work[extra][:] = work[partner]
+        sent[partner] += size * bytes_per_element
+        received[extra] += size * bytes_per_element
+    if extras:
+        trace.steps += 1
+
+    trace.bytes_sent_per_worker = max(sent)
+    trace.bytes_received_per_worker = max(received)
+    trace.messages = 2 * (m.bit_length() - 1) + (2 if extras else 0)
+    return work, trace

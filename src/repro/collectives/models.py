@@ -1,0 +1,257 @@
+"""Analytic TAT / ATE models for every strategy in the evaluation.
+
+These closed forms drive the wide sweeps (Figures 3, 4, 7, 8; Table 1)
+and are cross-validated against the packet simulator in the integration
+tests (DESIGN.md SS3).  Conventions:
+
+* ``num_elements`` counts 32-bit tensor elements (the paper's ATE unit);
+* rates are link rates in Gbps; times are seconds;
+* per-packet host costs follow :class:`~repro.collectives.base.CostParams`.
+
+The SwitchML model: a tensor of ``N`` elements needs ``N / k`` packets,
+each occupying the worker link for ``8 b / R`` seconds and the worker
+CPU for ``(rx + tx) / cores``; the pipeline is self-clocked so TAT is
+packets times the larger of the two (plus one end-to-end latency for the
+initial window fill).  At 10 Gbps the wire dominates (the paper's
+line-rate result); at 100 Gbps the 4-core CPU budget dominates (the
+paper's "our results at 100 Gbps are a lower bound").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.collectives.base import CostParams, DEFAULT_COST_PARAMS, Strategy
+from repro.net.packet import (
+    FRAME_OVERHEAD_BYTES,
+    MTU_FRAME_BYTES,
+    SWITCHML_FRAME_BYTES,
+)
+
+__all__ = [
+    "ate_per_second",
+    "line_rate_ate",
+    "multi_gpu_tat",
+    "ps_tat",
+    "ring_allreduce_tat",
+    "switchml_tat",
+    "tat_for",
+]
+
+#: End-to-end latency charged once per aggregation (window fill / drain).
+BASE_LATENCY_S = 15e-6
+
+#: Payload goodput of an MTU frame used by TCP collectives and line-rate
+#: reference curves (1464 payload bytes of 1516 on the wire).
+MTU_GOODPUT = (MTU_FRAME_BYTES - FRAME_OVERHEAD_BYTES) / MTU_FRAME_BYTES
+
+
+# ----------------------------------------------------------------------
+# SwitchML
+# ----------------------------------------------------------------------
+def _switchml_per_packet_s(
+    rate_gbps: float,
+    frame_bytes: int,
+    params: CostParams,
+) -> float:
+    wire = frame_bytes * 8.0 / (rate_gbps * 1e9)
+    host = 2.0 * params.per_frame_host_s / params.host_cores
+    return max(wire, host)
+
+
+def switchml_tat(
+    num_elements: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    elements_per_packet: int = 32,
+    bytes_per_element: int = 4,
+) -> float:
+    """TAT of SwitchML for one tensor.
+
+    ``elements_per_packet=366, bytes_per_element=4`` gives the MTU
+    variant of Figure 7; ``elements_per_packet=64, bytes_per_element=2``
+    gives SwitchML(16) of Figure 8 (64 half-width elements fill the same
+    180-byte frame, halving the packet count -- exactly the paper's
+    emulation by halved tensor size).
+    """
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    frame_bytes = elements_per_packet * bytes_per_element + FRAME_OVERHEAD_BYTES
+    packets = math.ceil(num_elements / elements_per_packet)
+    return packets * _switchml_per_packet_s(rate_gbps, frame_bytes, params) + BASE_LATENCY_S
+
+
+# ----------------------------------------------------------------------
+# Ring all-reduce over TCP / RDMA (Gloo, NCCL)
+# ----------------------------------------------------------------------
+def _collective_rate_bps(
+    rate_gbps: float, params: CostParams, library: str, transport: str
+) -> float:
+    if library == "gloo":
+        utilization, cap = params.gloo_utilization, params.gloo_rate_cap_gbps
+        if transport == "rdma":
+            # SS5.4: ~4x over TCP at 100 Gbps; RDMA removes the CPU cap.
+            cap *= params.gloo_rdma_multiplier
+            utilization = 0.90
+    elif library == "nccl":
+        utilization, cap = params.nccl_utilization, params.nccl_rate_cap_gbps
+        if transport == "rdma":
+            cap *= params.gloo_rdma_multiplier
+            utilization = 0.92
+    else:
+        raise ValueError(f"unknown collective library {library!r}")
+    return min(rate_gbps * utilization, cap) * 1e9 * MTU_GOODPUT
+
+
+def ring_allreduce_tat(
+    num_elements: int,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    library: str = "gloo",
+    transport: str = "tcp",
+    bytes_per_element: int = 4,
+) -> float:
+    """TAT of bandwidth-optimal ring all-reduce.
+
+    Per-worker volume is ``2 (n-1)/n |U|`` each direction (SS2.3), sent
+    over the library's effective rate, plus ``2 (n-1)`` step latencies.
+    """
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    n = num_workers
+    if n < 1:
+        raise ValueError("need at least one worker")
+    if n == 1:
+        return BASE_LATENCY_S
+    payload = num_elements * bytes_per_element
+    volume = 2.0 * (n - 1) / n * payload
+    rate = _collective_rate_bps(rate_gbps, params, library, transport)
+    return volume * 8.0 / rate + 2.0 * (n - 1) * params.step_latency_s
+
+
+# ----------------------------------------------------------------------
+# Parameter servers
+# ----------------------------------------------------------------------
+def ps_tat(
+    num_elements: int,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    colocated: bool = False,
+    frame_bytes: int = SWITCHML_FRAME_BYTES,
+    bytes_per_element: int = 4,
+) -> float:
+    """TAT of the sharded DPDK parameter server.
+
+    With uniform sharding, each worker NIC moves ``|U|`` bytes each
+    direction and each PS NIC the same; colocation puts both flows on
+    one NIC, doubling its volume (Figure 4's factor two).  Software
+    aggregation efficiency depends on frame size (see
+    :class:`CostParams`): DPDK keeps up at 180 B, but per-frame
+    aggregation work bites at MTU (Figure 7).
+    """
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    k = (frame_bytes - FRAME_OVERHEAD_BYTES) // bytes_per_element
+    if k <= 0:
+        raise ValueError(f"frame of {frame_bytes} B carries no elements")
+    efficiency = (
+        params.ps_small_frame_efficiency
+        if frame_bytes <= 512
+        else params.ps_mtu_efficiency
+    )
+    wire = frame_bytes * 8.0 / (rate_gbps * 1e9 * efficiency)
+    host = 2.0 * params.per_frame_host_s / params.host_cores
+    per_packet = max(wire, host)
+    packets = math.ceil(num_elements / k)
+    factor = 2.0 if colocated else 1.0
+    return factor * packets * per_packet + BASE_LATENCY_S
+
+
+# ----------------------------------------------------------------------
+# Single-node multi-GPU (Table 1 baseline)
+# ----------------------------------------------------------------------
+def multi_gpu_tat(
+    num_elements: int,
+    num_gpus: int,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    bytes_per_element: int = 4,
+) -> float:
+    """Ring all-reduce over the intra-node interconnect."""
+    if num_gpus < 1:
+        raise ValueError("need at least one GPU")
+    if num_gpus == 1:
+        return 0.0
+    payload = num_elements * bytes_per_element
+    volume = 2.0 * (num_gpus - 1) / num_gpus * payload
+    return volume / params.multi_gpu_bw_bytes
+
+
+# ----------------------------------------------------------------------
+# Dispatch + reference lines
+# ----------------------------------------------------------------------
+def tat_for(
+    strategy: Strategy,
+    num_elements: int,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> float:
+    """TAT of any strategy under its default configuration."""
+    if strategy is Strategy.SWITCHML:
+        return switchml_tat(num_elements, rate_gbps, params)
+    if strategy is Strategy.SWITCHML_MTU:
+        return switchml_tat(num_elements, rate_gbps, params, elements_per_packet=366)
+    if strategy is Strategy.SWITCHML_FP16:
+        return switchml_tat(
+            num_elements, rate_gbps, params,
+            elements_per_packet=64, bytes_per_element=2,
+        )
+    if strategy is Strategy.GLOO:
+        return ring_allreduce_tat(num_elements, num_workers, rate_gbps, params, "gloo")
+    if strategy is Strategy.NCCL:
+        return ring_allreduce_tat(num_elements, num_workers, rate_gbps, params, "nccl")
+    if strategy is Strategy.DEDICATED_PS:
+        return ps_tat(num_elements, num_workers, rate_gbps, params, colocated=False)
+    if strategy is Strategy.COLOCATED_PS:
+        return ps_tat(num_elements, num_workers, rate_gbps, params, colocated=True)
+    if strategy is Strategy.MULTI_GPU:
+        return multi_gpu_tat(num_elements, num_workers, params)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def ate_per_second(
+    strategy: Strategy,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    num_elements: int = 25_000_000,  # the paper's 100 MB reference tensor
+) -> float:
+    """Aggregated tensor elements per second (Figure 4's metric)."""
+    return num_elements / tat_for(strategy, num_elements, num_workers, rate_gbps, params)
+
+
+def line_rate_ate(
+    rate_gbps: float,
+    strategy: str = "switchml",
+    num_workers: int | None = None,
+    elements_per_packet: int = 32,
+    bytes_per_element: int = 4,
+) -> float:
+    """The "ATE/s at line rate" reference lines of Figure 4.
+
+    ``switchml``: the link rate discounted by the 180-byte frame's
+    header overhead.  ``ring``: the bandwidth-optimality bound
+    ``R * n / (2 (n-1))`` with MTU goodput.
+    """
+    rate = rate_gbps * 1e9
+    if strategy == "switchml":
+        frame = elements_per_packet * bytes_per_element + FRAME_OVERHEAD_BYTES
+        return rate / 8.0 / frame * elements_per_packet
+    if strategy == "ring":
+        if num_workers is None or num_workers < 2:
+            raise ValueError("ring line rate needs num_workers >= 2")
+        n = num_workers
+        return rate * MTU_GOODPUT / 8.0 / bytes_per_element * n / (2.0 * (n - 1))
+    raise ValueError(f"unknown line-rate strategy {strategy!r}")

@@ -1,0 +1,109 @@
+"""Parameter-server aggregation (dedicated and colocated, SS5.3).
+
+The paper's PS comparison point is "a multi-core DPDK-based program that
+implements the logic of Algorithm 1" -- i.e. pure aggregation, uniformly
+sharded across as many PS processes as workers:
+
+* **dedicated** -- PS processes run on their own machines (doubling the
+  cluster), so each NIC carries either worker or PS traffic;
+* **colocated** -- each machine hosts a worker *and* a PS shard, so its
+  NIC carries both and the achievable rate halves (the factor-of-two gap
+  in Figure 4).
+
+This module implements the data movement: each worker splits its update
+into ``n_ps`` shards, pushes shard ``j`` to PS ``j``, each PS sums its
+shard over workers and pushes the result back to every worker.  The
+returned accounting distinguishes worker-NIC and PS-NIC volumes, which
+is what the colocated model adds together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PSAccounting", "ps_allreduce"]
+
+
+@dataclass
+class PSAccounting:
+    """Per-NIC byte counts for one aggregation round."""
+
+    worker_bytes_sent: int
+    worker_bytes_received: int
+    ps_bytes_sent: int
+    ps_bytes_received: int
+    num_ps: int
+
+    def colocated_nic_bytes_sent(self) -> int:
+        """Outbound bytes through one NIC when worker and PS share it."""
+        return self.worker_bytes_sent + self.ps_bytes_sent
+
+    def colocated_nic_bytes_received(self) -> int:
+        return self.worker_bytes_received + self.ps_bytes_received
+
+
+def ps_allreduce(
+    tensors: list[np.ndarray],
+    num_ps: int | None = None,
+    bytes_per_element: int = 4,
+) -> tuple[list[np.ndarray], PSAccounting]:
+    """Aggregate via sharded parameter servers.
+
+    Parameters
+    ----------
+    tensors:
+        One update per worker.
+    num_ps:
+        Number of PS shards; defaults to the worker count (the paper's
+        uniform sharding that "avoids introducing an obvious performance
+        bottleneck").
+    """
+    n = len(tensors)
+    if n == 0:
+        raise ValueError("need at least one worker")
+    sizes = {len(t) for t in tensors}
+    if len(sizes) != 1:
+        raise ValueError("all workers must contribute equal-length tensors")
+    size = sizes.pop()
+    if size == 0:
+        raise ValueError("tensors must be non-empty")
+    n_ps = n if num_ps is None else num_ps
+    if n_ps < 1:
+        raise ValueError("need at least one PS shard")
+
+    bounds = [(size * j) // n_ps for j in range(n_ps + 1)]
+
+    # Push phase: PS j receives shard j from every worker and sums.
+    shards: list[np.ndarray] = []
+    worker_sent = 0
+    ps_received_total = 0
+    for j in range(n_ps):
+        lo, hi = bounds[j], bounds[j + 1]
+        shard = np.zeros(hi - lo, dtype=np.int64)
+        for t in tensors:
+            shard += np.asarray(t[lo:hi], dtype=np.int64)
+            ps_received_total += (hi - lo) * bytes_per_element
+        shards.append(shard)
+    worker_sent = size * bytes_per_element  # each worker sent every shard once
+
+    # Pull phase: every PS pushes its reduced shard to every worker.
+    results = [np.empty(size, dtype=np.int64) for _ in range(n)]
+    ps_sent_total = 0
+    worker_received = 0
+    for j in range(n_ps):
+        lo, hi = bounds[j], bounds[j + 1]
+        for r in results:
+            r[lo:hi] = shards[j]
+            ps_sent_total += (hi - lo) * bytes_per_element
+    worker_received = size * bytes_per_element
+
+    accounting = PSAccounting(
+        worker_bytes_sent=worker_sent,
+        worker_bytes_received=worker_received,
+        ps_bytes_sent=ps_sent_total // n_ps,
+        ps_bytes_received=ps_received_total // n_ps,
+        num_ps=n_ps,
+    )
+    return results, accounting

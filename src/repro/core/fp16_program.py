@@ -1,0 +1,103 @@
+"""The float16 switch program: SwitchML(16) with in-switch conversion.
+
+SS3.7 describes two numerical designs; the second half of the pair is
+implemented here: "the switch actually converts each 16-bit
+floating-point value in the incoming model updates into a 32-bit
+fixed-point and then performs aggregation.  When generating responses,
+the switch converts fixed-point values back into equivalent
+floating-point values."  Appendix C confirms the conversion is feasible
+"using lookup tables" on Tofino -- which is exactly how
+:mod:`repro.quant.float16` implements it (a 65,536-entry table).
+
+Workers therefore put *half-precision floats* on the wire (64 of them in
+the same 180-byte frame), the registers still hold 32-bit integers, and
+the loss-recovery machinery of Algorithm 3 is inherited unchanged: this
+class only wraps the value path of :class:`SwitchMLProgram`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import SwitchAction, SwitchDecision, SwitchMLProgram
+from repro.quant.float16 import (
+    SWITCH_FIXED_SCALE,
+    float16_switch_from_fixed,
+    float16_switch_to_fixed,
+)
+
+__all__ = ["Float16SwitchMLProgram"]
+
+
+class Float16SwitchMLProgram:
+    """Algorithm 3 with float16 wire values and in-switch conversion.
+
+    The packet ``vector`` is interpreted as float16 payload (numpy
+    float16 array).  Ingress converts it through the lookup table to
+    fixed point before the register add; a completed slot's aggregate is
+    converted back to float16 for the response.  Everything else --
+    ``seen`` bitmap, shadow copies, counters -- is the inner program's.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        pool_size: int,
+        elements_per_packet: int = 64,
+        check_invariants: bool = False,
+    ):
+        self.inner = SwitchMLProgram(
+            num_workers, pool_size, elements_per_packet,
+            check_invariants=check_invariants,
+        )
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        self.conversions_in = 0
+        self.conversions_out = 0
+
+    # expose the counters benches read from SwitchMLProgram
+    @property
+    def multicasts(self) -> int:
+        return self.inner.multicasts
+
+    @property
+    def unicast_retransmits(self) -> int:
+        return self.inner.unicast_retransmits
+
+    @property
+    def ignored_duplicates(self) -> int:
+        return self.inner.ignored_duplicates
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.inner.sram_bytes
+
+    def handle(self, p: SwitchMLPacket) -> SwitchDecision:
+        if p.vector is not None:
+            fixed = float16_switch_to_fixed(
+                np.asarray(p.vector, dtype=np.float16)
+            )
+            self.conversions_in += 1
+            p = SwitchMLPacket(
+                wid=p.wid, ver=p.ver, idx=p.idx, off=p.off,
+                num_elements=p.num_elements, vector=fixed,
+                is_retransmission=p.is_retransmission, job_id=p.job_id,
+            )
+        decision = self.inner.handle(p)
+        if (
+            decision.action in (SwitchAction.MULTICAST, SwitchAction.UNICAST)
+            and decision.packet is not None
+            and decision.packet.vector is not None
+        ):
+            self.conversions_out += 1
+            half = float16_switch_from_fixed(decision.packet.vector)
+            decision.packet.vector = half
+        return decision
+
+    @staticmethod
+    def worker_error_bound(num_workers: int) -> float:
+        """Per-element error of the in-switch fixed-point sum, in wire
+        (scaled) units: each of n inputs rounds to the 1/1024 grid."""
+        return num_workers * 0.5 / SWITCH_FIXED_SCALE

@@ -1,0 +1,369 @@
+"""End-to-end SwitchML jobs on a simulated rack.
+
+:class:`SwitchMLJob` assembles the pieces -- rack topology, switch
+program (Algorithm 3 by default, Algorithm 1 for the lossless/ablation
+variant), dataplane adapter, and one worker agent per host -- then runs
+all-reduce operations and reports tensor aggregation time (TAT), packet
+traces, and protocol statistics.
+
+This is the packet-level-fidelity path described in DESIGN.md SS3; the
+analytic models in :mod:`repro.collectives.models` cover the wide sweeps
+and are cross-validated against this simulator in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.fp16_program import Float16SwitchMLProgram
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import (
+    LosslessSwitchMLProgram,
+    SwitchAction,
+    SwitchMLProgram,
+)
+from repro.quant.float16 import float16_switch_from_fixed, float16_switch_to_fixed
+from repro.core.worker import SwitchMLWorker, WorkerStats
+from repro.net.host import HostSpec
+from repro.net.link import LinkSpec
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Frame
+from repro.net.switchchassis import PortDecision
+from repro.net.topology import Rack, RackSpec, build_rack
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["AllReduceResult", "SwitchMLConfig", "SwitchMLDataplane", "SwitchMLJob"]
+
+
+@dataclass
+class SwitchMLConfig:
+    """Everything that defines a SwitchML deployment.
+
+    Defaults are the paper's 10 Gbps setting: 8 workers, pool of 128
+    slots, k = 32 elements per packet, 1 ms retransmission timeout.
+    """
+
+    num_workers: int = 8
+    pool_size: int = 128
+    elements_per_packet: int = 32
+    timeout_s: float = 1e-3
+    timeout_mode: str = "fixed"  # "adaptive" = Jacobson/Karn RTO (SS6)
+    bytes_per_element: int = 4
+    link: LinkSpec = field(default_factory=LinkSpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    pipeline_latency_s: float = 800e-9
+    loss_factory: Callable[[], LossModel] = NoLoss
+    lossless_switch: bool = False  # mount Algorithm 1 instead of Algorithm 3
+    #: SwitchML(16): float16 on the wire, in-switch conversion (SS3.7).
+    #: Use with elements_per_packet=64 and bytes_per_element=2.
+    fp16_switch: bool = False
+    check_invariants: bool = False
+    #: bound consecutive per-slot retries; exceeded -> the worker reports
+    #: failure (SS3.2: the framework handles worker/switch failures)
+    max_retries: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class AllReduceResult:
+    """Outcome of one all-reduce across the rack."""
+
+    completed: bool
+    worker_stats: list[WorkerStats]
+    results: list[np.ndarray | None]
+    retransmissions: int
+    frames_lost: int
+    switch_multicasts: int
+    switch_unicast_retransmits: int
+    switch_ignored_duplicates: int
+    trace: TraceRecorder
+    sim_events: int
+    failed_workers: list[int] = field(default_factory=list)
+
+    @property
+    def tats(self) -> list[float]:
+        """Per-worker tensor aggregation times (seconds)."""
+        return [s.tensor_aggregation_time for s in self.worker_stats]
+
+    @property
+    def max_tat(self) -> float:
+        return max(self.tats)
+
+    @property
+    def mean_tat(self) -> float:
+        return float(np.mean(self.tats))
+
+    @property
+    def mean_rtt(self) -> float:
+        rtts = [s.mean_rtt for s in self.worker_stats if s.rtt_count]
+        return float(np.mean(rtts)) if rtts else float("nan")
+
+    def aggregated_elements_per_second(self, num_elements: int) -> float:
+        """ATE/s as the paper defines throughput in SS5.3."""
+        return num_elements / self.max_tat
+
+
+class SwitchMLDataplane:
+    """Adapter mounting a SwitchML program into a switch chassis.
+
+    Translates :class:`SwitchDecision` into port deliveries: MULTICAST
+    fans a result frame out to every worker port via the traffic manager;
+    UNICAST answers a single retransmitting worker.
+    """
+
+    def __init__(
+        self,
+        program: SwitchMLProgram | LosslessSwitchMLProgram,
+        worker_ports: dict[int, int],
+        worker_names: dict[int, str],
+        bytes_per_element: int = 4,
+        switch_name: str = "sw",
+    ):
+        self.program = program
+        self.worker_ports = dict(worker_ports)
+        self.worker_names = dict(worker_names)
+        self.bytes_per_element = bytes_per_element
+        self.switch_name = switch_name
+        self.corrupt_discarded = 0
+
+    def process(self, frame: Frame, in_port: int) -> PortDecision:
+        if frame.corrupted:
+            # SS3.4 checksum: a corrupt update must not be aggregated.
+            self.corrupt_discarded += 1
+            return PortDecision.drop()
+        packet = frame.message
+        if not isinstance(packet, SwitchMLPacket) or packet.from_switch:
+            return PortDecision.drop()
+        decision = self.program.handle(packet)
+        if decision.action is SwitchAction.DROP:
+            return PortDecision.drop()
+        assert decision.packet is not None
+        if decision.action is SwitchAction.UNICAST:
+            wid = decision.unicast_wid
+            assert wid is not None
+            out = decision.packet.to_frame(
+                src=self.switch_name,
+                dst=self.worker_names[wid],
+                bytes_per_element=self.bytes_per_element,
+            )
+            return PortDecision(deliveries=[(self.worker_ports[wid], out)])
+        # MULTICAST: one replica per worker port.
+        deliveries = []
+        for wid, port in self.worker_ports.items():
+            out = decision.packet.to_frame(
+                src=self.switch_name,
+                dst=self.worker_names[wid],
+                bytes_per_element=self.bytes_per_element,
+            )
+            deliveries.append((port, out))
+        return PortDecision(deliveries=deliveries)
+
+
+class SwitchMLJob:
+    """A SwitchML deployment: rack + program + workers, ready to reduce.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.job import SwitchMLJob, SwitchMLConfig
+    >>> job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4))
+    >>> tensors = [np.full(64, w + 1, dtype=np.int64) for w in range(2)]
+    >>> result = job.all_reduce(tensors)
+    >>> bool((result.results[0] == 3).all())
+    True
+    """
+
+    def __init__(self, config: SwitchMLConfig | None = None):
+        self.config = config if config is not None else SwitchMLConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.rack: Rack = build_rack(
+            self.sim,
+            RackSpec(
+                num_hosts=cfg.num_workers,
+                link=cfg.link,
+                host=cfg.host,
+                pipeline_latency_s=cfg.pipeline_latency_s,
+                loss_factory=cfg.loss_factory,
+            ),
+        )
+        if cfg.fp16_switch and cfg.lossless_switch:
+            raise ValueError("fp16_switch and lossless_switch are exclusive")
+        if cfg.fp16_switch:
+            self.program: (
+                SwitchMLProgram | LosslessSwitchMLProgram | Float16SwitchMLProgram
+            ) = Float16SwitchMLProgram(
+                cfg.num_workers, cfg.pool_size, cfg.elements_per_packet,
+                check_invariants=cfg.check_invariants,
+            )
+        elif cfg.lossless_switch:
+            self.program = (
+                LosslessSwitchMLProgram(
+                    cfg.num_workers, cfg.pool_size, cfg.elements_per_packet
+                )
+            )
+        else:
+            self.program = SwitchMLProgram(
+                cfg.num_workers,
+                cfg.pool_size,
+                cfg.elements_per_packet,
+                check_invariants=cfg.check_invariants,
+            )
+        worker_ports = {w: self.rack.host_port(w) for w in range(cfg.num_workers)}
+        worker_names = {w: self.rack.hosts[w].name for w in range(cfg.num_workers)}
+        self.rack.switch.load_program(
+            SwitchMLDataplane(
+                self.program,
+                worker_ports,
+                worker_names,
+                bytes_per_element=cfg.bytes_per_element,
+            )
+        )
+        self.trace = TraceRecorder(bucket_seconds=0.010)
+        self._completed: set[int] = set()
+        self._failed: set[int] = set()
+        self.workers: list[SwitchMLWorker] = []
+        for w in range(cfg.num_workers):
+            worker = SwitchMLWorker(
+                sim=self.sim,
+                host=self.rack.hosts[w],
+                wid=w,
+                num_workers=cfg.num_workers,
+                pool_size=cfg.pool_size,
+                elements_per_packet=cfg.elements_per_packet,
+                timeout_s=cfg.timeout_s,
+                timeout_mode=cfg.timeout_mode,
+                bytes_per_element=cfg.bytes_per_element,
+                on_complete=self._on_worker_complete,
+                trace=self.trace if w == 0 else None,  # representative worker
+                tensor_dtype=np.float16 if cfg.fp16_switch else np.int64,
+                max_retries=cfg.max_retries,
+                on_failure=self._on_worker_failure,
+            )
+            self.rack.hosts[w].attach_agent(worker)
+            self.workers.append(worker)
+
+    def _on_worker_complete(self, wid: int, time: float) -> None:
+        self._completed.add(wid)
+
+    def _on_worker_failure(self, wid: int) -> None:
+        self._failed.add(wid)
+
+    # ------------------------------------------------------------------
+    def all_reduce(
+        self,
+        tensors: Sequence[np.ndarray] | None = None,
+        num_elements: int | None = None,
+        start_times: Sequence[float] | None = None,
+        deadline_s: float = 120.0,
+        verify: bool = True,
+    ) -> AllReduceResult:
+        """Aggregate one tensor across all workers.
+
+        Parameters
+        ----------
+        tensors:
+            One integer array per worker (equal lengths).  Lengths are
+            padded to a multiple of ``k`` internally; results are
+            returned unpadded.  Pass ``None`` with ``num_elements`` for a
+            phantom (timing-only) run.
+        start_times:
+            Per-worker readiness times (seconds); models stragglers /
+            skewed gradient availability.  Default: all at t=0.
+        deadline_s:
+            Simulated-time budget; a run not finishing by then reports
+            ``completed=False`` (used by the ablation benches where the
+            lossless program deadlocks under loss).
+        verify:
+            Check the delivered aggregates against the exact integer sum.
+        """
+        cfg = self.config
+        k = cfg.elements_per_packet
+        phantom = tensors is None
+        if phantom:
+            if num_elements is None:
+                raise ValueError("phantom mode needs num_elements")
+            padded_size = num_elements + ((-num_elements) % k)
+            original_size = num_elements
+            padded: list[np.ndarray | None] = [None] * cfg.num_workers
+        else:
+            if len(tensors) != cfg.num_workers:
+                raise ValueError(
+                    f"need {cfg.num_workers} tensors, got {len(tensors)}"
+                )
+            sizes = {len(t) for t in tensors}
+            if len(sizes) != 1:
+                raise ValueError("all workers must contribute equal-length tensors")
+            original_size = sizes.pop()
+            pad = (-original_size) % k
+            padded_size = original_size + pad
+            dtype = np.float16 if cfg.fp16_switch else np.int64
+            padded = [
+                np.concatenate([np.asarray(t, dtype=dtype), np.zeros(pad, dtype=dtype)])
+                if pad
+                else np.asarray(t, dtype=dtype)
+                for t in tensors
+            ]
+
+        self._completed.clear()
+        self._failed.clear()
+        base = self.sim.now
+        for w, worker in enumerate(self.workers):
+            offset = 0.0 if start_times is None else float(start_times[w])
+            if phantom:
+                self.sim.schedule_at(
+                    base + offset, worker.start, None, padded_size
+                )
+            else:
+                self.sim.schedule_at(base + offset, worker.start, padded[w])
+
+        deadline = base + deadline_s
+        while self.sim.step():
+            if self.sim.now > deadline:
+                break
+        completed = len(self._completed) == cfg.num_workers
+
+        results: list[np.ndarray | None] = []
+        for worker in self.workers:
+            if phantom or worker.result is None:
+                results.append(None)
+            else:
+                results.append(worker.result[:original_size].copy())
+
+        if verify and completed and not phantom:
+            if cfg.fp16_switch:
+                # the in-switch conversion path is deterministic: table
+                # lookup, integer sum, table lookup back.
+                fixed = sum(float16_switch_to_fixed(p) for p in padded)
+                expected = float16_switch_from_fixed(fixed)[:original_size]
+            else:
+                expected = np.sum([p for p in padded], axis=0, dtype=np.int64)[
+                    :original_size
+                ]
+            for w, res in enumerate(results):
+                if res is None or not np.array_equal(res, expected):
+                    raise AssertionError(
+                        f"worker {w} aggregate differs from the exact sum"
+                    )
+
+        return AllReduceResult(
+            completed=completed,
+            worker_stats=[w.stats for w in self.workers],
+            results=results,
+            retransmissions=sum(w.stats.retransmissions for w in self.workers),
+            frames_lost=self.rack.total_frames_lost(),
+            switch_multicasts=self.program.multicasts,
+            switch_unicast_retransmits=getattr(
+                self.program, "unicast_retransmits", 0
+            ),
+            switch_ignored_duplicates=getattr(
+                self.program, "ignored_duplicates", 0
+            ),
+            trace=self.trace,
+            sim_events=self.sim.events_processed,
+            failed_workers=sorted(self._failed),
+        )

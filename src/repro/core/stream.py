@@ -1,0 +1,111 @@
+"""The virtual stream buffer manager (Appendix B).
+
+ML frameworks emit one gradient tensor per layer and reduce each
+independently (e.g. 152 tensors per ResNet50 iteration in Caffe2).
+Resetting switch state per tensor would waste slots and synchronization;
+instead the paper's implementation "treats the set of tensors virtually
+as a single, continuous stream of data across iterations".
+
+:class:`StreamBufferManager` does exactly that: callers enqueue tensors
+(in the same order on every worker -- the ordering requirement the paper
+imposes on frameworks), the manager lays them out back to back in a
+stream padded to the packet chunk size, and after aggregation it steers
+each result slice back to its requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StreamBufferManager", "TensorSlice"]
+
+
+@dataclass(frozen=True)
+class TensorSlice:
+    """Where one tensor lives inside the aggregation stream."""
+
+    name: str
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class StreamBufferManager:
+    """Packs tensors into one k-aligned stream and unpacks results.
+
+    Parameters
+    ----------
+    elements_per_packet:
+        The chunk size ``k``; the stream is padded so every tensor
+        boundary question reduces to plain slicing and the total length
+        is a multiple of ``k``.
+    pad_each_tensor:
+        If True, each tensor is padded to a ``k`` boundary individually
+        (simpler result steering, slightly more padding); if False only
+        the stream tail is padded.  SwitchML's correctness does not
+        depend on the choice; the default matches the per-tensor
+        independence of framework reductions.
+    """
+
+    def __init__(self, elements_per_packet: int, pad_each_tensor: bool = True):
+        if elements_per_packet <= 0:
+            raise ValueError("elements_per_packet must be positive")
+        self.k = elements_per_packet
+        self.pad_each_tensor = pad_each_tensor
+        self._slices: list[TensorSlice] = []
+        self._parts: list[np.ndarray] = []
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def add_tensor(self, name: str, values: np.ndarray) -> TensorSlice:
+        """Append ``values`` to the stream; returns its slice handle."""
+        flat = np.asarray(values).reshape(-1)
+        if flat.size == 0:
+            raise ValueError(f"tensor {name!r} is empty")
+        slice_ = TensorSlice(name=name, offset=self._cursor, length=flat.size)
+        self._slices.append(slice_)
+        self._parts.append(flat.astype(np.int64, copy=False))
+        self._cursor += flat.size
+        if self.pad_each_tensor:
+            pad = (-self._cursor) % self.k
+            if pad:
+                self._parts.append(np.zeros(pad, dtype=np.int64))
+                self._cursor += pad
+        return slice_
+
+    @property
+    def slices(self) -> list[TensorSlice]:
+        return list(self._slices)
+
+    @property
+    def stream_length(self) -> int:
+        """Total stream length including tail padding (multiple of k)."""
+        return self._cursor + ((-self._cursor) % self.k)
+
+    def build_stream(self) -> np.ndarray:
+        """The padded int64 stream to hand to the worker protocol."""
+        if not self._parts:
+            raise ValueError("no tensors added")
+        tail_pad = (-self._cursor) % self.k
+        parts = list(self._parts)
+        if tail_pad:
+            parts.append(np.zeros(tail_pad, dtype=np.int64))
+        return np.concatenate(parts)
+
+    def extract(self, aggregated_stream: np.ndarray, slice_: TensorSlice) -> np.ndarray:
+        """Steer one aggregated tensor back out of the result stream."""
+        if slice_.end > len(aggregated_stream):
+            raise ValueError(
+                f"slice {slice_.name!r} [{slice_.offset}:{slice_.end}] exceeds "
+                f"stream length {len(aggregated_stream)}"
+            )
+        return aggregated_stream[slice_.offset : slice_.end]
+
+    def extract_all(self, aggregated_stream: np.ndarray) -> dict[str, np.ndarray]:
+        """All tensors of the stream, by name."""
+        return {s.name: self.extract(aggregated_stream, s) for s in self._slices}

@@ -1,0 +1,236 @@
+"""Switch-side aggregation logic: Algorithms 1 and 3.
+
+Both programs are pure state machines over the register file of
+:mod:`repro.dataplane` -- no simulator dependency -- so they can be
+unit-tested message by message (including the Appendix A trace) and then
+mounted into a simulated chassis via :class:`SwitchMLDataplane`.
+
+``LosslessSwitchMLProgram`` is the paper's Algorithm 1: a single pool of
+``s`` slots with per-slot counters, correct only when no packet is ever
+lost (the Infiniband/lossless-RoCE setting of SS3.2).
+
+``SwitchMLProgram`` is Algorithm 3: two pool versions (active + shadow
+copy) and a per-worker ``seen`` bitmap, which together make the protocol
+robust to arbitrary loss, duplication, and reordering of in-window
+packets.  The correctness argument (SS3.5) rests on the self-clocking
+invariant that no worker ever lags more than one phase behind any other;
+the program asserts that invariant on every slot reuse when
+``check_invariants`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.packet import SwitchMLPacket
+from repro.dataplane.registers import RegisterFile
+
+__all__ = [
+    "LosslessSwitchMLProgram",
+    "SwitchAction",
+    "SwitchDecision",
+    "SwitchMLProgram",
+]
+
+
+class SwitchAction(Enum):
+    """What the program does with an update packet."""
+
+    DROP = "drop"
+    MULTICAST = "multicast"
+    UNICAST = "unicast"
+
+
+@dataclass
+class SwitchDecision:
+    """Outcome of processing one update packet."""
+
+    action: SwitchAction
+    packet: SwitchMLPacket | None = None  # result packet for MULTICAST/UNICAST
+    unicast_wid: int | None = None
+
+
+class LosslessSwitchMLProgram:
+    """Algorithm 1: the core aggregation primitive, no loss tolerance.
+
+    State: ``pool[s]`` (k integers per slot) and ``count[s]``.  A slot is
+    reset and released the moment its aggregate is multicast.
+    """
+
+    def __init__(self, num_workers: int, pool_size: int, elements_per_packet: int):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if pool_size < 1:
+            raise ValueError("pool size must be positive")
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        self.registers = RegisterFile()
+        self._pool = self.registers.allocate("pool", pool_size * self.k, width_bits=32)
+        self._count = self.registers.allocate("count", pool_size, width_bits=8)
+        self.packets_processed = 0
+        self.multicasts = 0
+
+    def handle(self, p: SwitchMLPacket) -> SwitchDecision:
+        """Process one update packet (Algorithm 1 lines 4-12)."""
+        if not 0 <= p.idx < self.s:
+            raise ValueError(f"pool index {p.idx} out of range [0, {self.s})")
+        self.packets_processed += 1
+        lo, hi = p.idx * self.k, (p.idx + 1) * self.k
+        if p.vector is not None:
+            self._pool.add_range(lo, hi, p.vector)
+        count = self._count.add(p.idx, 1)
+        if count == self.n:
+            vector = None
+            if p.vector is not None:
+                vector = self._pool.read_range(lo, hi)
+            self._pool.write_range(lo, hi, np.zeros(self.k, dtype=np.int64))
+            self._count.write(p.idx, 0)
+            self.multicasts += 1
+            return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
+        return SwitchDecision(SwitchAction.DROP)
+
+
+class SwitchMLProgram:
+    """Algorithm 3: loss-tolerant aggregation with shadow copies.
+
+    State (register file):
+
+    * ``pool``  -- ``2 x s x k`` 32-bit value cells (both pool versions;
+      on the ASIC these are the packed halves of 64-bit registers);
+    * ``count`` -- ``2 x s`` contribution counters, modulo ``n``;
+    * ``seen``  -- ``2 x s x n`` one-bit flags recording which workers
+      contributed to each (version, slot).
+
+    Parameters
+    ----------
+    check_invariants:
+        When True (tests), assert the <=1-phase-lag property: a slot's new
+        phase may only begin once the alternate pool's copy of that slot
+        has completed aggregation.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        pool_size: int,
+        elements_per_packet: int,
+        check_invariants: bool = False,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if pool_size < 1:
+            raise ValueError("pool size must be positive")
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        self.check_invariants = check_invariants
+        self.registers = RegisterFile()
+        self._pool = self.registers.allocate(
+            "pool", 2 * pool_size * self.k, width_bits=32
+        )
+        self._count = self.registers.allocate("count", 2 * pool_size, width_bits=8)
+        self._seen = self.registers.allocate(
+            "seen", 2 * pool_size * num_workers, width_bits=1
+        )
+        self.packets_processed = 0
+        self.multicasts = 0
+        self.unicast_retransmits = 0
+        self.ignored_duplicates = 0
+
+    # ------------------------------------------------------------------
+    # register addressing
+    # ------------------------------------------------------------------
+    def _value_range(self, ver: int, idx: int) -> tuple[int, int]:
+        base = (ver * self.s + idx) * self.k
+        return base, base + self.k
+
+    def _count_index(self, ver: int, idx: int) -> int:
+        return ver * self.s + idx
+
+    def _seen_index(self, ver: int, idx: int, wid: int) -> int:
+        return (ver * self.s + idx) * self.n + wid
+
+    # ------------------------------------------------------------------
+    def handle(self, p: SwitchMLPacket) -> SwitchDecision:
+        """Process one update packet (Algorithm 3 lines 4-23)."""
+        if not 0 <= p.idx < self.s:
+            raise ValueError(f"pool index {p.idx} out of range [0, {self.s})")
+        if not 0 <= p.wid < self.n:
+            raise ValueError(f"worker id {p.wid} out of range [0, {self.n})")
+        self.packets_processed += 1
+        ver, other = p.ver, 1 - p.ver
+
+        if self._seen.read(self._seen_index(ver, p.idx, p.wid)) == 0:
+            # First time this worker's contribution reaches this
+            # (version, slot): apply it.
+            count_before = self._count.read(self._count_index(ver, p.idx))
+            if self.check_invariants and count_before == 0:
+                # This packet opens a new phase for the slot; legal only
+                # if the shadow copy's aggregation completed (count == 0).
+                other_count = self._count.read(self._count_index(other, p.idx))
+                if other_count != 0:
+                    raise AssertionError(
+                        f"phase-lag invariant violated: slot {p.idx} ver {ver} "
+                        f"reused while ver {other} still aggregating "
+                        f"(count={other_count})"
+                    )
+            self._seen.write(self._seen_index(ver, p.idx, p.wid), 1)
+            self._seen.write(self._seen_index(other, p.idx, p.wid), 0)
+            count = (count_before + 1) % self.n
+            self._count.write(self._count_index(ver, p.idx), count)
+            lo, hi = self._value_range(ver, p.idx)
+            if p.vector is not None:
+                if count_before == 0:
+                    # First contribution of the phase overwrites the slot;
+                    # this is what implicitly recycles the shadow copy.
+                    self._pool.write_range(lo, hi, p.vector)
+                else:
+                    self._pool.add_range(lo, hi, p.vector)
+            if count == 0:
+                # All n workers contributed: emit the aggregate.  The slot
+                # is NOT zeroed -- it becomes the shadow copy that serves
+                # retransmitted results until the next phase overwrites it.
+                vector = None
+                if p.vector is not None:
+                    vector = self._pool.read_range(lo, hi)
+                self.multicasts += 1
+                return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
+            return SwitchDecision(SwitchAction.DROP)
+
+        # Already seen: this is a retransmission.
+        if self._count.read(self._count_index(ver, p.idx)) == 0:
+            # Aggregation for this (version, slot) is complete; the worker
+            # evidently missed the result packet.  Reply unicast from the
+            # (possibly shadow) copy.
+            vector = None
+            if p.vector is not None:
+                lo, hi = self._value_range(ver, p.idx)
+                vector = self._pool.read_range(lo, hi)
+            self.unicast_retransmits += 1
+            return SwitchDecision(
+                SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=p.wid
+            )
+        # Aggregation still in progress: the worker's contribution is
+        # already in the slot; ignore the duplicate.
+        self.ignored_duplicates += 1
+        return SwitchDecision(SwitchAction.DROP)
+
+    # ------------------------------------------------------------------
+    @property
+    def sram_bytes(self) -> int:
+        """Total register SRAM this instance occupies."""
+        return self.registers.total_sram_bytes
+
+    def slot_state(self, ver: int, idx: int) -> dict:
+        """Debug/test view of one (version, slot)."""
+        return {
+            "count": self._count.read(self._count_index(ver, idx)),
+            "seen": [
+                self._seen.read(self._seen_index(ver, idx, w)) for w in range(self.n)
+            ],
+            "values": self._pool.read_range(*self._value_range(ver, idx)),
+        }

@@ -1,0 +1,414 @@
+"""Worker-side protocol: Algorithms 2 and 4.
+
+Each worker streams its (already quantized) model update through the
+switch's slot pool:
+
+* it launches one packet per pool slot (the initial window of ``s``
+  packets, Algorithm 2 lines 1-5);
+* every result packet received both delivers an aggregated chunk and acts
+  as a flow-control credit to send the next chunk for that slot,
+  advancing the offset by ``k * s`` and flipping the pool-version bit
+  (Algorithm 4 lines 9-19) -- the self-clocking that keeps all workers
+  within one phase of each other;
+* a per-slot retransmission timer resends the *same* packet on expiry
+  (Algorithm 4 lines 20-23); the switch's ``seen`` bitmap makes the
+  resend idempotent and its shadow copy serves results the worker missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.packet import SwitchMLPacket
+from repro.net.host import Host
+from repro.net.packet import Frame
+from repro.sim.engine import Event, Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["SwitchMLWorker", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker protocol counters for one tensor aggregation."""
+
+    packets_sent: int = 0
+    retransmissions: int = 0
+    results_received: int = 0
+    stale_results_ignored: int = 0
+    corrupt_discarded: int = 0
+    timeouts: int = 0
+    rtt_sum: float = 0.0
+    rtt_count: int = 0
+    start_time: float = 0.0
+    finish_time: float = field(default=float("nan"))
+
+    @property
+    def mean_rtt(self) -> float:
+        return self.rtt_sum / self.rtt_count if self.rtt_count else float("nan")
+
+    @property
+    def tensor_aggregation_time(self) -> float:
+        """TAT as the paper defines it: ready-to-send until fully received."""
+        return self.finish_time - self.start_time
+
+
+class SwitchMLWorker:
+    """One worker machine's SwitchML endpoint (a :class:`HostAgent`).
+
+    Parameters
+    ----------
+    sim, host:
+        Simulation engine and the host this agent runs on.
+    wid:
+        Worker id in ``[0, num_workers)``.
+    num_workers, pool_size, elements_per_packet:
+        Protocol parameters shared with the switch program.
+    timeout_s:
+        Retransmission timeout; the paper's experiments use 1 ms.  With
+        ``timeout_mode="adaptive"`` this is only the initial value: the
+        worker runs a Jacobson/Karn estimator (SRTT + 4 x RTTVAR) over
+        observed response times, implementing SS6's advice to "adapt the
+        retransmission timeout according to variations in end-to-end
+        RTT".
+    bytes_per_element:
+        4 for int32/float32 exchange, 2 for the float16 variant (the wire
+        carries half-width values; SS3.7).
+    on_complete:
+        Called as ``on_complete(wid, finish_time)`` when the aggregated
+        tensor is fully assembled.
+    trace:
+        Optional :class:`TraceRecorder`; receives ``sent`` / ``resent``
+        ticks (Figure 6's series).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        wid: int,
+        num_workers: int,
+        pool_size: int,
+        elements_per_packet: int,
+        timeout_s: float = 1e-3,
+        bytes_per_element: int = 4,
+        on_complete: Callable[[int, float], None] | None = None,
+        trace: TraceRecorder | None = None,
+        switch_addr: str = "sw",
+        timeout_mode: str = "fixed",
+        min_timeout_s: float = 20e-6,
+        max_timeout_s: float = 100e-3,
+        tensor_dtype=np.int64,
+        max_retries: int | None = None,
+        on_failure: Callable[[int], None] | None = None,
+    ):
+        if timeout_mode not in ("fixed", "adaptive"):
+            raise ValueError(f"unknown timeout mode {timeout_mode!r}")
+        self.sim = sim
+        self.host = host
+        self.wid = wid
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        self.timeout_s = timeout_s
+        self.bytes_per_element = bytes_per_element
+        self.on_complete = on_complete
+        self.trace = trace
+        self.switch_addr = switch_addr
+        self.timeout_mode = timeout_mode
+        self.min_timeout_s = min_timeout_s
+        self.max_timeout_s = max_timeout_s
+        self.tensor_dtype = tensor_dtype
+        # SS3.2 footnote 4: worker/link/switch failures are handled by
+        # the ML framework; this is the detector that hands the framework
+        # its signal.  None = retry forever (the paper's in-protocol
+        # behaviour); an integer bounds consecutive retries per slot.
+        self.max_retries = max_retries
+        self.on_failure = on_failure
+        self.failed = False
+        # Jacobson estimator state (adaptive mode)
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._rtt_peak = 0.0  # decaying peak: guards RTT ramp-ups
+        # per-slot exponential backoff on consecutive timeouts (resets on
+        # a received result) -- keeps a sudden RTT increase (congestion)
+        # from degenerating into a retransmission storm
+        self._slot_backoff: list[float] = [1.0] * pool_size
+
+        self.stats = WorkerStats()
+        self._tensor: np.ndarray | None = None
+        self._result: np.ndarray | None = None
+        self._size = 0
+        self._phantom = False
+        self._remaining = 0
+        self._active = False
+        # per-slot protocol state
+        self._slot_off: list[int] = []
+        self._slot_ver: list[int] = []
+        self._slot_packet: list[SwitchMLPacket | None] = []
+        self._slot_timer: list[Event | None] = []
+        self._slot_sent_at: list[float] = []
+        self._slot_retransmitted: list[bool] = []
+        self._slot_retries: list[int] = []
+        # Pool versions persist ACROSS tensors: the implementation treats
+        # consecutive tensors "as a single, continuous stream of data
+        # across iterations" (Appendix B), so each slot's version keeps
+        # alternating from one aggregation to the next.  Resetting to 0
+        # would collide with the switch's still-set ``seen`` bits from a
+        # previous tensor whose last phase used version 0.
+        self._next_ver: list[int] = [0] * pool_size
+
+    # ------------------------------------------------------------------
+    # Starting an aggregation
+    # ------------------------------------------------------------------
+    def start(self, tensor: np.ndarray | None, num_elements: int | None = None) -> None:
+        """Begin aggregating ``tensor`` (int32/int64 values, length a
+        multiple of ``k``).
+
+        Phantom mode: pass ``tensor=None`` with ``num_elements`` set; the
+        protocol runs with empty payloads for timing-only sweeps.
+        """
+        if self._active:
+            raise RuntimeError(f"worker {self.wid} already aggregating")
+        if tensor is None:
+            if num_elements is None:
+                raise ValueError("phantom mode needs num_elements")
+            self._size = int(num_elements)
+            self._phantom = True
+            self._result = None
+        else:
+            self._size = len(tensor)
+            self._phantom = False
+            self._tensor = np.asarray(tensor, dtype=self.tensor_dtype)
+            self._result = np.zeros(self._size, dtype=self.tensor_dtype)
+        if self._size <= 0:
+            raise ValueError("tensor must have at least one element")
+        if self._size % self.k != 0:
+            raise ValueError(
+                f"tensor length {self._size} must be a multiple of k={self.k} "
+                "(the stream buffer manager pads)"
+            )
+
+        total_packets = self._size // self.k
+        active_slots = min(self.s, total_packets)
+        self._remaining = total_packets
+        self._active = True
+        self._slot_off = [0] * self.s
+        self._slot_ver = [0] * self.s
+        self._slot_packet = [None] * self.s
+        self._slot_timer = [None] * self.s
+        self._slot_sent_at = [0.0] * self.s
+        self._slot_retransmitted = [False] * self.s
+        self._slot_retries = [0] * self.s
+        self.failed = False
+        self.stats = WorkerStats(start_time=self.sim.now)
+
+        for i in range(active_slots):
+            self._send_chunk(idx=i, ver=self._next_ver[i], off=self.k * i)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _chunk_vector(self, off: int) -> np.ndarray | None:
+        if self._phantom:
+            return None
+        assert self._tensor is not None
+        return self._tensor[off : off + self.k]
+
+    def _send_chunk(self, idx: int, ver: int, off: int) -> None:
+        packet = SwitchMLPacket(
+            wid=self.wid,
+            ver=ver,
+            idx=idx,
+            off=off,
+            num_elements=self.k,
+            vector=self._chunk_vector(off),
+        )
+        self._slot_off[idx] = off
+        self._slot_ver[idx] = ver
+        self._next_ver[idx] = 1 - ver  # the version the NEXT phase uses
+        self._slot_packet[idx] = packet
+        self._slot_sent_at[idx] = self.sim.now
+        self._slot_retransmitted[idx] = False
+        self._slot_retries[idx] = 0
+        self._transmit(packet, retransmission=False)
+        self._arm_timer(idx)
+
+    def _transmit(self, packet: SwitchMLPacket, retransmission: bool) -> None:
+        frame = packet.to_frame(
+            src=self.host.name, dst=self.switch_addr,
+            bytes_per_element=self.bytes_per_element,
+        )
+        self.stats.packets_sent += 1
+        if retransmission:
+            self.stats.retransmissions += 1
+        if self.trace is not None:
+            self.trace.tick("resent" if retransmission else "sent", self.sim.now)
+        self.host.send(frame)
+
+    def current_timeout(self) -> float:
+        """The retransmission timeout in force right now.
+
+        Adaptive mode uses Jacobson's SRTT + 4 x RTTVAR with a
+        half-SRTT variance floor: when the RTT is steady the variance
+        term collapses and a bare SRTT-sized RTO would fire on every
+        scheduling wiggle (the granularity problem classic TCP solves
+        with a minimum RTO).
+        """
+        if self.timeout_mode == "fixed" or self._srtt is None:
+            return self.timeout_s
+        rto = self._srtt + max(4.0 * self._rttvar, 0.5 * self._srtt)
+        # A queue building up (congestion, straggler) ramps the RTT much
+        # faster than the EWMA tracks; the decaying peak keeps the RTO
+        # above the recent worst case during such transients.
+        rto = max(rto, 1.25 * self._rtt_peak)
+        return min(self.max_timeout_s, max(self.min_timeout_s, rto))
+
+    def _observe_rtt(self, sample: float) -> None:
+        """Jacobson/Karn update; callers must not feed ambiguous samples
+        (responses to retransmitted packets)."""
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            err = sample - self._srtt
+            self._srtt += 0.125 * err
+            self._rttvar += 0.25 * (abs(err) - self._rttvar)
+        self._rtt_peak = max(sample, self._rtt_peak * 0.995)
+
+    def _arm_timer(self, idx: int) -> None:
+        self._cancel_timer(idx)
+        duration = min(
+            self.max_timeout_s, self.current_timeout() * self._slot_backoff[idx]
+        )
+        self._slot_timer[idx] = self.sim.schedule(duration, self._on_timeout, idx)
+
+    def _cancel_timer(self, idx: int) -> None:
+        timer = self._slot_timer[idx]
+        if timer is not None:
+            timer.cancel()
+            self._slot_timer[idx] = None
+
+    def _on_timeout(self, idx: int) -> None:
+        """Algorithm 4's timeout handler: resend the same packet."""
+        if not self._active:
+            return
+        original = self._slot_packet[idx]
+        if original is None:
+            return
+        self.stats.timeouts += 1
+        self._slot_retries[idx] += 1
+        if self.max_retries is not None and self._slot_retries[idx] > self.max_retries:
+            self._fail()
+            return
+        self._slot_retransmitted[idx] = True
+        self._slot_backoff[idx] = min(64.0, self._slot_backoff[idx] * 2.0)
+        resend = SwitchMLPacket(
+            wid=original.wid,
+            ver=original.ver,
+            idx=original.idx,
+            off=original.off,
+            num_elements=original.num_elements,
+            vector=original.vector,
+            is_retransmission=True,
+        )
+        self._transmit(resend, retransmission=True)
+        self._arm_timer(idx)
+
+    def _fail(self) -> None:
+        """Give up on the aggregation: a peer (or the switch) is gone.
+
+        Cancels every timer and reports through ``on_failure`` so the
+        framework can tear the job down and restart from a checkpoint
+        (the recovery model the paper assumes).
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self._active = False
+        self._cancel_all_timers()
+        if self.on_failure is not None:
+            self.on_failure(self.wid)
+
+    def crash(self) -> None:
+        """Simulate this worker dying mid-aggregation (fail-stop): it
+        neither sends nor processes anything from now on."""
+        self._active = False
+        self._cancel_all_timers()
+
+    def _cancel_all_timers(self) -> None:
+        for idx in range(len(self._slot_timer)):
+            self._cancel_timer(idx)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame) -> None:
+        if frame.corrupted:
+            # SS3.4: checksum failure; discard and let the timeout recover.
+            self.stats.corrupt_discarded += 1
+            return
+        packet = frame.message
+        if not isinstance(packet, SwitchMLPacket) or not packet.from_switch:
+            return
+        self._on_result(packet)
+
+    def _on_result(self, p: SwitchMLPacket) -> None:
+        if not self._active:
+            return
+        # Stale results can arrive: e.g. a unicast retransmitted result
+        # racing with the multicast copy.  The (off, ver) pair identifies
+        # the phase; anything not matching the slot's outstanding chunk
+        # has already been consumed.
+        if p.off != self._slot_off[p.idx] or p.ver != self._slot_ver[p.idx]:
+            self.stats.stale_results_ignored += 1
+            return
+        if self._slot_packet[p.idx] is None:
+            self.stats.stale_results_ignored += 1
+            return
+
+        self._cancel_timer(p.idx)
+        self.stats.results_received += 1
+        rtt_sample = self.sim.now - self._slot_sent_at[p.idx]
+        self.stats.rtt_sum += rtt_sample
+        self.stats.rtt_count += 1
+        if not self._slot_retransmitted[p.idx]:
+            # Karn's rule: only unambiguous samples feed the estimator --
+            # and only an unambiguous exchange clears the backoff
+            # (RFC 6298 SS5.7: resetting it on a retransmitted exchange
+            # lets a low-biased SRTT re-trigger the same spurious
+            # timeout forever).
+            self._observe_rtt(rtt_sample)
+            self._slot_backoff[p.idx] = 1.0
+        if not self._phantom and p.vector is not None:
+            assert self._result is not None
+            self._result[p.off : p.off + self.k] = p.vector
+        self._slot_packet[p.idx] = None
+        self._remaining -= 1
+
+        next_off = p.off + self.k * self.s
+        if next_off < self._size:
+            self._send_chunk(idx=p.idx, ver=1 - p.ver, off=next_off)
+        elif self._remaining == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        self._active = False
+        self.stats.finish_time = self.sim.now
+        for idx in range(self.s):
+            self._cancel_timer(idx)
+        if self.on_complete is not None:
+            self.on_complete(self.wid, self.sim.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> np.ndarray | None:
+        """The aggregated tensor (valid once complete; None in phantom mode)."""
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return not self._active and not np.isnan(self.stats.finish_time)

@@ -1,0 +1,39 @@
+"""Encrypted gradient aggregation (paper Appendix D).
+
+The paper's closing observation: arbitrary computation over encrypted
+data is beyond a switch, but SwitchML's aggregation is *just integer
+addition*, and "the appealing property of several partially homomorphic
+cryptosystems (e.g., Paillier) is that the relation
+``E(x) * E(y) = E(x + y)`` holds" -- so workers could encrypt their
+quantized updates and the switch could aggregate ciphertexts by modular
+multiplication, never seeing a gradient in the clear.
+
+This package builds that design end to end:
+
+* :mod:`repro.crypto.paillier` -- a from-scratch Paillier cryptosystem
+  (keygen with Miller-Rabin primes, encryption, decryption, homomorphic
+  addition, signed-value encoding);
+* :mod:`repro.crypto.encrypted_aggregation` -- the encrypted analogue of
+  Algorithm 1: a switch program whose "registers" hold ciphertexts and
+  whose per-packet operation is ``c_slot <- c_slot * c_in mod n^2``, plus
+  the worker-side encrypt/decrypt pipeline and a cost model quantifying
+  why the paper calls dataplane crypto "likely costly".
+"""
+
+from repro.crypto.paillier import PaillierKeyPair, PaillierPublicKey, generate_keypair
+from repro.crypto.encrypted_aggregation import (
+    EncryptedAggregationPool,
+    decrypt_aggregate,
+    encrypt_update,
+    encrypted_allreduce,
+)
+
+__all__ = [
+    "EncryptedAggregationPool",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "decrypt_aggregate",
+    "encrypt_update",
+    "encrypted_allreduce",
+    "generate_keypair",
+]

@@ -1,0 +1,185 @@
+"""Encrypted in-network aggregation (Appendix D, end to end).
+
+Workers quantize their gradients (the usual SwitchML fixed-point path),
+encode them as signed Paillier plaintexts, and encrypt element by
+element.  The switch's aggregation pool holds ciphertexts, and its
+per-contribution operation is a modular multiplication -- decrypting the
+slot after ``n`` contributions yields exactly the integer sum, which the
+workers dequantize as usual.
+
+A cost model rides along: ciphertexts are ~2x the key size *per
+element*, so wire expansion and the bignum arithmetic quantify why the
+paper stops at "likely costly" for dataplane crypto while noting the
+aggregation operation itself fits the homomorphic mold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.paillier import PaillierKeyPair, PaillierPublicKey
+from repro.quant.fixedpoint import quantize
+
+__all__ = [
+    "EncryptedAggregationPool",
+    "EncryptedAllReduceResult",
+    "decrypt_aggregate",
+    "encrypt_update",
+    "encrypted_allreduce",
+    "wire_expansion_factor",
+]
+
+
+def encrypt_update(
+    update: np.ndarray,
+    public: PaillierPublicKey,
+    scaling_factor: float,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Quantize and encrypt one worker's gradient vector."""
+    quantized = quantize(update, scaling_factor)
+    return [
+        public.encrypt(public.encode_signed(int(v)), rng) for v in quantized
+    ]
+
+
+def decrypt_aggregate(
+    ciphertexts: list[int],
+    keys: PaillierKeyPair,
+    scaling_factor: float,
+) -> np.ndarray:
+    """Decrypt the aggregated ciphertext vector and dequantize."""
+    values = [keys.private.decrypt_signed(c) for c in ciphertexts]
+    return np.asarray(values, dtype=np.float64) / scaling_factor
+
+
+class EncryptedAggregationPool:
+    """Algorithm 1 over ciphertexts.
+
+    State: ``pool[s][k]`` ciphertext cells and per-slot counters.  Per
+    contribution, every cell is multiplied by the incoming ciphertext
+    modulo n^2 -- the switch never holds a key and never sees plaintext.
+    """
+
+    def __init__(
+        self,
+        public: PaillierPublicKey,
+        num_workers: int,
+        pool_size: int,
+        elements_per_packet: int,
+    ):
+        if num_workers < 1 or pool_size < 1 or elements_per_packet < 1:
+            raise ValueError("workers, pool size, and k must be positive")
+        self.public = public
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        identity = public.identity_ciphertext()
+        self._pool: list[list[int]] = [
+            [identity] * elements_per_packet for _ in range(pool_size)
+        ]
+        self._count = [0] * pool_size
+        self.modular_multiplications = 0
+
+    def contribute(self, idx: int, ciphertexts: list[int]) -> list[int] | None:
+        """Fold one worker's chunk into slot ``idx``.
+
+        Returns the aggregated ciphertext vector when the slot completes
+        (the "multicast"), else None.
+        """
+        if not 0 <= idx < self.s:
+            raise ValueError(f"slot {idx} out of range")
+        if len(ciphertexts) != self.k:
+            raise ValueError(f"chunk must have {self.k} ciphertexts")
+        slot = self._pool[idx]
+        for i, c in enumerate(ciphertexts):
+            slot[i] = self.public.homomorphic_add(slot[i], c)
+            self.modular_multiplications += 1
+        self._count[idx] += 1
+        if self._count[idx] == self.n:
+            result = list(slot)
+            identity = self.public.identity_ciphertext()
+            self._pool[idx] = [identity] * self.k
+            self._count[idx] = 0
+            return result
+        return None
+
+    @property
+    def state_bytes(self) -> int:
+        """Ciphertext state footprint: 2 x keybits per cell -- the SRAM
+        blow-up that makes dataplane crypto expensive."""
+        cell_bytes = (self.public.n_squared.bit_length() + 7) // 8
+        return self.s * self.k * cell_bytes
+
+
+def wire_expansion_factor(public: PaillierPublicKey) -> float:
+    """Bytes-on-wire multiplier vs 4-byte plaintext elements."""
+    cipher_bytes = (public.n_squared.bit_length() + 7) // 8
+    return cipher_bytes / 4.0
+
+
+@dataclass
+class EncryptedAllReduceResult:
+    """Outcome of an encrypted all-reduce round."""
+
+    aggregate: np.ndarray
+    modular_multiplications: int
+    ciphertext_bytes_per_element: int
+    wire_expansion: float
+
+
+def encrypted_allreduce(
+    updates: list[np.ndarray],
+    keys: PaillierKeyPair,
+    scaling_factor: float,
+    elements_per_packet: int = 8,
+    seed: int = 0,
+) -> EncryptedAllReduceResult:
+    """Run a full encrypted aggregation round over per-worker updates.
+
+    Chunks each worker's encrypted vector through the ciphertext pool
+    exactly as the plaintext protocol would, then decrypts the collected
+    aggregate once at the edge.
+    """
+    if not updates:
+        raise ValueError("need at least one worker update")
+    sizes = {len(u) for u in updates}
+    if len(sizes) != 1:
+        raise ValueError("all workers must contribute equal-length updates")
+    size = sizes.pop()
+    k = elements_per_packet
+    pad = (-size) % k
+    rng = np.random.default_rng(seed)
+    public = keys.public
+
+    encrypted = []
+    for update in updates:
+        padded = np.concatenate([np.asarray(update, dtype=np.float64),
+                                 np.zeros(pad)])
+        encrypted.append(encrypt_update(padded, public, scaling_factor, rng))
+
+    n = len(updates)
+    chunks = (size + pad) // k
+    pool = EncryptedAggregationPool(
+        public, n, pool_size=min(4, chunks), elements_per_packet=k
+    )
+    collected: list[int] = [0] * (size + pad)
+    for chunk_index in range(chunks):
+        slot = chunk_index % pool.s
+        lo = chunk_index * k
+        result = None
+        for worker in range(n):
+            result = pool.contribute(slot, encrypted[worker][lo : lo + k])
+        assert result is not None, "slot must complete after n contributions"
+        collected[lo : lo + k] = result
+
+    aggregate = decrypt_aggregate(collected, keys, scaling_factor)[:size]
+    cipher_bytes = (public.n_squared.bit_length() + 7) // 8
+    return EncryptedAllReduceResult(
+        aggregate=aggregate,
+        modular_multiplications=pool.modular_multiplications,
+        ciphertext_bytes_per_element=cipher_bytes,
+        wire_expansion=wire_expansion_factor(public),
+    )

@@ -1,0 +1,199 @@
+"""A from-scratch Paillier cryptosystem.
+
+Paillier (1999) is additively homomorphic: for public key ``n`` and
+ciphertexts ``E(x)``, ``E(y)``, the product ``E(x) * E(y) mod n^2``
+decrypts to ``x + y mod n``.  That is precisely the operation SwitchML's
+switch would need to aggregate encrypted updates (paper Appendix D).
+
+The implementation is textbook (g = n + 1 simplification):
+
+* keygen: n = p q with p, q prime and gcd(pq, (p-1)(q-1)) = 1;
+  lambda = lcm(p-1, q-1); mu = lambda^{-1} mod n.
+* encrypt(m): c = (n+1)^m * r^n mod n^2  (random r in Z*_n), and
+  (n+1)^m mod n^2 = 1 + m n, so encryption is one modular exponentiation.
+* decrypt(c): m = L(c^lambda mod n^2) * mu mod n, with L(u) = (u-1)/n.
+
+Primes come from a deterministic Miller-Rabin search seeded by the
+caller, so tests are reproducible.  Key sizes here are small (default
+256-bit n) -- enough to demonstrate the protocol; this is a protocol
+artifact, not a hardened library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "generate_keypair",
+    "is_probable_prime",
+]
+
+# Deterministic Miller-Rabin witnesses: sufficient for n < 3.3 * 10^24,
+# far beyond the prime sizes used here for the probabilistic rounds'
+# base set; additional random rounds cover larger primes.
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(candidate: int, rng: np.random.Generator, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if candidate == p:
+            return True
+        if candidate % p == 0:
+            return False
+    # write candidate - 1 = d * 2^s with d odd
+    d = candidate - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+
+    def witness(a: int) -> bool:
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            return False
+        for _ in range(s - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                return False
+        return True  # a witnesses compositeness
+
+    for a in _SMALL_PRIMES:
+        if a >= candidate - 1:
+            continue
+        if witness(a):
+            return False
+    for _ in range(rounds):
+        # draw a witness in [2, candidate - 2] from 30-bit words (the
+        # candidate can exceed int64, so compose the draw manually)
+        span = candidate - 3
+        draw = 0
+        for _ in range((candidate.bit_length() // 30) + 1):
+            draw = (draw << 30) | int(rng.integers(0, 2**30))
+        a = 2 + (draw % span)
+        if witness(a):
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
+    """A random prime with the top bit set (exactly ``bits`` bits)."""
+    if bits < 8:
+        raise ValueError("prime size too small")
+    while True:
+        # assemble a random odd integer with the top bit forced
+        words = [int(rng.integers(0, 2**30)) for _ in range((bits // 30) + 1)]
+        candidate = 0
+        for w in words:
+            candidate = (candidate << 30) | w
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """The public half: everything the workers and the switch need."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def half_n(self) -> int:
+        """Signed-value threshold: plaintexts above this decode negative."""
+        return self.n // 2
+
+    def encode_signed(self, value: int) -> int:
+        """Map a signed integer into Z_n (two's-complement style)."""
+        if abs(value) >= self.half_n:
+            raise ValueError(f"value {value} exceeds the signed plaintext range")
+        return value % self.n
+
+    def decode_signed(self, plaintext: int) -> int:
+        """Inverse of :meth:`encode_signed`."""
+        return plaintext - self.n if plaintext > self.half_n else plaintext
+
+    def encrypt(self, message: int, rng: np.random.Generator) -> int:
+        """Encrypt a (non-negative, already encoded) plaintext."""
+        if not 0 <= message < self.n:
+            raise ValueError("plaintext out of range; encode_signed first")
+        n2 = self.n_squared
+        while True:
+            r = int(rng.integers(2, 2**62)) % self.n
+            if r > 1 and math.gcd(r, self.n) == 1:
+                break
+        # (n+1)^m mod n^2 == 1 + m n  (binomial expansion)
+        gm = (1 + message * self.n) % n2
+        return (gm * pow(r, self.n, n2)) % n2
+
+    def homomorphic_add(self, c1: int, c2: int) -> int:
+        """The switch's operation: E(x) * E(y) mod n^2 = E(x + y)."""
+        return (c1 * c2) % self.n_squared
+
+    def identity_ciphertext(self) -> int:
+        """A deterministic encryption of zero (slot reset value).
+
+        Uses r = 1: decrypts to 0; multiplying by it is a no-op.
+        """
+        return 1
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """The private half, held only by the workers' key authority."""
+
+    lam: int  # lcm(p-1, q-1)
+    mu: int  # lam^{-1} mod n
+    public: PaillierPublicKey
+
+    def decrypt(self, ciphertext: int) -> int:
+        n = self.public.n
+        n2 = self.public.n_squared
+        if not 0 < ciphertext < n2:
+            raise ValueError("ciphertext out of range")
+        u = pow(ciphertext, self.lam, n2)
+        l_of_u = (u - 1) // n
+        return (l_of_u * self.mu) % n
+
+    def decrypt_signed(self, ciphertext: int) -> int:
+        return self.public.decode_signed(self.decrypt(ciphertext))
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+
+def generate_keypair(bits: int = 256, seed: int = 0) -> PaillierKeyPair:
+    """Generate a keypair with an ``n`` of roughly ``bits`` bits."""
+    rng = np.random.default_rng(seed)
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+        if math.gcd(n, (p - 1) * (q - 1)) != 1:
+            continue
+        try:
+            mu = pow(lam, -1, n)
+        except ValueError:  # pragma: no cover - gcd check above prevents
+            continue
+        public = PaillierPublicKey(n=n)
+        private = PaillierPrivateKey(lam=lam, mu=mu, public=public)
+        return PaillierKeyPair(public=public, private=private)

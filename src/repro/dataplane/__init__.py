@@ -1,0 +1,32 @@
+"""Programmable-switch dataplane model (Tofino-like).
+
+The paper's switch program is written in P4 for a Barefoot Tofino.  The
+two properties of that chip that shape SwitchML's design are modelled
+here:
+
+* **Stateful registers with integer-only ALUs** --
+  :mod:`repro.dataplane.registers` provides register arrays whose cells
+  are fixed-width integers with wraparound semantics and whose only
+  in-dataplane operations are read / write / add / bit ops.  Floating
+  point is deliberately not provided; the quantization layer
+  (:mod:`repro.quant`) exists because of this.
+* **A bounded match-action pipeline** -- :mod:`repro.dataplane.pipeline`
+  models the per-pipeline stage budget and the per-stage register-access
+  limits that cap SwitchML at ``k = 32`` elements per packet, and
+  :mod:`repro.dataplane.resources` turns a SwitchML configuration into an
+  SRAM/stage report reproducing the paper's SS5.5 resource numbers
+  (128-slot pool -> 32 KB, 512 -> 128 KB, "<< 10 %" of switch memory).
+"""
+
+from repro.dataplane.pipeline import PipelineModel, TOFINO
+from repro.dataplane.registers import RegisterArray, RegisterFile
+from repro.dataplane.resources import ResourceReport, switchml_resource_report
+
+__all__ = [
+    "PipelineModel",
+    "RegisterArray",
+    "RegisterFile",
+    "ResourceReport",
+    "TOFINO",
+    "switchml_resource_report",
+]

@@ -1,0 +1,100 @@
+"""Pipeline constraint model: stages, per-stage register budgets, SRAM.
+
+The paper's key dataplane constraint is that ``k`` (elements aggregated
+per packet) is capped by the pipeline: each register array lives in one
+stage, each stage fits a bounded number of arrays, every array is touched
+at most once per packet, and the parser only exposes a few hundred bytes
+of the packet (SS3.3, SSB).  The numbers below follow the publicly known
+Tofino 1 envelope; with them, SwitchML's k = 32 layout fits in a single
+ingress pipeline and k = 64 does not -- which is exactly the design wall
+the authors describe hitting ("to maintain a very high forwarding rate,
+today's programmable switches parse only up to a certain amount of bytes
+in each packet", "in our deployment, k is 32").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import SWITCHML_HEADER_BYTES
+
+__all__ = ["PipelineModel", "TOFINO"]
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Resource envelope of one switch pipeline.
+
+    Attributes
+    ----------
+    num_stages:
+        Match-action stages per pipeline.
+    value_arrays_per_stage:
+        Stateful register arrays usable per stage for payload aggregation.
+        Each array is 64 bits wide: the upper and lower 32-bit halves hold
+        the *two pool versions* of one element lane (paper SSB), so one
+        array serves one element per packet.
+    overhead_stages:
+        Stages consumed by non-value logic: parsing/bookkeeping, the
+        ``seen`` bitmap read-modify-write, the worker counter, and the
+        multicast decision.
+    sram_bytes:
+        Dataplane-accessible SRAM per pipeline ("a few tens of MB", SS3.1).
+    parser_payload_bytes:
+        Bytes of packet the parser can expose to the pipeline ("today on
+        the order of a few hundred bytes", SS3.3).
+    ports_per_pipeline:
+        Front-panel ports served by one pipeline (bounds rack fan-in,
+        SS5.5: "a single pipeline in our testbed supports 16-64 workers").
+    num_pipelines:
+        Independent pipelines on the chip, "each with its own resources"
+        (SS6) -- Tofino 1 has four.  Aggregation state cannot span
+        pipelines; a job lives entirely in one (or goes hierarchical).
+    """
+
+    name: str = "tofino"
+    num_stages: int = 12
+    value_arrays_per_stage: int = 4
+    overhead_stages: int = 3
+    sram_bytes: int = 22 * 1024 * 1024
+    parser_payload_bytes: int = 256
+    ports_per_pipeline: int = 16
+    num_pipelines: int = 4
+
+    def stages_for_elements(self, k: int) -> int:
+        """Stages needed to aggregate ``k`` elements per packet.
+
+        One 64-bit array per element lane (its halves are the two pool
+        versions), ``value_arrays_per_stage`` lanes per stage, plus the
+        fixed overhead stages.  For k = 32 this is 8 + 3 = 11 stages --
+        just inside a 12-stage pipeline, matching the paper's experience
+        that 32 elements was the achievable maximum.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        value_stages = -(-k // self.value_arrays_per_stage)  # ceil
+        return value_stages + self.overhead_stages
+
+    def max_elements_per_packet(self) -> int:
+        """Largest k that fits the stage and parser budgets."""
+        value_stages = self.num_stages - self.overhead_stages
+        k_stage_limit = value_stages * self.value_arrays_per_stage
+        k_parser_limit = (self.parser_payload_bytes - SWITCHML_HEADER_BYTES) // 4
+        return min(k_stage_limit, k_parser_limit)
+
+    def fits(self, k: int, sram_needed_bytes: int) -> bool:
+        """Does a program with ``k`` elements and this much state fit?"""
+        return (
+            self.stages_for_elements(k) <= self.num_stages
+            and sram_needed_bytes <= self.sram_bytes
+        )
+
+    @property
+    def total_ports(self) -> int:
+        """Front-panel ports across all pipelines (the 64x100 Gbps of
+        the paper's testbed switch)."""
+        return self.ports_per_pipeline * self.num_pipelines
+
+
+#: Default chip model used throughout the reproduction.
+TOFINO = PipelineModel()

@@ -1,0 +1,46 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`repro.harness.experiments` regenerates every evaluation artifact
+(Table 1, Figures 2-10, plus the SS5.5/SS6 claims) as structured data;
+:mod:`repro.harness.report` renders them as the text tables recorded in
+EXPERIMENTS.md.  The pytest benchmarks under ``benchmarks/`` are thin
+wrappers over these functions.
+"""
+
+from repro.harness.distributions import TATDistribution, measure_tat_distribution
+from repro.harness.experiments import (
+    fig2_pool_size,
+    fig3_speedups,
+    fig4_microbench,
+    fig5_loss_inflation,
+    fig6_timeline,
+    fig7_mtu,
+    fig8_datatypes,
+    fig10_quantization,
+    switch_resources,
+    table1,
+)
+from repro.harness.figures import bar_chart, line_plot, sparkline
+from repro.harness.telemetry import RackTelemetry, collect_telemetry
+from repro.harness.report import format_table
+
+__all__ = [
+    "RackTelemetry",
+    "TATDistribution",
+    "collect_telemetry",
+    "bar_chart",
+    "line_plot",
+    "measure_tat_distribution",
+    "sparkline",
+    "fig10_quantization",
+    "fig2_pool_size",
+    "fig3_speedups",
+    "fig4_microbench",
+    "fig5_loss_inflation",
+    "fig6_timeline",
+    "fig7_mtu",
+    "fig8_datatypes",
+    "format_table",
+    "switch_resources",
+    "table1",
+]

@@ -1,0 +1,215 @@
+"""An executable audit of the paper's quantitative claims.
+
+Each entry pairs a sentence from the paper with a fast check against
+this reproduction; :func:`audit` runs them all and reports PASS/FAIL.
+The heavyweight evidence lives in ``tests/`` and ``benchmarks/`` -- this
+registry is the one-command summary (``python -m repro.cli claims``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Claim", "CLAIMS", "audit"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    section: str
+    text: str
+    check: Callable[[], bool]
+
+
+def _line_rate_222m() -> bool:
+    from repro.collectives.models import ate_per_second, line_rate_ate
+    from repro.collectives.base import Strategy
+
+    ate = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+    return abs(ate - line_rate_ate(10.0)) / line_rate_ate(10.0) < 0.02
+
+
+def _half_the_volume_of_ring() -> bool:
+    # SS2.3: ring moves 4(n-1)|U|/n per worker; SwitchML 2|U|.
+    from repro.collectives.ring_allreduce import ring_allreduce
+
+    n, size = 8, 800
+    tensors = [np.arange(size, dtype=np.int64) for _ in range(n)]
+    _, trace = ring_allreduce(tensors)
+    ring_volume = trace.bytes_sent_per_worker + trace.bytes_received_per_worker
+    switchml_volume = 2 * size * 4
+    expected_ratio = 4 * (n - 1) / n / 2
+    return abs(ring_volume / switchml_volume - expected_ratio) < 0.05
+
+
+def _pool_sizes_128_and_512() -> bool:
+    from repro.core.tuning import pool_size_for_rate
+
+    return pool_size_for_rate(10.0) == 128 and pool_size_for_rate(100.0) == 512
+
+
+def _sram_32kb_128kb() -> bool:
+    from repro.dataplane.resources import switchml_resource_report
+
+    return (
+        switchml_resource_report(128).value_sram_bytes == 32 * 1024
+        and switchml_resource_report(512).value_sram_bytes == 128 * 1024
+        and switchml_resource_report(512, num_workers=16).sram_fraction < 0.1
+    )
+
+
+def _k32_fits_pipeline() -> bool:
+    from repro.dataplane.pipeline import TOFINO
+
+    return (
+        TOFINO.stages_for_elements(32) <= TOFINO.num_stages
+        < TOFINO.stages_for_elements(64)
+    )
+
+
+def _header_overheads() -> bool:
+    from repro.net.packet import goodput_fraction
+
+    return (
+        abs((1 - goodput_fraction(32)) - 0.289) < 0.002
+        and abs((1 - goodput_fraction(366)) - 0.034) < 0.002
+    )
+
+
+def _speedup_range_20_to_300_percent() -> bool:
+    from repro.collectives.base import Strategy
+    from repro.mlfw.training import training_speedup
+    from repro.mlfw.zoo import MODEL_ZOO
+
+    speedups = [
+        training_speedup(m, Strategy.SWITCHML, Strategy.NCCL, 8, rate)
+        for m in MODEL_ZOO
+        for rate in (10.0, 100.0)
+    ]
+    return max(speedups) >= 1.2 and all(0.99 <= s <= 4.0 for s in speedups)
+
+
+def _aggregation_is_exact_under_loss() -> bool:
+    from repro.core.job import SwitchMLConfig, SwitchMLJob
+    from repro.net.loss import BernoulliLoss
+
+    job = SwitchMLJob(
+        SwitchMLConfig(num_workers=4, pool_size=8, timeout_s=1e-4,
+                       loss_factory=lambda: BernoulliLoss(0.01), seed=5)
+    )
+    rng = np.random.default_rng(0)
+    tensors = [rng.integers(-500, 500, 32 * 8 * 6).astype(np.int64)
+               for _ in range(4)]
+    try:
+        out = job.all_reduce(tensors)  # verify raises on mismatch
+    except AssertionError:
+        return False
+    return out.completed
+
+
+def _theorem1_bound() -> bool:
+    from repro.quant.fixedpoint import dequantize, quantize
+    from repro.quant.theory import aggregation_error_bound
+
+    rng = np.random.default_rng(1)
+    n, f = 8, 1e4
+    updates = [rng.normal(size=256) for _ in range(n)]
+    exact = np.sum(updates, axis=0)
+    fixed = dequantize(sum(quantize(u, f) for u in updates), f)
+    return float(np.abs(fixed - exact).max()) <= aggregation_error_bound(n, f)
+
+
+def _fp16_halves_tat() -> bool:
+    from repro.collectives.models import switchml_tat
+
+    full = switchml_tat(1_000_000, 10.0)
+    half = switchml_tat(1_000_000, 10.0, elements_per_packet=64,
+                        bytes_per_element=2)
+    return abs(full / half - 2.0) < 0.1
+
+
+def _dedicated_ps_parity_colocated_half() -> bool:
+    from repro.collectives.base import Strategy
+    from repro.collectives.models import ate_per_second
+
+    sw = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+    ded = ate_per_second(Strategy.DEDICATED_PS, 8, 10.0)
+    colo = ate_per_second(Strategy.COLOCATED_PS, 8, 10.0)
+    return abs(ded / sw - 1.0) < 0.1 and abs(colo / sw - 0.5) < 0.07
+
+
+def _loss_inflation_modest_vs_tcp() -> bool:
+    from repro.harness.experiments import tcp_loss_inflation
+
+    # TCP collapses an order of magnitude at 1 % loss; SwitchML's DES
+    # inflation (measured in the benches) stays under ~2-4x.
+    return tcp_loss_inflation(0.01, 10.0) > 5.0
+
+
+def _hierarchy_uplink_cost() -> bool:
+    from repro.core.hierarchy import HierarchicalConfig, HierarchicalJob
+
+    job = HierarchicalJob(
+        HierarchicalConfig(num_racks=2, workers_per_rack=4, pool_size=8)
+    )
+    tensors = [np.ones(32 * 8 * 3, dtype=np.int64) for _ in range(8)]
+    out = job.all_reduce(tensors)
+    return out.completed and all(
+        frames == out.worker_uplink_frames[0] for frames in out.uplink_frames
+    )
+
+
+def _homomorphic_aggregation() -> bool:
+    from repro.crypto import encrypted_allreduce, generate_keypair
+
+    keys = generate_keypair(bits=128, seed=2)
+    updates = [np.array([1.5, -2.25]), np.array([0.5, 0.25])]
+    out = encrypted_allreduce(updates, keys, scaling_factor=1e4)
+    return bool(np.allclose(out.aggregate, [2.0, -2.0], atol=1e-3))
+
+
+#: The audited claims, in paper order.
+CLAIMS: list[Claim] = [
+    Claim("SS1", "speeds up training by up to 300%, and at least by 20% "
+                 "for a number of real-world benchmark models",
+          _speedup_range_20_to_300_percent),
+    Claim("SS2.3", "ring all-reduce moves 4(n-1)|U|/n per worker vs "
+                   "SwitchML's 2|U|", _half_the_volume_of_ring),
+    Claim("SS3.3/SSB", "k = 32 elements per packet fits a single ingress "
+                       "pipeline; more does not", _k32_fits_pipeline),
+    Claim("SS3.5", "aggregation is exact under packet loss (seen bitmap + "
+                   "shadow copies)", _aggregation_is_exact_under_loss),
+    Claim("SS3.6", "the BDP rule gives pool sizes 128 (10G) and 512 (100G)",
+          _pool_sizes_128_and_512),
+    Claim("SS3.6/SS5.5", "those pools occupy 32 KB / 128 KB, << 10% of "
+                         "switch SRAM", _sram_32kb_128kb),
+    Claim("SS5.3", "SwitchML runs at the header-limited line rate "
+                   "(~222M ATE/s at 10 Gbps)", _line_rate_222m),
+    Claim("SS5.3", "dedicated PS matches SwitchML; colocated PS reaches "
+                   "half", _dedicated_ps_parity_colocated_half),
+    Claim("SS5.5", "header overhead is 28.9% at 180 B and 3.4% at MTU",
+          _header_overheads),
+    Claim("SS5.5", "TCP collectives inflate an order of magnitude at 1% "
+                   "loss", _loss_inflation_modest_vs_tcp),
+    Claim("SS3.7/Fig8", "float16 wire format halves TAT", _fp16_halves_tat),
+    Claim("App C Thm 1", "fixed-point aggregation error is bounded by n/f",
+          _theorem1_bound),
+    Claim("SS6", "hierarchical uplink cost is one worker's worth, not n",
+          _hierarchy_uplink_cost),
+    Claim("App D", "Paillier ciphertext products decrypt to gradient sums",
+          _homomorphic_aggregation),
+]
+
+
+def audit(claims: list[Claim] | None = None) -> list[tuple[Claim, bool]]:
+    """Run every claim check; returns (claim, passed) pairs."""
+    results = []
+    for claim in claims if claims is not None else CLAIMS:
+        try:
+            passed = bool(claim.check())
+        except Exception:
+            passed = False
+        results.append((claim, passed))
+    return results

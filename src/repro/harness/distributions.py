@@ -1,0 +1,98 @@
+"""TAT distributions: the paper's SS5.1 measurement methodology.
+
+"We collect measurements at each worker for aggregating 100 tensors of
+the same size and report statistics as violin plots, which also
+highlight the statistical median, min, and max values."
+
+:func:`measure_tat_distribution` runs that exact procedure on a job
+(repeated same-size aggregations on one rack, per-worker TATs pooled)
+and :class:`TATDistribution` carries the violin-plot statistics plus a
+terminal rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.job import SwitchMLJob
+
+__all__ = ["TATDistribution", "measure_tat_distribution"]
+
+
+@dataclass
+class TATDistribution:
+    """The statistics a violin plot highlights (SS5.1)."""
+
+    samples: np.ndarray  # pooled per-worker TATs, seconds
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    @property
+    def minimum(self) -> float:
+        return float(self.samples.min())
+
+    @property
+    def maximum(self) -> float:
+        return float(self.samples.max())
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def interquartile_range(self) -> float:
+        return self.percentile(75) - self.percentile(25)
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / median -- how tight the violin is."""
+        return (self.maximum - self.minimum) / self.median
+
+    def summary(self, unit_scale: float = 1e3, unit: str = "ms") -> str:
+        return (
+            f"median {self.median * unit_scale:.3f} {unit} "
+            f"[min {self.minimum * unit_scale:.3f}, "
+            f"p25 {self.percentile(25) * unit_scale:.3f}, "
+            f"p75 {self.percentile(75) * unit_scale:.3f}, "
+            f"max {self.maximum * unit_scale:.3f}]"
+        )
+
+    def violin(self, width: int = 40, bins: int = 12) -> str:
+        """A sideways text violin: per-bin sample density."""
+        lo, hi = self.minimum, self.maximum
+        if hi == lo:
+            return "#" * width + "  (degenerate: all samples equal)"
+        counts, _edges = np.histogram(self.samples, bins=bins, range=(lo, hi))
+        peak = counts.max()
+        lines = []
+        for i, count in enumerate(counts):
+            bar = "#" * max(0, round(width * count / peak))
+            left = lo + (hi - lo) * i / bins
+            lines.append(f"{left * 1e3:9.3f} ms |{bar}")
+        return "\n".join(lines)
+
+
+def measure_tat_distribution(
+    job: SwitchMLJob,
+    num_elements: int,
+    repetitions: int = 100,
+) -> TATDistribution:
+    """Aggregate ``repetitions`` same-size tensors on ``job`` and pool
+    the per-worker TATs -- the paper's exact procedure.
+
+    Uses phantom payloads (timing only); payload correctness is covered
+    by the verify-enabled tests, and 100 repetitions of numpy payloads
+    would add nothing but wall time.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    samples: list[float] = []
+    for _ in range(repetitions):
+        outcome = job.all_reduce(num_elements=num_elements, verify=False)
+        if not outcome.completed:
+            raise RuntimeError("distribution run did not complete")
+        samples.extend(outcome.tats)
+    return TATDistribution(samples=np.asarray(samples))

@@ -1,0 +1,439 @@
+"""One function per paper table/figure.
+
+Each function returns plain data structures (dicts / lists of rows) so
+benches can print them and tests can assert on the *shapes* the paper
+claims: orderings, crossovers, and rough factors.  See DESIGN.md SS4 for
+the experiment index and EXPERIMENTS.md for paper-vs-measured records.
+
+Fidelity split (DESIGN.md SS3): protocol-sensitive experiments (pool
+size, loss, timelines) run on the packet simulator with scaled-down
+tensors -- the paper itself observes ATE/s is insensitive to tensor size
+(SS5.3), which ``test_integration`` re-verifies; throughput sweeps use
+the analytic models, cross-validated against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.collectives.base import CostParams, DEFAULT_COST_PARAMS, Strategy
+from repro.collectives.models import (
+    BASE_LATENCY_S,
+    ate_per_second,
+    line_rate_ate,
+    ps_tat,
+    switchml_tat,
+    tat_for,
+)
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.tuning import pool_size_for_rate
+from repro.dataplane.resources import switchml_resource_report
+from repro.mlfw.realtrain import QuantizedAggregator, train_mlp
+from repro.mlfw.datasets import make_classification
+from repro.mlfw.training import ideal_throughput, training_speedup, training_throughput
+from repro.mlfw.zoo import MODEL_ZOO
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+__all__ = [
+    "fig10_quantization",
+    "fig2_pool_size",
+    "fig3_speedups",
+    "fig4_microbench",
+    "fig5_loss_inflation",
+    "fig6_timeline",
+    "fig7_mtu",
+    "fig8_datatypes",
+    "switch_resources",
+    "table1",
+    "tcp_loss_inflation",
+]
+
+#: 100 MB of float32 -- the paper's reference tensor (SS5.3).
+REFERENCE_TENSOR_ELEMENTS = 25_000_000
+
+
+# ----------------------------------------------------------------------
+# Table 1: training throughput, 8 workers, 10 Gbps, batch 64
+# ----------------------------------------------------------------------
+def table1(
+    models: tuple[str, ...] = ("inception3", "resnet50", "vgg16"),
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> list[dict]:
+    """Rows of Table 1: Ideal / Multi-GPU / Horovod+NCCL / SwitchML."""
+    rows = []
+    for name in models:
+        ideal = ideal_throughput(name, num_workers)
+        row = {"model": name, "ideal": ideal}
+        for label, strategy in (
+            ("multi_gpu", Strategy.MULTI_GPU),
+            ("nccl", Strategy.NCCL),
+            ("switchml", Strategy.SWITCHML),
+        ):
+            tput = training_throughput(name, strategy, num_workers, rate_gbps, params)
+            row[label] = tput
+            row[f"{label}_pct"] = 100.0 * tput / ideal
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 2: TAT and RTT vs pool size (packet simulator)
+# ----------------------------------------------------------------------
+def fig2_pool_size(
+    pool_sizes: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024),
+    num_elements: int = 512 * 1024,
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Sweep pool size; report TAT and per-packet RTT from the simulator.
+
+    The paper sweeps s = 32..16384 on a 100 MB tensor; we sweep the same
+    knee on a 2 MB tensor (TAT scales linearly in size -- verified by
+    ``test_integration`` -- so the knee location and the flat region are
+    identical).  Expected shape: TAT falls until s reaches the BDP
+    (~128 slots at 10 Gbps), then flattens; RTT keeps growing with s
+    because extra in-flight packets only add worker-side queueing.
+    """
+    link = LinkSpec(rate_gbps=rate_gbps)
+    rows = []
+    for s in pool_sizes:
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=num_workers,
+                pool_size=s,
+                link=link,
+                seed=seed,
+            )
+        )
+        outcome = job.all_reduce(num_elements=num_elements, verify=False)
+        if not outcome.completed:
+            raise RuntimeError(f"pool-size run s={s} did not complete")
+        rows.append(
+            {
+                "pool_size": s,
+                "tat_s": outcome.max_tat,
+                "mean_rtt_s": outcome.mean_rtt,
+                "line_rate_tat_s": num_elements
+                / line_rate_ate(rate_gbps, "switchml"),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3: training speedup over NCCL, 9 models, 10/100 Gbps
+# ----------------------------------------------------------------------
+def fig3_speedups(
+    rates: tuple[float, ...] = (10.0, 100.0),
+    num_workers: int = 8,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> list[dict]:
+    rows = []
+    for name in MODEL_ZOO:
+        row = {"model": name}
+        for rate in rates:
+            row[f"speedup_{int(rate)}g"] = training_speedup(
+                name, Strategy.SWITCHML, Strategy.NCCL, num_workers, rate, params
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4: ATE/s vs workers, 10/100 Gbps, all strategies
+# ----------------------------------------------------------------------
+def fig4_microbench(
+    worker_counts: tuple[int, ...] = (4, 8, 16),
+    rates: tuple[float, ...] = (10.0, 100.0),
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> list[dict]:
+    """ATE/s per (rate, workers, strategy) plus the line-rate bounds.
+
+    Mirrors the paper's availability limits: NCCL needs GPUs (8 machines
+    have them), dedicated PS needs 2x machines (16 total) -- both series
+    stop at 8 workers.
+    """
+    strategies = (
+        Strategy.SWITCHML,
+        Strategy.GLOO,
+        Strategy.NCCL,
+        Strategy.DEDICATED_PS,
+        Strategy.COLOCATED_PS,
+    )
+    rows = []
+    for rate in rates:
+        for n in worker_counts:
+            row: dict = {"rate_gbps": rate, "workers": n}
+            for strategy in strategies:
+                if strategy in (Strategy.NCCL, Strategy.DEDICATED_PS) and n > 8:
+                    row[strategy.value] = None  # testbed limit (SS5.3)
+                    continue
+                row[strategy.value] = ate_per_second(strategy, n, rate, params)
+            row["line_rate_switchml"] = line_rate_ate(rate, "switchml")
+            row["line_rate_ring"] = line_rate_ate(rate, "ring", num_workers=n)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5: TAT inflation under loss
+# ----------------------------------------------------------------------
+def tcp_loss_inflation(
+    loss_probability: float,
+    rate_gbps: float,
+    rtt_s: float = 150e-6,
+    mss_bytes: int = 1460,
+) -> float:
+    """TCP throughput collapse under random loss (Mathis et al. model):
+    ``rate <= MSS / (RTT * sqrt(2p/3))``; inflation is the ratio of the
+    unconstrained rate to the loss-constrained one.  This is what drives
+    Gloo's and NCCL's curves in Figure 5.
+    """
+    if loss_probability <= 0:
+        return 1.0
+    mathis_bps = mss_bytes * 8.0 / (rtt_s * math.sqrt(2.0 * loss_probability / 3.0))
+    effective = min(rate_gbps * 1e9, mathis_bps)
+    return (rate_gbps * 1e9) / effective
+
+
+def fig5_loss_inflation(
+    loss_rates: tuple[float, ...] = (0.0001, 0.001, 0.01),
+    num_elements: int = 1024 * 1024,
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    pool_size: int = 128,
+    timeout_s: float = 1e-4,
+    seed: int = 1,
+) -> list[dict]:
+    """SwitchML's inflation from the packet simulator; Gloo/NCCL from the
+    TCP loss model.  Expected shape (paper Fig. 5): at 0.01 % everyone is
+    ~1x; by 1 % the TCP collectives blow up an order of magnitude while
+    SwitchML's per-slot retransmission keeps inflation low (~2x).
+
+    The retransmission timeout follows the paper's SS6 guidance to adapt
+    it to the end-to-end RTT: the simulated rack's RTT is ~11 us, so we
+    use 100 us (~9 RTTs) rather than the paper's 1 ms (which was ~50x
+    its testbed RTT and, at our scaled-down tensor size, would turn each
+    loss into a full pipeline-length stall).
+    """
+
+    def run(loss: float) -> float:
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=num_workers,
+                pool_size=pool_size,
+                timeout_s=timeout_s,
+                link=LinkSpec(rate_gbps=rate_gbps),
+                loss_factory=lambda: BernoulliLoss(loss),
+                seed=seed,
+            )
+        )
+        outcome = job.all_reduce(num_elements=num_elements, verify=False)
+        if not outcome.completed:
+            raise RuntimeError(f"loss run p={loss} did not complete")
+        return outcome.max_tat
+
+    baseline = run(0.0)
+    rows = []
+    for p in loss_rates:
+        rows.append(
+            {
+                "loss": p,
+                "switchml_inflation": run(p) / baseline,
+                "gloo_inflation": tcp_loss_inflation(p, rate_gbps),
+                "nccl_inflation": tcp_loss_inflation(p, rate_gbps, rtt_s=120e-6),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6: packet-rate timeline under loss
+# ----------------------------------------------------------------------
+def fig6_timeline(
+    loss_rates: tuple[float, ...] = (0.0, 0.0001, 0.01),
+    num_elements: int = 1024 * 1024,
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    pool_size: int = 128,
+    bucket_seconds: float = 0.0002,
+    timeout_s: float = 1e-4,
+    seed: int = 2,
+) -> dict[float, dict]:
+    """Packets sent per time bucket at worker 0, per loss rate.
+
+    The paper buckets by 10 ms on a 100 MB tensor; scaled to our tensor
+    we bucket by 0.2 ms -- same ~10-15 buckets per run, same shape: a
+    steady plateau near the ideal rate, with loss carving dips and
+    stretching the tail (the TAT markers).
+    """
+    out: dict[float, dict] = {}
+    for p in loss_rates:
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=num_workers,
+                pool_size=pool_size,
+                timeout_s=timeout_s,
+                link=LinkSpec(rate_gbps=rate_gbps),
+                loss_factory=lambda: BernoulliLoss(p),
+                seed=seed,
+            )
+        )
+        job.trace.bucket_seconds = bucket_seconds
+        outcome = job.all_reduce(num_elements=num_elements, verify=False)
+        if not outcome.completed:
+            raise RuntimeError(f"timeline run p={p} did not complete")
+        out[p] = {
+            "sent": outcome.trace.series("sent"),
+            "resent": outcome.trace.series("resent"),
+            "tat_s": outcome.worker_stats[0].tensor_aggregation_time,
+            "ideal_rate_pps": rate_gbps * 1e9 / 8.0 / 180.0 * bucket_seconds,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7: TAT vs tensor size, small frames vs MTU
+# ----------------------------------------------------------------------
+def fig7_mtu(
+    tensor_mb: tuple[int, ...] = (50, 100, 250, 500),
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> list[dict]:
+    rows = []
+    for mb in tensor_mb:
+        n_elem = mb * 1_000_000 // 4
+        rows.append(
+            {
+                "tensor_mb": mb,
+                "switchml_tat_s": switchml_tat(n_elem, rate_gbps, params),
+                "switchml_mtu_tat_s": switchml_tat(
+                    n_elem, rate_gbps, params, elements_per_packet=366
+                ),
+                "dedicated_ps_mtu_tat_s": ps_tat(
+                    n_elem, num_workers, rate_gbps, params, frame_bytes=1516
+                ),
+                "line_rate_tat_s": n_elem / line_rate_ate(rate_gbps, "switchml"),
+                "line_rate_mtu_tat_s": n_elem
+                / line_rate_ate(rate_gbps, "switchml", elements_per_packet=366),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: data-type / conversion overheads
+# ----------------------------------------------------------------------
+def fig8_datatypes(
+    num_elements: int = REFERENCE_TENSOR_ELEMENTS,
+    num_workers: int = 8,
+    rate_gbps: float = 10.0,
+    params: CostParams = DEFAULT_COST_PARAMS,
+    conversion_overhead_frac: float = 0.02,
+) -> list[dict]:
+    """TAT for int32 (native), float32 (scale+convert), float16 wire.
+
+    The paper's finding: conversion overhead is negligible (SSE/AVX; the
+    numpy-vectorised kernels here behave the same, measured by
+    ``tests/quant/test_conversion_cost.py``), while float16 halves TAT.
+    """
+    int32 = switchml_tat(num_elements, rate_gbps, params)
+    rows = [
+        {
+            "dtype": "int32",
+            "switchml_tat_s": int32,
+            "gloo_tat_s": tat_for(Strategy.GLOO, num_elements, num_workers, rate_gbps, params),
+        },
+        {
+            "dtype": "float32",
+            "switchml_tat_s": int32 * (1.0 + conversion_overhead_frac),
+            "gloo_tat_s": tat_for(Strategy.GLOO, num_elements, num_workers, rate_gbps, params),
+        },
+        {
+            "dtype": "float16",
+            "switchml_tat_s": switchml_tat(
+                num_elements, rate_gbps, params,
+                elements_per_packet=64, bytes_per_element=2,
+            ),
+            "gloo_tat_s": tat_for(
+                Strategy.GLOO, num_elements // 2, num_workers, rate_gbps, params
+            ),
+        },
+    ]
+    for row in rows:
+        k, bpe = (64, 2) if row["dtype"] == "float16" else (32, 4)
+        row["line_rate_tat_s"] = num_elements / line_rate_ate(
+            rate_gbps, "switchml", elements_per_packet=k, bytes_per_element=bpe
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10: accuracy vs scaling factor
+# ----------------------------------------------------------------------
+def fig10_quantization(
+    scaling_factors: tuple[float, ...] = (1e-2, 1e0, 1e2, 1e4, 1e6, 1e8, 1e12),
+    num_workers: int = 4,
+    epochs: int = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """Validation accuracy per scaling factor, plus the unquantized
+    reference -- the plateau-with-cliffs of Figure 10."""
+    dataset = make_classification(seed=seed)
+    reference = train_mlp(dataset, num_workers=num_workers, epochs=epochs, seed=seed)
+    rows = [
+        {
+            "scaling_factor": None,
+            "accuracy": reference.val_accuracy,
+            "diverged": reference.diverged,
+        }
+    ]
+    for f in scaling_factors:
+        result = train_mlp(
+            dataset,
+            num_workers=num_workers,
+            aggregator=QuantizedAggregator(f),
+            epochs=epochs,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "scaling_factor": f,
+                "accuracy": result.val_accuracy,
+                "diverged": result.diverged,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# SS5.5: switch resources
+# ----------------------------------------------------------------------
+def switch_resources(
+    pool_sizes: tuple[int, ...] = (128, 512),
+    num_workers: int = 16,
+) -> list[dict]:
+    """The paper's resource claims: 32 KB / 128 KB, << 10 % of SRAM."""
+    rows = []
+    for s in pool_sizes:
+        report = switchml_resource_report(s, num_workers=num_workers)
+        rows.append(
+            {
+                "pool_size": s,
+                "value_sram_kb": report.value_sram_bytes / 1024,
+                "total_sram_kb": report.total_sram_bytes / 1024,
+                "sram_fraction": report.sram_fraction,
+                "stages": report.stages_used,
+                "fits": report.fits,
+                "recommended_rate_gbps": 10.0 if s == 128 else 100.0,
+            }
+        )
+    return rows

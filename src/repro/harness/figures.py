@@ -1,0 +1,149 @@
+"""Terminal renderings of the paper's figures.
+
+The evaluation is table- and plot-shaped; :mod:`repro.harness.report`
+covers tables, and this module draws the plots as text so the CLI can
+show figure *shapes* (the reproduction target) without a plotting
+dependency:
+
+* :func:`bar_chart` -- grouped horizontal bars (Figures 3, 5, 8);
+* :func:`line_plot` -- multi-series scatter/line on a character grid
+  (Figures 2, 4, 6, 7, 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "line_plot", "sparkline"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10_000 or magnitude < 0.001:
+        return f"{value:.2g}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{str(label).rjust(label_width)} | "
+            f"{bar} {_format_number(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    Each series gets a marker (``*``, ``o``, ``x``, ...); overlapping
+    points show the later series' marker.  Log axes handle the paper's
+    decade sweeps (pool sizes, scaling factors, loss rates).
+    """
+    if not series or all(len(points) == 0 for points in series.values()):
+        raise ValueError("nothing to plot")
+    markers = "*ox+#@%&"
+
+    def tx(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ValueError("log x-axis needs positive values")
+            return math.log10(value)
+        return value
+
+    def ty(value: float) -> float:
+        if log_y:
+            if value <= 0:
+                raise ValueError("log y-axis needs positive values")
+            return math.log10(value)
+        return value
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [title] if title else []
+    y_top = 10**y_hi if log_y else y_hi
+    y_bottom = 10**y_lo if log_y else y_lo
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_number(y_top)
+        elif row_index == height - 1:
+            label = _format_number(y_bottom)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(9)} |{''.join(row)}")
+    x_left = 10**x_lo if log_x else x_lo
+    x_right = 10**x_hi if log_x else x_hi
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + _format_number(x_left)
+        + _format_number(x_right).rjust(width - len(_format_number(x_left)))
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line intensity strip (used for packet-rate timelines)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    data = list(values)
+    if width is not None and len(data) > width:
+        # average down to the requested width
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(1, len(data[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]))
+            for i in range(width)
+        ]
+    peak = max(data)
+    if peak <= 0:
+        return " " * len(data)
+    steps = len(_BLOCKS) - 1
+    return "".join(_BLOCKS[round(v / peak * steps)] if v > 0 else " " for v in data)

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[tuple[float, float]]) -> str:
+    """Render an (x, y) series compactly."""
+    body = ", ".join(f"({_cell(x)}, {_cell(y)})" for x, y in points)
+    return f"{name}: [{body}]"

@@ -1,0 +1,90 @@
+"""Rack telemetry: per-link and per-core utilization after a run.
+
+The paper reasons constantly about where the bottleneck sits -- the
+wire at 10 Gbps, the 4 worker cores at 100 Gbps (SS5.1), a congested
+downlink (SS6).  This module turns a finished simulation into that
+diagnosis: utilizations, drop counts, and the implied bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.job import SwitchMLJob
+from repro.harness.report import format_table
+
+__all__ = ["LinkReading", "RackTelemetry", "collect_telemetry"]
+
+
+@dataclass(frozen=True)
+class LinkReading:
+    """One link's counters over the observation window."""
+
+    name: str
+    utilization: float
+    frames_sent: int
+    frames_lost: int
+    frames_corrupted: int
+
+
+@dataclass
+class RackTelemetry:
+    """Utilization snapshot of a rack after one or more aggregations."""
+
+    elapsed_s: float
+    links: list[LinkReading]
+    core_utilization: dict[str, float]  # host name -> mean core busy frac
+
+    @property
+    def busiest_link(self) -> LinkReading:
+        return max(self.links, key=lambda l: l.utilization)
+
+    @property
+    def busiest_host(self) -> tuple[str, float]:
+        return max(self.core_utilization.items(), key=lambda kv: kv[1])
+
+    @property
+    def bottleneck(self) -> str:
+        """"wire" if a link outruns every host CPU, else "host-cpu".
+
+        Matches the paper's two regimes: wire-bound at 10 Gbps,
+        host-bound with 4 cores at 100 Gbps.
+        """
+        link_peak = self.busiest_link.utilization
+        host_peak = self.busiest_host[1]
+        return "wire" if link_peak >= host_peak else "host-cpu"
+
+    def summary(self) -> str:
+        rows = [
+            [l.name, f"{l.utilization:.1%}", l.frames_sent, l.frames_lost]
+            for l in sorted(self.links, key=lambda l: -l.utilization)[:8]
+        ]
+        table = format_table(
+            ["link", "utilization", "frames", "lost"], rows,
+            title=f"rack telemetry over {self.elapsed_s * 1e3:.3f} ms "
+                  f"(bottleneck: {self.bottleneck})",
+        )
+        host, busy = self.busiest_host
+        return table + f"\nbusiest host CPU: {host} at {busy:.1%}"
+
+
+def collect_telemetry(job: SwitchMLJob, elapsed_s: float | None = None) -> RackTelemetry:
+    """Read a job's rack counters (after running something on it)."""
+    elapsed = job.sim.now if elapsed_s is None else elapsed_s
+    if elapsed <= 0:
+        raise ValueError("nothing has run yet; telemetry window is empty")
+    links = [
+        LinkReading(
+            name=link.name,
+            utilization=link.utilization(elapsed),
+            frames_sent=link.stats.frames_sent,
+            frames_lost=link.stats.frames_lost,
+            frames_corrupted=link.stats.frames_corrupted,
+        )
+        for link in job.rack.uplinks + job.rack.downlinks
+    ]
+    cores = {
+        host.name: sum(c.utilization(elapsed) for c in host.cores) / len(host.cores)
+        for host in job.rack.hosts
+    }
+    return RackTelemetry(elapsed_s=elapsed, links=links, core_utilization=cores)

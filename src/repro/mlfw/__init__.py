@@ -1,0 +1,45 @@
+"""ML framework substrate.
+
+The paper evaluates SwitchML by training nine CNNs (TensorFlow benchmark
+suite [56]) on a GPU cluster.  We replace the GPUs and frameworks with:
+
+* :mod:`repro.mlfw.zoo` -- the nine benchmark models with real parameter
+  counts, per-layer gradient-tensor layouts, and single-GPU throughputs
+  calibrated to the paper's Table 1 / the public benchmark numbers [55];
+* :mod:`repro.mlfw.training` -- a compute/communication-overlap
+  iteration-time simulator reproducing Horovod-style training: backprop
+  emits gradient tensors output-layer-first and the all-reduce engine
+  consumes them in order while compute continues;
+* :mod:`repro.mlfw.datasets` + :mod:`repro.mlfw.realtrain` -- an actual
+  (numpy) MLP trained with data-parallel SGD whose gradient aggregation
+  runs through the real quantization and integer-summation path --
+  including, optionally, packet by packet through the simulated switch
+  -- used for the Figure 10 scaling-factor study.
+"""
+
+from repro.mlfw.datasets import make_classification
+from repro.mlfw.realtrain import (
+    ExactAggregator,
+    QuantizedAggregator,
+    SwitchMLSimAggregator,
+    train_mlp,
+)
+from repro.mlfw.training import (
+    iteration_time,
+    training_throughput,
+    training_speedup,
+)
+from repro.mlfw.zoo import MODEL_ZOO, ModelSpec
+
+__all__ = [
+    "ExactAggregator",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "QuantizedAggregator",
+    "SwitchMLSimAggregator",
+    "iteration_time",
+    "make_classification",
+    "train_mlp",
+    "training_speedup",
+    "training_throughput",
+]

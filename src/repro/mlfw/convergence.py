@@ -1,0 +1,70 @@
+"""Iteration-complexity study (SS3.7 / Appendix C).
+
+The paper's accuracy claim is two-sided: SwitchML's quantization "allows
+training to similar accuracy in a similar number of iterations as an
+unquantized network", whereas the lossy compression literature trades
+bandwidth for "worse iteration complexity bounds" (more rounds to the
+same loss).  This module measures both sides: train until a target
+validation accuracy and count the epochs each aggregation scheme needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mlfw.datasets import Dataset
+from repro.mlfw.realtrain import train_mlp
+
+__all__ = ["ConvergenceResult", "epochs_to_accuracy"]
+
+
+@dataclass
+class ConvergenceResult:
+    """How fast one aggregation scheme reached the target."""
+
+    target_accuracy: float
+    epochs: int | None  # None = never reached within the budget
+    final_accuracy: float
+    history: list[float]
+
+    @property
+    def reached(self) -> bool:
+        return self.epochs is not None
+
+
+def epochs_to_accuracy(
+    dataset: Dataset,
+    target_accuracy: float,
+    aggregator=None,
+    max_epochs: int = 40,
+    num_workers: int = 4,
+    seed: int = 0,
+    **train_kwargs,
+) -> ConvergenceResult:
+    """Epochs of data-parallel SGD until validation accuracy >= target.
+
+    Runs one full training (deterministic per seed) and reads the first
+    epoch whose recorded accuracy clears the bar -- identical dynamics to
+    stopping early, since the loop state does not depend on evaluations.
+    """
+    if not 0 < target_accuracy <= 1:
+        raise ValueError("target accuracy must be in (0, 1]")
+    result = train_mlp(
+        dataset,
+        num_workers=num_workers,
+        aggregator=aggregator,
+        epochs=max_epochs,
+        seed=seed,
+        **train_kwargs,
+    )
+    epochs = None
+    for index, accuracy in enumerate(result.accuracy_history):
+        if accuracy >= target_accuracy:
+            epochs = index + 1
+            break
+    return ConvergenceResult(
+        target_accuracy=target_accuracy,
+        epochs=epochs,
+        final_accuracy=result.val_accuracy,
+        history=result.accuracy_history,
+    )

@@ -1,0 +1,68 @@
+"""Synthetic datasets for the real-training experiments.
+
+The paper's accuracy study (Figure 10) trains on ImageNet/CIFAR10; the
+substitution (DESIGN.md SS1) is a synthetic multi-class problem whose
+quantized-SGD behaviour exercises the same mechanism: gradients with a
+bounded dynamic range, aggregated as scaled integers, with a scaling
+factor that can be too small (updates round to zero), right (plateau of
+full accuracy), or too large (integer overflow wrecks the sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "make_classification"]
+
+
+@dataclass
+class Dataset:
+    """Features/labels with a held-out validation split."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    val_x: np.ndarray
+    val_y: np.ndarray
+    num_classes: int
+
+    def shard(self, num_workers: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Partition training data across workers (data parallelism)."""
+        xs = np.array_split(self.train_x, num_workers)
+        ys = np.array_split(self.train_y, num_workers)
+        return list(zip(xs, ys))
+
+
+def make_classification(
+    num_samples: int = 2000,
+    num_features: int = 20,
+    num_classes: int = 4,
+    class_sep: float = 2.0,
+    val_fraction: float = 0.25,
+    seed: int = 0,
+) -> Dataset:
+    """Gaussian-blob multi-class data, linearly separable-ish.
+
+    Class centres sit on random directions scaled by ``class_sep``;
+    features have unit noise.  Deterministic given the seed.
+    """
+    if num_samples < num_classes * 4:
+        raise ValueError("need at least a few samples per class")
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(num_classes, num_features))
+    centres *= class_sep / np.linalg.norm(centres, axis=1, keepdims=True)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    features = centres[labels] + rng.normal(size=(num_samples, num_features))
+
+    # shuffle, then split
+    order = rng.permutation(num_samples)
+    features, labels = features[order], labels[order]
+    n_val = int(num_samples * val_fraction)
+    return Dataset(
+        train_x=features[n_val:],
+        train_y=labels[n_val:],
+        val_x=features[:n_val],
+        val_y=labels[:n_val],
+        num_classes=num_classes,
+    )

@@ -1,0 +1,222 @@
+"""Actual data-parallel training through the quantized aggregation path.
+
+This is the Figure 10 machinery: a small numpy MLP trained with
+synchronous data-parallel SGD where the gradient aggregation runs
+through pluggable aggregators:
+
+* :class:`ExactAggregator` -- float summation (the no-quantization
+  reference line of Figure 10);
+* :class:`QuantizedAggregator` -- the SwitchML arithmetic exactly:
+  per-worker ``round(f * g)`` with int32 saturation (the x86
+  ``cvtps2dq`` behaviour), integer summation with 32-bit *wraparound*
+  (the switch register ALU), then ``/ f`` -- so a too-large ``f``
+  really overflows and wrecks training, and a too-small one rounds
+  updates to zero;
+* :class:`SwitchMLSimAggregator` -- the same, but every gradient
+  actually travels packet by packet through the simulated switch via
+  :class:`~repro.core.job.SwitchMLJob` (used by the end-to-end
+  integration tests).
+
+``train_mlp`` runs the loop and reports validation accuracy, which the
+Figure 10 bench sweeps over scaling factors to reproduce the
+plateau-with-cliffs shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mlfw.datasets import Dataset
+from repro.quant.fixedpoint import quantize
+
+__all__ = [
+    "ExactAggregator",
+    "QuantizedAggregator",
+    "SwitchMLSimAggregator",
+    "TrainResult",
+    "train_mlp",
+]
+
+_INT32_SPAN = 2**32
+_INT32_HALF = 2**31
+
+
+def _wrap_int32(values: np.ndarray) -> np.ndarray:
+    """Two's-complement 32-bit wraparound, as the switch ALU does."""
+    return ((values + _INT32_HALF) % _INT32_SPAN) - _INT32_HALF
+
+
+class ExactAggregator:
+    """Float summation -- the unquantized reference."""
+
+    def __call__(self, gradients: list[np.ndarray]) -> np.ndarray:
+        return np.sum(gradients, axis=0)
+
+
+class QuantizedAggregator:
+    """SwitchML's fixed-point arithmetic, bit-faithful.
+
+    Per-worker scale-and-round saturates at int32 (worker-side vector
+    conversion); the summation wraps at 32 bits (switch registers).
+    """
+
+    def __init__(self, scaling_factor: float):
+        if scaling_factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        self.scaling_factor = scaling_factor
+
+    def __call__(self, gradients: list[np.ndarray]) -> np.ndarray:
+        total = np.zeros_like(gradients[0], dtype=np.int64)
+        for g in gradients:
+            total = _wrap_int32(total + quantize(g, self.scaling_factor, strict=False))
+        return total.astype(np.float64) / self.scaling_factor
+
+
+class SwitchMLSimAggregator:
+    """Quantized aggregation through the packet-level switch simulator.
+
+    Every call quantizes the per-worker gradients and runs a full
+    SwitchML all-reduce on the simulated rack -- packets, slots, shadow
+    copies and (if the job is configured with loss) retransmissions.
+    """
+
+    def __init__(self, job, scaling_factor: float):
+        from repro.core.job import SwitchMLJob  # local import avoids a cycle
+
+        if not isinstance(job, SwitchMLJob):
+            raise TypeError("job must be a SwitchMLJob")
+        if scaling_factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        self.job = job
+        self.scaling_factor = scaling_factor
+        self.rounds = 0
+
+    def __call__(self, gradients: list[np.ndarray]) -> np.ndarray:
+        quantized = [quantize(g, self.scaling_factor, strict=False) for g in gradients]
+        outcome = self.job.all_reduce(quantized, verify=False)
+        if not outcome.completed:
+            raise RuntimeError("simulated all-reduce did not complete")
+        self.rounds += 1
+        result = outcome.results[0]
+        assert result is not None
+        return _wrap_int32(result).astype(np.float64) / self.scaling_factor
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    val_accuracy: float
+    accuracy_history: list[float] = field(default_factory=list)
+    diverged: bool = False
+
+
+class _MLP:
+    """One-hidden-layer ReLU MLP with softmax cross-entropy."""
+
+    def __init__(self, num_features: int, hidden: int, num_classes: int, seed: int):
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / num_features)
+        scale2 = np.sqrt(2.0 / hidden)
+        self.shapes = [
+            (num_features, hidden),
+            (hidden,),
+            (hidden, num_classes),
+            (num_classes,),
+        ]
+        self.params = np.concatenate(
+            [
+                (rng.normal(size=self.shapes[0]) * scale1).ravel(),
+                np.zeros(hidden),
+                (rng.normal(size=self.shapes[2]) * scale2).ravel(),
+                np.zeros(num_classes),
+            ]
+        )
+
+    def _unpack(self, flat: np.ndarray) -> list[np.ndarray]:
+        out, cursor = [], 0
+        for shape in self.shapes:
+            size = int(np.prod(shape))
+            out.append(flat[cursor : cursor + size].reshape(shape))
+            cursor += size
+        return out
+
+    def gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Mean cross-entropy gradient over the batch, flattened."""
+        w1, b1, w2, b2 = self._unpack(self.params)
+        z1 = x @ w1 + b1
+        h = np.maximum(z1, 0.0)
+        logits = h @ w2 + b2
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        delta = probs
+        delta[np.arange(len(y)), y] -= 1.0
+        delta /= len(y)
+        grad_w2 = h.T @ delta
+        grad_b2 = delta.sum(axis=0)
+        back = (delta @ w2.T) * (z1 > 0)
+        grad_w1 = x.T @ back
+        grad_b1 = back.sum(axis=0)
+        return np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        w1, b1, w2, b2 = self._unpack(self.params)
+        h = np.maximum(x @ w1 + b1, 0.0)
+        logits = h @ w2 + b2
+        return float((logits.argmax(axis=1) == y).mean())
+
+
+def train_mlp(
+    dataset: Dataset,
+    num_workers: int = 4,
+    aggregator=None,
+    epochs: int = 20,
+    batch_size: int = 32,
+    learning_rate: float = 0.2,
+    hidden: int = 32,
+    seed: int = 0,
+) -> TrainResult:
+    """Synchronous data-parallel SGD on a small MLP.
+
+    Each worker computes the gradient of its own shard's mini-batch;
+    the ``aggregator`` combines the per-worker gradients into (an
+    approximation of) their sum, which is averaged and applied --
+    exactly the paper's SS2.1 iteration.
+    """
+    if aggregator is None:
+        aggregator = ExactAggregator()
+    shards = dataset.shard(num_workers)
+    model = _MLP(dataset.train_x.shape[1], hidden, dataset.num_classes, seed)
+    rng = np.random.default_rng(seed + 1)
+    history: list[float] = []
+    diverged = False
+
+    for _ in range(epochs):
+        batches = min(len(x) for x, _ in shards) // batch_size
+        for b in range(max(1, batches)):
+            gradients = []
+            for x, y in shards:
+                pick = rng.integers(0, len(x), size=min(batch_size, len(x)))
+                gradients.append(model.gradient(x[pick], y[pick]))
+            aggregate = aggregator(gradients)
+            if not np.isfinite(aggregate).all():
+                diverged = True
+                break
+            model.params -= learning_rate * aggregate / num_workers
+            if not np.isfinite(model.params).all():
+                diverged = True
+                break
+        history.append(model.accuracy(dataset.val_x, dataset.val_y))
+        if diverged:
+            break
+
+    return TrainResult(
+        val_accuracy=history[-1] if history else 0.0,
+        accuracy_history=history,
+        diverged=diverged,
+    )

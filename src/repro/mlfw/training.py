@@ -1,0 +1,103 @@
+"""Iteration-time simulation with compute/communication overlap.
+
+The paper's integration (Appendix B) starts reducing a layer's gradient
+tensor as soon as backprop emits it, while earlier layers are still
+computing -- "communication can start on the output layer's gradients
+while the other gradients are still being computed, partially
+overlapping communication with computation".
+
+The model here: backprop produces tensors at the zoo's ready times; the
+communication engine is a serial pipeline (SwitchML's stream manager
+reduces tensors "independently but sequentially"; rings behave the
+same): each tensor's reduction starts at ``max(ready, previous
+reduction's end)`` and runs for its strategy TAT divided by the
+training-path utilization (framework hand-off, GPU<->host copies --
+calibrated against Table 1, see :class:`CostParams`).  Iteration time is
+when both compute and the last reduction have finished, plus a small
+synchronization overhead.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.base import CostParams, DEFAULT_COST_PARAMS, Strategy
+from repro.collectives.models import tat_for
+from repro.mlfw.zoo import MODEL_ZOO, ModelSpec
+
+__all__ = ["iteration_time", "training_speedup", "training_throughput"]
+
+
+def _resolve(model: ModelSpec | str) -> ModelSpec:
+    if isinstance(model, ModelSpec):
+        return model
+    try:
+        return MODEL_ZOO[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {model!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None
+
+
+def iteration_time(
+    model: ModelSpec | str,
+    strategy: Strategy,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> float:
+    """Seconds per training iteration on ``num_workers`` machines."""
+    spec = _resolve(model)
+    compute = spec.compute_time_s()
+    if num_workers == 1:
+        # single-machine training has no gradient exchange; frameworks
+        # skip the all-reduce entirely.
+        return compute * (1.0 + params.sync_overhead_frac)
+    utilization = params.training_utilization.get(strategy.value, 0.5)
+    sizes = spec.tensor_sizes()
+    # Imperfect framework overlap compresses the usable backprop window:
+    # with overlap_efficiency = 1 reductions start the moment backprop
+    # emits a tensor; with 0 they all wait for the full backward pass.
+    ready = [
+        compute - params.overlap_efficiency * (compute - t)
+        for t in spec.ready_times_s()
+    ]
+
+    comm_end = 0.0
+    for size, t_ready in zip(sizes, ready):
+        tat = tat_for(strategy, size, num_workers, rate_gbps, params)
+        comm_time = tat / utilization + params.per_tensor_overhead_s
+        comm_end = max(t_ready, comm_end) + comm_time
+    return max(compute, comm_end) * (1.0 + params.sync_overhead_frac)
+
+
+def training_throughput(
+    model: ModelSpec | str,
+    strategy: Strategy,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> float:
+    """Cluster training throughput in images/s (Table 1's metric)."""
+    spec = _resolve(model)
+    iteration = iteration_time(spec, strategy, num_workers, rate_gbps, params)
+    return num_workers * spec.batch_size / iteration
+
+
+def ideal_throughput(model: ModelSpec | str, num_workers: int) -> float:
+    """Table 1's "Ideal": n times the single-GPU throughput."""
+    spec = _resolve(model)
+    return num_workers * spec.single_gpu_images_s
+
+
+def training_speedup(
+    model: ModelSpec | str,
+    strategy: Strategy,
+    baseline: Strategy,
+    num_workers: int,
+    rate_gbps: float,
+    params: CostParams = DEFAULT_COST_PARAMS,
+) -> float:
+    """Throughput of ``strategy`` over ``baseline`` (Figure 3's metric,
+    with ``baseline = Strategy.NCCL``)."""
+    top = training_throughput(model, strategy, num_workers, rate_gbps, params)
+    bottom = training_throughput(model, baseline, num_workers, rate_gbps, params)
+    return top / bottom

@@ -1,0 +1,136 @@
+"""The nine-model benchmark zoo (paper Figure 3 / Table 1).
+
+Parameter counts are the real architectures' (ImageNet, 1000 classes).
+Single-GPU throughputs are NVidia P100 numbers consistent with the
+paper's Table 1 ideals (ideal = 8 x single-GPU) and the public
+TensorFlow benchmark results it cites [55]; they calibrate the
+compute:communication ratio that determines each model's speedup.
+
+Gradient-tensor layouts matter for overlap: frameworks reduce one tensor
+per layer, output layer first (the order backprop produces them), so
+models whose parameters concentrate in late fully-connected layers
+(AlexNet, VGG) expose their big transfers early.  ``tensor_sizes``
+captures each family's layout coarsely: the real fully-connected sizes
+plus a geometric spread of convolution tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MODEL_ZOO", "ModelSpec"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One benchmark model.
+
+    Attributes
+    ----------
+    params_millions:
+        Trainable parameters (= gradient elements per update).
+    single_gpu_images_s:
+        Images/s of one P100 at ``batch_size``.
+    batch_size:
+        Per-GPU mini-batch used in the paper's runs (64 for the Table 1
+        trio, 128 for the Figure 3 sweep, 512 synthetic for AlexNet).
+    fc_sizes_millions:
+        Parameter counts of the fully-connected tensors, in backprop
+        (output-first) order.
+    num_conv_tensors:
+        Convolution/BN gradient tensors; sizes spread geometrically over
+        the remaining parameters.
+    forward_fraction:
+        Share of an iteration spent in the forward pass (backprop, which
+        overlaps communication, takes the rest).
+    """
+
+    name: str
+    params_millions: float
+    single_gpu_images_s: float
+    batch_size: int
+    fc_sizes_millions: tuple[float, ...] = ()
+    num_conv_tensors: int = 50
+    forward_fraction: float = 0.33
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.params_millions * 1e6)
+
+    @property
+    def update_bytes(self) -> int:
+        """Model update size at float32."""
+        return self.num_elements * 4
+
+    def compute_time_s(self) -> float:
+        """Forward+backward time for one mini-batch on one GPU."""
+        return self.batch_size / self.single_gpu_images_s
+
+    def tensor_sizes(self) -> list[int]:
+        """Gradient tensors in backprop (output-first) order.
+
+        FC tensors first (they sit nearest the output), then conv
+        tensors from deep to shallow with geometrically decreasing
+        sizes (deep convs have more channels).
+        """
+        fc = [round(m * 1e6) for m in self.fc_sizes_millions]
+        remaining = self.num_elements - sum(fc)
+        if remaining < 0:
+            raise ValueError(f"{self.name}: FC sizes exceed parameter count")
+        sizes = list(fc)
+        if self.num_conv_tensors > 0 and remaining > 0:
+            ratio = 0.9
+            weights = [ratio**i for i in range(self.num_conv_tensors)]
+            total = sum(weights)
+            conv = [max(1, int(remaining * w / total)) for w in weights]
+            # fix rounding drift on the largest tensor
+            conv[0] += remaining - sum(conv)
+            sizes.extend(conv)
+        return sizes
+
+    def ready_times_s(self) -> list[float]:
+        """When each gradient tensor becomes available, from iteration
+        start, assuming backprop time spreads uniformly over tensors."""
+        compute = self.compute_time_s()
+        t_forward = self.forward_fraction * compute
+        t_backward = compute - t_forward
+        sizes = self.tensor_sizes()
+        per_tensor = t_backward / len(sizes)
+        return [t_forward + per_tensor * (i + 1) for i in range(len(sizes))]
+
+
+def _spec(
+    name: str,
+    params: float,
+    images_s: float,
+    batch: int,
+    fc: tuple[float, ...] = (),
+    convs: int = 50,
+) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        params_millions=params,
+        single_gpu_images_s=images_s,
+        batch_size=batch,
+        fc_sizes_millions=fc,
+        num_conv_tensors=convs,
+    )
+
+
+#: Name -> spec for the paper's nine benchmark models.
+MODEL_ZOO: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        # AlexNet: almost all parameters in three FC layers; the paper
+        # follows [55]: synthetic data, batch 512.
+        _spec("alexnet", 61.1, 2500.0, 512, fc=(4.1, 16.8, 37.7)[::-1], convs=8),
+        _spec("googlenet", 7.0, 380.0, 128, fc=(1.02,), convs=57),
+        _spec("inception3", 23.8, 141.5, 64, fc=(2.05,), convs=94),
+        _spec("inception4", 42.7, 66.0, 64, fc=(1.54,), convs=148),
+        _spec("resnet50", 25.6, 229.75, 64, fc=(2.05,), convs=160),
+        _spec("resnet101", 44.5, 130.0, 64, fc=(2.05,), convs=312),
+        _spec("vgg11", 132.9, 180.0, 128, fc=(4.1, 16.8, 102.8), convs=8),
+        _spec("vgg16", 138.3, 147.5, 64, fc=(4.1, 16.8, 102.8), convs=13),
+        _spec("vgg19", 143.7, 125.0, 128, fc=(4.1, 16.8, 102.8), convs=16),
+    ]
+}

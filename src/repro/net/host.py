@@ -1,0 +1,169 @@
+"""End hosts: CPU cores, NIC send/receive paths, flow-director sharding.
+
+Worker machines in the paper run a DPDK program: incoming frames are
+spread across RX queues by the NIC's Flow Director, each queue is pinned
+to one core, and each core handles its share of pool slots with no shared
+state (paper SS4 and Appendix B).  We model each core as a
+:class:`~repro.sim.resources.SerialResource` charged a fixed CPU cost per
+received and per transmitted frame.
+
+Calibration
+-----------
+Default per-frame costs are 40 ns on each of the RX and TX paths.  With
+180-byte frames:
+
+* at 10 Gbps, line rate is ~6.9 Mpps; one core sustains 1 / 80 ns = 12.5 M
+  frame-pairs/s -- comfortably line rate, matching the paper's "one CPU
+  core is sufficient ... on a 10 Gbps network" (SSB);
+* at 100 Gbps, line rate is ~69 Mpps; four cores sustain ~50 M pairs/s,
+  i.e. ~72 % of line rate -- reproducing the "penalty gap at 100 Gbps"
+  from the paper's 4-core Flow Director limitation (SS5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.net.link import Link
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+
+__all__ = ["Host", "HostSpec", "HostAgent"]
+
+
+@dataclass
+class HostSpec:
+    """CPU and I/O model of a worker machine.
+
+    The paper uses 4 cores per worker at both speeds (SS5.1).
+
+    ``io_fixed_latency_s`` + ``io_batch_frames`` model DPDK's batched I/O:
+    "packets are batched in groups of 32 to reduce per-packet transmission
+    overhead" (SSB).  A frame waits, on average, for half a batch's worth
+    of serialization time plus a fixed driver cost before it is visible to
+    software (RX) or to the wire (TX).  This latency -- not the per-frame
+    CPU cost -- dominates the end-to-end delay that sets the BDP, and
+    therefore the pool-size knee of Figure 2: at 10 Gbps the modelled
+    round trip is ~11 us, matching the paper's choice of s = 128.
+    """
+
+    num_cores: int = 4
+    per_frame_rx_s: float = 40e-9
+    per_frame_tx_s: float = 40e-9
+    io_fixed_latency_s: float = 2e-6
+    io_batch_frames: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("a host needs at least one core")
+        if self.per_frame_rx_s < 0 or self.per_frame_tx_s < 0:
+            raise ValueError("per-frame CPU costs must be non-negative")
+        if self.io_fixed_latency_s < 0 or self.io_batch_frames < 0:
+            raise ValueError("I/O latency parameters must be non-negative")
+
+
+class HostAgent(Protocol):
+    """A protocol endpoint running on a host (worker, PS shard, ...)."""
+
+    def on_frame(self, frame: Frame) -> None:
+        """Handle one received frame; runs on the frame's RX core."""
+        ...  # pragma: no cover - protocol
+
+
+class Host:
+    """A machine with cores and one bidirectional network attachment.
+
+    The uplink (host -> switch) is assigned by the topology builder; the
+    downlink terminates at :meth:`deliver`, which charges the RX core and
+    dispatches to the attached agent.
+    """
+
+    def __init__(self, sim: Simulator, name: str, spec: HostSpec | None = None):
+        self.sim = sim
+        self.name = name
+        self.spec = spec if spec is not None else HostSpec()
+        self.cores = [
+            SerialResource(sim, name=f"{name}/core{i}")
+            for i in range(self.spec.num_cores)
+        ]
+        self.uplink: Link | None = None
+        self.agent: HostAgent | None = None
+        self.frames_received = 0
+        self.frames_sent = 0
+        #: optional hook (frame, "rx"|"tx", time) for tracing
+        self.observer: Callable[[Frame, str, float], Any] | None = None
+
+    def attach_agent(self, agent: HostAgent) -> None:
+        self.agent = agent
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _io_latency(self, frame: Frame) -> float:
+        """DPDK batching latency for one frame at the attached link rate.
+
+        The batch term scales with the frame's serialization time, capped
+        at MTU size: aggregate messages (e.g. ring all-reduce chunks) are
+        streams of MTU frames on the real wire, and batching delays a
+        frame by at most a batch of MTU frames.
+        """
+        if self.uplink is None:
+            return self.spec.io_fixed_latency_s
+        batch_s = self.spec.io_batch_frames * self.uplink.spec.serialization_s(
+            min(frame.wire_bytes, 1516)
+        )
+        return self.spec.io_fixed_latency_s + batch_s
+
+    def deliver(self, frame: Frame) -> None:
+        """Downlink terminus: shard onto a core, charge RX cost, dispatch.
+
+        Dispatch is delayed by the I/O batching latency; the core is only
+        occupied for the per-frame processing cost.
+        """
+        core = self.core_for(frame.flow_key)
+        core.submit(
+            self.spec.per_frame_rx_s,
+            self._dispatch,
+            frame,
+            completion_delay=self._io_latency(frame),
+        )
+
+    def _dispatch(self, frame: Frame) -> None:
+        if self.agent is None:
+            raise RuntimeError(f"host {self.name} received a frame but has no agent")
+        self.frames_received += 1
+        if self.observer is not None:
+            self.observer(frame, "rx", self.sim.now)
+        self.agent.on_frame(frame)
+
+    def core_for(self, flow_key: int) -> SerialResource:
+        """Flow-director sharding: stable key -> core mapping."""
+        return self.cores[flow_key % len(self.cores)]
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame, flow_key: int | None = None) -> None:
+        """Charge the TX core for ``frame`` and put it on the uplink.
+
+        ``flow_key`` defaults to the frame's own flow key so that a slot's
+        TX work lands on the same core as its RX work (run-to-completion).
+        """
+        if self.uplink is None:
+            raise RuntimeError(f"host {self.name} has no uplink")
+        key = frame.flow_key if flow_key is None else flow_key
+        core = self.core_for(key)
+        self.frames_sent += 1
+        if self.observer is not None:
+            self.observer(frame, "tx", self.sim.now)
+        core.submit(
+            self.spec.per_frame_tx_s,
+            self.uplink.send,
+            frame,
+            completion_delay=self._io_latency(frame),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name} cores={len(self.cores)}>"

@@ -1,0 +1,184 @@
+"""Point-to-point links with serialization delay, propagation delay,
+FIFO queueing, optional buffer caps, and loss injection.
+
+The model is standard store-and-forward: a frame of ``L`` bytes on a link
+of rate ``R`` bps occupies the transmitter for ``8L/R`` seconds starting
+when the transmitter frees up, then arrives ``propagation`` seconds after
+its last bit leaves.  Injected losses (paper SS5.5) consume transmitter
+time -- the bits go out, they just never arrive -- which matches how loss
+behaves on a real wire and matters for TAT-inflation measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+
+__all__ = ["Link", "LinkSpec", "LinkStats"]
+
+
+@dataclass
+class LinkSpec:
+    """Parameters for one direction of a cable.
+
+    ``propagation_s`` defaults to 500 ns -- roughly 100 m of fibre, a rack
+    in-row run.  ``queue_bytes`` caps the transmitter backlog; ``None``
+    means infinite (the paper's rack is dedicated and uncongested, SS3.2
+    footnote).
+
+    ``jitter_s`` adds a uniform random extra delay per frame, which can
+    reorder deliveries -- the paper claims the protocol "is not
+    influenced by packet reorderings" because every packet carries its
+    pool index and offset (SS3.4); the reordering tests turn this on.
+
+    ``corruption_probability`` flips the delivered frame's ``corrupted``
+    flag (a bit-flip survives the wire but fails the receiver's
+    checksum): "a simple checksum can be used to detect corruption and
+    discard corrupted packets" (SS3.4).  Receivers treat a corrupt frame
+    as a loss; the timeout machinery recovers it.
+    """
+
+    rate_gbps: float = 10.0
+    propagation_s: float = 500e-9
+    queue_bytes: int | None = None
+    jitter_s: float = 0.0
+    corruption_probability: float = 0.0
+
+    @property
+    def rate_bps(self) -> float:
+        return self.rate_gbps * 1e9
+
+    def serialization_s(self, wire_bytes: int) -> float:
+        return wire_bytes * 8.0 / self.rate_bps
+
+
+@dataclass
+class LinkStats:
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost: int = 0
+    frames_queue_dropped: int = 0
+    frames_corrupted: int = 0
+    bytes_sent: int = 0
+    busy_time: float = 0.0
+    _extra: dict = field(default_factory=dict)
+
+    def conservation_holds(self) -> bool:
+        """DESIGN.md invariant: every serialized frame was either
+        delivered or lost (queue drops never reached the transmitter and
+        are accounted separately)."""
+        return self.frames_sent == self.frames_delivered + self.frames_lost
+
+
+class Link:
+    """One unidirectional link.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine.
+    spec:
+        Rate / delay / buffer parameters.
+    name:
+        Identifies the link in stats and RNG substreams.
+    deliver:
+        Callback invoked as ``deliver(frame)`` at arrival time.  Set (or
+        replaced) later via :meth:`connect` by topology builders.
+    loss:
+        Loss model; defaults to :class:`NoLoss`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        name: str,
+        deliver: Callable[[Frame], Any] | None = None,
+        loss: LossModel | None = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._deliver = deliver
+        self.loss = loss if loss is not None else NoLoss()
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._rng = sim.rng(f"link:{name}")
+        #: optional hook called with (frame, "sent"|"lost"|"delivered", time)
+        self.observer: Callable[[Frame, str, float], Any] | None = None
+
+    def connect(self, deliver: Callable[[Frame], Any]) -> None:
+        """Set the receiver callback."""
+        self._deliver = deliver
+
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> bool:
+        """Enqueue ``frame`` for transmission.
+
+        Returns False if the frame was tail-dropped at the queue (only
+        possible with a finite ``queue_bytes``).
+        """
+        if self._deliver is None:
+            raise RuntimeError(f"link {self.name} has no receiver connected")
+
+        backlog_s = max(0.0, self._busy_until - self.sim.now)
+        if self.spec.queue_bytes is not None:
+            backlog_bytes = backlog_s * self.spec.rate_bps / 8.0
+            if backlog_bytes + frame.wire_bytes > self.spec.queue_bytes:
+                self.stats.frames_queue_dropped += 1
+                if self.observer is not None:
+                    self.observer(frame, "queue_dropped", self.sim.now)
+                return False
+
+        serialization = self.spec.serialization_s(frame.wire_bytes)
+        start = max(self.sim.now, self._busy_until)
+        done = start + serialization
+        self._busy_until = done
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.wire_bytes
+        self.stats.busy_time += serialization
+        if self.observer is not None:
+            self.observer(frame, "sent", self.sim.now)
+
+        if self.loss.should_drop(self._rng, frame, self.sim.now):
+            self.stats.frames_lost += 1
+            if self.observer is not None:
+                self.observer(frame, "lost", self.sim.now)
+            return True
+
+        if (
+            self.spec.corruption_probability > 0.0
+            and self._rng.random() < self.spec.corruption_probability
+        ):
+            frame.corrupted = True
+            self.stats.frames_corrupted += 1
+
+        arrival = done + self.spec.propagation_s
+        if self.spec.jitter_s > 0.0:
+            arrival += float(self._rng.uniform(0.0, self.spec.jitter_s))
+        self.sim.schedule_at(arrival, self._arrive, frame)
+        return True
+
+    def _arrive(self, frame: Frame) -> None:
+        self.stats.frames_delivered += 1
+        if self.observer is not None:
+            self.observer(frame, "delivered", self.sim.now)
+        self._deliver(frame)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_delay(self) -> float:
+        """Seconds a frame submitted now would wait before serializing."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.spec.rate_gbps}Gbps sent={self.stats.frames_sent}>"

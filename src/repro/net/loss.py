@@ -1,0 +1,134 @@
+"""Packet-loss models.
+
+The paper (SS5.5) injects "a uniform random loss probability between 0.01%
+and 1% applied on every link" -- that is :class:`BernoulliLoss`.  For the
+Appendix A execution trace we need drops at exact points in the packet
+stream, which :class:`ScriptedLoss` provides.  :class:`GilbertElliottLoss`
+adds bursty loss as an extension (real Ethernet losses cluster), used by
+the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+import numpy as np
+
+__all__ = [
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "LossModel",
+    "NoLoss",
+    "ScriptedLoss",
+]
+
+
+class LossModel(Protocol):
+    """Decides, per frame, whether the link drops it."""
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        """Return True to drop this frame."""
+        ...  # pragma: no cover - protocol
+
+
+class NoLoss:
+    """A perfect link."""
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        return False
+
+
+class BernoulliLoss:
+    """Independent per-frame loss with fixed probability.
+
+    This is the paper's loss injection model (SS5.5).
+    """
+
+    def __init__(self, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability}")
+        self.probability = probability
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        if self.probability == 0.0:
+            return False
+        return bool(rng.random() < self.probability)
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.probability!r})"
+
+
+class GilbertElliottLoss:
+    """Two-state bursty loss (Gilbert-Elliott).
+
+    The link alternates between a Good and a Bad state with per-frame
+    transition probabilities; each state has its own drop probability.
+    With default parameters the long-run loss rate is small but losses
+    arrive in clusters, stressing SwitchML's per-slot retransmission more
+    than independent drops of the same average rate.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.0005,
+        p_bad_to_good: float = 0.2,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.3,
+    ):
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad = False
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average drop probability of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.loss_bad if self._bad else self.loss_good
+        frac_bad = self.p_good_to_bad / denom
+        return frac_bad * self.loss_bad + (1 - frac_bad) * self.loss_good
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        if self._bad:
+            if rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._bad = True
+        p = self.loss_bad if self._bad else self.loss_good
+        return bool(p > 0.0 and rng.random() < p)
+
+
+class ScriptedLoss:
+    """Drop exactly the frames at the given 0-based positions in the
+    link's frame stream.
+
+    Used to replay deterministic scenarios such as the Appendix A example
+    (drop worker 3's first update on the upstream path; drop worker 1's
+    result on the downstream path).
+    """
+
+    def __init__(self, drop_positions: set[int] | list[int] | tuple[int, ...]):
+        self.drop_positions = set(int(i) for i in drop_positions)
+        if any(i < 0 for i in self.drop_positions):
+            raise ValueError("drop positions must be non-negative")
+        self._count = 0
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        position = self._count
+        self._count += 1
+        return position in self.drop_positions
+
+    @property
+    def frames_seen(self) -> int:
+        return self._count

@@ -1,0 +1,139 @@
+"""The switch box: ports, an ingress-pipeline program slot, and a
+traffic manager that replicates multicast frames.
+
+The chassis is deliberately dumb: all protocol intelligence lives in the
+attached *dataplane program* (e.g. :class:`repro.core.switch_program.
+SwitchMLProgram` or the plain :class:`ForwardingProgram`).  This mirrors
+the Tofino split between the fixed chassis (ports, traffic manager) and
+the P4 program loaded into the pipeline.
+
+Timing model: a frame arriving on any port is processed after a fixed
+``pipeline_latency_s`` (Tofino ingress latency is under a microsecond and
+independent of load -- the ASIC is non-blocking at line rate), and output
+frames are handed to the per-port egress links, which serialize.  The
+traffic manager performs multicast replication at no extra cost, as on
+the real ASIC (paper SSB: using the traffic manager for duplication was
+precisely what let the authors keep everything in one ingress pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.net.link import Link
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+
+__all__ = ["DataplaneProgram", "ForwardingProgram", "PortDecision", "SwitchChassis"]
+
+
+@dataclass
+class PortDecision:
+    """What the program wants done with a processed frame.
+
+    ``deliveries`` is a list of ``(port, frame)`` pairs; an empty list is a
+    drop.  A multicast is simply many deliveries sharing one message
+    object.
+    """
+
+    deliveries: list[tuple[int, Frame]]
+
+    @classmethod
+    def drop(cls) -> "PortDecision":
+        return cls(deliveries=[])
+
+
+class DataplaneProgram(Protocol):
+    """The interface a pipeline program exposes to the chassis."""
+
+    def process(self, frame: Frame, in_port: int) -> PortDecision:
+        """Process one ingress frame; runs at most once per frame."""
+        ...  # pragma: no cover - protocol
+
+
+class ForwardingProgram:
+    """Plain destination-based forwarding (a normal Ethernet switch).
+
+    Used as the dataplane when benchmarking host-based strategies
+    (parameter servers, ring all-reduce) over the same simulated rack.
+    """
+
+    def __init__(self, port_of: dict[str, int]):
+        self.port_of = dict(port_of)
+
+    def process(self, frame: Frame, in_port: int) -> PortDecision:
+        port = self.port_of.get(frame.dst)
+        if port is None:
+            return PortDecision.drop()
+        return PortDecision(deliveries=[(port, frame)])
+
+
+class SwitchChassis:
+    """A multi-port switch with one ingress pipeline.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine.
+    name:
+        Stats / debugging label.
+    pipeline_latency_s:
+        Fixed ingress processing latency per frame (default 800 ns,
+        within Tofino's published sub-microsecond range).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "sw", pipeline_latency_s: float = 800e-9):
+        self.sim = sim
+        self.name = name
+        self.pipeline_latency_s = pipeline_latency_s
+        self.program: DataplaneProgram | None = None
+        self._egress: dict[int, Link] = {}
+        self.frames_in = 0
+        self.frames_out = 0
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_port(self, port: int, egress: Link) -> None:
+        """Connect the egress side of ``port`` to a link."""
+        if port in self._egress:
+            raise ValueError(f"{self.name}: port {port} already attached")
+        self._egress[port] = egress
+
+    def load_program(self, program: DataplaneProgram) -> None:
+        self.program = program
+
+    @property
+    def ports(self) -> list[int]:
+        return sorted(self._egress)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def ingress(self, frame: Frame, in_port: int) -> None:
+        """Entry point wired as the uplink's deliver callback."""
+        if self.program is None:
+            raise RuntimeError(f"{self.name}: no dataplane program loaded")
+        self.frames_in += 1
+        self.sim.schedule(self.pipeline_latency_s, self._run_pipeline, frame, in_port)
+
+    def _run_pipeline(self, frame: Frame, in_port: int) -> None:
+        decision = self.program.process(frame, in_port)
+        if not decision.deliveries:
+            self.frames_dropped += 1
+            return
+        for port, out_frame in decision.deliveries:
+            egress = self._egress.get(port)
+            if egress is None:
+                raise RuntimeError(f"{self.name}: no egress link on port {port}")
+            self.frames_out += 1
+            egress.send(out_frame)
+
+    def ingress_callback(self, in_port: int):
+        """A ``deliver(frame)`` closure bound to ``in_port``."""
+        def deliver(frame: Frame) -> None:
+            self.ingress(frame, in_port)
+
+        return deliver

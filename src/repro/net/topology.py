@@ -1,0 +1,106 @@
+"""Topology builders: the single-rack star and multi-rack trees.
+
+The paper's deployment (SS5.1) is a rack: every worker has one cable to
+the programmable ToR switch.  :func:`build_rack` wires that up --
+per-worker uplink and downlink links, each with its own loss model
+instance (the paper injects loss "on every link") and its own RNG
+substream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.host import Host, HostSpec
+from repro.net.link import Link, LinkSpec
+from repro.net.loss import LossModel, NoLoss
+from repro.net.switchchassis import SwitchChassis
+from repro.sim.engine import Simulator
+
+__all__ = ["Rack", "RackSpec", "build_rack"]
+
+
+@dataclass
+class RackSpec:
+    """Everything needed to instantiate a rack.
+
+    ``loss_factory`` builds a fresh loss-model instance per link so that
+    stateful models (Gilbert-Elliott, scripted) do not share state across
+    links.
+    """
+
+    num_hosts: int = 8
+    link: LinkSpec = field(default_factory=LinkSpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    pipeline_latency_s: float = 800e-9
+    loss_factory: Callable[[], LossModel] = NoLoss
+    host_name_prefix: str = "w"
+
+
+@dataclass
+class Rack:
+    """A built rack: hosts star-connected to one switch."""
+
+    sim: Simulator
+    switch: SwitchChassis
+    hosts: list[Host]
+    uplinks: list[Link]
+    downlinks: list[Link]
+
+    def host_port(self, index: int) -> int:
+        """Switch port number of host ``index`` (identity mapping)."""
+        return index
+
+    def port_map(self) -> dict[str, int]:
+        """host name -> switch port, for forwarding programs."""
+        return {host.name: i for i, host in enumerate(self.hosts)}
+
+    def total_frames_lost(self) -> int:
+        return sum(l.stats.frames_lost for l in self.uplinks + self.downlinks)
+
+    def conservation_holds(self) -> bool:
+        """Every link satisfies sent == delivered + lost (once idle)."""
+        return all(
+            l.stats.conservation_holds() for l in self.uplinks + self.downlinks
+        )
+
+
+def build_rack(sim: Simulator, spec: RackSpec) -> Rack:
+    """Instantiate hosts, switch, and both link directions per host.
+
+    Port ``i`` of the switch connects to host ``i``.  The caller still has
+    to load a dataplane program into ``rack.switch`` and attach agents to
+    the hosts.
+    """
+    if spec.num_hosts < 1:
+        raise ValueError("a rack needs at least one host")
+
+    switch = SwitchChassis(sim, name="sw", pipeline_latency_s=spec.pipeline_latency_s)
+    hosts: list[Host] = []
+    uplinks: list[Link] = []
+    downlinks: list[Link] = []
+
+    for i in range(spec.num_hosts):
+        host = Host(sim, name=f"{spec.host_name_prefix}{i}", spec=spec.host)
+        uplink = Link(
+            sim,
+            spec.link,
+            name=f"{host.name}->sw",
+            deliver=switch.ingress_callback(i),
+            loss=spec.loss_factory(),
+        )
+        downlink = Link(
+            sim,
+            spec.link,
+            name=f"sw->{host.name}",
+            deliver=host.deliver,
+            loss=spec.loss_factory(),
+        )
+        host.uplink = uplink
+        switch.attach_port(i, downlink)
+        hosts.append(host)
+        uplinks.append(uplink)
+        downlinks.append(downlink)
+
+    return Rack(sim=sim, switch=switch, hosts=hosts, uplinks=uplinks, downlinks=downlinks)

@@ -1,0 +1,68 @@
+"""Quantized gradient exchange (SS3.7 and Appendix C).
+
+Switch dataplanes have no floating point, so SwitchML ships gradients as
+32-bit fixed point: each worker multiplies its update by a scaling
+factor ``f``, rounds to integers, the switch sums integers, and workers
+divide the aggregate by ``f``.
+
+* :mod:`repro.quant.fixedpoint` -- the conversion kernels (numpy plays
+  the role of the paper's SSE/AVX code) and round-trip helpers.
+* :mod:`repro.quant.theory` -- Theorems 1 and 2 from Appendix C as
+  checkable functions: the aggregation-error bound ``n/f`` and the
+  no-overflow condition ``f <= (2^31 - n) / (n B)``.
+* :mod:`repro.quant.profiler` -- gradient profiling and automatic
+  selection of ``f`` ("it is relatively easy to pick an appropriate f by
+  considering just the first few iterations of a ML job; moreover, this
+  selection could be automated" -- we automate it).
+* :mod:`repro.quant.float16` -- the half-precision wire variant
+  (SwitchML(16)): workers exchange 16-bit floats, the switch converts
+  to/from 32-bit fixed point via lookup tables.
+"""
+
+from repro.quant.fixedpoint import (
+    INT32_MAX,
+    INT32_MIN,
+    dequantize,
+    quantize,
+    quantize_dequantize_roundtrip,
+)
+from repro.quant.float16 import (
+    float16_quantize,
+    float16_dequantize,
+    float16_switch_to_fixed,
+    float16_switch_from_fixed,
+)
+from repro.quant.compressors import (
+    FixedPointCompressor,
+    QSGDCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+)
+from repro.quant.profiler import GradientProfile, choose_scaling_factor, profile_gradients
+from repro.quant.theory import (
+    aggregation_error_bound,
+    max_safe_scaling_factor,
+    no_overflow_condition_holds,
+)
+
+__all__ = [
+    "FixedPointCompressor",
+    "GradientProfile",
+    "QSGDCompressor",
+    "SignSGDCompressor",
+    "TernGradCompressor",
+    "INT32_MAX",
+    "INT32_MIN",
+    "aggregation_error_bound",
+    "choose_scaling_factor",
+    "dequantize",
+    "float16_dequantize",
+    "float16_quantize",
+    "float16_switch_from_fixed",
+    "float16_switch_to_fixed",
+    "max_safe_scaling_factor",
+    "no_overflow_condition_holds",
+    "profile_gradients",
+    "quantize",
+    "quantize_dequantize_roundtrip",
+]

@@ -1,0 +1,135 @@
+"""The gradient-compression design space SwitchML positions against.
+
+SS3.7 / Appendix C survey the compression literature -- 1-bit SGD [51],
+signSGD [6,7], QSGD [3], TernGrad [59] -- and note that, unlike those
+lossy randomized schemes, SwitchML's fixed-point conversion "is not
+randomized, and for a suitable selection of a scaling parameter f, is
+essentially lossless".
+
+To make that comparison executable, this module implements the cited
+compressors with their published unbiasedness properties, a common
+:class:`Compressor` interface, and byte accounting, so the Figure-10
+machinery (``repro.mlfw.realtrain``) can train through any of them and
+the ablation bench can weigh accuracy against bits on the wire.
+
+All compressors here are *worker-side* codecs for an aggregation that
+sums decompressed values -- the role gradient compression plays in the
+systems the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.quant.fixedpoint import quantize
+
+__all__ = [
+    "Compressor",
+    "FixedPointCompressor",
+    "QSGDCompressor",
+    "SignSGDCompressor",
+    "TernGradCompressor",
+    "compression_aggregator",
+]
+
+
+class Compressor(Protocol):
+    """Encode a gradient to its wire representation and back."""
+
+    def roundtrip(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """The value the receiver reconstructs for this worker."""
+        ...  # pragma: no cover - protocol
+
+    def bits_per_element(self) -> float:
+        """Average wire bits per gradient element."""
+        ...  # pragma: no cover - protocol
+
+
+class FixedPointCompressor:
+    """SwitchML's scheme: deterministic 32-bit fixed point (Appendix C)."""
+
+    def __init__(self, scaling_factor: float):
+        if scaling_factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        self.scaling_factor = scaling_factor
+
+    def roundtrip(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return quantize(values, self.scaling_factor, strict=False) / self.scaling_factor
+
+    def bits_per_element(self) -> float:
+        return 32.0
+
+
+class SignSGDCompressor:
+    """signSGD [6]: transmit only the sign, scaled by the mean |g|.
+
+    The scale keeps update magnitudes comparable to the raw gradient
+    (the majority-vote variant [7] aggregates signs; here we use the
+    magnitude-carrying form that plugs into a summing aggregation).
+    """
+
+    def roundtrip(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        magnitude = float(np.abs(values).mean())
+        return np.sign(values) * magnitude
+
+    def bits_per_element(self) -> float:
+        return 1.0
+
+
+class TernGradCompressor:
+    """TernGrad [59]: stochastic ternary levels {-m, 0, +m}, m = max |g|.
+
+    Unbiased: E[encode(g)] = g, at the cost of higher variance.
+    """
+
+    def roundtrip(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        magnitude = float(np.abs(values).max())
+        if magnitude == 0.0:
+            return np.zeros_like(values)
+        probabilities = np.abs(values) / magnitude
+        keep = rng.random(values.shape) < probabilities
+        return np.sign(values) * magnitude * keep
+
+    def bits_per_element(self) -> float:
+        return np.log2(3.0)
+
+
+class QSGDCompressor:
+    """QSGD [3]: stochastic uniform quantization to ``levels`` buckets of
+    the normalized magnitude, scaled by the vector's L2 norm.  Unbiased.
+    """
+
+    def __init__(self, levels: int = 4):
+        if levels < 1:
+            raise ValueError("need at least one quantization level")
+        self.levels = levels
+
+    def roundtrip(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        norm = float(np.linalg.norm(values))
+        if norm == 0.0:
+            return np.zeros_like(values)
+        scaled = np.abs(values) / norm * self.levels
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        level = floor + (rng.random(values.shape) < frac)
+        return np.sign(values) * norm * level / self.levels
+
+    def bits_per_element(self) -> float:
+        # sign + level index; norms amortize to nothing over big vectors
+        return 1.0 + np.log2(self.levels + 1)
+
+
+def compression_aggregator(compressor: Compressor, seed: int = 0):
+    """An aggregator (for :func:`repro.mlfw.realtrain.train_mlp`) that
+    sums each worker's compressed-then-reconstructed gradient -- the
+    aggregation model of the compression literature."""
+    rng = np.random.default_rng(seed)
+
+    def aggregate(gradients: list[np.ndarray]) -> np.ndarray:
+        return np.sum(
+            [compressor.roundtrip(g, rng) for g in gradients], axis=0
+        )
+
+    return aggregate

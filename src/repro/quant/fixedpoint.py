@@ -1,0 +1,80 @@
+"""float32 <-> int32 fixed-point conversion kernels.
+
+The paper's worker pipeline is ``float32 -> scale by f -> round ->
+int32 -> htonl`` on the send side and the inverse on receive, done with
+SSE/AVX so the overhead is "negligible" (Figure 8).  Here numpy supplies
+the vectorisation; the semantics are identical.
+
+Rounding uses round-half-to-even (numpy's ``rint``), matching the x86
+``cvtps2dq`` default rounding mode the real implementation inherits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INT32_MAX",
+    "INT32_MIN",
+    "OverflowDetected",
+    "dequantize",
+    "quantize",
+    "quantize_dequantize_roundtrip",
+]
+
+INT32_MAX = 2**31 - 1
+INT32_MIN = -(2**31)
+
+
+class OverflowDetected(ValueError):
+    """A scaled gradient fell outside int32 range.
+
+    The paper prevents this statically via Theorem 2's bound on ``f``;
+    the kernels check dynamically so misconfiguration fails loudly in
+    ``strict`` mode instead of silently wrapping in the switch.
+    """
+
+
+def quantize(values: np.ndarray, scaling_factor: float, strict: bool = True) -> np.ndarray:
+    """Scale by ``f`` and round to int32-range integers.
+
+    Parameters
+    ----------
+    values:
+        float array (any shape).
+    scaling_factor:
+        ``f > 0`` from Appendix C.
+    strict:
+        If True, raise :class:`OverflowDetected` when any scaled value
+        leaves int32 range.  If False, values saturate (clip) -- the
+        behaviour a defensive implementation would choose; used by the
+        Figure 10 sweep to show what huge ``f`` does to training.
+    """
+    if scaling_factor <= 0:
+        raise ValueError(f"scaling factor must be positive, got {scaling_factor}")
+    scaled = np.rint(np.asarray(values, dtype=np.float64) * scaling_factor)
+    if strict:
+        if scaled.size and (scaled.max() > INT32_MAX or scaled.min() < INT32_MIN):
+            worst = float(np.abs(scaled).max())
+            raise OverflowDetected(
+                f"|f * gradient| reaches {worst:.3g}, beyond int32 "
+                f"(f={scaling_factor:.3g}); lower f per Theorem 2"
+            )
+    else:
+        scaled = np.clip(scaled, INT32_MIN, INT32_MAX)
+    return scaled.astype(np.int64)
+
+
+def dequantize(aggregate: np.ndarray, scaling_factor: float) -> np.ndarray:
+    """Divide the integer aggregate by ``f`` back to float."""
+    if scaling_factor <= 0:
+        raise ValueError(f"scaling factor must be positive, got {scaling_factor}")
+    return np.asarray(aggregate, dtype=np.float64) / scaling_factor
+
+
+def quantize_dequantize_roundtrip(
+    values: np.ndarray, scaling_factor: float
+) -> np.ndarray:
+    """What a single worker's update looks like after the wire round trip
+    (used by tests to bound the per-worker error at ``1/(2f)``)."""
+    return dequantize(quantize(values, scaling_factor), scaling_factor)

@@ -1,0 +1,73 @@
+"""The half-precision wire variant, SwitchML(16) (SS3.7).
+
+In this mode workers put scaled float16 values on the wire (halving
+bandwidth demand and thus roughly halving TAT, Figure 8), and the
+*switch* converts float16 -> 32-bit fixed point on ingress and back on
+egress using lookup tables ("it turns out to be possible to implement
+16-bit floating point conversion on a Barefoot Network's Tofino chip
+using lookup tables", Appendix C).
+
+A float16 has 16 bits, so an exact 65,536-entry lookup table maps every
+half-precision pattern to its fixed-point value -- which is precisely
+how we implement the switch side, same as the hardware would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "float16_dequantize",
+    "float16_quantize",
+    "float16_switch_from_fixed",
+    "float16_switch_to_fixed",
+]
+
+#: Fixed-point scale applied inside the switch when expanding float16
+#: payloads; 2^10 keeps the full float16 fraction while leaving ample
+#: headroom in int32 for the sum across workers.
+SWITCH_FIXED_SCALE = 1024
+
+
+def float16_quantize(values: np.ndarray, scaling_factor: float) -> np.ndarray:
+    """Worker send path: scale and cast to float16 (saturating)."""
+    if scaling_factor <= 0:
+        raise ValueError("scaling factor must be positive")
+    scaled = np.asarray(values, dtype=np.float64) * scaling_factor
+    max16 = float(np.finfo(np.float16).max)
+    return np.clip(scaled, -max16, max16).astype(np.float16)
+
+
+def float16_dequantize(values: np.ndarray, scaling_factor: float) -> np.ndarray:
+    """Worker receive path: undo the scale."""
+    if scaling_factor <= 0:
+        raise ValueError("scaling factor must be positive")
+    return np.asarray(values, dtype=np.float64) / scaling_factor
+
+
+_LOOKUP: np.ndarray | None = None
+
+
+def _lookup_table() -> np.ndarray:
+    """The 65,536-entry float16 -> fixed-point table (built once)."""
+    global _LOOKUP
+    if _LOOKUP is None:
+        patterns = np.arange(65536, dtype=np.uint16).view(np.float16)
+        as64 = patterns.astype(np.float64)
+        as64[~np.isfinite(as64)] = 0.0  # NaN/inf patterns aggregate as 0
+        _LOOKUP = np.rint(as64 * SWITCH_FIXED_SCALE).astype(np.int64)
+    return _LOOKUP
+
+
+def float16_switch_to_fixed(values: np.ndarray) -> np.ndarray:
+    """Switch ingress: float16 payload -> int32 fixed point, via table."""
+    halves = np.ascontiguousarray(values, dtype=np.float16)
+    indices = halves.view(np.uint16).astype(np.int64)
+    return _lookup_table()[indices]
+
+
+def float16_switch_from_fixed(aggregate: np.ndarray) -> np.ndarray:
+    """Switch egress: int32 fixed-point aggregate -> float16 payload."""
+    return (np.asarray(aggregate, dtype=np.float64) / SWITCH_FIXED_SCALE).astype(
+        np.float16
+    )

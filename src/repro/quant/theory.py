@@ -1,0 +1,76 @@
+"""Appendix C's theorems as checkable functions.
+
+Theorem 1 (bounded aggregation error): the difference between the exact
+float aggregate and the fixed-point path's result is at most ``n / f``
+per element.
+
+Theorem 2 (no overflow): if every per-worker update is bounded by ``B``
+(Assumption 3), then choosing ``0 < f <= (2^31 - n) / (n B)`` satisfies
+both no-overflow assumptions (per-worker values and the switch's sum).
+
+The paper combines them: with ``f = (2^31 - n)/(nB)`` the end-to-end
+error is at most ``n^2 B / (2^31 - n)``, negligible when ``n^2 B << 2^31``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.fixedpoint import INT32_MAX, INT32_MIN, quantize
+
+__all__ = [
+    "aggregation_error_bound",
+    "combined_error_at_max_f",
+    "max_safe_scaling_factor",
+    "no_overflow_condition_holds",
+]
+
+
+def aggregation_error_bound(num_workers: int, scaling_factor: float) -> float:
+    """Theorem 1's bound: |exact - fixed-point| <= n / f per element."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    if scaling_factor <= 0:
+        raise ValueError("scaling factor must be positive")
+    return num_workers / scaling_factor
+
+
+def max_safe_scaling_factor(num_workers: int, gradient_bound: float) -> float:
+    """Theorem 2's largest safe ``f``: (2^31 - n) / (n B)."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    if gradient_bound <= 0:
+        raise ValueError("gradient bound B must be positive")
+    return (2.0**31 - num_workers) / (num_workers * gradient_bound)
+
+
+def combined_error_at_max_f(num_workers: int, gradient_bound: float) -> float:
+    """Per-element error when ``f`` is pushed to Theorem 2's limit:
+    ``n^2 B / (2^31 - n)`` (the paper's closing bound)."""
+    n = num_workers
+    return n * n * gradient_bound / (2.0**31 - n)
+
+
+def no_overflow_condition_holds(
+    updates: list[np.ndarray] | np.ndarray, scaling_factor: float
+) -> bool:
+    """Empirically check Assumptions 1 and 2 for concrete updates:
+    every rounded scaled value and their sum fit in int32.
+
+    ``updates`` is one array per worker (or a 2-D array, workers on
+    axis 0).  This is the dynamic counterpart of Theorem 2, used by the
+    property tests to confirm the static bound is conservative.
+    """
+    arrays = [np.asarray(u, dtype=np.float64) for u in updates]
+    total = None
+    for u in arrays:
+        q = quantize(u, scaling_factor, strict=False).astype(np.int64)
+        if q.size and (q.max() > INT32_MAX or q.min() < INT32_MIN):
+            return False  # pragma: no cover - clip prevents this
+        rounded = np.rint(u * scaling_factor)
+        if rounded.size and (rounded.max() > INT32_MAX or rounded.min() < INT32_MIN):
+            return False
+        total = q if total is None else total + q
+    if total is None:
+        raise ValueError("no updates given")
+    return bool(total.max() <= INT32_MAX and total.min() >= INT32_MIN)

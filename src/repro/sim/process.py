@@ -1,0 +1,122 @@
+"""Generator-based processes on top of the event engine.
+
+The protocol agents in :mod:`repro.core` are callback state machines
+(the natural transcription of the paper's "upon receive" pseudocode),
+but sequential behaviours -- workload generators, experiment scripts,
+background chaos (a link flap, a straggler that sleeps then bursts) --
+read far better as coroutines.  A :class:`Process` wraps a generator
+that yields simple commands:
+
+* ``yield delay(seconds)``  -- sleep in simulated time;
+* ``yield wait(event)``     -- park until a :class:`Signal` fires;
+* ``yield`` a ``Signal``    -- shorthand for ``wait``.
+
+Example
+-------
+>>> from repro.sim.engine import Simulator
+>>> from repro.sim.process import Process, delay
+>>> sim = Simulator()
+>>> out = []
+>>> def script():
+...     out.append(("start", sim.now))
+...     yield delay(2.0)
+...     out.append(("end", sim.now))
+>>> _ = Process(sim, script())
+>>> sim.run()
+>>> out
+[('start', 0.0), ('end', 2.0)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Delay", "Process", "Signal", "delay"]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield value: advance simulated time by ``seconds``."""
+
+    seconds: float
+
+
+def delay(seconds: float) -> Delay:
+    """Sleep command for process generators."""
+    if seconds < 0:
+        raise ValueError("cannot sleep for negative time")
+    return Delay(seconds)
+
+
+class Signal:
+    """A one-to-many wake-up: processes wait, someone fires.
+
+    Repeatable: after a fire, new waiters park until the next fire.
+    The value passed to :meth:`fire` is delivered as the ``yield``'s
+    result in every waiting process.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fires = 0
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every current waiter (at the current simulated time)."""
+        self.fires += 1
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            # schedule rather than call: waiters resume in FIFO order
+            # after the firing event completes, never re-entrantly.
+            self.sim.schedule(0.0, callback, value)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Process:
+    """Drive a generator as a simulated process.
+
+    The generator may ``return`` a value; it is stored on ``result`` and
+    ``done`` becomes True.  Exceptions other than ``StopIteration``
+    propagate out of the simulator's event loop (fail fast -- a broken
+    experiment script should crash the run, not hang it).
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.done = False
+        self.result: Any = None
+        self.on_done: Callable[["Process"], None] | None = None
+        self.sim.schedule(0.0, self._step, None)
+
+    def _step(self, send_value: Any) -> None:
+        if self.done:
+            return
+        try:
+            command = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            if self.on_done is not None:
+                self.on_done(self)
+            return
+        if isinstance(command, Delay):
+            self.sim.schedule(command.seconds, self._step, None)
+        elif isinstance(command, Signal):
+            command.wait(lambda value: self._step(value))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; expected "
+                "delay(...) or a Signal"
+            )

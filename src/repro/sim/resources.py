@@ -1,0 +1,86 @@
+"""Serial resources: one-at-a-time servers with FIFO queues.
+
+These model everything in the testbed that serializes work:
+
+* a CPU core processing packets run-to-completion (paper SS4: "Every CPU
+  core runs an I/O loop that processes every batch of packets in a
+  run-to-completion fashion");
+* a link's transmitter (serialization delay);
+* a parameter-server process aggregating chunks.
+
+A :class:`SerialResource` does not model preemption -- neither does DPDK.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["SerialResource"]
+
+
+class SerialResource:
+    """A FIFO serial server.
+
+    Work items occupy the resource for a caller-supplied duration; when an
+    item finishes, its completion callback runs and the next queued item
+    starts.  The implementation keeps only ``busy_until`` (no explicit
+    queue object) because arrival order equals service order and the
+    engine's FIFO tie-break preserves it.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying the clock.
+    name:
+        Used in stats and error messages.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource"):
+        self.sim = sim
+        self.name = name
+        self.busy_until: float = 0.0
+        self.jobs_served = 0
+        self.busy_time = 0.0
+
+    def submit(
+        self,
+        duration: float,
+        on_done: Callable[..., Any] | None = None,
+        *args: Any,
+        completion_delay: float = 0.0,
+    ) -> float:
+        """Enqueue a job of ``duration`` seconds; returns its finish time.
+
+        ``on_done(*args)`` fires at ``finish + completion_delay``.  The
+        delay does not occupy the resource -- it models post-processing
+        latency (e.g. DPDK I/O batching) without consuming CPU.
+        """
+        if duration < 0:
+            raise ValueError(f"{self.name}: negative duration {duration}")
+        start = max(self.sim.now, self.busy_until)
+        finish = start + duration
+        self.busy_until = finish
+        self.jobs_served += 1
+        self.busy_time += duration
+        if on_done is not None:
+            self.sim.schedule_at(finish + completion_delay, on_done, *args)
+        return finish
+
+    @property
+    def queue_delay(self) -> float:
+        """Delay a job submitted right now would wait before starting."""
+        return max(0.0, self.busy_until - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent busy (capped at 1)."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SerialResource {self.name} busy_until={self.busy_until:.9f} "
+            f"served={self.jobs_served}>"
+        )

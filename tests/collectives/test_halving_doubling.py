@@ -1,0 +1,72 @@
+"""Unit tests for halving-doubling all-reduce [57]."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.halving_doubling import halving_doubling_allreduce
+from repro.collectives.ring_allreduce import ring_allreduce
+
+
+def random_tensors(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-1000, 1000, size).astype(np.int64) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_power_of_two_workers(self, n):
+        tensors = random_tensors(n, 1024, seed=n)
+        results, _ = halving_doubling_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        for r in results:
+            assert np.array_equal(r, expected)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 11, 12])
+    def test_non_power_of_two_workers(self, n):
+        tensors = random_tensors(n, 640, seed=n)
+        results, _ = halving_doubling_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        for r in results:
+            assert np.array_equal(r, expected)
+
+    def test_odd_sizes_with_uneven_halving(self):
+        tensors = random_tensors(4, 17)
+        results, _ = halving_doubling_allreduce(tensors)
+        assert np.array_equal(results[2], np.sum(tensors, axis=0))
+
+    def test_inputs_not_mutated(self):
+        tensors = random_tensors(8, 64)
+        originals = [t.copy() for t in tensors]
+        halving_doubling_allreduce(tensors)
+        for t, o in zip(tensors, originals):
+            assert np.array_equal(t, o)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            halving_doubling_allreduce([])
+        with pytest.raises(ValueError):
+            halving_doubling_allreduce([np.ones(2), np.ones(3)])
+
+
+class TestCostStructure:
+    def test_logarithmic_rounds(self):
+        """2 log2(n) rounds vs the ring's 2 (n-1) -- the latency win."""
+        _, trace8 = halving_doubling_allreduce(random_tensors(8, 512))
+        _, ring8 = ring_allreduce(random_tensors(8, 512))
+        assert trace8.steps == 6  # 2 * log2(8)
+        assert ring8.steps == 14
+
+    def test_volume_matches_ring_for_power_of_two(self):
+        """Same asymptotic bandwidth as the ring: 2 (n-1)/n |U| each way."""
+        n, size = 8, 1024
+        _, trace = halving_doubling_allreduce(random_tensors(n, size))
+        expected = 2 * (n - 1) / n * size * 4
+        assert trace.bytes_sent_per_worker == pytest.approx(expected, rel=0.02)
+        assert trace.bytes_received_per_worker == pytest.approx(expected, rel=0.02)
+
+    def test_extras_pay_more_for_non_power_of_two(self):
+        n = 5
+        _, trace = halving_doubling_allreduce(random_tensors(n, 640))
+        # the busiest worker moves more than the pow2 core volume
+        core_volume = 2 * 3 / 4 * 640 * 4
+        assert trace.bytes_sent_per_worker > core_volume

@@ -1,0 +1,167 @@
+"""Tests for the analytic timing models: paper shapes, not absolutes."""
+
+import pytest
+
+from repro.collectives.base import DEFAULT_COST_PARAMS, Strategy
+from repro.collectives.models import (
+    ate_per_second,
+    line_rate_ate,
+    multi_gpu_tat,
+    ps_tat,
+    ring_allreduce_tat,
+    switchml_tat,
+    tat_for,
+)
+
+N100MB = 25_000_000  # the paper's reference tensor
+
+
+class TestSwitchMLModel:
+    def test_line_rate_at_10g(self):
+        """Fig. 4 top: SwitchML's ATE/s at 10 Gbps is the header-limited
+        line rate, ~222 M elements/s."""
+        assert line_rate_ate(10.0) == pytest.approx(222.2e6, rel=0.01)
+        ate = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+        assert ate == pytest.approx(line_rate_ate(10.0), rel=0.02)
+
+    def test_host_bound_at_100g(self):
+        """SS5.1: 4 cores cannot sustain 100 Gbps of 180 B frames; the
+        model lands below line rate but above half of it."""
+        ate = ate_per_second(Strategy.SWITCHML, 8, 100.0)
+        line = line_rate_ate(100.0)
+        assert 0.5 * line < ate < line
+
+    def test_ate_independent_of_worker_count(self):
+        """SS5.3: "SwitchML always maintains a predictable rate of ATE/s
+        regardless of the number of workers"."""
+        rates = [ate_per_second(Strategy.SWITCHML, n, 10.0) for n in (4, 8, 16)]
+        assert max(rates) / min(rates) < 1.001
+
+    def test_tat_linear_in_tensor_size(self):
+        t1 = switchml_tat(N100MB, 10.0)
+        t2 = switchml_tat(2 * N100MB, 10.0)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_mtu_improves_tat_by_about_a_quarter(self):
+        """SS5.5: MTU frames would improve TAT by ~31.6 % (we land in the
+        26-36 % band implied by the goodput ratio)."""
+        small = switchml_tat(N100MB, 10.0)
+        mtu = switchml_tat(N100MB, 10.0, elements_per_packet=366)
+        improvement = 1 - mtu / small
+        assert 0.2 < improvement < 0.4
+
+    def test_fp16_halves_tat(self):
+        """Fig. 8: "using float16 doubles the performance"."""
+        full = switchml_tat(N100MB, 10.0)
+        half = switchml_tat(N100MB, 10.0, elements_per_packet=64, bytes_per_element=2)
+        assert half == pytest.approx(full / 2, rel=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            switchml_tat(0, 10.0)
+
+
+class TestBaselineModels:
+    def test_switchml_beats_everything_at_10g(self):
+        """Fig. 4: "In every condition, SwitchML outperforms all other
+        strategies"."""
+        sw = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+        for s in (Strategy.GLOO, Strategy.NCCL, Strategy.COLOCATED_PS):
+            assert sw > ate_per_second(s, 8, 10.0)
+
+    def test_dedicated_ps_matches_switchml(self):
+        """Fig. 4: "The Dedicated PS approach matches SwitchML
+        performance but uses twice the number of machines"."""
+        sw = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+        ps = ate_per_second(Strategy.DEDICATED_PS, 8, 10.0)
+        assert ps == pytest.approx(sw, rel=0.10)
+
+    def test_colocated_ps_is_half_of_switchml(self):
+        """Fig. 4: "the Colocated PS approach reaches only half of
+        SwitchML's performance"."""
+        sw = ate_per_second(Strategy.SWITCHML, 8, 10.0)
+        colo = ate_per_second(Strategy.COLOCATED_PS, 8, 10.0)
+        assert colo == pytest.approx(sw / 2, rel=0.12)
+
+    def test_nccl_above_gloo(self):
+        assert ate_per_second(Strategy.NCCL, 8, 10.0) > ate_per_second(
+            Strategy.GLOO, 8, 10.0
+        )
+
+    def test_tcp_collectives_barely_gain_from_100g(self):
+        """SS2.2 / Fig. 4 bottom: the TCP stacks are CPU-bound; 10x the
+        link gives nowhere near 10x the throughput."""
+        for s in (Strategy.GLOO, Strategy.NCCL):
+            gain = ate_per_second(s, 8, 100.0) / ate_per_second(s, 8, 10.0)
+            assert gain < 3.0
+
+    def test_switchml_gap_grows_at_100g(self):
+        """The headline: SwitchML's advantage is larger at 100 Gbps."""
+        gap10 = ate_per_second(Strategy.SWITCHML, 8, 10.0) / ate_per_second(
+            Strategy.NCCL, 8, 10.0
+        )
+        gap100 = ate_per_second(Strategy.SWITCHML, 8, 100.0) / ate_per_second(
+            Strategy.NCCL, 8, 100.0
+        )
+        assert gap100 > gap10 > 1.2
+
+    def test_ring_ate_decreases_with_workers(self):
+        a4 = ate_per_second(Strategy.GLOO, 4, 10.0)
+        a16 = ate_per_second(Strategy.GLOO, 16, 10.0)
+        assert a16 < a4
+
+    def test_rdma_speedup_over_tcp(self):
+        """SS5.4: ~4x for Gloo with RDMA vs TCP at 100 Gbps, 50 MB."""
+        n = 12_500_000
+        tcp = ring_allreduce_tat(n, 8, 100.0, library="gloo", transport="tcp")
+        rdma = ring_allreduce_tat(n, 8, 100.0, library="gloo", transport="rdma")
+        assert tcp / rdma == pytest.approx(4.0, rel=0.35)
+
+    def test_ps_mtu_pays_software_penalty(self):
+        """Fig. 7: the MTU PS is slower than SwitchML (MTU) because of
+        per-frame software aggregation costs."""
+        ps_mtu = ps_tat(N100MB, 8, 10.0, frame_bytes=1516)
+        sw_mtu = switchml_tat(N100MB, 10.0, elements_per_packet=366)
+        sw = switchml_tat(N100MB, 10.0)
+        assert ps_mtu > sw_mtu
+        assert ps_mtu > sw  # and even above small-frame SwitchML
+
+    def test_multi_gpu_faster_than_network(self):
+        """Table 1's ordering: the single-node 8-GPU ring beats the
+        distributed TCP collectives."""
+        mg = multi_gpu_tat(N100MB, 8)
+        net = tat_for(Strategy.NCCL, N100MB, 8, 10.0)
+        assert mg < net / 2
+
+    def test_ring_single_worker_trivial(self):
+        assert ring_allreduce_tat(1000, 1, 10.0) < 1e-3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_tat(0, 8, 10.0)
+        with pytest.raises(ValueError):
+            ring_allreduce_tat(100, 8, 10.0, library="mpi")
+        with pytest.raises(ValueError):
+            ps_tat(0, 8, 10.0)
+        with pytest.raises(ValueError):
+            multi_gpu_tat(100, 0)
+        with pytest.raises(ValueError):
+            line_rate_ate(10.0, "ring")  # needs workers
+        with pytest.raises(ValueError):
+            line_rate_ate(10.0, "mesh")
+
+
+class TestLineRates:
+    def test_ring_line_rate_below_switchml(self):
+        """Fig. 4's two reference lines: the ring bound sits below the
+        SwitchML bound (the 2 (n-1)/n factor beats header overhead)."""
+        assert line_rate_ate(10.0, "ring", num_workers=8) < line_rate_ate(10.0)
+
+    def test_ring_line_rate_formula(self):
+        # R * goodput / 32 bits * n / (2 (n-1))
+        expected = 10e9 * (1464 / 1516) / 8 / 4 * 8 / 14
+        assert line_rate_ate(10.0, "ring", num_workers=8) == pytest.approx(expected)
+
+    def test_dispatch_covers_every_strategy(self):
+        for s in Strategy:
+            assert tat_for(s, 1_000_000, 8, 10.0) > 0

@@ -1,0 +1,65 @@
+"""Unit tests for the sharded parameter server (SS5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.parameter_server import ps_allreduce
+
+
+def random_tensors(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-1000, 1000, size).astype(np.int64) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_all_workers_get_the_sum(self, n):
+        tensors = random_tensors(n, 333, seed=n)
+        results, _ = ps_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        for r in results:
+            assert np.array_equal(r, expected)
+
+    def test_fewer_ps_than_workers(self):
+        tensors = random_tensors(8, 200)
+        results, acc = ps_allreduce(tensors, num_ps=2)
+        assert np.array_equal(results[0], np.sum(tensors, axis=0))
+        assert acc.num_ps == 2
+
+    def test_more_ps_than_elements_is_fine(self):
+        tensors = random_tensors(2, 3)
+        results, _ = ps_allreduce(tensors, num_ps=8)
+        assert np.array_equal(results[1], np.sum(tensors, axis=0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ps_allreduce([])
+        with pytest.raises(ValueError):
+            ps_allreduce([np.ones(2), np.ones(3)])
+        with pytest.raises(ValueError):
+            ps_allreduce([np.ones(4)], num_ps=0)
+
+
+class TestAccounting:
+    def test_worker_nic_moves_exactly_u_each_way(self):
+        """SS2.3: the dedicated PS costs each worker 2 |U| bytes total."""
+        size = 800
+        _, acc = ps_allreduce(random_tensors(4, size))
+        assert acc.worker_bytes_sent == size * 4
+        assert acc.worker_bytes_received == size * 4
+
+    def test_uniform_sharding_balances_ps_load(self):
+        """With n PS shards, each PS NIC also moves ~|U| each way -- the
+        equal sharding that "avoids introducing an obvious performance
+        bottleneck"."""
+        n, size = 4, 800
+        _, acc = ps_allreduce(random_tensors(n, size))
+        assert acc.ps_bytes_received == size * 4  # n * (|U|/n) from workers
+        assert acc.ps_bytes_sent == size * 4
+
+    def test_colocated_nic_carries_double(self):
+        """Figure 4's factor of two: worker + PS flows share one NIC."""
+        size = 800
+        _, acc = ps_allreduce(random_tensors(4, size))
+        assert acc.colocated_nic_bytes_sent() == 2 * size * 4
+        assert acc.colocated_nic_bytes_received() == 2 * size * 4

@@ -1,0 +1,70 @@
+"""Unit tests for ring all-reduce: correctness + the SS2.3 volume formula."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.ring_allreduce import ring_allreduce
+
+
+def random_tensors(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-1000, 1000, size).astype(np.int64) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 16])
+    def test_all_workers_get_the_sum(self, n):
+        tensors = random_tensors(n, 523, seed=n)
+        results, _ = ring_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        for r in results:
+            assert np.array_equal(r, expected)
+
+    def test_inputs_not_mutated(self):
+        tensors = random_tensors(4, 64)
+        originals = [t.copy() for t in tensors]
+        ring_allreduce(tensors)
+        for t, o in zip(tensors, originals):
+            assert np.array_equal(t, o)
+
+    def test_size_smaller_than_workers(self):
+        tensors = random_tensors(8, 3)
+        results, _ = ring_allreduce(tensors)
+        assert np.array_equal(results[0], np.sum(tensors, axis=0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+        with pytest.raises(ValueError):
+            ring_allreduce([np.ones(4), np.ones(5)])
+        with pytest.raises(ValueError):
+            ring_allreduce([np.array([])])
+
+
+class TestVolumeFormula:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_per_worker_volume_matches_paper(self, n):
+        """SS2.3: each worker sends+receives 4 (n-1) |U| / n bytes."""
+        size = n * 100  # divisible so chunks are equal
+        tensors = random_tensors(n, size)
+        _, trace = ring_allreduce(tensors, bytes_per_element=4)
+        total_bytes = size * 4
+        expected = 4 * (n - 1) * total_bytes / n
+        observed = trace.bytes_sent_per_worker + trace.bytes_received_per_worker
+        assert observed == pytest.approx(expected, rel=0.01)
+
+    def test_steps_are_2n_minus_2(self):
+        _, trace = ring_allreduce(random_tensors(8, 800))
+        assert trace.steps == 14
+
+    def test_single_worker_no_communication(self):
+        _, trace = ring_allreduce(random_tensors(1, 10))
+        assert trace.bytes_sent_per_worker == 0
+        assert trace.steps == 0
+
+    def test_bandwidth_optimality_vs_naive(self):
+        """Ring volume < everyone-sends-everything (n-1)|U| for n > 2."""
+        n, size = 8, 800
+        _, trace = ring_allreduce(random_tensors(n, size))
+        naive = (n - 1) * size * 4
+        assert trace.bytes_sent_per_worker < naive

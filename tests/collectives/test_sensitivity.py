@@ -1,0 +1,103 @@
+"""Calibration-sensitivity tests.
+
+DESIGN.md's contract: the calibration constants in
+:class:`repro.collectives.base.CostParams` "only pin the axes" -- every
+shape claim in EXPERIMENTS.md must survive reasonable perturbations of
+them.  These tests sweep each knob +-30 % and re-assert the orderings
+the benches rely on, so a future retuning cannot silently turn a shape
+claim into a calibration artifact.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.collectives.base import CostParams, Strategy
+from repro.collectives.models import ate_per_second
+from repro.mlfw.training import training_speedup, training_throughput
+
+
+def perturbed(base: CostParams, **overrides) -> CostParams:
+    return dataclasses.replace(base, **overrides)
+
+
+def perturbations():
+    """One CostParams per perturbed scalar knob, +-30 %."""
+    base = CostParams()
+    scalars = (
+        "per_frame_host_s",
+        "gloo_utilization",
+        "nccl_utilization",
+        "gloo_rate_cap_gbps",
+        "nccl_rate_cap_gbps",
+        "step_latency_s",
+        "ps_mtu_efficiency",
+        "multi_gpu_bw_bytes",
+        "per_tensor_overhead_s",
+        "overlap_efficiency",
+    )
+    out = []
+    for name in scalars:
+        for factor in (0.7, 1.3):
+            value = getattr(base, name) * factor
+            if name.endswith("utilization") or name == "overlap_efficiency":
+                value = min(value, 1.0)
+            out.append((f"{name} x{factor}", perturbed(base, **{name: value})))
+    return out
+
+
+PERTURBATIONS = perturbations()
+
+
+class TestMicrobenchShapesSurvive:
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_switchml_beats_tcp_collectives(self, label, params):
+        for rate in (10.0, 100.0):
+            sw = ate_per_second(Strategy.SWITCHML, 8, rate, params)
+            assert sw > ate_per_second(Strategy.GLOO, 8, rate, params)
+            assert sw > ate_per_second(Strategy.NCCL, 8, rate, params)
+
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_colocated_ps_stays_at_half(self, label, params):
+        sw = ate_per_second(Strategy.SWITCHML, 8, 10.0, params)
+        colo = ate_per_second(Strategy.COLOCATED_PS, 8, 10.0, params)
+        assert 0.35 < colo / sw < 0.65
+
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_switchml_flat_in_workers(self, label, params):
+        ates = [ate_per_second(Strategy.SWITCHML, n, 10.0, params)
+                for n in (4, 8, 16)]
+        assert max(ates) / min(ates) < 1.01
+
+
+class TestTrainingShapesSurvive:
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_speedups_stay_in_band(self, label, params):
+        for model in ("vgg16", "resnet50", "inception3"):
+            s = training_speedup(
+                model, Strategy.SWITCHML, Strategy.NCCL, 8, 10.0, params
+            )
+            assert 0.99 <= s < 5.0
+
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_vgg_gains_more_than_inception(self, label, params):
+        vgg = training_speedup(
+            "vgg16", Strategy.SWITCHML, Strategy.NCCL, 8, 10.0, params
+        )
+        inc = training_speedup(
+            "inception4", Strategy.SWITCHML, Strategy.NCCL, 8, 10.0, params
+        )
+        assert vgg >= inc * 0.98
+
+    @pytest.mark.parametrize("label,params", PERTURBATIONS,
+                             ids=[l for l, _ in PERTURBATIONS])
+    def test_table1_column_ordering(self, label, params):
+        for model in ("vgg16", "resnet50", "inception3"):
+            nccl = training_throughput(model, Strategy.NCCL, 8, 10.0, params)
+            sw = training_throughput(model, Strategy.SWITCHML, 8, 10.0, params)
+            assert nccl < sw

@@ -1,0 +1,221 @@
+"""Tests for the packet-level PS and ring baselines.
+
+These measure Figure 4's comparisons on the simulator itself (DESIGN.md
+SS3's cross-validation): dedicated PS near SwitchML, colocated at half,
+ring below its bandwidth-optimality bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.models import line_rate_ate
+from repro.collectives.ps_simulation import PSJob, PSJobConfig
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+
+def random_tensors(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-500, 500, size).astype(np.int64) for _ in range(n)]
+
+
+class TestPSSimulation:
+    def test_dedicated_ps_is_exact(self):
+        job = PSJob(PSJobConfig(num_workers=4))
+        out = job.all_reduce(random_tensors(4, 32 * 200, seed=1))  # verify=True
+        assert out.completed
+
+    def test_colocated_ps_is_exact(self):
+        job = PSJob(PSJobConfig(num_workers=4, colocated=True))
+        out = job.all_reduce(random_tensors(4, 32 * 200, seed=2))
+        assert out.completed
+
+    def test_unaligned_size_padded(self):
+        job = PSJob(PSJobConfig(num_workers=2))
+        tensors = random_tensors(2, 100, seed=3)
+        out = job.all_reduce(tensors)
+        assert out.completed
+        assert len(out.results[0]) == 100
+
+    def test_dedicated_uses_double_the_hosts(self):
+        dedicated = PSJob(PSJobConfig(num_workers=4))
+        colocated = PSJob(PSJobConfig(num_workers=4, colocated=True))
+        assert len(dedicated.rack.hosts) == 8
+        assert len(colocated.rack.hosts) == 4
+
+    def test_dedicated_close_to_switchml_throughput(self):
+        """Figure 4: dedicated PS matches SwitchML (within startup
+        effects at this tensor size)."""
+        n_elem = 32 * 4096
+        ps = PSJob(PSJobConfig(num_workers=4, window=128))
+        ps_ate = ps.all_reduce(num_elements=n_elem, verify=False)
+        sw = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=128))
+        sw_ate = sw.all_reduce(num_elements=n_elem, verify=False)
+        ratio = ps_ate.aggregated_elements_per_second(n_elem) / \
+            sw_ate.aggregated_elements_per_second(n_elem)
+        assert 0.7 < ratio <= 1.05
+
+    def test_colocated_is_roughly_half_of_dedicated(self):
+        """Figure 4's factor of two, measured."""
+        n_elem = 32 * 4096
+        outs = {}
+        for colocated in (False, True):
+            job = PSJob(PSJobConfig(num_workers=4, colocated=colocated,
+                                    window=128))
+            outs[colocated] = job.all_reduce(
+                num_elements=n_elem, verify=False
+            ).aggregated_elements_per_second(n_elem)
+        ratio = outs[True] / outs[False]
+        assert 0.4 < ratio < 0.75
+
+    def test_phantom_requires_size(self):
+        job = PSJob(PSJobConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            job.all_reduce()
+
+    def test_wrong_tensor_count_rejected(self):
+        job = PSJob(PSJobConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            job.all_reduce([np.ones(32)])
+
+
+class TestRingSimulation:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_ring_is_exact(self, n):
+        job = RingJob(RingJobConfig(num_workers=n))
+        out = job.all_reduce(random_tensors(n, 4 * n * 37, seed=n))
+        assert out.completed
+
+    def test_single_worker_trivial(self):
+        job = RingJob(RingJobConfig(num_workers=1))
+        out = job.all_reduce([np.arange(64, dtype=np.int64)])
+        assert out.completed
+        assert np.array_equal(out.results[0], np.arange(64))
+
+    def test_throughput_below_bound_but_credible(self):
+        """The measured ring sits between 60 % and 100 % of the
+        bandwidth-optimality bound (per-step sync latency costs the
+        rest -- which is why real collectives pipeline)."""
+        n, n_elem = 8, 32 * 8192
+        job = RingJob(RingJobConfig(num_workers=n))
+        out = job.all_reduce(num_elements=n_elem, verify=False)
+        ate = out.aggregated_elements_per_second(n_elem)
+        bound = line_rate_ate(10.0, "ring", num_workers=n)
+        assert 0.6 * bound < ate <= bound
+
+    def test_switchml_beats_simulated_ring(self):
+        """Figure 4's headline, both sides measured on one simulator."""
+        n, n_elem = 8, 32 * 8192
+        ring = RingJob(RingJobConfig(num_workers=n)).all_reduce(
+            num_elements=n_elem, verify=False
+        )
+        sw = SwitchMLJob(SwitchMLConfig(num_workers=n, pool_size=128)).all_reduce(
+            num_elements=n_elem, verify=False
+        )
+        assert sw.max_tat < ring.max_tat
+
+    def test_more_workers_lower_ring_ate(self):
+        n_elem = 32 * 4096
+        ates = []
+        for n in (4, 8):
+            job = RingJob(RingJobConfig(num_workers=n))
+            out = job.all_reduce(num_elements=n_elem, verify=False)
+            ates.append(out.aggregated_elements_per_second(n_elem))
+        assert ates[1] < ates[0]
+
+    def test_wrong_tensor_count_rejected(self):
+        job = RingJob(RingJobConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            job.all_reduce([np.ones(32)])
+
+
+class TestHDSimulation:
+    def test_hd_is_exact_for_powers_of_two(self):
+        from repro.collectives.hd_simulation import HDJob, HDJobConfig
+
+        for n in (2, 4, 8):
+            job = HDJob(HDJobConfig(num_workers=n))
+            out = job.all_reduce(random_tensors(n, 4 * n * 31, seed=n))
+            assert out.completed
+
+    def test_non_power_of_two_rejected(self):
+        from repro.collectives.hd_simulation import HDJob, HDJobConfig
+
+        with pytest.raises(ValueError):
+            HDJob(HDJobConfig(num_workers=6))
+
+    def test_single_worker_trivial(self):
+        from repro.collectives.hd_simulation import HDJob, HDJobConfig
+
+        job = HDJob(HDJobConfig(num_workers=1))
+        out = job.all_reduce([np.arange(32, dtype=np.int64)])
+        assert out.completed
+        assert np.array_equal(out.results[0], np.arange(32))
+
+    def test_hd_beats_ring_at_small_sizes(self):
+        """The latency argument for recursive algorithms: 2 log2(n)
+        rounds vs 2(n-1)."""
+        from repro.collectives.hd_simulation import HDJob, HDJobConfig
+
+        n, n_elem = 8, 512
+        hd = HDJob(HDJobConfig(num_workers=n)).all_reduce(
+            num_elements=n_elem, verify=False
+        )
+        ring = RingJob(RingJobConfig(num_workers=n)).all_reduce(
+            num_elements=n_elem, verify=False
+        )
+        assert hd.max_tat < ring.max_tat
+
+    def test_hd_agrees_with_algorithmic_version(self):
+        from repro.collectives.halving_doubling import halving_doubling_allreduce
+        from repro.collectives.hd_simulation import HDJob, HDJobConfig
+
+        tensors = random_tensors(4, 200, seed=17)
+        algo, _ = halving_doubling_allreduce(tensors)
+        sim_out = HDJob(HDJobConfig(num_workers=4)).all_reduce(tensors)
+        assert np.array_equal(sim_out.results[0], algo[0])
+
+
+class TestPipelinedRing:
+    """The pipelining ablation: segment-parallel rings hide per-step
+    synchronization latency, the optimization production collectives
+    (NCCL) use to approach the bandwidth bound."""
+
+    def test_pipelined_ring_is_exact(self):
+        job = RingJob(RingJobConfig(num_workers=4, pipeline_segments=3))
+        out = job.all_reduce(random_tensors(4, 997, seed=8))
+        assert out.completed
+
+    def test_pipelining_approaches_the_bound(self):
+        n, n_elem = 8, 32 * 8192
+        ates = {}
+        for segments in (1, 4):
+            job = RingJob(RingJobConfig(num_workers=n,
+                                        pipeline_segments=segments))
+            out = job.all_reduce(num_elements=n_elem, verify=False)
+            ates[segments] = n_elem / out.max_tat
+        bound = line_rate_ate(10.0, "ring", num_workers=n)
+        assert ates[4] > ates[1] * 1.2
+        assert ates[4] > 0.9 * bound
+
+    def test_single_segment_is_the_plain_ring(self):
+        plain = RingJob(RingJobConfig(num_workers=4))
+        pipe1 = RingJob(RingJobConfig(num_workers=4, pipeline_segments=1))
+        n_elem = 32 * 1024
+        a = plain.all_reduce(num_elements=n_elem, verify=False).max_tat
+        b = pipe1.all_reduce(num_elements=n_elem, verify=False).max_tat
+        assert a == b
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValueError):
+            RingJob(RingJobConfig(num_workers=4, pipeline_segments=0))
+
+    def test_even_switchml_beats_the_pipelined_ring(self):
+        """Figure 4's claim holds against the strongest ring variant:
+        the pipelined ring still moves 2(n-1)/n x the bytes."""
+        n, n_elem = 8, 32 * 8192
+        ring = RingJob(RingJobConfig(num_workers=n, pipeline_segments=8))
+        ring_out = ring.all_reduce(num_elements=n_elem, verify=False)
+        sw = SwitchMLJob(SwitchMLConfig(num_workers=n, pool_size=128))
+        sw_out = sw.all_reduce(num_elements=n_elem, verify=False)
+        assert sw_out.max_tat < ring_out.max_tat

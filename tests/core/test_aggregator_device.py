@@ -1,0 +1,79 @@
+"""Tests for the SS6 parameter-aggregator deployment model."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.models import line_rate_ate
+from repro.core.aggregator_device import (
+    AggregatorDeviceConfig,
+    AggregatorDeviceJob,
+)
+from repro.net.link import LinkSpec
+
+
+def tensors_for(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-500, 500, size).astype(np.int64) for _ in range(n)]
+
+
+class TestCorrectness:
+    def test_aggregation_exact(self):
+        job = AggregatorDeviceJob(AggregatorDeviceConfig(num_workers=4,
+                                                         pool_size=16))
+        out = job.all_reduce(tensors_for(4, 32 * 16 * 6, seed=1))  # verify=True
+        assert out.completed
+
+    def test_unaligned_size(self):
+        job = AggregatorDeviceJob(AggregatorDeviceConfig(num_workers=2,
+                                                         pool_size=4))
+        out = job.all_reduce(tensors_for(2, 1000, seed=2))
+        assert out.completed
+        assert len(out.results[0]) == 1000
+
+    def test_retransmission_path_via_device(self):
+        """A worker retransmission reaches the device and is answered
+        from the program's shadow copy, same as in-switch."""
+        job = AggregatorDeviceJob(AggregatorDeviceConfig(num_workers=2,
+                                                         pool_size=4,
+                                                         timeout_s=1e-4))
+        out = job.all_reduce(tensors_for(2, 32 * 4 * 4, seed=3))
+        assert out.completed  # lossless: nothing to recover, but path wired
+        assert job.aggregator.updates_processed > 0
+
+    def test_wrong_tensor_count_rejected(self):
+        job = AggregatorDeviceJob(AggregatorDeviceConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            job.all_reduce([np.ones(32)])
+
+    def test_phantom_requires_size(self):
+        job = AggregatorDeviceJob(AggregatorDeviceConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            job.all_reduce()
+
+
+class TestAttachmentSizing:
+    """SS6: the aggregator needs "several 100 Gbps or 400 Gbps ports"."""
+
+    def _ate(self, agg_rate_gbps: float, n=4, n_elem=32 * 4096) -> float:
+        job = AggregatorDeviceJob(
+            AggregatorDeviceConfig(
+                num_workers=n,
+                aggregator_link=LinkSpec(rate_gbps=agg_rate_gbps),
+            )
+        )
+        out = job.all_reduce(num_elements=n_elem, verify=False)
+        assert out.completed
+        return out.aggregated_elements_per_second(n_elem)
+
+    def test_fat_attachment_reaches_line_rate(self):
+        ate = self._ate(100.0)
+        assert ate > 0.9 * line_rate_ate(10.0)
+
+    def test_single_rate_attachment_collapses_to_one_over_n(self):
+        ate = self._ate(10.0, n=4)
+        line = line_rate_ate(10.0)
+        assert ate == pytest.approx(line / 4, rel=0.15)
+
+    def test_attachment_scaling_is_monotone(self):
+        ates = [self._ate(r, n_elem=32 * 2048) for r in (10.0, 20.0, 40.0)]
+        assert ates[0] < ates[1] < ates[2]

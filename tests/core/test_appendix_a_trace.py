@@ -1,0 +1,95 @@
+"""The Appendix A execution trace, replayed event by event.
+
+Three workers, one slot (x = 0); worker 3's first update is lost on the
+upstream path, and worker 1's result packet is lost downstream.  The
+appendix walks t0..t15; this test drives the switch program through the
+same sequence and checks each decision.
+"""
+
+import numpy as np
+
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import SwitchAction, SwitchMLProgram
+
+K = 4
+OFF = 0
+NEXT_OFF = 64  # off + k*s for some s
+
+
+def update(wid, ver, off, value):
+    return SwitchMLPacket(
+        wid=wid, ver=ver, idx=0, off=off, num_elements=K,
+        vector=np.full(K, value, dtype=np.int64),
+    )
+
+
+def test_appendix_a_execution():
+    prog = SwitchMLProgram(num_workers=3, pool_size=1, elements_per_packet=K)
+    values = {0: 10, 1: 20, 2: 30}
+
+    # t0, t1: workers 1 and 2 (ids 0 and 1) send their updates for slot x.
+    assert prog.handle(update(0, 0, OFF, values[0])).action is SwitchAction.DROP
+    assert prog.handle(update(1, 0, OFF, values[1])).action is SwitchAction.DROP
+
+    # t2/t3: worker 3's update is LOST upstream -- the switch never sees it.
+
+    # t4: worker 1 times out and retransmits; switch already saw it, and
+    # aggregation is incomplete -> ignored.
+    out = prog.handle(update(0, 0, OFF, values[0]))
+    assert out.action is SwitchAction.DROP
+    assert prog.ignored_duplicates == 1
+
+    # t5: worker 2 retransmits; same.
+    out = prog.handle(update(1, 0, OFF, values[1]))
+    assert out.action is SwitchAction.DROP
+    assert prog.ignored_duplicates == 2
+
+    # t6: worker 3's retransmission arrives; aggregation completes and
+    # the switch multicasts the result (slot becomes a shadow copy).
+    out = prog.handle(update(2, 0, OFF, values[2]))
+    assert out.action is SwitchAction.MULTICAST
+    assert list(out.packet.vector) == [60] * K
+
+    # t7: the response to worker 1 is LOST downstream.
+
+    # t8: worker 1 retransmits again; the switch recognizes completion
+    # and answers with a unicast result.
+    out = prog.handle(update(0, 0, OFF, values[0]))
+    assert out.action is SwitchAction.UNICAST
+    assert out.unicast_wid == 0
+    assert list(out.packet.vector) == [60] * K
+    assert prog.unicast_retransmits == 1
+
+    # t9/t10 -> t12/t13: workers 2 and 3 received the multicast and move
+    # to the next phase, reusing slot x on pool version 1.
+    assert prog.handle(update(1, 1, NEXT_OFF, values[1])).action is SwitchAction.DROP
+    assert prog.handle(update(2, 1, NEXT_OFF, values[2])).action is SwitchAction.DROP
+
+    # The ver-0 shadow copy still serves worker 1 if it asks again.
+    out = prog.handle(update(0, 0, OFF, values[0]))
+    assert out.action is SwitchAction.UNICAST
+    assert list(out.packet.vector) == [60] * K
+
+    # t11/t14: worker 1 got its unicast result and sends its ver-1 update;
+    # t15: the switch completes the ver-1 phase, confirming that the ver-0
+    # result was received by every worker, and flips the roles again.
+    out = prog.handle(update(0, 1, NEXT_OFF, values[0]))
+    assert out.action is SwitchAction.MULTICAST
+    assert list(out.packet.vector) == [60] * K
+    assert prog.multicasts == 2
+
+
+def test_appendix_a_with_phase_values_differing():
+    """Same trace but the second phase carries different data, proving
+    the two pools never mix."""
+    prog = SwitchMLProgram(num_workers=3, pool_size=1, elements_per_packet=K)
+    for wid in range(3):
+        prog.handle(update(wid, 0, OFF, wid + 1))  # ver-0 sum = 6
+    for wid in (1, 2):
+        prog.handle(update(wid, 1, NEXT_OFF, 10 * (wid + 1)))
+    # ver-0 shadow still correct
+    out = prog.handle(update(0, 0, OFF, 1))
+    assert list(out.packet.vector) == [6] * K
+    # ver-1 completes with its own sum
+    out = prog.handle(update(0, 1, NEXT_OFF, 10))
+    assert list(out.packet.vector) == [10 + 20 + 30] * K

@@ -1,0 +1,118 @@
+"""Tests for SS3.4's robustness notes: checksums discard corrupted
+packets, and "the scheme is not influenced by packet reorderings"."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+
+def tensors_for(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-500, 500, size).astype(np.int64) for _ in range(n)]
+
+
+class TestCorruption:
+    def test_corrupted_packets_recovered_exactly(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=4, pool_size=8, timeout_s=1e-4,
+                link=LinkSpec(corruption_probability=0.01),
+                check_invariants=True, seed=2,
+            )
+        )
+        out = job.all_reduce(tensors_for(4, 32 * 8 * 12, seed=1))  # verify=True
+        assert out.completed
+        corrupted = sum(
+            l.stats.frames_corrupted
+            for l in job.rack.uplinks + job.rack.downlinks
+        )
+        assert corrupted > 0  # the run actually exercised the path
+
+    def test_switch_discards_corrupt_updates(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=2, pool_size=4, timeout_s=1e-4,
+                link=LinkSpec(corruption_probability=0.05), seed=4,
+            )
+        )
+        out = job.all_reduce(tensors_for(2, 32 * 4 * 10, seed=2))
+        assert out.completed
+        dataplane = job.rack.switch.program
+        workers_discarded = sum(s.corrupt_discarded for s in out.worker_stats)
+        assert dataplane.corrupt_discarded + workers_discarded > 0
+
+    def test_corruption_behaves_like_loss_for_timing(self):
+        """A corrupted frame consumes wire time and triggers the same
+        timeout recovery as a loss; TAT inflates comparably."""
+        n_elem = 32 * 8 * 24
+
+        def run(corruption, loss):
+            job = SwitchMLJob(
+                SwitchMLConfig(
+                    num_workers=4, pool_size=8, timeout_s=1e-4,
+                    link=LinkSpec(corruption_probability=corruption),
+                    loss_factory=lambda: BernoulliLoss(loss),
+                    seed=5,
+                )
+            )
+            out = job.all_reduce(num_elements=n_elem, verify=False)
+            assert out.completed
+            return out.max_tat
+
+        base = run(corruption=0.0, loss=0.0)
+        lossy = run(corruption=0.0, loss=0.01)
+        corrupt = run(corruption=0.01, loss=0.0)
+        assert corrupt > base
+        assert lossy > base
+        # corruption-induced inflation within 3x of loss-induced inflation
+        assert corrupt / lossy < 3.0 and lossy / corrupt < 3.0
+
+
+class TestReordering:
+    @pytest.mark.parametrize("jitter_us", [5.0, 50.0])
+    def test_jittered_links_still_exact(self, jitter_us):
+        """Per-frame random delays reorder deliveries; the protocol is
+        offset-addressed, so results stay bit-exact (SS3.4)."""
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=4, pool_size=8,
+                timeout_s=5e-3,  # above worst-case jittered RTT
+                link=LinkSpec(jitter_s=jitter_us * 1e-6),
+                check_invariants=True, seed=6,
+            )
+        )
+        out = job.all_reduce(tensors_for(4, 32 * 8 * 8, seed=3))
+        assert out.completed
+
+    def test_jitter_with_loss_combined(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=3, pool_size=4, timeout_s=5e-3,
+                link=LinkSpec(jitter_s=20e-6),
+                loss_factory=lambda: BernoulliLoss(0.01),
+                check_invariants=True, seed=7,
+            )
+        )
+        out = job.all_reduce(tensors_for(3, 32 * 4 * 10, seed=4))
+        assert out.completed
+
+    def test_jitter_actually_reorders(self):
+        """Sanity: with heavy jitter, deliveries leave FIFO order."""
+        from repro.net.link import Link
+        from repro.net.packet import Frame
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=1)
+        arrivals = []
+        link = Link(
+            sim, LinkSpec(rate_gbps=10.0, jitter_s=100e-6), "jittery",
+            deliver=lambda f: arrivals.append(f.flow_key),
+        )
+        for i in range(50):
+            link.send(Frame(wire_bytes=180, flow_key=i))
+        sim.run()
+        assert arrivals != sorted(arrivals)
+        assert sorted(arrivals) == list(range(50))  # nothing lost

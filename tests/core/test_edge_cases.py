@@ -1,0 +1,111 @@
+"""Edge-case battery for the protocol: extreme parameter corners."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.loss import BernoulliLoss
+
+
+def run(num_workers, pool_size, k, size, seed=0, **kwargs):
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=num_workers, pool_size=pool_size,
+            elements_per_packet=k, check_invariants=True, seed=seed,
+            **kwargs,
+        )
+    )
+    rng = np.random.default_rng(seed)
+    tensors = [
+        rng.integers(-1000, 1000, size).astype(np.int64)
+        for _ in range(num_workers)
+    ]
+    return job.all_reduce(tensors)  # verify=True
+
+
+class TestParameterCorners:
+    def test_single_element_packets(self):
+        assert run(3, pool_size=4, k=1, size=10).completed
+
+    def test_single_slot_pool(self):
+        """One slot: pure stop-and-wait, every phase serialized."""
+        assert run(4, pool_size=1, k=32, size=32 * 7).completed
+
+    def test_tensor_exactly_one_packet(self):
+        assert run(2, pool_size=8, k=32, size=32).completed
+
+    def test_tensor_exactly_fills_the_pool(self):
+        assert run(2, pool_size=4, k=32, size=32 * 4).completed
+
+    def test_tensor_one_element(self):
+        assert run(2, pool_size=4, k=8, size=1).completed
+
+    def test_sixteen_workers(self):
+        """The paper's largest microbenchmark scale."""
+        assert run(16, pool_size=8, k=32, size=32 * 8 * 3).completed
+
+    def test_pool_larger_than_packets(self):
+        out = run(2, pool_size=64, k=32, size=32 * 5)
+        assert out.completed
+        # only 5 slots ever used: exactly 5 multicasts
+        assert out.switch_multicasts == 5
+
+    def test_extreme_values_at_int32_boundaries(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=2, pool_size=2, elements_per_packet=4)
+        )
+        half_max = 2**30 - 1
+        tensors = [
+            np.full(8, half_max, dtype=np.int64),
+            np.full(8, half_max, dtype=np.int64),
+        ]
+        out = job.all_reduce(tensors)  # sum < 2^31: no wrap
+        assert out.completed
+        assert np.all(out.results[0] == 2 * half_max)
+
+    def test_negative_heavy_tensors(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=3, pool_size=2, elements_per_packet=4)
+        )
+        tensors = [np.full(16, -(2**29), dtype=np.int64) for _ in range(3)]
+        out = job.all_reduce(tensors)
+        assert np.all(out.results[0] == -3 * 2**29)
+
+    def test_zero_tensors(self):
+        out = run(4, pool_size=4, k=16, size=16 * 6)
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=4, elements_per_packet=16)
+        )
+        zeros = [np.zeros(16 * 6, dtype=np.int64)] * 4
+        z = job.all_reduce(zeros)
+        assert z.completed
+        assert np.all(z.results[0] == 0)
+
+    def test_single_worker_single_slot_single_packet(self):
+        assert run(1, pool_size=1, k=4, size=4).completed
+
+
+class TestStressCorners:
+    def test_tiny_pool_under_loss(self):
+        """One slot + loss: the most serialized recovery possible."""
+        out = run(
+            3, pool_size=1, k=8, size=8 * 12, seed=5,
+            loss_factory=lambda: BernoulliLoss(0.02), timeout_s=1e-4,
+        )
+        assert out.completed
+
+    def test_many_workers_small_k_loss(self):
+        out = run(
+            12, pool_size=4, k=4, size=4 * 4 * 6, seed=6,
+            loss_factory=lambda: BernoulliLoss(0.01), timeout_s=1e-4,
+        )
+        assert out.completed
+
+    def test_adaptive_timeout_in_every_corner(self):
+        for n, s, k in ((1, 1, 1), (2, 3, 8), (5, 2, 16)):
+            out = run(
+                n, pool_size=s, k=k, size=k * s * 3, seed=n,
+                timeout_mode="adaptive",
+                loss_factory=lambda: BernoulliLoss(0.01),
+            )
+            assert out.completed

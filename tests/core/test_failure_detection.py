@@ -1,0 +1,79 @@
+"""Tests for worker-failure detection (SS3.2 footnote: "worker, link or
+switch failures are handled by the ML framework" -- these produce the
+signal the framework acts on)."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.loss import BernoulliLoss
+
+
+def make_job(**kwargs):
+    defaults = dict(num_workers=4, pool_size=8, timeout_s=1e-4, max_retries=5)
+    defaults.update(kwargs)
+    return SwitchMLJob(SwitchMLConfig(**defaults))
+
+
+class TestCrashDetection:
+    def test_survivors_detect_a_crashed_worker(self):
+        job = make_job()
+        job.sim.schedule(1e-4, job.workers[2].crash)
+        out = job.all_reduce(num_elements=32 * 8 * 40, verify=False,
+                             deadline_s=5.0)
+        assert not out.completed
+        assert out.failed_workers == [0, 1, 3]  # everyone but the corpse
+
+    def test_detection_terminates_promptly(self):
+        """With bounded retries the simulation drains instead of
+        retransmitting forever."""
+        job = make_job()
+        job.sim.schedule(1e-4, job.workers[0].crash)
+        job.all_reduce(num_elements=32 * 8 * 40, verify=False, deadline_s=60.0)
+        # detection time ~ max_retries doubling backoffs of 100 us, far
+        # below the 60 s deadline
+        assert job.sim.now < 0.1
+
+    def test_crash_before_start_fails_everyone_else(self):
+        job = make_job()
+        job.workers[3].crash()  # dead on arrival... but start() revives;
+        # crash after the start event instead:
+        job.sim.schedule(1e-6, job.workers[3].crash)
+        out = job.all_reduce(num_elements=32 * 8 * 10, verify=False,
+                             deadline_s=5.0)
+        assert not out.completed
+        assert 0 in out.failed_workers
+
+    def test_no_failures_without_crash(self):
+        job = make_job()
+        out = job.all_reduce(num_elements=32 * 8 * 10, verify=False)
+        assert out.completed
+        assert out.failed_workers == []
+
+    def test_loss_alone_does_not_trip_the_detector(self):
+        """Ordinary loss must stay below the retry bound: the detector
+        distinguishes a dead peer from a lossy link."""
+        job = make_job(
+            max_retries=12,
+            loss_factory=lambda: BernoulliLoss(0.01),
+            seed=9,
+        )
+        tensors = [
+            np.random.default_rng(w).integers(-50, 50, 32 * 8 * 10).astype(np.int64)
+            for w in range(4)
+        ]
+        out = job.all_reduce(tensors)
+        assert out.completed
+        assert out.failed_workers == []
+
+    def test_unbounded_retries_by_default(self):
+        """Without max_retries (the paper's protocol), workers retry
+        forever; the deadline is what stops a doomed run."""
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4,
+                                         timeout_s=1e-4))
+        job.sim.schedule(1e-5, job.workers[1].crash)
+        out = job.all_reduce(num_elements=32 * 4 * 4, verify=False,
+                             deadline_s=0.01)
+        assert not out.completed
+        assert out.failed_workers == []
+        assert job.workers[0].stats.retransmissions > 10

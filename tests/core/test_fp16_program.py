@@ -1,0 +1,99 @@
+"""Tests for the SwitchML(16) in-switch conversion path (SS3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fp16_program import Float16SwitchMLProgram
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import SwitchAction
+from repro.net.loss import BernoulliLoss
+from repro.quant.float16 import SWITCH_FIXED_SCALE
+
+K = 4
+
+
+def half_pkt(wid, values, ver=0, idx=0, off=0):
+    return SwitchMLPacket(
+        wid=wid, ver=ver, idx=idx, off=off, num_elements=K,
+        vector=np.asarray(values, dtype=np.float16),
+    )
+
+
+class TestProgram:
+    def test_aggregates_half_precision_exactly_on_grid(self):
+        """Values on the 1/1024 fixed-point grid sum exactly."""
+        prog = Float16SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        prog.handle(half_pkt(0, [0.5, 1.25, -2.0, 0.0]))
+        out = prog.handle(half_pkt(1, [0.25, 0.75, 1.0, -1.5]))
+        assert out.action is SwitchAction.MULTICAST
+        assert out.packet.vector.dtype == np.float16
+        assert np.allclose(
+            out.packet.vector.astype(np.float64), [0.75, 2.0, -1.0, -1.5]
+        )
+
+    def test_conversion_counters(self):
+        prog = Float16SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        prog.handle(half_pkt(0, [1.0] * K))
+        prog.handle(half_pkt(1, [1.0] * K))
+        assert prog.conversions_in == 2
+        assert prog.conversions_out == 1
+
+    def test_loss_recovery_machinery_inherited(self):
+        """Duplicates and shadow-copy unicasts behave as in Algorithm 3."""
+        prog = Float16SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        prog.handle(half_pkt(0, [1.0] * K))
+        dup = prog.handle(half_pkt(0, [1.0] * K))
+        assert dup.action is SwitchAction.DROP
+        prog.handle(half_pkt(1, [2.0] * K))  # completes
+        reply = prog.handle(half_pkt(0, [1.0] * K))
+        assert reply.action is SwitchAction.UNICAST
+        assert np.allclose(reply.packet.vector.astype(np.float64), [3.0] * K)
+
+    def test_error_bound_formula(self):
+        assert Float16SwitchMLProgram.worker_error_bound(8) == pytest.approx(
+            8 * 0.5 / SWITCH_FIXED_SCALE
+        )
+
+
+class TestEndToEnd:
+    def _run(self, loss=0.0, seed=1):
+        cfg = SwitchMLConfig(
+            num_workers=4, pool_size=8,
+            elements_per_packet=64, bytes_per_element=2,
+            fp16_switch=True,
+            loss_factory=lambda: BernoulliLoss(loss),
+            timeout_s=1e-4, seed=seed,
+        )
+        job = SwitchMLJob(cfg)
+        rng = np.random.default_rng(seed)
+        tensors = [
+            (rng.normal(size=64 * 8 * 4) * 4).astype(np.float16)
+            for _ in range(4)
+        ]
+        out = job.all_reduce(tensors)  # verify checks the deterministic path
+        return out, tensors
+
+    def test_lossless_end_to_end(self):
+        out, tensors = self._run()
+        assert out.completed
+        exact = np.sum([t.astype(np.float64) for t in tensors], axis=0)
+        err = np.abs(out.results[0].astype(np.float64) - exact).max()
+        # error bounded by n x (half fixed-point step + float16 rounding)
+        assert err < 4 * (0.5 / SWITCH_FIXED_SCALE) + 0.05
+
+    def test_lossy_end_to_end(self):
+        out, _ = self._run(loss=0.01, seed=5)
+        assert out.completed
+        assert out.retransmissions > 0 or out.frames_lost == 0
+
+    def test_wire_frames_are_180_bytes(self):
+        """64 half-precision elements fill the paper's 180-byte frame."""
+        out, _ = self._run()
+        # frame accounting is in the stats: bytes per uplink frame
+        pkt = SwitchMLPacket(wid=0, ver=0, idx=0, off=0, num_elements=64)
+        assert pkt.wire_bytes(bytes_per_element=2) == 180
+
+    def test_fp16_and_lossless_exclusive(self):
+        with pytest.raises(ValueError):
+            SwitchMLJob(SwitchMLConfig(fp16_switch=True, lossless_switch=True))

@@ -1,0 +1,127 @@
+"""Additional hierarchy coverage: deeper shapes and failure corners."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import (
+    HierarchicalConfig,
+    HierarchicalJob,
+    RackAggregatorProgram,
+)
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import SwitchAction
+from repro.net.loss import ScriptedLoss
+
+K = 4
+
+
+def pkt(wid, idx=0, ver=0, off=0, value=1):
+    return SwitchMLPacket(
+        wid=wid, ver=ver, idx=idx, off=off, num_elements=K,
+        vector=np.full(K, value, dtype=np.int64),
+    )
+
+
+class TestRackProgramPhases:
+    def test_slot_cycles_through_phases(self):
+        """AGG -> FORWARDED -> DONE -> (reuse on alternate version)."""
+        prog = RackAggregatorProgram(0, num_children=2, pool_size=1,
+                                     elements_per_packet=K)
+        # phase 0 on ver 0
+        prog.handle_child(pkt(0, ver=0, value=1))
+        up = prog.handle_child(pkt(1, ver=0, value=2))
+        assert up.action is SwitchAction.MULTICAST
+        result = SwitchMLPacket(wid=0, ver=0, idx=0, off=0, num_elements=K,
+                                vector=np.full(K, 3, dtype=np.int64),
+                                from_switch=True)
+        down = prog.handle_result(result)
+        assert down.action is SwitchAction.MULTICAST
+        # phase 1 on ver 1 reuses the slot
+        prog.handle_child(pkt(0, ver=1, off=K, value=10))
+        up2 = prog.handle_child(pkt(1, ver=1, off=K, value=20))
+        assert up2.action is SwitchAction.MULTICAST
+        assert list(up2.packet.vector) == [30] * K
+
+    def test_phase_reuse_overwrites_old_partial(self):
+        prog = RackAggregatorProgram(0, 2, 1, K)
+        prog.handle_child(pkt(0, ver=0, value=100))
+        prog.handle_child(pkt(1, ver=0, value=100))
+        prog.handle_result(
+            SwitchMLPacket(wid=0, ver=0, idx=0, off=0, num_elements=K,
+                           vector=np.full(K, 200, dtype=np.int64),
+                           from_switch=True)
+        )
+        prog.handle_child(pkt(0, ver=1, off=K, value=1))
+        prog.handle_child(pkt(1, ver=1, off=K, value=2))
+        prog.handle_result(
+            SwitchMLPacket(wid=0, ver=1, idx=0, off=K, num_elements=K,
+                           vector=np.full(K, 3, dtype=np.int64),
+                           from_switch=True)
+        )
+        # back to ver 0: the new phase must not see 100s or 200s
+        prog.handle_child(pkt(0, ver=0, off=2 * K, value=7))
+        up = prog.handle_child(pkt(1, ver=0, off=2 * K, value=8))
+        assert list(up.packet.vector) == [15] * K
+
+
+class TestDeepAndWideTrees:
+    @pytest.mark.parametrize("racks,per_rack", [(2, 8), (4, 2), (4, 4)])
+    def test_various_tree_shapes_exact(self, racks, per_rack):
+        job = HierarchicalJob(
+            HierarchicalConfig(num_racks=racks, workers_per_rack=per_rack,
+                               pool_size=8)
+        )
+        n = racks * per_rack
+        rng = np.random.default_rng(n)
+        tensors = [rng.integers(-200, 200, 32 * 8 * 3).astype(np.int64)
+                   for _ in range(n)]
+        out = job.all_reduce(tensors)
+        assert out.completed
+
+    def test_single_worker_racks(self):
+        """Degenerate racks of one worker each: the tree is a star of
+        relays; aggregation happens only at the root."""
+        job = HierarchicalJob(
+            HierarchicalConfig(num_racks=3, workers_per_rack=1, pool_size=4)
+        )
+        tensors = [np.full(32 * 4 * 2, w + 1, dtype=np.int64) for w in range(3)]
+        out = job.all_reduce(tensors)
+        assert out.completed
+        assert np.all(out.results[0] == 6)
+
+
+class TestScriptedLossAtEachLayer:
+    def _job_with_scripted_losses(self, scripted_index, drop_positions):
+        """Build a 2x2 tree with a scripted loss model at one link slot.
+
+        Link creation order in HierarchicalJob: per rack, per worker
+        (uplink, downlink) pairs, then (rack uplink, root downlink).
+        """
+        counter = {"i": -1}
+
+        def factory():
+            counter["i"] += 1
+            if counter["i"] == scripted_index:
+                return ScriptedLoss(drop_positions)
+            return ScriptedLoss(set())
+
+        return HierarchicalJob(
+            HierarchicalConfig(num_racks=2, workers_per_rack=2, pool_size=4,
+                               timeout_s=1e-4, loss_factory=factory)
+        )
+
+    @pytest.mark.parametrize("link_index", [0, 1, 4, 5])
+    def test_worker_link_losses_recovered(self, link_index):
+        job = self._job_with_scripted_losses(link_index, {0, 2})
+        tensors = [np.full(32 * 4 * 3, w, dtype=np.int64) for w in range(4)]
+        out = job.all_reduce(tensors)
+        assert out.completed
+
+    @pytest.mark.parametrize("link_index", [4, 5, 10, 11])
+    def test_spine_link_losses_recovered(self, link_index):
+        """Drops on rack<->root links exercise the partial-re-forward
+        path of SS6."""
+        job = self._job_with_scripted_losses(link_index, {0, 1})
+        tensors = [np.full(32 * 4 * 3, w + 1, dtype=np.int64) for w in range(4)]
+        out = job.all_reduce(tensors)
+        assert out.completed

@@ -1,0 +1,64 @@
+"""Unit tests for the SwitchML packet format."""
+
+import numpy as np
+import pytest
+
+from repro.core.packet import SwitchMLPacket
+
+
+def make(**kwargs):
+    defaults = dict(wid=0, ver=0, idx=0, off=0, num_elements=32)
+    defaults.update(kwargs)
+    return SwitchMLPacket(**defaults)
+
+
+class TestWireSize:
+    def test_paper_frame_size(self):
+        assert make().wire_bytes() == 180
+
+    def test_float16_wire_size(self):
+        assert make(num_elements=64).wire_bytes(bytes_per_element=2) == 180
+
+    def test_mtu_frame(self):
+        assert make(num_elements=366).wire_bytes() == 1516
+
+
+class TestFrameWrapping:
+    def test_to_frame_carries_slot_as_flow_key(self):
+        frame = make(idx=77).to_frame("w0", "sw")
+        assert frame.flow_key == 77
+        assert frame.src == "w0"
+        assert frame.dst == "sw"
+        assert frame.message.idx == 77
+
+    def test_result_copy_flips_direction_and_keeps_coords(self):
+        vec = np.arange(32)
+        packet = make(wid=3, ver=1, idx=5, off=640)
+        result = packet.result_copy(vec)
+        assert result.from_switch
+        assert (result.wid, result.ver, result.idx, result.off) == (3, 1, 5, 640)
+        assert result.vector is vec
+        assert not packet.from_switch  # original untouched
+
+
+class TestValidation:
+    def test_valid_packet_passes(self):
+        make(vector=np.zeros(32)).validate()
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            make(ver=2).validate()
+
+    def test_negative_fields(self):
+        with pytest.raises(ValueError):
+            make(idx=-1).validate()
+        with pytest.raises(ValueError):
+            make(off=-1).validate()
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make(vector=np.zeros(8)).validate()
+
+    def test_zero_elements(self):
+        with pytest.raises(ValueError):
+            make(num_elements=0).validate()

@@ -1,0 +1,89 @@
+"""Unit tests for the stream buffer manager (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stream import StreamBufferManager
+
+
+class TestStreamLayout:
+    def test_single_tensor_roundtrip(self):
+        mgr = StreamBufferManager(elements_per_packet=8)
+        data = np.arange(24)
+        slice_ = mgr.add_tensor("grad", data)
+        stream = mgr.build_stream()
+        assert len(stream) % 8 == 0
+        assert np.array_equal(mgr.extract(stream, slice_), data)
+
+    def test_multiple_tensors_keep_order_and_content(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        a = mgr.add_tensor("a", np.arange(10))
+        b = mgr.add_tensor("b", np.arange(100, 107))
+        stream = mgr.build_stream()
+        assert np.array_equal(mgr.extract(stream, a), np.arange(10))
+        assert np.array_equal(mgr.extract(stream, b), np.arange(100, 107))
+        assert a.offset < b.offset
+
+    def test_per_tensor_padding_aligns_boundaries(self):
+        mgr = StreamBufferManager(elements_per_packet=8, pad_each_tensor=True)
+        mgr.add_tensor("a", np.ones(5))
+        b = mgr.add_tensor("b", np.ones(3))
+        assert b.offset == 8  # a padded to one chunk
+
+    def test_tail_only_padding_packs_tensors(self):
+        mgr = StreamBufferManager(elements_per_packet=8, pad_each_tensor=False)
+        mgr.add_tensor("a", np.ones(5))
+        b = mgr.add_tensor("b", np.ones(3))
+        assert b.offset == 5
+        assert mgr.stream_length == 8
+
+    def test_stream_length_is_chunk_multiple(self):
+        mgr = StreamBufferManager(elements_per_packet=32)
+        mgr.add_tensor("a", np.ones(33))
+        assert mgr.stream_length == 64
+        assert len(mgr.build_stream()) == 64
+
+    def test_multidimensional_tensors_flatten(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        t = np.arange(12).reshape(3, 4)
+        slice_ = mgr.add_tensor("w", t)
+        assert slice_.length == 12
+        stream = mgr.build_stream()
+        assert np.array_equal(mgr.extract(stream, slice_), t.ravel())
+
+    def test_extract_all(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        mgr.add_tensor("x", np.full(4, 1))
+        mgr.add_tensor("y", np.full(4, 2))
+        stream = mgr.build_stream()
+        out = mgr.extract_all(stream * 10)
+        assert np.array_equal(out["x"], np.full(4, 10))
+        assert np.array_equal(out["y"], np.full(4, 20))
+
+    def test_padding_is_zero(self):
+        mgr = StreamBufferManager(elements_per_packet=8)
+        mgr.add_tensor("a", np.full(3, 9))
+        stream = mgr.build_stream()
+        assert list(stream) == [9, 9, 9, 0, 0, 0, 0, 0]
+
+
+class TestValidation:
+    def test_empty_tensor_rejected(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        with pytest.raises(ValueError):
+            mgr.add_tensor("bad", np.array([]))
+
+    def test_empty_stream_rejected(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        with pytest.raises(ValueError):
+            mgr.build_stream()
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBufferManager(elements_per_packet=0)
+
+    def test_extract_beyond_stream_rejected(self):
+        mgr = StreamBufferManager(elements_per_packet=4)
+        slice_ = mgr.add_tensor("a", np.ones(4))
+        with pytest.raises(ValueError):
+            mgr.extract(np.ones(2), slice_)

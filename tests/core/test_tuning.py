@@ -1,0 +1,77 @@
+"""Unit tests for pool sizing (SS3.6)."""
+
+import pytest
+
+from repro.core.tuning import (
+    MEASURED_DELAY_S,
+    next_power_of_two,
+    optimal_pool_size,
+    pool_size_for_rate,
+)
+
+
+class TestNextPowerOfTwo:
+    def test_exact_powers_are_fixed_points(self):
+        for p in (1, 2, 4, 64, 1024):
+            assert next_power_of_two(p) == p
+
+    def test_rounds_up(self):
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(83) == 128
+        assert next_power_of_two(129) == 256
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestOptimalPoolSize:
+    def test_paper_deployment_values(self):
+        """The paper uses 128 slots at 10 Gbps, 512 at 100 Gbps."""
+        assert pool_size_for_rate(10.0) == 128
+        assert pool_size_for_rate(100.0) == 512
+
+    def test_bdp_rule(self):
+        # BDP = 10 Gbps * 12 us = 15000 B; /180 B = 83.3 -> 84 -> 128
+        assert optimal_pool_size(10.0, 12e-6) == 128
+
+    def test_scales_with_rate(self):
+        assert optimal_pool_size(100.0, 12e-6) > optimal_pool_size(10.0, 12e-6)
+
+    def test_scales_with_delay(self):
+        assert optimal_pool_size(10.0, 50e-6) > optimal_pool_size(10.0, 10e-6)
+
+    def test_larger_frames_need_fewer_slots(self):
+        small = optimal_pool_size(10.0, 12e-6, frame_bytes=180)
+        large = optimal_pool_size(10.0, 12e-6, frame_bytes=1516)
+        assert large < small
+
+    def test_result_is_power_of_two(self):
+        for rate in (1.0, 10.0, 25.0, 40.0, 100.0):
+            s = optimal_pool_size(rate, 12e-6)
+            assert s & (s - 1) == 0
+
+    def test_tiny_bdp_floors_at_one(self):
+        assert optimal_pool_size(0.001, 1e-9) == 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_pool_size(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            optimal_pool_size(10.0, 0.0)
+
+
+class TestInterpolation:
+    def test_rates_below_calibration_clamp(self):
+        assert pool_size_for_rate(1.0) <= pool_size_for_rate(10.0)
+
+    def test_rates_above_calibration_clamp(self):
+        assert pool_size_for_rate(400.0) >= pool_size_for_rate(100.0)
+
+    def test_intermediate_rates_interpolate(self):
+        mid = pool_size_for_rate(40.0)
+        assert pool_size_for_rate(10.0) <= mid <= pool_size_for_rate(100.0)
+
+    def test_calibration_table_is_sane(self):
+        assert set(MEASURED_DELAY_S) == {10.0, 100.0}
+        assert all(d > 0 for d in MEASURED_DELAY_S.values())

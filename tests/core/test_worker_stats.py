@@ -1,0 +1,96 @@
+"""Coverage for worker statistics and result-object accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.worker import WorkerStats
+from repro.net.loss import BernoulliLoss
+
+
+class TestWorkerStats:
+    def test_tat_nan_before_finish(self):
+        stats = WorkerStats(start_time=1.0)
+        assert math.isnan(stats.tensor_aggregation_time)
+
+    def test_mean_rtt_nan_without_samples(self):
+        assert math.isnan(WorkerStats().mean_rtt)
+
+    def test_mean_rtt(self):
+        stats = WorkerStats(rtt_sum=3.0, rtt_count=2)
+        assert stats.mean_rtt == 1.5
+
+
+class TestResultAccounting:
+    @pytest.fixture(scope="class")
+    def lossless(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=8))
+        rng = np.random.default_rng(0)
+        tensors = [rng.integers(-100, 100, 32 * 8 * 6).astype(np.int64)
+                   for _ in range(4)]
+        return job, job.all_reduce(tensors)
+
+    def test_packets_sent_matches_chunks(self, lossless):
+        _, out = lossless
+        chunks = (32 * 8 * 6) // 32
+        for stats in out.worker_stats:
+            assert stats.packets_sent == chunks
+            assert stats.results_received == chunks
+
+    def test_multicast_count_matches_chunks(self, lossless):
+        _, out = lossless
+        assert out.switch_multicasts == (32 * 8 * 6) // 32
+
+    def test_mean_and_max_tat_relation(self, lossless):
+        _, out = lossless
+        assert out.mean_tat <= out.max_tat
+        assert out.mean_tat > 0
+
+    def test_rtt_counts_cover_every_result(self, lossless):
+        _, out = lossless
+        for stats in out.worker_stats:
+            assert stats.rtt_count == stats.results_received
+
+    def test_event_count_is_positive_and_bounded(self, lossless):
+        _, out = lossless
+        # at least one event per packet hop; far fewer than 1000x that
+        packets = 4 * (32 * 8 * 6) // 32
+        assert out.sim_events > packets
+        assert out.sim_events < packets * 100
+
+
+class TestLossyAccountingConsistency:
+    def test_retransmissions_equal_timeouts(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=8, timeout_s=1e-4,
+                           loss_factory=lambda: BernoulliLoss(0.02), seed=7)
+        )
+        out = job.all_reduce(num_elements=32 * 8 * 12, verify=False)
+        assert out.completed
+        chunks = (32 * 8 * 12) // 32
+        for stats in out.worker_stats:
+            assert stats.retransmissions == stats.timeouts
+            # every send is either a chunk's first transmission or a
+            # counted retransmission
+            assert stats.packets_sent == chunks + stats.retransmissions
+            assert stats.results_received == chunks
+
+    def test_switch_accounting_balances(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=3, pool_size=4, timeout_s=1e-4,
+                           loss_factory=lambda: BernoulliLoss(0.02), seed=9)
+        )
+        out = job.all_reduce(num_elements=32 * 4 * 10, verify=False)
+        assert out.completed
+        program = job.program
+        chunks = (32 * 4 * 10) // 32
+        # every chunk multicast exactly once
+        assert out.switch_multicasts == chunks
+        # every processed packet is accounted: applied, duplicate, or
+        # answered from the shadow copy
+        applied = chunks * 3  # one per worker per chunk
+        assert program.packets_processed == (
+            applied + program.ignored_duplicates + program.unicast_retransmits
+        )

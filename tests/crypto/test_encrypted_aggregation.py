@@ -1,0 +1,109 @@
+"""Tests for encrypted in-network aggregation (Appendix D end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.encrypted_aggregation import (
+    EncryptedAggregationPool,
+    decrypt_aggregate,
+    encrypt_update,
+    encrypted_allreduce,
+    wire_expansion_factor,
+)
+from repro.crypto.paillier import generate_keypair
+from repro.quant.theory import aggregation_error_bound
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=128, seed=11)
+
+
+class TestEncryptedPool:
+    def test_slot_completes_after_n_contributions(self, keys):
+        pool = EncryptedAggregationPool(keys.public, num_workers=3,
+                                        pool_size=2, elements_per_packet=4)
+        rng = np.random.default_rng(0)
+        chunks = [
+            encrypt_update(np.array([1.0, 2.0, 3.0, 4.0]) * (w + 1),
+                           keys.public, 100.0, rng)
+            for w in range(3)
+        ]
+        assert pool.contribute(0, chunks[0]) is None
+        assert pool.contribute(0, chunks[1]) is None
+        result = pool.contribute(0, chunks[2])
+        assert result is not None
+        clear = decrypt_aggregate(result, keys, 100.0)
+        assert np.allclose(clear, [6.0, 12.0, 18.0, 24.0])
+
+    def test_slot_resets_for_reuse(self, keys):
+        pool = EncryptedAggregationPool(keys.public, num_workers=1,
+                                        pool_size=1, elements_per_packet=2)
+        rng = np.random.default_rng(1)
+        first = pool.contribute(
+            0, encrypt_update(np.array([1.0, 1.0]), keys.public, 10.0, rng)
+        )
+        second = pool.contribute(
+            0, encrypt_update(np.array([5.0, 5.0]), keys.public, 10.0, rng)
+        )
+        assert np.allclose(decrypt_aggregate(first, keys, 10.0), [1.0, 1.0])
+        assert np.allclose(decrypt_aggregate(second, keys, 10.0), [5.0, 5.0])
+
+    def test_switch_never_sees_plaintext(self, keys):
+        """The pool state is ciphertext: no cell equals the plaintext sum."""
+        pool = EncryptedAggregationPool(keys.public, num_workers=1,
+                                        pool_size=1, elements_per_packet=1)
+        rng = np.random.default_rng(2)
+        chunk = encrypt_update(np.array([7.0]), keys.public, 1.0, rng)
+        result = pool.contribute(0, chunk)
+        assert result[0] != 7
+
+    def test_validation(self, keys):
+        pool = EncryptedAggregationPool(keys.public, 2, 1, 4)
+        with pytest.raises(ValueError):
+            pool.contribute(5, [1] * 4)
+        with pytest.raises(ValueError):
+            pool.contribute(0, [1] * 3)
+        with pytest.raises(ValueError):
+            EncryptedAggregationPool(keys.public, 0, 1, 1)
+
+    def test_state_footprint_blowup(self, keys):
+        """The quantitative 'likely costly': ciphertext slots dwarf the
+        32-bit plaintext pool."""
+        pool = EncryptedAggregationPool(keys.public, 8, 128, 32)
+        plaintext_bytes = 128 * 32 * 4
+        assert pool.state_bytes > 5 * plaintext_bytes
+
+
+class TestEncryptedAllReduce:
+    def test_matches_exact_sum_within_quantization(self, keys):
+        rng = np.random.default_rng(3)
+        updates = [rng.normal(size=30) for _ in range(4)]
+        f = 1e6
+        out = encrypted_allreduce(updates, keys, scaling_factor=f, seed=1)
+        exact = np.sum(updates, axis=0)
+        assert np.abs(out.aggregate - exact).max() <= aggregation_error_bound(4, f)
+
+    def test_unaligned_sizes_padded(self, keys):
+        updates = [np.ones(13), np.ones(13)]
+        out = encrypted_allreduce(updates, keys, 100.0, elements_per_packet=8)
+        assert len(out.aggregate) == 13
+        assert np.allclose(out.aggregate, 2.0)
+
+    def test_cost_accounting(self, keys):
+        updates = [np.ones(16)] * 3
+        out = encrypted_allreduce(updates, keys, 100.0, elements_per_packet=8)
+        assert out.modular_multiplications == 3 * 16
+        assert out.wire_expansion == wire_expansion_factor(keys.public)
+        assert out.wire_expansion >= 8.0  # 128-bit n -> 32-byte ciphertexts
+
+    def test_validation(self, keys):
+        with pytest.raises(ValueError):
+            encrypted_allreduce([], keys, 10.0)
+        with pytest.raises(ValueError):
+            encrypted_allreduce([np.ones(3), np.ones(4)], keys, 10.0)
+
+    def test_negative_gradients(self, keys):
+        updates = [np.array([-1.5, 2.5]), np.array([-3.5, -0.5])]
+        out = encrypted_allreduce(updates, keys, 100.0, elements_per_packet=2)
+        assert np.allclose(out.aggregate, [-5.0, 2.0])

@@ -1,0 +1,115 @@
+"""Unit tests for the Paillier cryptosystem (Appendix D substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.crypto.paillier import (
+    PaillierPublicKey,
+    generate_keypair,
+    is_probable_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=128, seed=7)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        rng = np.random.default_rng(0)
+        for p in (2, 3, 5, 7, 97, 7919, 104729, (1 << 61) - 1):
+            assert is_probable_prime(p, rng)
+
+    def test_known_composites(self):
+        rng = np.random.default_rng(0)
+        for c in (0, 1, 4, 9, 91, 561, 7917, 104730, (1 << 61)):
+            assert not is_probable_prime(c, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        """561, 1105, 1729 fool Fermat but not Miller-Rabin."""
+        rng = np.random.default_rng(0)
+        for c in (561, 1105, 1729, 2465, 2821):
+            assert not is_probable_prime(c, rng)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keys):
+        assert 120 <= keys.public.n.bit_length() <= 130
+
+    def test_deterministic_per_seed(self):
+        a = generate_keypair(bits=64, seed=3)
+        b = generate_keypair(bits=64, seed=3)
+        assert a.public.n == b.public.n
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(bits=64, seed=1)
+        b = generate_keypair(bits=64, seed=2)
+        assert a.public.n != b.public.n
+
+    def test_mu_inverts_lambda(self, keys):
+        assert (keys.private.lam * keys.private.mu) % keys.public.n == 1
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, keys):
+        rng = np.random.default_rng(1)
+        for m in (0, 1, 42, 10**9):
+            c = keys.public.encrypt(m, rng)
+            assert keys.private.decrypt(c) == m
+
+    def test_ciphertexts_are_randomized(self, keys):
+        rng = np.random.default_rng(2)
+        c1 = keys.public.encrypt(5, rng)
+        c2 = keys.public.encrypt(5, rng)
+        assert c1 != c2
+        assert keys.private.decrypt(c1) == keys.private.decrypt(c2) == 5
+
+    def test_signed_encoding_roundtrip(self, keys):
+        rng = np.random.default_rng(3)
+        for v in (-1, -1000, 0, 1000, -(10**9)):
+            encoded = keys.public.encode_signed(v)
+            c = keys.public.encrypt(encoded, rng)
+            assert keys.private.decrypt_signed(c) == v
+
+    def test_out_of_range_rejected(self, keys):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            keys.public.encrypt(-1, rng)
+        with pytest.raises(ValueError):
+            keys.public.encrypt(keys.public.n, rng)
+        with pytest.raises(ValueError):
+            keys.public.encode_signed(keys.public.n)
+        with pytest.raises(ValueError):
+            keys.private.decrypt(0)
+
+
+class TestHomomorphism:
+    def test_product_decrypts_to_sum(self, keys):
+        """Appendix D's core relation: E(x) * E(y) = E(x + y)."""
+        rng = np.random.default_rng(5)
+        x, y = 1234, 8765
+        cx = keys.public.encrypt(x, rng)
+        cy = keys.public.encrypt(y, rng)
+        assert keys.private.decrypt(keys.public.homomorphic_add(cx, cy)) == x + y
+
+    def test_signed_sum(self, keys):
+        rng = np.random.default_rng(6)
+        cx = keys.public.encrypt(keys.public.encode_signed(-500), rng)
+        cy = keys.public.encrypt(keys.public.encode_signed(200), rng)
+        total = keys.public.homomorphic_add(cx, cy)
+        assert keys.private.decrypt_signed(total) == -300
+
+    def test_many_term_sum(self, keys):
+        rng = np.random.default_rng(7)
+        values = [int(v) for v in np.random.default_rng(8).integers(-50, 50, 16)]
+        acc = keys.public.identity_ciphertext()
+        for v in values:
+            c = keys.public.encrypt(keys.public.encode_signed(v), rng)
+            acc = keys.public.homomorphic_add(acc, c)
+        assert keys.private.decrypt_signed(acc) == sum(values)
+
+    def test_identity_is_zero(self, keys):
+        assert keys.private.decrypt(keys.public.identity_ciphertext()) == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the pipeline constraint model and resource reports.
+
+These pin the paper's SS5.5 resource numbers and the k = 32 design wall.
+"""
+
+import pytest
+
+from repro.dataplane.pipeline import TOFINO, PipelineModel
+from repro.dataplane.resources import switchml_resource_report
+
+
+class TestPipelineModel:
+    def test_k32_fits_a_single_pipeline(self):
+        # SSB: the final design processes 32 elements per packet within
+        # a single ingress pipeline.
+        assert TOFINO.stages_for_elements(32) <= TOFINO.num_stages
+
+    def test_k64_does_not_fit(self):
+        # The paper's design wall: going beyond 32 elements was not
+        # possible; dependencies exceed the stage budget.
+        assert TOFINO.stages_for_elements(64) > TOFINO.num_stages
+
+    def test_max_elements_is_between_32_and_64(self):
+        assert 32 <= TOFINO.max_elements_per_packet() < 64
+
+    def test_parser_budget_can_bind(self):
+        tiny_parser = PipelineModel(parser_payload_bytes=90)
+        # (90 - 10) / 4 = 20 elements max from the parser side
+        assert tiny_parser.max_elements_per_packet() == 20
+
+    def test_stage_scaling(self):
+        assert TOFINO.stages_for_elements(4) == 1 + TOFINO.overhead_stages
+        assert TOFINO.stages_for_elements(32) == 8 + TOFINO.overhead_stages
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            TOFINO.stages_for_elements(0)
+
+    def test_fits_checks_both_budgets(self):
+        assert TOFINO.fits(32, 128 * 1024)
+        assert not TOFINO.fits(64, 128 * 1024)
+        assert not TOFINO.fits(32, TOFINO.sram_bytes + 1)
+
+
+class TestResourceReport:
+    def test_pool_128_uses_32kb(self):
+        # SS3.6: "This occupies 32 KB ... of register space"
+        report = switchml_resource_report(128)
+        assert report.value_sram_bytes == 32 * 1024
+
+    def test_pool_512_uses_128kb(self):
+        # SS3.6: "... and 128 KB ... respectively"
+        report = switchml_resource_report(512)
+        assert report.value_sram_bytes == 128 * 1024
+
+    def test_total_well_under_ten_percent(self):
+        # SS5.5: "even at 100 Gbps the memory requirement is << 10 %"
+        report = switchml_resource_report(512, num_workers=16)
+        assert report.sram_fraction < 0.01
+
+    def test_two_orders_of_magnitude_headroom(self):
+        # SS3.6: "the switch can support two orders of magnitude more
+        # slots"
+        report = switchml_resource_report(128 * 100)
+        assert report.total_sram_bytes <= report.pipeline.sram_bytes
+
+    def test_worker_count_barely_moves_resources(self):
+        # SS5.5: "The number of workers does not influence the resource
+        # requirements to perform aggregation at line rate."
+        small = switchml_resource_report(512, num_workers=2)
+        large = switchml_resource_report(512, num_workers=64)
+        assert large.total_sram_bytes < small.total_sram_bytes * 1.10
+
+    def test_shadow_copy_doubles_value_memory(self):
+        # SS3.5: "keeping a shadow copy doubles the memory requirement"
+        report = switchml_resource_report(128)
+        single_pool = 128 * 32 * 4
+        assert report.value_sram_bytes == 2 * single_pool
+
+    def test_fits_and_summary(self):
+        report = switchml_resource_report(128)
+        assert report.fits
+        text = report.summary()
+        assert "pool=128" in text and "fits=True" in text
+
+    def test_port_budget_limits_workers(self):
+        report = switchml_resource_report(128, num_workers=64)
+        assert not report.fits  # 64 > 16 ports per pipeline
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            switchml_resource_report(0)
+        with pytest.raises(ValueError):
+            switchml_resource_report(128, num_workers=0)

@@ -1,0 +1,134 @@
+"""Unit tests for register arrays: widths, wraparound, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.registers import RegisterArray, RegisterFile
+
+
+class TestScalarCells:
+    def test_read_write_roundtrip(self):
+        reg = RegisterArray("r", 8, width_bits=32)
+        reg.write(3, 42)
+        assert reg.read(3) == 42
+
+    def test_add_returns_post_value(self):
+        reg = RegisterArray("r", 4, width_bits=32)
+        assert reg.add(0, 10) == 10
+        assert reg.add(0, 5) == 15
+
+    def test_int32_wraparound_positive(self):
+        reg = RegisterArray("r", 1, width_bits=32)
+        reg.write(0, 2**31 - 1)
+        assert reg.add(0, 1) == -(2**31)
+
+    def test_int32_wraparound_negative(self):
+        reg = RegisterArray("r", 1, width_bits=32)
+        reg.write(0, -(2**31))
+        assert reg.add(0, -1) == 2**31 - 1
+
+    def test_one_bit_cells(self):
+        reg = RegisterArray("seen", 16, width_bits=1)
+        reg.write(5, 1)
+        assert reg.read(5) == 1
+        reg.write(5, 0)
+        assert reg.read(5) == 0
+
+    def test_eight_bit_counter_wraps(self):
+        reg = RegisterArray("count", 4, width_bits=8)
+        reg.write(0, 255)
+        assert reg.add(0, 1) == 0
+
+    def test_initial_state_is_zero(self):
+        reg = RegisterArray("r", 100, width_bits=32)
+        assert all(reg.read(i) == 0 for i in range(100))
+
+
+class TestVectorCells:
+    def test_add_range_accumulates(self):
+        reg = RegisterArray("pool", 64, width_bits=32)
+        reg.add_range(0, 4, np.array([1, 2, 3, 4]))
+        result = reg.add_range(0, 4, np.array([10, 20, 30, 40]))
+        assert list(result) == [11, 22, 33, 44]
+
+    def test_add_range_returns_int64_copy(self):
+        reg = RegisterArray("pool", 8, width_bits=32)
+        result = reg.add_range(0, 4, np.array([1, 2, 3, 4]))
+        assert result.dtype == np.int64
+        result[0] = 999
+        assert reg.read(0) == 1  # copy, not a view
+
+    def test_write_range_then_read_range(self):
+        reg = RegisterArray("pool", 8, width_bits=32)
+        reg.write_range(2, 6, np.array([-5, 0, 5, 7]))
+        assert list(reg.read_range(2, 6)) == [-5, 0, 5, 7]
+
+    def test_vector_wraparound_matches_alu(self):
+        reg = RegisterArray("pool", 4, width_bits=32)
+        reg.write_range(0, 2, np.array([2**31 - 1, -(2**31)]))
+        result = reg.add_range(0, 2, np.array([1, -1]))
+        assert list(result) == [-(2**31), 2**31 - 1]
+
+    def test_disjoint_ranges_do_not_interfere(self):
+        reg = RegisterArray("pool", 8, width_bits=32)
+        reg.write_range(0, 4, np.full(4, 1))
+        reg.write_range(4, 8, np.full(4, 2))
+        assert list(reg.read_range(0, 8)) == [1, 1, 1, 1, 2, 2, 2, 2]
+
+
+class TestAccountingAndValidation:
+    def test_sram_bytes(self):
+        assert RegisterArray("r", 1024, width_bits=32).sram_bytes == 4096
+        assert RegisterArray("r", 1024, width_bits=1).sram_bytes == 128
+        assert RegisterArray("r", 1024, width_bits=64).sram_bytes == 8192
+
+    def test_access_counter(self):
+        reg = RegisterArray("r", 8, width_bits=32)
+        reg.write(0, 1)
+        reg.read(0)
+        reg.add_range(0, 4, np.zeros(4))
+        assert reg.accesses == 3
+
+    def test_reset(self):
+        reg = RegisterArray("r", 4, width_bits=32)
+        reg.write_range(0, 4, np.array([1, 2, 3, 4]))
+        reg.reset()
+        assert list(reg.snapshot()) == [0, 0, 0, 0]
+        scalar = RegisterArray("s", 4, width_bits=8)
+        scalar.write(1, 7)
+        scalar.reset()
+        assert scalar.read(1) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0)
+        with pytest.raises(ValueError):
+            RegisterArray("r", 8, width_bits=13)
+
+
+class TestRegisterFile:
+    def test_allocate_and_lookup(self):
+        rf = RegisterFile()
+        pool = rf.allocate("pool", 128, 32)
+        assert rf["pool"] is pool
+        assert "pool" in rf
+        assert "other" not in rf
+
+    def test_duplicate_name_rejected(self):
+        rf = RegisterFile()
+        rf.allocate("pool", 8)
+        with pytest.raises(ValueError):
+            rf.allocate("pool", 8)
+
+    def test_total_sram(self):
+        rf = RegisterFile()
+        rf.allocate("a", 1024, 32)  # 4096 B
+        rf.allocate("b", 1024, 8)  # 1024 B
+        assert rf.total_sram_bytes == 5120
+
+    def test_file_reset(self):
+        rf = RegisterFile()
+        a = rf.allocate("a", 4, 32)
+        a.write(0, 9)
+        rf.reset()
+        assert a.read(0) == 0

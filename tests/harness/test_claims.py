@@ -1,0 +1,32 @@
+"""The claims audit must stay green, and the CLI must surface it."""
+
+from repro.cli import main
+from repro.harness.claims import CLAIMS, Claim, audit
+
+
+class TestClaimsAudit:
+    def test_every_claim_passes(self):
+        results = audit()
+        failures = [c.text for c, passed in results if not passed]
+        assert failures == []
+
+    def test_registry_covers_the_evaluation(self):
+        sections = {c.section for c in CLAIMS}
+        # every part of the paper with a quantitative claim is represented
+        for prefix in ("SS1", "SS2.3", "SS3.5", "SS3.6", "SS5.3", "SS5.5",
+                       "SS6", "App C", "App D"):
+            assert any(s.startswith(prefix) for s in sections), prefix
+        assert len(CLAIMS) >= 12
+
+    def test_exceptions_count_as_failures(self):
+        def boom() -> bool:
+            raise RuntimeError("broken check")
+
+        results = audit([Claim("x", "always broken", boom)])
+        assert results[0][1] is False
+
+    def test_cli_claims_exit_code(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "claims verified" in out
+        assert "FAIL" not in out

@@ -1,0 +1,70 @@
+"""Tests for the SS5.1 TAT-distribution methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.distributions import TATDistribution, measure_tat_distribution
+from repro.net.loss import BernoulliLoss
+
+
+def make_job(**kwargs):
+    defaults = dict(num_workers=4, pool_size=16)
+    defaults.update(kwargs)
+    return SwitchMLJob(SwitchMLConfig(**defaults))
+
+
+class TestTATDistribution:
+    def test_statistics(self):
+        dist = TATDistribution(samples=np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert dist.median == 3.0
+        assert dist.minimum == 1.0
+        assert dist.maximum == 5.0
+        assert dist.percentile(50) == 3.0
+        assert dist.interquartile_range == pytest.approx(2.0)
+        assert dist.relative_spread == pytest.approx(4.0 / 3.0)
+
+    def test_summary_renders(self):
+        dist = TATDistribution(samples=np.array([0.001, 0.002]))
+        text = dist.summary()
+        assert "median" in text and "ms" in text
+
+    def test_violin_renders(self):
+        rng = np.random.default_rng(0)
+        dist = TATDistribution(samples=rng.normal(1e-3, 1e-4, 200))
+        art = dist.violin()
+        assert art.count("\n") >= 10
+        assert "#" in art
+
+    def test_degenerate_violin(self):
+        dist = TATDistribution(samples=np.full(10, 2e-3))
+        assert "degenerate" in dist.violin()
+
+
+class TestMeasurement:
+    def test_lossless_distribution_is_tight(self):
+        """Without loss the violin collapses: every repetition takes the
+        same time on a deterministic rack."""
+        job = make_job()
+        dist = measure_tat_distribution(job, num_elements=32 * 16 * 8,
+                                        repetitions=20)
+        assert len(dist.samples) == 20 * 4  # per-worker pooling
+        assert dist.relative_spread < 0.05
+
+    def test_loss_widens_the_violin(self):
+        """The paper's violins widen visibly under loss -- randomized
+        retransmission delays spread the per-tensor TATs."""
+        tight = measure_tat_distribution(
+            make_job(seed=3), num_elements=32 * 16 * 8, repetitions=15
+        )
+        lossy = measure_tat_distribution(
+            make_job(loss_factory=lambda: BernoulliLoss(0.01),
+                     timeout_s=1e-4, seed=3),
+            num_elements=32 * 16 * 8, repetitions=15,
+        )
+        assert lossy.relative_spread > 2 * tight.relative_spread
+        assert lossy.median > tight.median
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            measure_tat_distribution(make_job(), 32 * 16, repetitions=0)

@@ -1,0 +1,90 @@
+"""Parameter-variant coverage for the experiment harness entry points."""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+class TestTable1Variants:
+    def test_custom_model_subset(self):
+        rows = E.table1(models=("resnet50",))
+        assert len(rows) == 1
+        assert rows[0]["model"] == "resnet50"
+
+    def test_100g_variant(self):
+        rows10 = E.table1(rate_gbps=10.0)
+        rows100 = E.table1(rate_gbps=100.0)
+        for slow, fast in zip(rows10, rows100):
+            assert fast["switchml"] >= slow["switchml"] * 0.999
+
+    def test_four_workers(self):
+        rows = E.table1(num_workers=4)
+        for row in rows:
+            assert row["nccl"] < row["switchml"]
+
+
+class TestFig3Variants:
+    def test_single_rate(self):
+        rows = E.fig3_speedups(rates=(25.0,))
+        assert all("speedup_25g" in r for r in rows)
+
+    def test_sixteen_workers(self):
+        rows = E.fig3_speedups(num_workers=16)
+        assert all(r["speedup_10g"] >= 0.99 for r in rows)
+
+
+class TestFig4Variants:
+    def test_custom_worker_counts(self):
+        rows = E.fig4_microbench(worker_counts=(2, 32), rates=(10.0,))
+        assert {r["workers"] for r in rows} == {2, 32}
+        # beyond-testbed counts get no NCCL / dedicated PS data
+        big = next(r for r in rows if r["workers"] == 32)
+        assert big["nccl"] is None
+
+    def test_40g_rate(self):
+        rows = E.fig4_microbench(worker_counts=(8,), rates=(40.0,))
+        assert rows[0]["switchml"] > 0
+
+
+class TestFig7And8Variants:
+    def test_fig7_custom_sizes(self):
+        rows = E.fig7_mtu(tensor_mb=(10,))
+        assert rows[0]["tensor_mb"] == 10
+        assert rows[0]["switchml_mtu_tat_s"] < rows[0]["switchml_tat_s"]
+
+    def test_fig8_small_tensor(self):
+        rows = E.fig8_datatypes(num_elements=100_000)
+        dtypes = [r["dtype"] for r in rows]
+        assert dtypes == ["int32", "float32", "float16"]
+
+    def test_fig8_conversion_overhead_knob(self):
+        rows = E.fig8_datatypes(num_elements=1_000_000,
+                                conversion_overhead_frac=0.5)
+        by = {r["dtype"]: r for r in rows}
+        assert by["float32"]["switchml_tat_s"] == pytest.approx(
+            by["int32"]["switchml_tat_s"] * 1.5
+        )
+
+
+class TestResourceVariants:
+    def test_custom_pools(self):
+        rows = E.switch_resources(pool_sizes=(64, 256), num_workers=8)
+        assert [r["pool_size"] for r in rows] == [64, 256]
+        assert rows[0]["value_sram_kb"] == 16  # 64*32*4*2 / 1024
+        assert rows[1]["value_sram_kb"] == 64
+
+
+class TestMathisModelEdges:
+    def test_rtt_dependence(self):
+        fast = E.tcp_loss_inflation(0.01, 10.0, rtt_s=50e-6)
+        slow = E.tcp_loss_inflation(0.01, 10.0, rtt_s=500e-6)
+        assert slow > fast  # longer RTT, worse collapse
+
+    def test_low_rate_link_unaffected_by_mild_loss(self):
+        # a 1 Gbps link stays under the Mathis ceiling at 0.01% loss
+        assert E.tcp_loss_inflation(0.0001, 1.0) == pytest.approx(1.0)
+
+    def test_mss_dependence(self):
+        jumbo = E.tcp_loss_inflation(0.01, 10.0, mss_bytes=9000)
+        standard = E.tcp_loss_inflation(0.01, 10.0, mss_bytes=1460)
+        assert jumbo <= standard

@@ -1,0 +1,203 @@
+"""Shape tests for the experiment harness.
+
+Each test asserts the paper's qualitative claim for the corresponding
+table/figure on a scaled-down configuration (the benches run the full
+ones).
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return E.table1()
+
+    def test_has_three_models(self, rows):
+        assert [r["model"] for r in rows] == ["inception3", "resnet50", "vgg16"]
+
+    def test_column_ordering_everywhere(self, rows):
+        for row in rows:
+            assert row["nccl"] < row["switchml"]
+            assert row["switchml"] <= row["multi_gpu"] * 1.02
+            assert row["multi_gpu"] < row["ideal"]
+
+    def test_percentages_computed(self, rows):
+        for row in rows:
+            assert row["switchml_pct"] == pytest.approx(
+                100 * row["switchml"] / row["ideal"]
+            )
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return E.fig2_pool_size(
+            pool_sizes=(8, 32, 128, 256), num_elements=64 * 1024
+        )
+
+    def test_tat_knee_then_flat(self, rows):
+        """TAT falls steeply below the BDP and flattens above it."""
+        tat = {r["pool_size"]: r["tat_s"] for r in rows}
+        assert tat[8] > 2 * tat[128]
+        assert tat[256] == pytest.approx(tat[128], rel=0.05)
+
+    def test_tat_approaches_line_rate(self, rows):
+        big = rows[-1]
+        assert big["tat_s"] == pytest.approx(big["line_rate_tat_s"], rel=0.10)
+
+    def test_rtt_grows_past_the_knee(self, rows):
+        rtt = {r["pool_size"]: r["mean_rtt_s"] for r in rows}
+        assert rtt[256] > 1.5 * rtt[32]
+
+
+class TestFig3:
+    def test_all_models_speed_up(self):
+        rows = E.fig3_speedups()
+        assert len(rows) == 9
+        for row in rows:
+            assert row["speedup_10g"] >= 0.99
+            assert row["speedup_100g"] >= 0.99
+
+    def test_vgg_over_inception(self):
+        rows = {r["model"]: r for r in E.fig3_speedups()}
+        assert rows["vgg16"]["speedup_10g"] > rows["inception4"]["speedup_10g"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return E.fig4_microbench()
+
+    def test_grid_is_complete(self, rows):
+        assert len(rows) == 6  # 2 rates x 3 worker counts
+
+    def test_switchml_wins_everywhere(self, rows):
+        for row in rows:
+            for key in ("gloo", "nccl", "colocated_ps"):
+                if row[key] is not None:
+                    assert row["switchml"] > row[key]
+
+    def test_testbed_limits_respected(self, rows):
+        """NCCL and dedicated PS stop at 8 workers (SS5.3)."""
+        for row in rows:
+            if row["workers"] > 8:
+                assert row["nccl"] is None
+                assert row["dedicated_ps"] is None
+
+    def test_switchml_flat_in_workers(self, rows):
+        at10 = [r["switchml"] for r in rows if r["rate_gbps"] == 10.0]
+        assert max(at10) / min(at10) < 1.01
+
+    def test_line_rates_bound_switchml(self, rows):
+        for row in rows:
+            assert row["switchml"] <= row["line_rate_switchml"] * 1.001
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return E.fig5_loss_inflation(
+            loss_rates=(0.0001, 0.01), num_elements=128 * 1024
+        )
+
+    def test_low_loss_harmless_for_everyone(self, rows):
+        low = rows[0]
+        assert low["switchml_inflation"] < 1.3
+        assert low["gloo_inflation"] < 1.5
+
+    def test_high_loss_hurts_tcp_much_more(self, rows):
+        """The paper's Fig. 5 claim: at ~1 % loss SwitchML finishes
+        significantly faster than the TCP collectives."""
+        high = rows[-1]
+        assert high["gloo_inflation"] > 2 * high["switchml_inflation"]
+
+    def test_inflation_monotone_in_loss(self, rows):
+        assert rows[-1]["switchml_inflation"] >= rows[0]["switchml_inflation"]
+        assert rows[-1]["gloo_inflation"] > rows[0]["gloo_inflation"]
+
+
+class TestTcpLossModel:
+    def test_no_loss_no_inflation(self):
+        assert E.tcp_loss_inflation(0.0, 10.0) == 1.0
+
+    def test_mathis_scaling(self):
+        """Throughput ~ 1/sqrt(p): 100x the loss -> 10x the inflation,
+        once the loss constraint binds."""
+        i1 = E.tcp_loss_inflation(0.0001, 10.0)
+        i2 = E.tcp_loss_inflation(0.01, 10.0)
+        if i1 > 1.01:  # both in the constrained regime
+            assert i2 / i1 == pytest.approx(10.0, rel=0.1)
+        assert i2 > i1
+
+
+class TestFig6:
+    def test_timeline_shapes(self):
+        out = E.fig6_timeline(loss_rates=(0.0, 0.01), num_elements=128 * 1024)
+        clean, lossy = out[0.0], out[0.01]
+        assert clean["tat_s"] < lossy["tat_s"]
+        # the clean run never retransmits; the lossy one does
+        assert sum(c for _, c in clean["resent"]) == 0
+        assert sum(c for _, c in lossy["resent"]) > 0
+        # steady-state send rate approaches the ideal packet rate
+        peak = max(c for _, c in clean["sent"])
+        assert peak <= clean["ideal_rate_pps"] * 1.05
+
+
+class TestFig7:
+    def test_ordering_and_linearity(self):
+        rows = E.fig7_mtu(tensor_mb=(50, 100))
+        for row in rows:
+            assert row["switchml_mtu_tat_s"] < row["switchml_tat_s"]
+            assert row["dedicated_ps_mtu_tat_s"] > row["switchml_mtu_tat_s"]
+        assert rows[1]["switchml_tat_s"] == pytest.approx(
+            2 * rows[0]["switchml_tat_s"], rel=0.02
+        )
+
+
+class TestFig8:
+    def test_conversion_negligible_fp16_halves(self):
+        rows = {r["dtype"]: r for r in E.fig8_datatypes(num_elements=2_500_000)}
+        assert rows["float32"]["switchml_tat_s"] == pytest.approx(
+            rows["int32"]["switchml_tat_s"], rel=0.05
+        )
+        assert rows["float16"]["switchml_tat_s"] == pytest.approx(
+            rows["int32"]["switchml_tat_s"] / 2, rel=0.05
+        )
+
+    def test_gloo_slower_than_switchml_for_all_dtypes(self):
+        for row in E.fig8_datatypes(num_elements=2_500_000):
+            assert row["gloo_tat_s"] > row["switchml_tat_s"]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return E.fig10_quantization(
+            scaling_factors=(1e-3, 1e4, 1e6, 1e13), epochs=6
+        )
+
+    def test_plateau_matches_reference(self, rows):
+        reference = rows[0]["accuracy"]
+        plateau = [r for r in rows if r["scaling_factor"] in (1e4, 1e6)]
+        for row in plateau:
+            assert row["accuracy"] >= reference - 0.05
+
+    def test_extremes_fail(self, rows):
+        reference = rows[0]["accuracy"]
+        tiny = next(r for r in rows if r["scaling_factor"] == 1e-3)
+        huge = next(r for r in rows if r["scaling_factor"] == 1e13)
+        assert tiny["accuracy"] < reference - 0.1
+        assert huge["diverged"] or huge["accuracy"] < reference - 0.1
+
+
+class TestSwitchResources:
+    def test_paper_numbers(self):
+        rows = {r["pool_size"]: r for r in E.switch_resources()}
+        assert rows[128]["value_sram_kb"] == 32
+        assert rows[512]["value_sram_kb"] == 128
+        for row in rows.values():
+            assert row["sram_fraction"] < 0.1
+            assert row["fits"]

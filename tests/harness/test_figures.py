@@ -1,0 +1,88 @@
+"""Unit tests for the terminal figure renderers."""
+
+import pytest
+
+from repro.harness.figures import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_units(self):
+        text = bar_chart(["x"], [3.0], title="Speedups", unit="x")
+        assert text.splitlines()[0] == "Speedups"
+        assert "3x" in text
+
+    def test_zero_value_gets_no_bar(self):
+        text = bar_chart(["zero", "one"], [0.0, 1.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestLinePlot:
+    def test_markers_placed_at_extremes(self):
+        text = line_plot({"s": [(0, 0), (10, 10)]}, width=20, height=5)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "*" in lines[0]  # max y on the top row
+        assert "*" in lines[-1]  # min y on the bottom row
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_plot(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            width=10, height=4,
+        )
+        assert "*" in text and "o" in text
+        assert "* a" in text and "o b" in text  # legend
+
+    def test_log_axes(self):
+        text = line_plot(
+            {"tat": [(32, 100.0), (1024, 1.0)]},
+            log_x=True, log_y=True, width=16, height=4,
+        )
+        assert "100" in text
+        assert "32" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": [(0, 1)]}, log_x=True)
+        with pytest.raises(ValueError):
+            line_plot({"s": [(1, -1)]}, log_y=True)
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot({"flat": [(0, 5), (1, 5), (2, 5)]}, height=4)
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+
+
+class TestSparkline:
+    def test_intensity_mapping(self):
+        strip = sparkline([0.0, 5.0, 10.0])
+        assert strip[0] == " "
+        assert strip[2] == "@"
+
+    def test_downsampling_to_width(self):
+        strip = sparkline(list(range(100)), width=10)
+        assert len(strip) == 10
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,32 @@
+"""Unit tests for the report formatter."""
+
+from repro.harness.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["model", "speedup"],
+            [["vgg16", 2.2], ["resnet50", 1.5]],
+            title="Figure 3",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 3"
+        assert "model" in lines[1] and "speedup" in lines[1]
+        assert "vgg16" in lines[3]
+        assert "resnet50" in lines[4]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [12345.6], [1.5], [0]])
+        assert "0.000123" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+        assert "1.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_series(self):
+        text = format_series("tat", [(32, 1.5), (64, 1.2)])
+        assert text.startswith("tat:")
+        assert "(32, 1.5)" in text

@@ -1,0 +1,63 @@
+"""Tests for rack telemetry: the wire-vs-host bottleneck diagnosis."""
+
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.harness.telemetry import collect_telemetry
+from repro.net.host import HostSpec
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+
+class TestTelemetry:
+    def test_wire_bound_at_10g(self):
+        """SS5.1's first regime: at 10 Gbps the wire saturates while the
+        cores idle."""
+        job = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=128))
+        job.all_reduce(num_elements=32 * 4096, verify=False)
+        telemetry = collect_telemetry(job)
+        assert telemetry.bottleneck == "wire"
+        assert telemetry.busiest_link.utilization > 0.8
+
+    def test_host_bound_with_weak_cpu(self):
+        """SS5.1's second regime: starve the CPU and the diagnosis
+        flips."""
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=4, pool_size=512,
+                link=LinkSpec(rate_gbps=100.0),
+                host=HostSpec(num_cores=1, per_frame_rx_s=300e-9,
+                              per_frame_tx_s=300e-9),
+            )
+        )
+        job.all_reduce(num_elements=32 * 4096, verify=False)
+        telemetry = collect_telemetry(job)
+        assert telemetry.bottleneck == "host-cpu"
+        assert telemetry.busiest_host[1] > telemetry.busiest_link.utilization
+
+    def test_loss_counters_surface(self):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=8, timeout_s=1e-4,
+                           loss_factory=lambda: BernoulliLoss(0.02), seed=3)
+        )
+        job.all_reduce(num_elements=32 * 8 * 10, verify=False)
+        telemetry = collect_telemetry(job)
+        assert sum(l.frames_lost for l in telemetry.links) > 0
+
+    def test_summary_renders(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4))
+        job.all_reduce(num_elements=32 * 16, verify=False)
+        text = collect_telemetry(job).summary()
+        assert "bottleneck" in text
+        assert "busiest host" in text
+
+    def test_empty_window_rejected(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4))
+        with pytest.raises(ValueError):
+            collect_telemetry(job)
+
+    def test_link_count_covers_both_directions(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=3, pool_size=4))
+        job.all_reduce(num_elements=32 * 8, verify=False)
+        telemetry = collect_telemetry(job)
+        assert len(telemetry.links) == 6  # 3 up + 3 down

@@ -1,0 +1,67 @@
+"""Tests for the high-level float all-reduce API."""
+
+import numpy as np
+import pytest
+
+from repro.api import allreduce_float
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+
+class TestAllReduceFloat:
+    def test_matches_exact_sum_within_bound(self):
+        grads = [np.random.default_rng(w).normal(size=500) for w in range(4)]
+        out = allreduce_float(grads)
+        exact = np.sum(grads, axis=0)
+        assert np.abs(out.aggregate - exact).max() <= out.error_bound
+        assert out.completed
+        assert out.tat_s > 0
+
+    def test_automatic_scaling_factor(self):
+        grads = [np.ones(64) * 0.001 for _ in range(2)]
+        out = allreduce_float(grads)
+        # tiny gradients -> huge safe f -> tiny error bound
+        assert out.scaling_factor > 1e8
+        assert np.allclose(out.aggregate, 0.002, atol=out.error_bound)
+
+    def test_explicit_scaling_factor(self):
+        grads = [np.array([1.56]), np.array([4.23])]
+        out = allreduce_float(grads, scaling_factor=100.0)
+        # the Appendix C worked example
+        assert out.aggregate[0] == pytest.approx(5.79)
+        assert out.scaling_factor == 100.0
+
+    def test_shape_preserved(self):
+        grads = [np.ones((4, 8)) for _ in range(3)]
+        out = allreduce_float(grads)
+        assert out.aggregate.shape == (4, 8)
+        assert np.allclose(out.aggregate, 3.0, atol=1e-6)
+
+    def test_mean_helper(self):
+        grads = [np.full(32, 2.0), np.full(32, 4.0)]
+        out = allreduce_float(grads)
+        assert np.allclose(out.mean(2), 3.0, atol=1e-6)
+
+    def test_reusable_job_across_iterations(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4))
+        for i in range(3):
+            grads = [np.full(100, float(i + 1))] * 2
+            out = allreduce_float(grads, job=job, scaling_factor=1e6)
+            assert np.allclose(out.aggregate, 2.0 * (i + 1), atol=1e-5)
+
+    def test_worker_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_float(
+                [np.ones(8)] * 3,
+                config=SwitchMLConfig(num_workers=2),
+            )
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2))
+        with pytest.raises(ValueError):
+            allreduce_float([np.ones(8)] * 3, job=job)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_float([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_float([np.ones(4), np.ones(5)])

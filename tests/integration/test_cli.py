@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2", "fig10"):
+            assert name in out
+
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "128" in out and "512" in out
+
+    def test_resources_custom_pool(self, capsys):
+        assert main(["resources", "--pool", "256"]) == 0
+        assert "256" in capsys.readouterr().out
+
+    def test_allreduce(self, capsys):
+        assert main(["allreduce", "--workers", "2", "--mbytes", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "TAT" in out and "ATE/s" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "inception3" in out and "switchml" in out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "MTU" in capsys.readouterr().out
+
+    def test_experiment_fig8(self, capsys):
+        assert main(["experiment", "fig8"]) == 0
+        assert "float16" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliFigures:
+    def test_figure_fig3_bar_chart(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["figure", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "vgg16" in out
+
+    def test_figure_fig2_line_plot(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "TAT" in out and "RTT" in out and "|" in out
+
+    def test_unknown_figure_rejected(self):
+        import pytest as _pytest
+
+        from repro.cli import main as cli_main
+
+        with _pytest.raises(SystemExit):
+            cli_main(["figure", "fig99"])
+
+
+class TestCliViolin:
+    def test_violin_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main([
+            "violin", "--workers", "2", "--mbytes", "0.05",
+            "--repetitions", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out and "ms |" in out

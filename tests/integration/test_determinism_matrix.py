@@ -1,0 +1,104 @@
+"""Determinism across every simulated system (DESIGN.md invariant).
+
+Each job type runs twice from the same seed; TATs and counters must
+match bit for bit.  Reproducibility is what makes EXPERIMENTS.md's
+recorded numbers re-derivable by any reader.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.hd_simulation import HDJob, HDJobConfig
+from repro.collectives.ps_simulation import PSJob, PSJobConfig
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+from repro.core.aggregator_device import (
+    AggregatorDeviceConfig,
+    AggregatorDeviceJob,
+)
+from repro.core.hierarchy import HierarchicalConfig, HierarchicalJob
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.loss import BernoulliLoss
+
+N_ELEM = 32 * 256
+SEED = 1234
+
+
+def _switchml():
+    job = SwitchMLJob(
+        SwitchMLConfig(num_workers=4, pool_size=8, timeout_s=1e-4,
+                       loss_factory=lambda: BernoulliLoss(0.01), seed=SEED)
+    )
+    out = job.all_reduce(num_elements=N_ELEM, verify=False)
+    return (tuple(out.tats), out.retransmissions, out.frames_lost,
+            out.sim_events)
+
+
+def _ps():
+    job = PSJob(PSJobConfig(num_workers=4, seed=SEED))
+    out = job.all_reduce(num_elements=N_ELEM, verify=False)
+    return tuple(out.tats)
+
+
+def _ring():
+    job = RingJob(RingJobConfig(num_workers=4, pipeline_segments=2, seed=SEED))
+    out = job.all_reduce(num_elements=N_ELEM, verify=False)
+    return tuple(out.tats)
+
+
+def _hd():
+    job = HDJob(HDJobConfig(num_workers=4, seed=SEED))
+    out = job.all_reduce(num_elements=N_ELEM, verify=False)
+    return tuple(out.tats)
+
+
+def _hierarchy():
+    job = HierarchicalJob(
+        HierarchicalConfig(num_racks=2, workers_per_rack=2, pool_size=4,
+                           timeout_s=1e-4,
+                           loss_factory=lambda: BernoulliLoss(0.01),
+                           seed=SEED)
+    )
+    rng = np.random.default_rng(SEED)
+    tensors = [rng.integers(-100, 100, N_ELEM).astype(np.int64)
+               for _ in range(4)]
+    out = job.all_reduce(tensors)
+    return tuple(s.tensor_aggregation_time for s in out.worker_stats), \
+        out.retransmissions
+
+
+def _aggregator_device():
+    job = AggregatorDeviceJob(
+        AggregatorDeviceConfig(num_workers=4, pool_size=8, seed=SEED)
+    )
+    out = job.all_reduce(num_elements=N_ELEM, verify=False)
+    return tuple(s.tensor_aggregation_time for s in out.worker_stats)
+
+
+SYSTEMS = {
+    "switchml": _switchml,
+    "dedicated-ps": _ps,
+    "pipelined-ring": _ring,
+    "halving-doubling": _hd,
+    "hierarchy": _hierarchy,
+    "aggregator-device": _aggregator_device,
+}
+
+
+@pytest.mark.parametrize("name,runner", SYSTEMS.items(), ids=SYSTEMS.keys())
+def test_same_seed_same_everything(name, runner):
+    assert runner() == runner()
+
+
+def test_different_seeds_actually_differ():
+    """Guard against accidentally ignoring the seed: the lossy SwitchML
+    run must change with it."""
+    def run(seed):
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=8, timeout_s=1e-4,
+                           loss_factory=lambda: BernoulliLoss(0.02),
+                           seed=seed)
+        )
+        out = job.all_reduce(num_elements=N_ELEM * 4, verify=False)
+        return (out.frames_lost, out.max_tat)
+
+    assert run(1) != run(2)

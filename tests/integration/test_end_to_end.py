@@ -1,0 +1,158 @@
+"""Integration tests across the whole stack.
+
+These cross-validate the two fidelity levels of DESIGN.md SS3 (packet
+simulator vs analytic models), re-verify the paper's size-insensitivity
+observation, and run framework-style multi-tensor training end to end
+through the simulated switch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.models import line_rate_ate, switchml_tat
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.stream import StreamBufferManager
+from repro.core.tuning import pool_size_for_rate
+from repro.net.host import HostSpec
+from repro.net.link import LinkSpec
+from repro.quant.fixedpoint import dequantize, quantize
+from repro.quant.profiler import choose_scaling_factor, profile_gradients
+
+
+class TestSimulatorVsAnalyticModel:
+    @pytest.mark.parametrize("rate", [10.0, 100.0])
+    def test_des_tat_matches_model(self, rate):
+        """The packet simulator and the closed-form SwitchML model must
+        agree within 15 % at the tuned pool size."""
+        n_elem = 32 * 1024 * 8
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=8,
+                pool_size=pool_size_for_rate(rate),
+                link=LinkSpec(rate_gbps=rate),
+            )
+        )
+        des = job.all_reduce(num_elements=n_elem, verify=False)
+        assert des.completed
+        model = switchml_tat(n_elem, rate)
+        assert des.max_tat == pytest.approx(model, rel=0.15)
+
+    def test_des_ate_hits_line_rate_at_10g(self):
+        """Fig. 4's headline measured on the simulator itself."""
+        n_elem = 32 * 1024 * 8
+        job = SwitchMLJob(SwitchMLConfig(num_workers=8, pool_size=128))
+        out = job.all_reduce(num_elements=n_elem, verify=False)
+        ate = out.aggregated_elements_per_second(n_elem)
+        assert ate == pytest.approx(line_rate_ate(10.0), rel=0.1)
+
+    def test_ate_insensitive_to_tensor_size(self):
+        """SS5.3: "the number of aggregated tensor elements per time unit
+        is not influenced by the tensor size" -- the fact that lets the
+        scaled-down DES sweeps stand in for 100 MB runs."""
+        rates = []
+        for chunks in (1024, 4096, 16384):
+            n_elem = 32 * chunks
+            job = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=128))
+            out = job.all_reduce(num_elements=n_elem, verify=False)
+            rates.append(out.aggregated_elements_per_second(n_elem))
+        assert max(rates) / min(rates) < 1.15
+
+    def test_ate_insensitive_to_worker_count_in_des(self):
+        rates = []
+        for n in (2, 4, 8):
+            job = SwitchMLJob(SwitchMLConfig(num_workers=n, pool_size=128))
+            out = job.all_reduce(num_elements=32 * 4096, verify=False)
+            rates.append(out.aggregated_elements_per_second(32 * 4096))
+        assert max(rates) / min(rates) < 1.1
+
+
+class TestMultiTensorFrameworkPath:
+    def test_layer_tensors_through_stream_manager_and_switch(self):
+        """Appendix B's flow: many per-layer tensors, one continuous
+        stream, aggregated in the switch, steered back per layer."""
+        k = 32
+        num_workers = 4
+        layer_shapes = [(10, 20), (20,), (20, 5), (5,), (7, 3, 2)]
+        rng = np.random.default_rng(0)
+
+        managers = [StreamBufferManager(k) for _ in range(num_workers)]
+        per_worker_layers = []
+        for w in range(num_workers):
+            layers = {
+                f"layer{i}": rng.integers(-50, 50, shape).astype(np.int64)
+                for i, shape in enumerate(layer_shapes)
+            }
+            per_worker_layers.append(layers)
+            for name, tensor in layers.items():
+                managers[w].add_tensor(name, tensor)
+
+        streams = [m.build_stream() for m in managers]
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=num_workers, pool_size=8,
+                           elements_per_packet=k)
+        )
+        out = job.all_reduce(streams)
+        assert out.completed
+
+        results = managers[0].extract_all(out.results[0])
+        for i, shape in enumerate(layer_shapes):
+            name = f"layer{i}"
+            expected = np.sum(
+                [per_worker_layers[w][name].ravel() for w in range(num_workers)],
+                axis=0,
+            )
+            assert np.array_equal(results[name], expected)
+
+    def test_quantize_allreduce_dequantize_pipeline(self):
+        """The full float path: profile -> choose f -> quantize -> switch
+        -> dequantize, error bounded by Theorem 1."""
+        num_workers = 4
+        rng = np.random.default_rng(1)
+        gradients = [rng.normal(scale=2.0, size=500) for _ in range(num_workers)]
+
+        profile = profile_gradients(gradients)
+        f = choose_scaling_factor(profile, num_workers)
+        quantized = [quantize(g, f) for g in gradients]
+
+        job = SwitchMLJob(SwitchMLConfig(num_workers=num_workers, pool_size=8))
+        out = job.all_reduce(quantized)
+        assert out.completed
+
+        recovered = dequantize(out.results[0], f)
+        exact = np.sum(gradients, axis=0)
+        assert np.abs(recovered - exact).max() <= num_workers / f + 1e-12
+
+
+class TestHostCpuBottleneck:
+    def test_weak_hosts_cap_throughput_below_line_rate(self):
+        """The SS5.1 100 Gbps penalty, reproduced in miniature: make the
+        per-frame CPU cost the bottleneck and watch ATE fall below the
+        wire bound while staying at the CPU bound."""
+        n_elem = 32 * 2048
+        weak = HostSpec(num_cores=1, per_frame_rx_s=300e-9, per_frame_tx_s=300e-9)
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=2, pool_size=128, host=weak)
+        )
+        out = job.all_reduce(num_elements=n_elem, verify=False)
+        ate = out.aggregated_elements_per_second(n_elem)
+        cpu_bound = 32 / 600e-9
+        assert ate < line_rate_ate(10.0) * 0.9
+        assert ate == pytest.approx(cpu_bound, rel=0.15)
+
+
+class TestPoolSizingEndToEnd:
+    def test_tuned_pool_size_achieves_line_rate_half_does_not(self):
+        """SS3.6's claim measured end to end: s = BDP/b sustains line
+        rate; s far below it starves the pipeline."""
+        n_elem = 32 * 4096
+        tuned = pool_size_for_rate(10.0)
+
+        def ate_for_pool(s):
+            job = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=s))
+            out = job.all_reduce(num_elements=n_elem, verify=False)
+            return out.aggregated_elements_per_second(n_elem)
+
+        at_tuned = ate_for_pool(tuned)
+        at_eighth = ate_for_pool(max(1, tuned // 8))
+        assert at_tuned == pytest.approx(line_rate_ate(10.0), rel=0.1)
+        assert at_eighth < 0.5 * at_tuned

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "result verified" in out
+        assert "ATE/s" in out
+
+    def test_train_cluster(self):
+        out = run_example("train_cluster.py")
+        assert "SwitchML" in out and "images/s" in out
+
+    def test_train_cluster_other_model(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "train_cluster.py"), "vgg16"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "vgg16" in result.stdout
+
+    def test_train_cluster_bad_model(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "train_cluster.py"), "nope"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode != 0
+
+    def test_multirack_hierarchy(self):
+        out = run_example("multirack_hierarchy.py")
+        assert "bandwidth optimality" in out
+        assert "bit-exact" in out
+
+    def test_beyond_the_paper(self):
+        out = run_example("beyond_the_paper.py")
+        assert "tenancy" in out
+        assert "adaptive" in out
+        assert "E(x) * E(y)" in out
+
+    def test_lossy_network(self):
+        out = run_example("lossy_network.py")
+        assert "loss 1.00%" in out
+        assert "bit-exact" in out
+
+    @pytest.mark.slow
+    def test_measure_like_the_paper(self):
+        out = run_example("measure_like_the_paper.py", timeout=400)
+        assert "bottleneck: wire" in out
+        assert "bottleneck: host-cpu" in out
+
+    @pytest.mark.slow
+    def test_quantization_study(self):
+        out = run_example("quantization_study.py", timeout=600)
+        assert "plateau" in out

@@ -1,0 +1,73 @@
+"""Cross-validation between the analytic models and the packet-level
+systems for the baseline strategies (DESIGN.md SS3, beyond SwitchML)."""
+
+import pytest
+
+from repro.collectives.models import line_rate_ate, ps_tat, switchml_tat
+from repro.collectives.ps_simulation import PSJob, PSJobConfig
+from repro.collectives.ring_simulation import RingJob, RingJobConfig
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+N_ELEM = 32 * 4096
+
+
+class TestPSCrossValidation:
+    def test_dedicated_ps_des_matches_analytic(self):
+        """The DPDK PS cost model vs its packet-level implementation:
+        within 25 % (the model ignores window-fill startup)."""
+        des = PSJob(PSJobConfig(num_workers=4, window=128)).all_reduce(
+            num_elements=N_ELEM, verify=False
+        )
+        model = ps_tat(N_ELEM, 4, 10.0)
+        assert des.max_tat == pytest.approx(model, rel=0.25)
+
+    def test_colocated_factor_consistent_between_levels(self):
+        """Both fidelity levels agree the colocated penalty is ~2x."""
+        model_factor = ps_tat(N_ELEM, 4, 10.0, colocated=True) / ps_tat(
+            N_ELEM, 4, 10.0
+        )
+        des_ded = PSJob(PSJobConfig(num_workers=4, window=128)).all_reduce(
+            num_elements=N_ELEM, verify=False
+        )
+        des_col = PSJob(
+            PSJobConfig(num_workers=4, colocated=True, window=128)
+        ).all_reduce(num_elements=N_ELEM, verify=False)
+        des_factor = des_col.max_tat / des_ded.max_tat
+        assert model_factor == pytest.approx(2.0, rel=0.05)
+        assert 1.4 < des_factor < 2.3
+
+
+class TestRingCrossValidation:
+    def test_ring_des_between_half_and_full_of_the_bound(self):
+        """The non-pipelined packet-level ring lands at 60-100 % of the
+        bandwidth-optimality bound -- the analytic Gloo/NCCL models'
+        utilization knobs (0.62/0.85) sit inside the same band, i.e. the
+        calibration is physically consistent."""
+        des = RingJob(RingJobConfig(num_workers=8)).all_reduce(
+            num_elements=N_ELEM, verify=False
+        )
+        bound_tat = N_ELEM / line_rate_ate(10.0, "ring", num_workers=8)
+        ratio = bound_tat / des.max_tat  # achieved fraction of the bound
+        # per-step sync overhead costs more at this tensor size; the
+        # achieved fraction grows toward ~0.7 at 1 MB (see the larger
+        # run in tests/collectives/test_simulated_baselines.py)
+        assert 0.5 < ratio <= 1.0
+
+
+class TestSwitchMLVsBaselinesBothLevels:
+    def test_ordering_identical_at_both_fidelity_levels(self):
+        """Who-beats-whom must not depend on the fidelity level."""
+        sw_des = SwitchMLJob(
+            SwitchMLConfig(num_workers=4, pool_size=128)
+        ).all_reduce(num_elements=N_ELEM, verify=False).max_tat
+        ps_des = PSJob(PSJobConfig(num_workers=4, window=128)).all_reduce(
+            num_elements=N_ELEM, verify=False
+        ).max_tat
+        ring_des = RingJob(RingJobConfig(num_workers=4)).all_reduce(
+            num_elements=N_ELEM, verify=False
+        ).max_tat
+        assert sw_des < ps_des < ring_des
+
+        sw_model = switchml_tat(N_ELEM, 10.0)
+        ps_model = ps_tat(N_ELEM, 4, 10.0)
+        assert sw_model < ps_model

@@ -1,0 +1,70 @@
+"""Tests for the iteration-complexity study (SS3.7 / Appendix C)."""
+
+import pytest
+
+from repro.mlfw.convergence import epochs_to_accuracy
+from repro.mlfw.datasets import make_classification
+from repro.mlfw.realtrain import QuantizedAggregator
+from repro.quant.compressors import (
+    SignSGDCompressor,
+    TernGradCompressor,
+    compression_aggregator,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(num_samples=1600, class_sep=2.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def exact(dataset):
+    return epochs_to_accuracy(dataset, target_accuracy=0.75, seed=2)
+
+
+class TestEpochsToAccuracy:
+    def test_exact_training_reaches_target(self, exact):
+        assert exact.reached
+        assert exact.final_accuracy >= 0.75
+
+    def test_switchml_quantization_same_iteration_count(self, dataset, exact):
+        """The paper's claim: fixed-point quantization with a good f
+        trains "to similar accuracy in a similar number of iterations"."""
+        quantized = epochs_to_accuracy(
+            dataset, target_accuracy=0.75,
+            aggregator=QuantizedAggregator(1e6), seed=2,
+        )
+        assert quantized.reached
+        assert quantized.epochs <= exact.epochs + 2
+
+    def test_lossy_compression_needs_more_or_fails(self, dataset, exact):
+        """The compression literature's trade-off: lower-bit schemes pay
+        in iteration complexity (or final accuracy)."""
+        signsgd = epochs_to_accuracy(
+            dataset, target_accuracy=0.75,
+            aggregator=compression_aggregator(SignSGDCompressor(), seed=1),
+            seed=2,
+        )
+        terngrad = epochs_to_accuracy(
+            dataset, target_accuracy=0.75,
+            aggregator=compression_aggregator(TernGradCompressor(), seed=1),
+            seed=2,
+        )
+        lossy_worst = max(
+            (r.epochs if r.reached else 10_000) for r in (signsgd, terngrad)
+        )
+        assert lossy_worst >= exact.epochs
+
+    def test_unreachable_target_reports_none(self, dataset):
+        result = epochs_to_accuracy(
+            dataset, target_accuracy=0.999, max_epochs=3, seed=2,
+        )
+        assert not result.reached
+        assert result.epochs is None
+        assert len(result.history) == 3
+
+    def test_invalid_target_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            epochs_to_accuracy(dataset, target_accuracy=0.0)
+        with pytest.raises(ValueError):
+            epochs_to_accuracy(dataset, target_accuracy=1.5)

@@ -1,0 +1,124 @@
+"""Tests for real quantized data-parallel training (Figure 10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.mlfw.datasets import make_classification
+from repro.mlfw.realtrain import (
+    ExactAggregator,
+    QuantizedAggregator,
+    SwitchMLSimAggregator,
+    _wrap_int32,
+    train_mlp,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(num_samples=1200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def exact_result(dataset):
+    return train_mlp(dataset, num_workers=4, epochs=8, seed=1)
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        values = np.array([0, 1, -1, 2**31 - 1, -(2**31)])
+        assert np.array_equal(_wrap_int32(values), values)
+
+    def test_wrap_overflow(self):
+        assert _wrap_int32(np.array([2**31]))[0] == -(2**31)
+        assert _wrap_int32(np.array([-(2**31) - 1]))[0] == 2**31 - 1
+
+
+class TestAggregators:
+    def test_exact_sums(self):
+        agg = ExactAggregator()
+        out = agg([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.array_equal(out, [4.0, 6.0])
+
+    def test_quantized_matches_exact_for_representable_values(self):
+        agg = QuantizedAggregator(100.0)
+        out = agg([np.array([1.56]), np.array([4.23])])
+        assert out[0] == pytest.approx(5.79)
+
+    def test_quantized_overflow_wraps(self):
+        """A huge f wrecks the sum -- the right edge of Figure 10."""
+        agg = QuantizedAggregator(1e9)
+        out = agg([np.array([3.0]), np.array([3.0])])
+        assert out[0] != pytest.approx(6.0, rel=0.01)
+
+    def test_tiny_f_zeroes_updates(self):
+        """A tiny f quantizes gradients to nothing -- the left edge."""
+        agg = QuantizedAggregator(0.01)
+        out = agg([np.array([0.5]), np.array([0.3])])
+        assert out[0] == 0.0
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedAggregator(0.0)
+
+
+class TestTraining(object):
+    def test_exact_training_learns(self, exact_result):
+        assert exact_result.val_accuracy > 0.7
+        assert not exact_result.diverged
+
+    def test_good_f_matches_exact_accuracy(self, dataset, exact_result):
+        """The Figure 10 plateau: a reasonable f trains to the same
+        accuracy as no quantization."""
+        result = train_mlp(
+            dataset, num_workers=4, epochs=8, seed=1,
+            aggregator=QuantizedAggregator(1e6),
+        )
+        assert result.val_accuracy >= exact_result.val_accuracy - 0.03
+
+    def test_huge_f_destroys_training(self, dataset, exact_result):
+        result = train_mlp(
+            dataset, num_workers=4, epochs=8, seed=1,
+            aggregator=QuantizedAggregator(1e13),
+        )
+        assert result.diverged or result.val_accuracy < exact_result.val_accuracy - 0.2
+
+    def test_tiny_f_prevents_learning(self, dataset, exact_result):
+        result = train_mlp(
+            dataset, num_workers=4, epochs=8, seed=1,
+            aggregator=QuantizedAggregator(1e-4),
+        )
+        assert result.val_accuracy < exact_result.val_accuracy - 0.1
+
+    def test_accuracy_history_recorded(self, exact_result):
+        assert len(exact_result.accuracy_history) == 8
+
+    def test_deterministic(self, dataset):
+        a = train_mlp(dataset, num_workers=2, epochs=2, seed=5)
+        b = train_mlp(dataset, num_workers=2, epochs=2, seed=5)
+        assert a.val_accuracy == b.val_accuracy
+
+
+class TestSwitchMLSimAggregator:
+    def test_training_through_the_packet_simulator(self, dataset):
+        """End to end: every gradient of every iteration crosses the
+        simulated switch, packet by packet, and training still learns."""
+        from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+        job = SwitchMLJob(SwitchMLConfig(num_workers=4, pool_size=16))
+        agg = SwitchMLSimAggregator(job, scaling_factor=1e6)
+        result = train_mlp(
+            dataset, num_workers=4, epochs=2, seed=1, aggregator=agg,
+        )
+        assert agg.rounds > 0
+        assert result.val_accuracy > 0.6
+        assert not result.diverged
+
+    def test_rejects_non_job(self):
+        with pytest.raises(TypeError):
+            SwitchMLSimAggregator(object(), 10.0)
+
+    def test_rejects_bad_f(self):
+        from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+        with pytest.raises(ValueError):
+            SwitchMLSimAggregator(SwitchMLJob(SwitchMLConfig(num_workers=2)), 0.0)

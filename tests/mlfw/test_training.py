@@ -1,0 +1,117 @@
+"""Tests for the compute/communication-overlap training model."""
+
+import pytest
+
+from repro.collectives.base import CostParams, Strategy
+from repro.mlfw.training import (
+    ideal_throughput,
+    iteration_time,
+    training_speedup,
+    training_throughput,
+)
+from repro.mlfw.zoo import MODEL_ZOO
+
+
+class TestIterationTime:
+    def test_never_below_compute(self):
+        for name in MODEL_ZOO:
+            spec = MODEL_ZOO[name]
+            it = iteration_time(name, Strategy.SWITCHML, 8, 100.0)
+            assert it >= spec.compute_time_s()
+
+    def test_network_bound_models_track_comm(self):
+        """vgg16 at 10 Gbps is communication-dominated for every
+        strategy."""
+        spec = MODEL_ZOO["vgg16"]
+        it = iteration_time("vgg16", Strategy.NCCL, 8, 10.0)
+        assert it > 2 * spec.compute_time_s()
+
+    def test_faster_network_never_hurts(self):
+        for strategy in (Strategy.SWITCHML, Strategy.NCCL, Strategy.GLOO):
+            slow = iteration_time("resnet50", strategy, 8, 10.0)
+            fast = iteration_time("resnet50", strategy, 8, 100.0)
+            assert fast <= slow * 1.0001
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            iteration_time("resnet152", Strategy.SWITCHML, 8, 10.0)
+
+    def test_spec_object_accepted(self):
+        spec = MODEL_ZOO["googlenet"]
+        assert iteration_time(spec, Strategy.SWITCHML, 8, 10.0) > 0
+
+    def test_zero_overlap_is_slower(self):
+        eager = CostParams(overlap_efficiency=0.9)
+        lazy = CostParams(overlap_efficiency=0.0)
+        assert iteration_time("vgg16", Strategy.NCCL, 8, 10.0, lazy) > iteration_time(
+            "vgg16", Strategy.NCCL, 8, 10.0, eager
+        )
+
+
+class TestTable1Shape:
+    def test_ideal_values(self):
+        assert ideal_throughput("inception3", 8) == pytest.approx(1132, rel=0.01)
+        assert ideal_throughput("resnet50", 8) == pytest.approx(1838, rel=0.01)
+        assert ideal_throughput("vgg16", 8) == pytest.approx(1180, rel=0.01)
+
+    @pytest.mark.parametrize("name", ["inception3", "resnet50", "vgg16"])
+    def test_strategy_ordering(self, name):
+        """Table 1's column ordering: NCCL < SwitchML <= Multi-GPU <= Ideal."""
+        nccl = training_throughput(name, Strategy.NCCL, 8, 10.0)
+        sw = training_throughput(name, Strategy.SWITCHML, 8, 10.0)
+        mg = training_throughput(name, Strategy.MULTI_GPU, 8, 10.0)
+        ideal = ideal_throughput(name, 8)
+        assert nccl < sw <= mg * 1.02
+        assert mg < ideal
+
+    def test_inception3_switchml_near_ideal(self):
+        """Table 1: SwitchML reaches 95.3 % of ideal on inception3."""
+        frac = training_throughput("inception3", Strategy.SWITCHML, 8, 10.0) / (
+            ideal_throughput("inception3", 8)
+        )
+        assert 0.90 < frac <= 1.0
+
+    def test_vgg16_is_far_from_ideal(self):
+        """Table 1: vgg16 manages only ~38 % of ideal with SwitchML."""
+        frac = training_throughput("vgg16", Strategy.SWITCHML, 8, 10.0) / (
+            ideal_throughput("vgg16", 8)
+        )
+        assert 0.25 < frac < 0.55
+
+    def test_nccl_vgg16_under_25_percent(self):
+        """Table 1: NCCL's vgg16 sits at 17.5 % of ideal."""
+        frac = training_throughput("vgg16", Strategy.NCCL, 8, 10.0) / (
+            ideal_throughput("vgg16", 8)
+        )
+        assert frac < 0.25
+
+
+class TestFigure3Shape:
+    def test_speedups_in_paper_band(self):
+        """Fig. 3: speedups range between ~1x and ~3x."""
+        for name in MODEL_ZOO:
+            for rate in (10.0, 100.0):
+                s = training_speedup(name, Strategy.SWITCHML, Strategy.NCCL, 8, rate)
+                assert 0.99 <= s < 4.0
+
+    def test_vgg_speedup_exceeds_inception(self):
+        """Models with lower compute-to-communication ratios benefit
+        more (SS1) -- VGG over inception at both speeds."""
+        for rate in (10.0, 100.0):
+            vgg = training_speedup("vgg16", Strategy.SWITCHML, Strategy.NCCL, 8, rate)
+            inc = training_speedup(
+                "inception4", Strategy.SWITCHML, Strategy.NCCL, 8, rate
+            )
+            assert vgg > inc
+
+    def test_speedup_vs_gloo_at_least_vs_nccl(self):
+        """Gloo is the slower baseline, so speedups vs Gloo are >= those
+        vs NCCL."""
+        for name in ("resnet50", "vgg16"):
+            vs_gloo = training_speedup(name, Strategy.SWITCHML, Strategy.GLOO, 8, 10.0)
+            vs_nccl = training_speedup(name, Strategy.SWITCHML, Strategy.NCCL, 8, 10.0)
+            assert vs_gloo >= vs_nccl
+
+    def test_throughput_positive_for_all_strategies(self):
+        for strategy in Strategy:
+            assert training_throughput("resnet50", strategy, 8, 10.0) > 0

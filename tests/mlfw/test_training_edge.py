@@ -1,0 +1,79 @@
+"""Additional training-model edge coverage."""
+
+import pytest
+
+from repro.collectives.base import CostParams, Strategy
+from repro.mlfw.training import iteration_time, training_throughput
+from repro.mlfw.zoo import MODEL_ZOO, ModelSpec
+
+
+class TestSingleWorker:
+    def test_one_worker_is_roughly_ideal(self):
+        """n = 1: no cross-worker synchronization; throughput near the
+        single-GPU number (only per-tensor overheads remain)."""
+        for name in ("resnet50", "vgg16"):
+            spec = MODEL_ZOO[name]
+            tput = training_throughput(name, Strategy.SWITCHML, 1, 10.0)
+            assert tput > 0.8 * spec.single_gpu_images_s
+            assert tput <= spec.single_gpu_images_s
+
+
+class TestCustomModels:
+    def test_pure_fc_model(self):
+        spec = ModelSpec(
+            name="tiny-fc", params_millions=1.0, single_gpu_images_s=100.0,
+            batch_size=32, fc_sizes_millions=(1.0,), num_conv_tensors=0,
+        )
+        assert spec.tensor_sizes() == [1_000_000]
+        assert iteration_time(spec, Strategy.SWITCHML, 8, 10.0) > 0
+
+    def test_compute_dominated_model_hits_ideal(self):
+        """A model with almost no parameters and slow compute: every
+        strategy reaches (near) ideal, so speedups collapse to ~1."""
+        spec = ModelSpec(
+            name="compute-monster", params_millions=0.1,
+            single_gpu_images_s=5.0, batch_size=16,
+            fc_sizes_millions=(0.1,), num_conv_tensors=0,
+        )
+        slow = training_throughput(spec, Strategy.GLOO, 8, 10.0)
+        fast = training_throughput(spec, Strategy.SWITCHML, 8, 10.0)
+        assert fast / slow < 1.05
+
+    def test_comm_dominated_model_maximizes_gap(self):
+        """The opposite corner: huge parameters, instant compute."""
+        spec = ModelSpec(
+            name="comm-monster", params_millions=500.0,
+            single_gpu_images_s=100_000.0, batch_size=32,
+            fc_sizes_millions=(500.0,), num_conv_tensors=0,
+        )
+        gloo = training_throughput(spec, Strategy.GLOO, 8, 10.0)
+        sw = training_throughput(spec, Strategy.SWITCHML, 8, 10.0)
+        assert sw / gloo > 2.0
+
+
+class TestParameterEffects:
+    def test_higher_overlap_never_hurts(self):
+        for model in ("vgg16", "googlenet"):
+            lo = iteration_time(model, Strategy.NCCL, 8, 10.0,
+                                CostParams(overlap_efficiency=0.1))
+            hi = iteration_time(model, Strategy.NCCL, 8, 10.0,
+                                CostParams(overlap_efficiency=0.9))
+            assert hi <= lo * 1.0001
+
+    def test_per_tensor_overhead_hurts_many_tensor_models_more(self):
+        cheap = CostParams(per_tensor_overhead_s=0.0)
+        costly = CostParams(per_tensor_overhead_s=1e-3)
+
+        def penalty(model):
+            return iteration_time(model, Strategy.SWITCHML, 8, 10.0, costly) / \
+                iteration_time(model, Strategy.SWITCHML, 8, 10.0, cheap)
+
+        # resnet101 has ~20x the gradient tensors of vgg11
+        assert penalty("resnet101") > penalty("vgg11")
+
+    def test_sync_overhead_scales_iteration(self):
+        base = iteration_time("resnet50", Strategy.SWITCHML, 8, 10.0,
+                              CostParams(sync_overhead_frac=0.0))
+        padded = iteration_time("resnet50", Strategy.SWITCHML, 8, 10.0,
+                                CostParams(sync_overhead_frac=0.10))
+        assert padded == pytest.approx(base * 1.10 / 1.0, rel=0.001)

@@ -1,0 +1,76 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.mlfw.zoo import MODEL_ZOO, ModelSpec
+
+
+class TestZooContents:
+    def test_all_nine_paper_models_present(self):
+        expected = {
+            "alexnet", "googlenet", "inception3", "inception4",
+            "resnet50", "resnet101", "vgg11", "vgg16", "vgg19",
+        }
+        assert set(MODEL_ZOO) == expected
+
+    def test_real_parameter_counts(self):
+        """Spot-check against the published architectures."""
+        assert MODEL_ZOO["resnet50"].params_millions == pytest.approx(25.6, rel=0.05)
+        assert MODEL_ZOO["vgg16"].params_millions == pytest.approx(138.3, rel=0.05)
+        assert MODEL_ZOO["alexnet"].params_millions == pytest.approx(61.1, rel=0.05)
+        assert MODEL_ZOO["googlenet"].params_millions == pytest.approx(7.0, rel=0.1)
+
+    def test_table1_ideals(self):
+        """Ideal = 8 x single-GPU must match Table 1."""
+        assert 8 * MODEL_ZOO["inception3"].single_gpu_images_s == pytest.approx(1132)
+        assert 8 * MODEL_ZOO["resnet50"].single_gpu_images_s == pytest.approx(1838)
+        assert 8 * MODEL_ZOO["vgg16"].single_gpu_images_s == pytest.approx(1180)
+
+    def test_vgg_models_are_fc_heavy(self):
+        """The VGG family concentrates parameters in FC layers -- the
+        property that drives their large speedups."""
+        for name in ("vgg11", "vgg16", "vgg19"):
+            spec = MODEL_ZOO[name]
+            fc = sum(spec.fc_sizes_millions)
+            assert fc > 0.8 * spec.params_millions
+
+    def test_resnets_are_conv_heavy(self):
+        spec = MODEL_ZOO["resnet50"]
+        assert sum(spec.fc_sizes_millions) < 0.2 * spec.params_millions
+
+
+class TestTensorLayout:
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_tensor_sizes_sum_to_parameter_count(self, name):
+        spec = MODEL_ZOO[name]
+        assert sum(spec.tensor_sizes()) == spec.num_elements
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_all_tensors_positive(self, name):
+        assert all(s > 0 for s in MODEL_ZOO[name].tensor_sizes())
+
+    def test_fc_tensors_come_first(self):
+        """Backprop order: output-side FC gradients are emitted first."""
+        spec = MODEL_ZOO["vgg16"]
+        sizes = spec.tensor_sizes()
+        assert sizes[0] == int(4.1e6)  # the classifier head, output side
+
+    def test_ready_times_increase_and_fit_compute(self):
+        spec = MODEL_ZOO["resnet50"]
+        ready = spec.ready_times_s()
+        assert all(b > a for a, b in zip(ready, ready[1:]))
+        assert ready[0] > spec.forward_fraction * spec.compute_time_s() * 0.99
+        assert ready[-1] == pytest.approx(spec.compute_time_s())
+
+    def test_compute_time(self):
+        spec = MODEL_ZOO["resnet50"]
+        assert spec.compute_time_s() == pytest.approx(64 / 229.75)
+
+    def test_update_bytes(self):
+        assert MODEL_ZOO["vgg16"].update_bytes == int(138.3e6) * 4
+
+    def test_fc_exceeding_params_rejected(self):
+        bad = ModelSpec("bad", params_millions=1.0, single_gpu_images_s=10,
+                        batch_size=32, fc_sizes_millions=(2.0,))
+        with pytest.raises(ValueError):
+            bad.tensor_sizes()

@@ -1,0 +1,140 @@
+"""Unit tests for the link model: serialization, propagation, FIFO,
+loss, and buffer caps."""
+
+import pytest
+
+from repro.net.link import Link, LinkSpec
+from repro.net.loss import BernoulliLoss, ScriptedLoss
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+
+
+def make_link(sim, out, rate_gbps=10.0, prop=1e-6, loss=None, queue_bytes=None):
+    spec = LinkSpec(rate_gbps=rate_gbps, propagation_s=prop, queue_bytes=queue_bytes)
+    return Link(sim, spec, "test", deliver=lambda f: out.append((sim.now, f)), loss=loss)
+
+
+class TestDelays:
+    def test_arrival_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, prop=1e-6)
+        link.send(Frame(wire_bytes=1250))  # 1250 B at 10 Gbps = 1 us
+        sim.run()
+        assert out[0][0] == pytest.approx(1e-6 + 1e-6)
+
+    def test_serialization_scales_with_size_and_rate(self):
+        spec = LinkSpec(rate_gbps=100.0)
+        assert spec.serialization_s(180) == pytest.approx(180 * 8 / 100e9)
+
+    def test_back_to_back_frames_queue_fifo(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, prop=0.0)
+        t = 1250 * 8 / 10e9
+        for i in range(3):
+            link.send(Frame(wire_bytes=1250, flow_key=i))
+        sim.run()
+        arrivals = [time for time, _ in out]
+        assert arrivals == pytest.approx([t, 2 * t, 3 * t])
+        assert [f.flow_key for _, f in out] == [0, 1, 2]
+
+    def test_transmitter_idles_between_spaced_sends(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, prop=0.0)
+        link.send(Frame(wire_bytes=1250))
+        sim.schedule(1.0, link.send, Frame(wire_bytes=1250))
+        sim.run()
+        assert out[1][0] == pytest.approx(1.0 + 1250 * 8 / 10e9)
+
+    def test_queue_delay_reports_backlog(self):
+        sim = Simulator()
+        link = make_link(sim, [], rate_gbps=10.0)
+        assert link.queue_delay == 0.0
+        link.send(Frame(wire_bytes=12500))  # 10 us of backlog
+        assert link.queue_delay == pytest.approx(10e-6)
+
+
+class TestLoss:
+    def test_lost_frames_consume_transmitter_time(self):
+        """A dropped frame still serializes (the bits leave, they just
+        never arrive), delaying the frame behind it."""
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, prop=0.0, loss=ScriptedLoss({0}))
+        t = 1250 * 8 / 10e9
+        link.send(Frame(wire_bytes=1250))
+        link.send(Frame(wire_bytes=1250))
+        sim.run()
+        assert len(out) == 1
+        assert out[0][0] == pytest.approx(2 * t)
+
+    def test_loss_statistics(self):
+        sim = Simulator()
+        link = make_link(sim, [], loss=BernoulliLoss(1.0))
+        for _ in range(5):
+            link.send(Frame(wire_bytes=100))
+        sim.run()
+        assert link.stats.frames_sent == 5
+        assert link.stats.frames_lost == 5
+        assert link.stats.frames_delivered == 0
+        assert link.stats.conservation_holds()
+
+    def test_conservation_with_mixed_outcomes(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, loss=ScriptedLoss({1, 3}))
+        for _ in range(5):
+            link.send(Frame(wire_bytes=100))
+        sim.run()
+        assert link.stats.frames_delivered == 3
+        assert link.stats.frames_lost == 2
+        assert link.stats.conservation_holds()
+
+
+class TestQueueCap:
+    def test_tail_drop_when_buffer_full(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, queue_bytes=2000)
+        accepted = [link.send(Frame(wire_bytes=1000)) for _ in range(4)]
+        sim.run()
+        assert accepted == [True, True, False, False]
+        assert link.stats.frames_queue_dropped == 2
+        assert len(out) == 2
+        assert link.stats.conservation_holds()
+
+    def test_buffer_drains_over_time(self):
+        sim = Simulator()
+        out = []
+        link = make_link(sim, out, rate_gbps=10.0, queue_bytes=1500)
+        assert link.send(Frame(wire_bytes=1000))
+        assert not link.send(Frame(wire_bytes=1000))  # full
+        sim.run()
+        assert link.send(Frame(wire_bytes=1000))  # drained
+
+
+class TestMisc:
+    def test_unconnected_link_raises(self):
+        sim = Simulator()
+        link = Link(sim, LinkSpec(), "dangling")
+        with pytest.raises(RuntimeError):
+            link.send(Frame(wire_bytes=100))
+
+    def test_observer_sees_lifecycle(self):
+        sim = Simulator()
+        events = []
+        link = make_link(sim, [], loss=ScriptedLoss({1}))
+        link.observer = lambda f, kind, t: events.append(kind)
+        link.send(Frame(wire_bytes=100))
+        link.send(Frame(wire_bytes=100))
+        sim.run()
+        assert events == ["sent", "sent", "lost", "delivered"]
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = make_link(sim, [], rate_gbps=10.0)
+        link.send(Frame(wire_bytes=1250))  # 1 us
+        sim.run()
+        assert link.utilization(2e-6) == pytest.approx(0.5)

@@ -1,0 +1,91 @@
+"""Unit tests for the loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss, ScriptedLoss
+
+
+def _drops(model, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [model.should_drop(rng, None, float(i)) for i in range(n)]
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        assert not any(_drops(NoLoss(), 1000))
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self):
+        assert not any(_drops(BernoulliLoss(0.0), 1000))
+
+    def test_one_probability_always_drops(self):
+        assert all(_drops(BernoulliLoss(1.0), 100))
+
+    def test_rate_approximates_probability(self):
+        drops = _drops(BernoulliLoss(0.1), 20_000)
+        assert 0.08 < np.mean(drops) < 0.12
+
+    def test_deterministic_given_rng_seed(self):
+        assert _drops(BernoulliLoss(0.3), 100, seed=5) == _drops(
+            BernoulliLoss(0.3), 100, seed=5
+        )
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+
+class TestGilbertElliott:
+    def test_losses_are_bursty(self):
+        """Loss runs should cluster relative to independent drops of the
+        same average rate."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.01, p_bad_to_good=0.3, loss_good=0.0, loss_bad=0.5
+        )
+        drops = _drops(model, 50_000, seed=1)
+        rate = np.mean(drops)
+        assert rate > 0
+        # conditional drop probability after a drop should far exceed the
+        # unconditional rate (burstiness)
+        arr = np.array(drops)
+        after_drop = arr[1:][arr[:-1]]
+        assert after_drop.mean() > 3 * rate
+
+    def test_steady_state_loss_formula(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, loss_good=0.0, loss_bad=0.4
+        )
+        assert model.steady_state_loss == pytest.approx(0.25 * 0.4)
+
+    def test_empirical_rate_matches_steady_state(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.25, loss_good=0.0, loss_bad=0.5
+        )
+        drops = _drops(model, 100_000, seed=2)
+        assert np.mean(drops) == pytest.approx(model.steady_state_loss, rel=0.15)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+
+
+class TestScriptedLoss:
+    def test_drops_exactly_the_scripted_positions(self):
+        model = ScriptedLoss({0, 3})
+        assert _drops(model, 5) == [True, False, False, True, False]
+
+    def test_counts_frames_seen(self):
+        model = ScriptedLoss([1])
+        _drops(model, 10)
+        assert model.frames_seen == 10
+
+    def test_negative_positions_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedLoss([-1])
+
+    def test_empty_script_never_drops(self):
+        assert not any(_drops(ScriptedLoss([]), 50))

@@ -1,0 +1,110 @@
+"""Additional loss/corruption coverage at the link layer."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link, LinkSpec
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+from repro.net.packet import Frame
+from repro.sim.engine import Simulator
+
+
+class TestCorruptionAtLinkLayer:
+    def test_corruption_rate_approximates_probability(self):
+        sim = Simulator(seed=4)
+        received = []
+        link = Link(
+            sim, LinkSpec(corruption_probability=0.1), "c",
+            deliver=received.append,
+        )
+        for i in range(5000):
+            link.send(Frame(wire_bytes=180, flow_key=i))
+        sim.run()
+        corrupted = sum(1 for f in received if f.corrupted)
+        assert 0.07 < corrupted / len(received) < 0.13
+        assert link.stats.frames_corrupted == corrupted
+
+    def test_corrupted_frames_still_delivered(self):
+        """Corruption is not loss: the bits arrive, the checksum fails
+        at the receiver (SS3.4)."""
+        sim = Simulator(seed=1)
+        received = []
+        link = Link(
+            sim, LinkSpec(corruption_probability=1.0), "c",
+            deliver=received.append,
+        )
+        link.send(Frame(wire_bytes=180))
+        sim.run()
+        assert len(received) == 1
+        assert received[0].corrupted
+        assert link.stats.conservation_holds()
+
+    def test_corruption_and_loss_compose(self):
+        sim = Simulator(seed=2)
+        received = []
+        link = Link(
+            sim,
+            LinkSpec(corruption_probability=0.2),
+            "cl",
+            deliver=received.append,
+            loss=BernoulliLoss(0.3),
+        )
+        for i in range(2000):
+            link.send(Frame(wire_bytes=180, flow_key=i))
+        sim.run()
+        assert link.stats.frames_lost > 0
+        assert link.stats.frames_corrupted > 0
+        # lost frames are never also counted corrupted
+        assert (
+            link.stats.frames_delivered + link.stats.frames_lost
+            == link.stats.frames_sent
+        )
+
+
+class TestJitterDistribution:
+    def test_jitter_within_configured_bound(self):
+        sim = Simulator(seed=3)
+        arrivals = []
+        spec = LinkSpec(rate_gbps=10.0, propagation_s=1e-6, jitter_s=50e-6)
+        link = Link(sim, spec, "j", deliver=lambda f: arrivals.append(sim.now))
+        send_done = []
+        for i in range(500):
+            # space sends out so serialization queueing is zero
+            sim.schedule(i * 1e-3, link.send, Frame(wire_bytes=180, flow_key=i))
+            send_done.append(i * 1e-3 + spec.serialization_s(180))
+        sim.run()
+        extra = [a - d - spec.propagation_s for a, d in zip(sorted(arrivals),
+                                                            send_done)]
+        # all delays within [0, jitter]; spread actually used
+        assert min(extra) >= -1e-12
+        assert max(extra) <= 50e-6 + 1e-12
+        assert max(extra) - min(extra) > 25e-6
+
+    def test_zero_jitter_is_deterministic(self):
+        def run():
+            sim = Simulator(seed=9)
+            arrivals = []
+            link = Link(sim, LinkSpec(), "d",
+                        deliver=lambda f: arrivals.append(sim.now))
+            for i in range(50):
+                link.send(Frame(wire_bytes=180, flow_key=i))
+            sim.run()
+            return arrivals
+
+        assert run() == run()
+
+
+class TestGilbertElliottOnLink:
+    def test_bursty_model_drives_link_losses(self):
+        sim = Simulator(seed=5)
+        received = []
+        link = Link(
+            sim, LinkSpec(), "ge", deliver=received.append,
+            loss=GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.3,
+                                    loss_bad=0.8),
+        )
+        for i in range(5000):
+            link.send(Frame(wire_bytes=180, flow_key=i))
+        sim.run()
+        assert link.stats.frames_lost > 50
+        assert link.stats.conservation_holds()

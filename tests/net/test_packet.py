@@ -1,0 +1,67 @@
+"""Unit tests for wire-frame size accounting.
+
+These pin the numbers the paper's analysis depends on: 180-byte frames
+with 128 B of payload (28.9 % overhead) vs 1516-byte MTU frames with
+1464 B (3.4 %).
+"""
+
+import pytest
+
+from repro.net.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    FRAME_OVERHEAD_BYTES,
+    MTU_FRAME_BYTES,
+    SWITCHML_FRAME_BYTES,
+    SWITCHML_HEADER_BYTES,
+    Frame,
+    elements_per_packet,
+    frame_bytes_for_elements,
+    goodput_fraction,
+)
+
+
+class TestSizeAccounting:
+    def test_paper_frame_is_180_bytes(self):
+        assert SWITCHML_FRAME_BYTES == 180
+        assert frame_bytes_for_elements(32) == 180
+
+    def test_frame_overhead_is_52_bytes(self):
+        assert FRAME_OVERHEAD_BYTES == 52
+        assert ETHERNET_OVERHEAD_BYTES + SWITCHML_HEADER_BYTES == 52
+
+    def test_paper_header_overhead_percentages(self):
+        # SS5.5: 28.9 % at 180 B, 3.4 % at MTU
+        assert 1 - goodput_fraction(32) == pytest.approx(0.289, abs=0.001)
+        assert 1 - goodput_fraction(366) == pytest.approx(0.034, abs=0.001)
+
+    def test_mtu_frame_carries_366_elements(self):
+        # SS5.5: "MTU-sized packets would carry 366 elements (1516-byte
+        # packets, including all headers)"
+        assert elements_per_packet(MTU_FRAME_BYTES) == 366
+        assert frame_bytes_for_elements(366) == MTU_FRAME_BYTES
+
+    def test_float16_elements_fill_the_same_frame(self):
+        # 64 half-width elements -> the same 180-byte frame
+        assert frame_bytes_for_elements(64, bytes_per_element=2) == 180
+
+    def test_roundtrip_elements_and_bytes(self):
+        for k in (1, 16, 32, 64, 366):
+            assert elements_per_packet(frame_bytes_for_elements(k)) == k
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            frame_bytes_for_elements(0)
+        with pytest.raises(ValueError):
+            elements_per_packet(10)
+
+
+class TestFrame:
+    def test_copy_for_retargets_but_shares_message(self):
+        message = {"payload": 1}
+        frame = Frame(wire_bytes=100, message=message, src="a", dst="b", flow_key=7)
+        copy = frame.copy_for("c")
+        assert copy.dst == "c"
+        assert copy.src == "a"
+        assert copy.message is message
+        assert copy.flow_key == 7
+        assert copy.wire_bytes == 100

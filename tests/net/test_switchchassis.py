@@ -1,0 +1,117 @@
+"""Unit tests for the switch chassis and plain forwarding program."""
+
+import pytest
+
+from repro.net.link import Link, LinkSpec
+from repro.net.packet import Frame
+from repro.net.switchchassis import ForwardingProgram, PortDecision, SwitchChassis
+from repro.sim.engine import Simulator
+
+
+def build_switch(sim, num_ports=3, latency=1e-6):
+    chassis = SwitchChassis(sim, "sw", pipeline_latency_s=latency)
+    sinks = {}
+    for port in range(num_ports):
+        sinks[port] = []
+        link = Link(
+            sim, LinkSpec(rate_gbps=10.0, propagation_s=0.0), f"sw->h{port}",
+            deliver=sinks[port].append,
+        )
+        chassis.attach_port(port, link)
+    return chassis, sinks
+
+
+class TestForwarding:
+    def test_forwards_by_destination(self):
+        sim = Simulator()
+        chassis, sinks = build_switch(sim)
+        chassis.load_program(ForwardingProgram({"h0": 0, "h1": 1, "h2": 2}))
+        chassis.ingress(Frame(wire_bytes=100, dst="h2"), in_port=0)
+        sim.run()
+        assert len(sinks[2]) == 1
+        assert not sinks[0] and not sinks[1]
+
+    def test_unknown_destination_dropped(self):
+        sim = Simulator()
+        chassis, sinks = build_switch(sim)
+        chassis.load_program(ForwardingProgram({"h0": 0}))
+        chassis.ingress(Frame(wire_bytes=100, dst="nowhere"), in_port=0)
+        sim.run()
+        assert chassis.frames_dropped == 1
+        assert all(not s for s in sinks.values())
+
+    def test_pipeline_latency_applied(self):
+        sim = Simulator()
+        chassis, sinks = build_switch(sim, latency=5e-6)
+        chassis.load_program(ForwardingProgram({"h1": 1}))
+        arrivals = []
+        chassis._egress[1].connect(lambda f: arrivals.append(sim.now))
+        chassis.ingress(Frame(wire_bytes=125), in_port=0)  # 100 ns serialization
+        chassis.ingress(Frame(wire_bytes=125, dst="h1"), in_port=0)
+        sim.run()
+        assert arrivals[0] == pytest.approx(5e-6 + 125 * 8 / 10e9)
+
+
+class TestMulticast:
+    def test_program_can_replicate_to_all_ports(self):
+        class Flood:
+            def process(self, frame, in_port):
+                return PortDecision(
+                    deliveries=[
+                        (p, frame.copy_for(f"h{p}")) for p in (0, 1, 2) if p != in_port
+                    ]
+                )
+
+        sim = Simulator()
+        chassis, sinks = build_switch(sim)
+        chassis.load_program(Flood())
+        chassis.ingress(Frame(wire_bytes=100, dst="any"), in_port=1)
+        sim.run()
+        assert len(sinks[0]) == 1 and len(sinks[2]) == 1 and not sinks[1]
+        assert chassis.frames_out == 2
+
+
+class TestWiring:
+    def test_duplicate_port_rejected(self):
+        sim = Simulator()
+        chassis, _ = build_switch(sim, num_ports=1)
+        with pytest.raises(ValueError):
+            chassis.attach_port(0, Link(sim, LinkSpec(), "dup", deliver=lambda f: None))
+
+    def test_no_program_raises(self):
+        sim = Simulator()
+        chassis, _ = build_switch(sim)
+        with pytest.raises(RuntimeError):
+            chassis.ingress(Frame(wire_bytes=100), in_port=0)
+
+    def test_unattached_egress_port_raises(self):
+        class ToNowhere:
+            def process(self, frame, in_port):
+                return PortDecision(deliveries=[(99, frame)])
+
+        sim = Simulator()
+        chassis, _ = build_switch(sim)
+        chassis.load_program(ToNowhere())
+        chassis.ingress(Frame(wire_bytes=100), in_port=0)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_ports_listing(self):
+        sim = Simulator()
+        chassis, _ = build_switch(sim, num_ports=3)
+        assert chassis.ports == [0, 1, 2]
+
+    def test_ingress_callback_binds_port(self):
+        seen = []
+
+        class Spy:
+            def process(self, frame, in_port):
+                seen.append(in_port)
+                return PortDecision.drop()
+
+        sim = Simulator()
+        chassis, _ = build_switch(sim)
+        chassis.load_program(Spy())
+        chassis.ingress_callback(2)(Frame(wire_bytes=100))
+        sim.run()
+        assert seen == [2]

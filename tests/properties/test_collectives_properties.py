@@ -1,0 +1,72 @@
+"""Property-based tests for the baseline collectives."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.halving_doubling import halving_doubling_allreduce
+from repro.collectives.parameter_server import ps_allreduce
+from repro.collectives.ring_allreduce import ring_allreduce
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def worker_tensors(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    size = draw(st.integers(min_value=1, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-(2**40), 2**40, size).astype(np.int64) for _ in range(n)]
+
+
+class TestAllImplementationsAgree:
+    @FAST
+    @given(worker_tensors())
+    def test_ring_equals_exact_sum(self, tensors):
+        results, _ = ring_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        assert all(np.array_equal(r, expected) for r in results)
+
+    @FAST
+    @given(worker_tensors())
+    def test_halving_doubling_equals_exact_sum(self, tensors):
+        results, _ = halving_doubling_allreduce(tensors)
+        expected = np.sum(tensors, axis=0)
+        assert all(np.array_equal(r, expected) for r in results)
+
+    @FAST
+    @given(worker_tensors(), st.integers(min_value=1, max_value=8))
+    def test_ps_equals_exact_sum_any_sharding(self, tensors, num_ps):
+        results, _ = ps_allreduce(tensors, num_ps=num_ps)
+        expected = np.sum(tensors, axis=0)
+        assert all(np.array_equal(r, expected) for r in results)
+
+    @FAST
+    @given(worker_tensors())
+    def test_all_three_agree(self, tensors):
+        ring, _ = ring_allreduce(tensors)
+        hd, _ = halving_doubling_allreduce(tensors)
+        ps, _ = ps_allreduce(tensors)
+        assert np.array_equal(ring[0], hd[0])
+        assert np.array_equal(hd[0], ps[0])
+
+
+class TestVolumeProperties:
+    @FAST
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=24, max_value=480),
+           st.integers(min_value=0, max_value=999))
+    def test_ring_volume_formula_any_n(self, n, size, seed):
+        rng = np.random.default_rng(seed)
+        tensors = [rng.integers(-5, 5, size).astype(np.int64) for _ in range(n)]
+        _, trace = ring_allreduce(tensors)
+        expected = 2 * (n - 1) / n * size * 4
+        # chunk rounding introduces at most one element per step of skew
+        assert abs(trace.bytes_sent_per_worker - expected) <= 4 * 2 * (n - 1)
+
+    @FAST
+    @given(st.integers(min_value=2, max_value=12))
+    def test_ring_send_equals_receive(self, n):
+        tensors = [np.arange(n * 10, dtype=np.int64) for _ in range(n)]
+        _, trace = ring_allreduce(tensors)
+        assert trace.bytes_sent_per_worker == trace.bytes_received_per_worker

@@ -1,0 +1,163 @@
+"""Property-based tests of the SwitchML protocol (hypothesis).
+
+The central invariant (DESIGN.md SS6): for any worker tensors, pool
+size, loss pattern, and seed, the delivered aggregate equals the exact
+integer sum of contributions on every worker -- or the run does not
+complete at all (which would itself fail the test).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.packet import SwitchMLPacket
+from repro.core.switch_program import SwitchAction, SwitchMLProgram
+from repro.net.loss import BernoulliLoss
+
+FAST = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def job_scenarios(draw):
+    num_workers = draw(st.integers(min_value=1, max_value=6))
+    pool_size = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    k = draw(st.sampled_from([4, 16, 32]))
+    chunks = draw(st.integers(min_value=1, max_value=40))
+    loss = draw(st.sampled_from([0.0, 0.0, 0.005, 0.02]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return num_workers, pool_size, k, chunks, loss, seed
+
+
+class TestAggregationExactness:
+    @FAST
+    @given(job_scenarios())
+    def test_all_reduce_is_exact_under_loss(self, scenario):
+        num_workers, pool_size, k, chunks, loss, seed = scenario
+        job = SwitchMLJob(
+            SwitchMLConfig(
+                num_workers=num_workers,
+                pool_size=pool_size,
+                elements_per_packet=k,
+                timeout_s=2e-4,
+                loss_factory=lambda: BernoulliLoss(loss),
+                check_invariants=True,
+                seed=seed,
+            )
+        )
+        rng = np.random.default_rng(seed)
+        size = k * chunks
+        tensors = [
+            rng.integers(-(2**20), 2**20, size).astype(np.int64)
+            for _ in range(num_workers)
+        ]
+        out = job.all_reduce(tensors)  # verify=True raises on any mismatch
+        assert out.completed
+
+    @FAST
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_padding_boundary_sizes(self, num_workers, size, seed):
+        """Any tensor length (including < k and non-multiples) survives
+        padding and unpadding."""
+        job = SwitchMLJob(
+            SwitchMLConfig(num_workers=num_workers, pool_size=4,
+                           elements_per_packet=8, seed=seed)
+        )
+        rng = np.random.default_rng(seed)
+        tensors = [rng.integers(-100, 100, size).astype(np.int64)
+                   for _ in range(num_workers)]
+        out = job.all_reduce(tensors)
+        assert out.completed
+        assert len(out.results[0]) == size
+
+
+class TestSwitchProgramProperties:
+    @FAST
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_duplicates_never_change_the_sum(self, n, dup_pattern, seed):
+        """Feed one full round plus arbitrary duplicate injections; the
+        multicast value must equal the exact sum regardless."""
+        k = 4
+        prog = SwitchMLProgram(n, pool_size=1, elements_per_packet=k)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-1000, 1000, size=(n, k))
+
+        def packet(wid):
+            return SwitchMLPacket(
+                wid=wid, ver=0, idx=0, off=0, num_elements=k,
+                vector=values[wid].astype(np.int64),
+            )
+
+        result = None
+        order = list(range(n))
+        injections = iter(dup_pattern)
+        for wid in order:
+            out = prog.handle(packet(wid))
+            if out.action is SwitchAction.MULTICAST:
+                result = out.packet.vector
+            # inject duplicates of already-sent workers mid-round
+            for dup in injections:
+                dup_wid = dup % (wid + 1)
+                dup_out = prog.handle(packet(dup_wid))
+                if dup_out.action is SwitchAction.MULTICAST:
+                    result = dup_out.packet.vector
+                break
+        # drain: retransmit everyone until a result is seen
+        for wid in order:
+            out = prog.handle(packet(wid))
+            if out.action in (SwitchAction.MULTICAST, SwitchAction.UNICAST):
+                result = out.packet.vector
+        assert result is not None
+        assert np.array_equal(result, values.sum(axis=0))
+
+    @FAST
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=999))
+    def test_switch_arithmetic_wraps_like_int32(self, n, seed):
+        """Sums that overflow int32 wrap, matching the ALU -- never a
+        Python bignum escape."""
+        k = 4
+        prog = SwitchMLProgram(n, pool_size=1, elements_per_packet=k)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(2**30, 2**31 - 1, size=(n, k))
+        result = None
+        for wid in range(n):
+            out = prog.handle(
+                SwitchMLPacket(wid=wid, ver=0, idx=0, off=0, num_elements=k,
+                               vector=values[wid].astype(np.int64))
+            )
+            if out.action is SwitchAction.MULTICAST:
+                result = out.packet.vector
+        expected = ((values.sum(axis=0) + 2**31) % 2**32) - 2**31
+        assert np.array_equal(result, expected)
+
+
+class TestDeterminismProperty:
+    @FAST
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_identical_seeds_identical_traces(self, seed):
+        def run():
+            job = SwitchMLJob(
+                SwitchMLConfig(
+                    num_workers=3, pool_size=4, elements_per_packet=8,
+                    loss_factory=lambda: BernoulliLoss(0.01),
+                    timeout_s=2e-4, seed=seed,
+                )
+            )
+            out = job.all_reduce(num_elements=8 * 4 * 6)
+            return (
+                out.max_tat, out.retransmissions, out.frames_lost,
+                out.sim_events, out.switch_multicasts,
+            )
+
+        assert run() == run()

@@ -1,0 +1,116 @@
+"""Property-based tests of the quantization layer (Appendix C theorems)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.fixedpoint import dequantize, quantize
+from repro.quant.float16 import float16_switch_from_fixed, float16_switch_to_fixed
+from repro.quant.theory import (
+    aggregation_error_bound,
+    max_safe_scaling_factor,
+    no_overflow_condition_holds,
+)
+
+FAST = settings(max_examples=50, deadline=None)
+
+bounded_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-100.0, max_value=100.0,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+class TestTheorem1Property:
+    @FAST
+    @given(
+        st.lists(bounded_floats, min_size=1, max_size=6).filter(
+            lambda us: len({len(u) for u in us}) == 1
+        ),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_aggregation_error_within_n_over_f(self, updates, f):
+        n = len(updates)
+        exact = np.sum(updates, axis=0)
+        fixed = dequantize(sum(quantize(u, f) for u in updates), f)
+        bound = aggregation_error_bound(n, f)
+        assert np.abs(fixed - exact).max() <= bound + 1e-12
+
+    @FAST
+    @given(bounded_floats, st.floats(min_value=1.0, max_value=1e6))
+    def test_single_worker_roundtrip_error_half_step(self, values, f):
+        recovered = dequantize(quantize(values, f), f)
+        assert np.abs(recovered - values).max() <= 0.5 / f + 1e-12
+
+
+class TestTheorem2Property:
+    @FAST
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=0.01, max_value=1000.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_no_overflow_below_the_bound(self, n, B, seed):
+        """Any f <= (2^31 - n)/(nB) is safe for any updates bounded by B."""
+        f = max_safe_scaling_factor(n, B)
+        rng = np.random.default_rng(seed)
+        updates = [rng.uniform(-B, B, size=32) for _ in range(n)]
+        assert no_overflow_condition_holds(updates, f)
+        assert no_overflow_condition_holds(updates, f / 10)
+
+    @FAST
+    @given(st.integers(min_value=1, max_value=16),
+           st.floats(min_value=0.01, max_value=1000.0))
+    def test_worst_case_overflows_just_beyond_bound(self, n, B):
+        """At the exact worst case (every update = B), scaling by ~4x the
+        bound must overflow -- the bound is not vacuously loose."""
+        f = max_safe_scaling_factor(n, B)
+        updates = [np.full(4, B) for _ in range(n)]
+        assert not no_overflow_condition_holds(updates, f * 4)
+
+
+class TestQuantizeProperties:
+    @FAST
+    @given(bounded_floats, st.floats(min_value=0.001, max_value=1e6))
+    def test_quantize_is_monotone(self, values, f):
+        """x <= y implies q(x) <= q(y): rounding never reorders."""
+        q = quantize(values, f)
+        order = np.argsort(values)
+        assert np.all(np.diff(q[order]) >= 0)
+
+    @FAST
+    @given(bounded_floats)
+    def test_scaling_linearity(self, values):
+        """q(v, 10 f) is within rounding of 10 * q(v, f)."""
+        q1 = quantize(values, 100.0)
+        q10 = quantize(values, 1000.0)
+        assert np.abs(q10 - 10 * q1).max() <= 5 + 1
+
+    @FAST
+    @given(bounded_floats)
+    def test_quantize_preserves_zero(self, values):
+        values = values * 0.0
+        assert np.all(quantize(values, 1234.5) == 0)
+
+
+class TestFloat16TableProperty:
+    @FAST
+    @given(
+        hnp.arrays(
+            dtype=np.float16,
+            shape=st.integers(min_value=1, max_value=32),
+            elements=st.floats(min_value=-500.0, max_value=500.0,
+                               allow_nan=False, allow_infinity=False,
+                               width=16),
+        )
+    )
+    def test_switch_roundtrip_is_lossless_for_moderate_values(self, values):
+        """float16 -> fixed -> float16 is exact where the fixed-point
+        grid (step 1/1024) resolves the float16 grid: float16 spacing is
+        2^(e-10), so |v| in [1, 32) (and exact zero) round-trips."""
+        v64 = np.abs(values.astype(np.float64))
+        moderate = values[((v64 >= 1.0) & (v64 < 32.0)) | (v64 == 0.0)]
+        fixed = float16_switch_to_fixed(moderate)
+        back = float16_switch_from_fixed(fixed)
+        assert np.array_equal(back, moderate)

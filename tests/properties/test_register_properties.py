@@ -1,0 +1,70 @@
+"""Property tests: register arithmetic == two's-complement semantics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataplane.registers import RegisterArray
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+def wrap32(value: int) -> int:
+    return ((value + 2**31) % 2**32) - 2**31
+
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestScalarWrapProperty:
+    @FAST
+    @given(int32s, int32s)
+    def test_add_matches_twos_complement(self, a, b):
+        reg = RegisterArray("r", 1, width_bits=32)
+        reg.write(0, a)
+        assert reg.add(0, b) == wrap32(a + b)
+
+    @FAST
+    @given(st.lists(int32s, min_size=1, max_size=20))
+    def test_accumulation_matches_big_int_mod(self, values):
+        reg = RegisterArray("r", 1, width_bits=32)
+        total = 0
+        for v in values:
+            reg.add(0, v)
+            total += v
+        assert reg.read(0) == wrap32(total)
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=1000))
+    def test_byte_counter_wraps_at_256(self, start, increments):
+        reg = RegisterArray("c", 1, width_bits=8)
+        reg.write(0, start)
+        for _ in range(increments):
+            reg.add(0, 1)
+        assert reg.read(0) == (start + increments) % 256
+
+
+class TestVectorWrapProperty:
+    @FAST
+    @given(
+        hnp.arrays(dtype=np.int64, shape=8,
+                   elements=st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+        hnp.arrays(dtype=np.int64, shape=8,
+                   elements=st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+    )
+    def test_vector_add_matches_scalar_semantics(self, a, b):
+        reg = RegisterArray("pool", 8, width_bits=32)
+        reg.write_range(0, 8, a)
+        result = reg.add_range(0, 8, b)
+        expected = np.array([wrap32(int(x) + int(y)) for x, y in zip(a, b)])
+        assert np.array_equal(result, expected)
+
+    @FAST
+    @given(hnp.arrays(dtype=np.int64, shape=4,
+                      elements=st.integers(min_value=-(2**40), max_value=2**40)))
+    def test_write_wraps_out_of_range_inputs(self, values):
+        reg = RegisterArray("pool", 4, width_bits=32)
+        reg.write_range(0, 4, values)
+        expected = np.array([wrap32(int(v)) for v in values])
+        assert np.array_equal(reg.read_range(0, 4), expected)

@@ -1,0 +1,132 @@
+"""Tests for the gradient-compression baselines (SS3.7's design space)."""
+
+import numpy as np
+import pytest
+
+from repro.mlfw.datasets import make_classification
+from repro.mlfw.realtrain import train_mlp
+from repro.quant.compressors import (
+    FixedPointCompressor,
+    QSGDCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    compression_aggregator,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFixedPoint:
+    def test_deterministic_and_near_lossless(self):
+        values = np.random.default_rng(1).normal(size=200)
+        comp = FixedPointCompressor(1e6)
+        a = comp.roundtrip(values, rng())
+        b = comp.roundtrip(values, rng())
+        assert np.array_equal(a, b)  # "our mechanism is not randomized"
+        assert np.abs(a - values).max() <= 0.5 / 1e6 + 1e-12
+
+    def test_bits(self):
+        assert FixedPointCompressor(10.0).bits_per_element() == 32.0
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            FixedPointCompressor(0.0)
+
+
+class TestSignSGD:
+    def test_only_signs_survive(self):
+        values = np.array([3.0, -1.0, 0.5, -2.5])
+        out = SignSGDCompressor().roundtrip(values, rng())
+        assert set(np.sign(out)) <= {-1.0, 0.0, 1.0}
+        assert len(set(np.abs(out[out != 0]))) == 1  # one magnitude
+
+    def test_one_bit(self):
+        assert SignSGDCompressor().bits_per_element() == 1.0
+
+
+class TestTernGrad:
+    def test_values_are_ternary(self):
+        values = np.random.default_rng(2).normal(size=500)
+        out = TernGradCompressor().roundtrip(values, rng())
+        magnitude = np.abs(values).max()
+        levels = set(np.round(out / magnitude, 9))
+        assert levels <= {-1.0, 0.0, 1.0}
+
+    def test_unbiased(self):
+        """E[encode(g)] = g -- the property the convergence proofs need."""
+        values = np.array([0.5, -0.25, 0.9])
+        comp = TernGradCompressor()
+        generator = np.random.default_rng(3)
+        samples = np.mean(
+            [comp.roundtrip(values, generator) for _ in range(4000)], axis=0
+        )
+        assert np.abs(samples - values).max() < 0.05
+
+    def test_zero_vector(self):
+        out = TernGradCompressor().roundtrip(np.zeros(8), rng())
+        assert np.all(out == 0)
+
+
+class TestQSGD:
+    def test_unbiased(self):
+        values = np.array([0.7, -0.2, 0.1, -0.9])
+        comp = QSGDCompressor(levels=2)
+        generator = np.random.default_rng(4)
+        samples = np.mean(
+            [comp.roundtrip(values, generator) for _ in range(4000)], axis=0
+        )
+        assert np.abs(samples - values).max() < 0.05
+
+    def test_more_levels_less_error(self):
+        values = np.random.default_rng(5).normal(size=1000)
+        generator = np.random.default_rng(6)
+        coarse = QSGDCompressor(levels=1).roundtrip(values, generator)
+        fine = QSGDCompressor(levels=64).roundtrip(values, generator)
+        assert np.abs(fine - values).mean() < np.abs(coarse - values).mean()
+
+    def test_bits_grow_with_levels(self):
+        assert QSGDCompressor(1).bits_per_element() < QSGDCompressor(16).bits_per_element()
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            QSGDCompressor(levels=0)
+
+    def test_zero_vector(self):
+        out = QSGDCompressor().roundtrip(np.zeros(8), rng())
+        assert np.all(out == 0)
+
+
+class TestTrainingComparison:
+    """The paper's positioning: lossy compression trades accuracy/
+    iterations for bandwidth; SwitchML's fixed point is essentially
+    lossless at 32 bits."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_classification(num_samples=1200, seed=9)
+
+    @pytest.fixture(scope="class")
+    def reference(self, dataset):
+        return train_mlp(dataset, num_workers=4, epochs=8, seed=4)
+
+    def test_fixed_point_matches_reference(self, dataset, reference):
+        agg = compression_aggregator(FixedPointCompressor(1e6))
+        out = train_mlp(dataset, num_workers=4, epochs=8, seed=4, aggregator=agg)
+        assert out.val_accuracy >= reference.val_accuracy - 0.02
+
+    @pytest.mark.parametrize("compressor", [
+        TernGradCompressor(),
+        QSGDCompressor(levels=4),
+    ])
+    def test_unbiased_compressors_still_learn(self, dataset, reference, compressor):
+        agg = compression_aggregator(compressor, seed=1)
+        out = train_mlp(dataset, num_workers=4, epochs=8, seed=4, aggregator=agg)
+        assert out.val_accuracy >= reference.val_accuracy - 0.15
+
+    def test_compression_saves_bandwidth_at_accuracy_cost_or_not(self, dataset, reference):
+        """TernGrad moves ~1.6 bits/element vs fixed point's 32 -- the
+        communication/variance trade-off the paper describes."""
+        assert TernGradCompressor().bits_per_element() < 2.0
+        assert FixedPointCompressor(1e6).bits_per_element() == 32.0

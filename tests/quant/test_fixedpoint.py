@@ -1,0 +1,85 @@
+"""Unit tests for fixed-point conversion (Appendix C's worked examples)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fixedpoint import (
+    INT32_MAX,
+    INT32_MIN,
+    OverflowDetected,
+    dequantize,
+    quantize,
+    quantize_dequantize_roundtrip,
+)
+
+
+class TestAppendixCExamples:
+    def test_f100_example_is_exact(self):
+        """Appendix C: f=100, updates 1.56 and 4.23 -> 156 + 423 = 579 ->
+        5.79, identical to the float result."""
+        q1 = quantize(np.array([1.56]), 100)
+        q2 = quantize(np.array([4.23]), 100)
+        assert q1[0] == 156 and q2[0] == 423
+        total = q1 + q2
+        assert dequantize(total, 100)[0] == pytest.approx(5.79)
+
+    def test_f10_example_has_small_error(self):
+        """Appendix C: f=10 rounds 15.6 -> 16 and 42.3 -> 42, giving 5.8
+        instead of 5.79 -- error 0.01."""
+        q1 = quantize(np.array([1.56]), 10)
+        q2 = quantize(np.array([4.23]), 10)
+        assert q1[0] == 16 and q2[0] == 42
+        result = dequantize(q1 + q2, 10)[0]
+        assert result == pytest.approx(5.8)
+        assert abs(result - 5.79) == pytest.approx(0.01)
+
+
+class TestQuantize:
+    def test_rounding_is_half_to_even(self):
+        assert list(quantize(np.array([0.5, 1.5, 2.5, -0.5]), 1)) == [0, 2, 2, 0]
+
+    def test_negative_values(self):
+        assert list(quantize(np.array([-1.56, -4.23]), 100)) == [-156, -423]
+
+    def test_zero_scaling_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            dequantize(np.array([1]), -1)
+
+    def test_strict_overflow_raises(self):
+        with pytest.raises(OverflowDetected):
+            quantize(np.array([3.0]), 1e9)
+
+    def test_non_strict_saturates(self):
+        out = quantize(np.array([3.0, -3.0]), 1e9, strict=False)
+        assert out[0] == INT32_MAX
+        assert out[1] == INT32_MIN
+
+    def test_boundary_values_accepted(self):
+        quantize(np.array([float(INT32_MAX)]), 1.0)
+        quantize(np.array([float(INT32_MIN)]), 1.0)
+
+    def test_empty_array(self):
+        assert quantize(np.array([]), 10.0).size == 0
+
+    def test_shapes_preserved(self):
+        out = quantize(np.ones((3, 4)), 10.0)
+        assert out.shape == (3, 4)
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        for f in (10.0, 1e3, 1e6):
+            recovered = quantize_dequantize_roundtrip(values, f)
+            assert np.abs(recovered - values).max() <= 0.5 / f + 1e-15
+
+    def test_exact_when_values_representable(self):
+        values = np.array([0.25, -0.5, 3.75])
+        assert np.array_equal(quantize_dequantize_roundtrip(values, 4.0), values)
+
+    def test_tiny_f_rounds_everything_to_zero(self):
+        values = np.array([0.001, -0.002])
+        assert np.all(quantize_dequantize_roundtrip(values, 1.0) == 0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the SwitchML(16) half-precision wire path."""
+
+import numpy as np
+import pytest
+
+from repro.quant.float16 import (
+    SWITCH_FIXED_SCALE,
+    float16_dequantize,
+    float16_quantize,
+    float16_switch_from_fixed,
+    float16_switch_to_fixed,
+)
+
+
+class TestWorkerSide:
+    def test_scale_and_cast(self):
+        out = float16_quantize(np.array([1.5, -2.0]), 2.0)
+        assert out.dtype == np.float16
+        assert list(out.astype(float)) == [3.0, -4.0]
+
+    def test_saturation_at_float16_max(self):
+        out = float16_quantize(np.array([1e9]), 1.0)
+        assert np.isfinite(out[0])
+        assert float(out[0]) == float(np.finfo(np.float16).max)
+
+    def test_dequantize_inverts_scale(self):
+        values = np.array([0.25, -0.5])
+        wire = float16_quantize(values, 8.0)
+        back = float16_dequantize(wire, 8.0)
+        assert np.allclose(back, values)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            float16_quantize(np.ones(1), 0.0)
+        with pytest.raises(ValueError):
+            float16_dequantize(np.ones(1), -1.0)
+
+
+class TestSwitchSide:
+    def test_lookup_matches_direct_conversion(self):
+        """The 65,536-entry table must agree with arithmetic conversion
+        for every finite float16 pattern."""
+        patterns = np.arange(65536, dtype=np.uint16).view(np.float16)
+        finite = patterns[np.isfinite(patterns)]
+        fixed = float16_switch_to_fixed(finite)
+        direct = np.rint(finite.astype(np.float64) * SWITCH_FIXED_SCALE)
+        assert np.array_equal(fixed, direct.astype(np.int64))
+
+    def test_non_finite_patterns_become_zero(self):
+        bad = np.array([np.inf, -np.inf, np.nan], dtype=np.float16)
+        assert list(float16_switch_to_fixed(bad)) == [0, 0, 0]
+
+    def test_roundtrip_through_switch(self):
+        values = np.array([0.5, -1.25, 3.0], dtype=np.float16)
+        fixed = float16_switch_to_fixed(values)
+        back = float16_switch_from_fixed(fixed)
+        assert np.array_equal(back, values)
+
+    def test_aggregation_in_fixed_point(self):
+        """Two workers' float16 payloads, summed as integers in the
+        switch, equal the float sum after egress conversion."""
+        a = np.array([0.5, 1.5], dtype=np.float16)
+        b = np.array([0.25, -0.5], dtype=np.float16)
+        total = float16_switch_to_fixed(a) + float16_switch_to_fixed(b)
+        out = float16_switch_from_fixed(total)
+        assert np.allclose(out.astype(float), [0.75, 1.0])

@@ -1,0 +1,54 @@
+"""Unit tests for gradient profiling and automatic f selection."""
+
+import numpy as np
+import pytest
+
+from repro.quant.profiler import GradientProfile, choose_scaling_factor, profile_gradients
+from repro.quant.theory import max_safe_scaling_factor, no_overflow_condition_holds
+
+
+class TestGradientProfile:
+    def test_tracks_max_abs(self):
+        profile = GradientProfile()
+        profile.observe(np.array([1.0, -5.0, 2.0]))
+        profile.observe(np.array([3.0]))
+        assert profile.max_abs == 5.0
+        assert profile.iterations == 2
+        assert profile.observations == 4
+
+    def test_mean_abs(self):
+        profile = GradientProfile()
+        profile.observe(np.array([1.0, -3.0]))
+        assert profile.mean_abs == pytest.approx(2.0)
+
+    def test_empty_observation_ignored(self):
+        profile = GradientProfile()
+        profile.observe(np.array([]))
+        assert profile.iterations == 0
+
+    def test_bound_applies_headroom(self):
+        profile = profile_gradients([np.array([2.0])])
+        assert profile.bound(headroom=3.0) == pytest.approx(6.0)
+
+    def test_bound_requires_nonzero_gradients(self):
+        profile = profile_gradients([np.zeros(5)])
+        with pytest.raises(ValueError):
+            profile.bound()
+
+
+class TestChooseScalingFactor:
+    def test_matches_theorem2_with_headroom(self):
+        profile = profile_gradients([np.array([10.0])])
+        f = choose_scaling_factor(profile, num_workers=4, headroom=2.0)
+        assert f == pytest.approx(max_safe_scaling_factor(4, 20.0))
+
+    def test_chosen_f_is_safe_for_profiled_updates(self):
+        rng = np.random.default_rng(0)
+        warmup = [rng.normal(scale=3.0, size=300) for _ in range(10)]
+        profile = profile_gradients(warmup)
+        f = choose_scaling_factor(profile, num_workers=8)
+        assert no_overflow_condition_holds(warmup[:8], f)
+
+    def test_more_workers_lower_f(self):
+        profile = profile_gradients([np.array([1.0])])
+        assert choose_scaling_factor(profile, 16) < choose_scaling_factor(profile, 2)

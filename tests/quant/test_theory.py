@@ -1,0 +1,79 @@
+"""Unit tests for Theorems 1 and 2 (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fixedpoint import dequantize, quantize
+from repro.quant.theory import (
+    aggregation_error_bound,
+    combined_error_at_max_f,
+    max_safe_scaling_factor,
+    no_overflow_condition_holds,
+)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        assert aggregation_error_bound(8, 100.0) == pytest.approx(0.08)
+
+    def test_bound_holds_empirically(self):
+        """|exact sum - fixed-point sum| <= n/f on random updates."""
+        rng = np.random.default_rng(1)
+        n, f = 8, 1000.0
+        updates = [rng.normal(size=500) for _ in range(n)]
+        exact = np.sum(updates, axis=0)
+        fixed = dequantize(sum(quantize(u, f) for u in updates), f)
+        assert np.abs(fixed - exact).max() <= aggregation_error_bound(n, f)
+
+    def test_bound_tightens_with_f(self):
+        assert aggregation_error_bound(8, 1e6) < aggregation_error_bound(8, 1e3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            aggregation_error_bound(0, 10.0)
+        with pytest.raises(ValueError):
+            aggregation_error_bound(2, 0.0)
+
+
+class TestTheorem2:
+    def test_formula(self):
+        n, B = 8, 30.0
+        assert max_safe_scaling_factor(n, B) == pytest.approx((2**31 - n) / (n * B))
+
+    def test_no_overflow_at_max_f(self):
+        """At f = (2^31 - n)/(nB), bounded updates never overflow."""
+        rng = np.random.default_rng(2)
+        n, B = 4, 10.0
+        f = max_safe_scaling_factor(n, B)
+        updates = [rng.uniform(-B, B, size=200) for _ in range(n)]
+        assert no_overflow_condition_holds(updates, f)
+
+    def test_overflow_beyond_the_bound(self):
+        n, B = 4, 10.0
+        f = max_safe_scaling_factor(n, B)
+        updates = [np.full(8, B) for _ in range(n)]  # worst case
+        assert not no_overflow_condition_holds(updates, f * 10)
+
+    def test_combined_error_negligible_for_typical_jobs(self):
+        """n^2 B << 2^31 -> error is tiny (the paper's closing remark)."""
+        err = combined_error_at_max_f(num_workers=8, gradient_bound=30.0)
+        assert err < 1e-6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_safe_scaling_factor(0, 1.0)
+        with pytest.raises(ValueError):
+            max_safe_scaling_factor(2, 0.0)
+        with pytest.raises(ValueError):
+            no_overflow_condition_holds([], 1.0)
+
+
+class TestGoogleNetScenario:
+    def test_paper_observed_gradients_are_safe(self):
+        """Appendix C: GoogLeNet's max gradient over 5000 iterations was
+        29.24; factors near 2^31 / 29.24 trained accurately."""
+        f = max_safe_scaling_factor(num_workers=8, gradient_bound=29.24)
+        assert 7e6 < f < 1e7  # ~9.2e6: same order as the paper's 7.16e6 sweep
+        rng = np.random.default_rng(3)
+        updates = [rng.uniform(-29.24, 29.24, 100) for _ in range(8)]
+        assert no_overflow_condition_holds(updates, f)

@@ -1,0 +1,171 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process, Signal, delay
+
+
+class TestDelay:
+    def test_sleep_advances_time(self):
+        sim = Simulator()
+        out = []
+
+        def script():
+            yield delay(1.5)
+            out.append(sim.now)
+            yield delay(0.5)
+            out.append(sim.now)
+
+        Process(sim, script())
+        sim.run()
+        assert out == [1.5, 2.0]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        done = []
+
+        def script():
+            yield delay(0.0)
+            done.append(True)
+
+        Process(sim, script())
+        sim.run()
+        assert done == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            delay(-1.0)
+
+
+class TestSignals:
+    def test_wait_and_fire(self):
+        sim = Simulator()
+        signal = Signal(sim, "ready")
+        out = []
+
+        def waiter():
+            value = yield signal
+            out.append((sim.now, value))
+
+        def firer():
+            yield delay(3.0)
+            signal.fire("go")
+
+        Process(sim, waiter())
+        Process(sim, firer())
+        sim.run()
+        assert out == [(3.0, "go")]
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        out = []
+
+        def waiter(tag):
+            yield signal
+            out.append(tag)
+
+        for tag in ("a", "b", "c"):
+            Process(sim, waiter(tag))
+        sim.schedule(1.0, signal.fire)
+        sim.run()
+        assert sorted(out) == ["a", "b", "c"]
+
+    def test_signal_is_repeatable(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        out = []
+
+        def waiter():
+            yield signal
+            out.append(1)
+            yield signal
+            out.append(2)
+
+        Process(sim, waiter())
+        sim.schedule(1.0, signal.fire)
+        sim.schedule(2.0, signal.fire)
+        sim.run()
+        assert out == [1, 2]
+
+    def test_fire_with_no_waiters_is_harmless(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.fire()
+        assert signal.fires == 1
+        assert signal.waiting == 0
+
+
+class TestProcessLifecycle:
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def script():
+            yield delay(1.0)
+            return 42
+
+        proc = Process(sim, script())
+        sim.run()
+        assert proc.done
+        assert proc.result == 42
+
+    def test_on_done_callback(self):
+        sim = Simulator()
+        finished = []
+
+        def script():
+            yield delay(1.0)
+
+        proc = Process(sim, script())
+        proc.on_done = lambda p: finished.append(p.name)
+        sim.run()
+        assert finished == ["proc"]
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def script():
+            yield "not a command"
+
+        Process(sim, script())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_processes_interleave(self):
+        sim = Simulator()
+        out = []
+
+        def ticker(tag, period):
+            for _ in range(3):
+                yield delay(period)
+                out.append((tag, sim.now))
+
+        Process(sim, ticker("fast", 1.0))
+        Process(sim, ticker("slow", 2.5))
+        sim.run()
+        assert out == [
+            ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+            ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+        ]
+
+    def test_process_driving_a_job(self):
+        """A process can script protocol work: here, a straggler that
+        sleeps and then fires a signal other processes wait on."""
+        sim = Simulator()
+        ready = Signal(sim)
+        timeline = []
+
+        def straggler():
+            yield delay(5.0)
+            timeline.append(("straggler-awake", sim.now))
+            ready.fire()
+
+        def leader():
+            yield ready
+            timeline.append(("leader-resumes", sim.now))
+
+        Process(sim, leader())
+        Process(sim, straggler())
+        sim.run()
+        assert timeline == [("straggler-awake", 5.0), ("leader-resumes", 5.0)]

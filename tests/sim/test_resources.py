@@ -1,0 +1,85 @@
+"""Unit tests for serial resources (core/link service model)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+
+
+class TestSerialResource:
+    def test_single_job_finishes_after_duration(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        finish = core.submit(2.0)
+        assert finish == 2.0
+
+    def test_jobs_queue_fifo(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        assert core.submit(1.0) == 1.0
+        assert core.submit(1.0) == 2.0
+        assert core.submit(0.5) == 2.5
+
+    def test_completion_callbacks_fire_at_finish(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        out = []
+        core.submit(1.0, lambda: out.append(sim.now))
+        core.submit(2.0, lambda: out.append(sim.now))
+        sim.run()
+        assert out == [1.0, 3.0]
+
+    def test_completion_delay_defers_callback_not_resource(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        out = []
+        core.submit(1.0, lambda: out.append(sim.now), completion_delay=5.0)
+        # the resource frees at t=1, so a second job finishes at t=2
+        assert core.submit(1.0, lambda: out.append(sim.now)) == 2.0
+        sim.run()
+        assert out == [2.0, 6.0]
+
+    def test_idle_gap_resets_start_time(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        core.submit(1.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert core.submit(1.0) == 11.0
+
+    def test_zero_duration_job(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        out = []
+        core.submit(0.0, out.append, "x")
+        sim.run()
+        assert out == ["x"]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        with pytest.raises(ValueError):
+            core.submit(-1.0)
+
+    def test_queue_delay(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        assert core.queue_delay == 0.0
+        core.submit(3.0)
+        assert core.queue_delay == 3.0
+
+    def test_utilization(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        core.submit(2.0)
+        assert core.utilization(4.0) == pytest.approx(0.5)
+        assert core.utilization(0.0) == 0.0
+        assert core.utilization(1.0) == 1.0  # capped
+
+    def test_stats_counters(self):
+        sim = Simulator()
+        core = SerialResource(sim, "core")
+        core.submit(1.0)
+        core.submit(2.0)
+        assert core.jobs_served == 2
+        assert core.busy_time == 3.0

@@ -1,0 +1,54 @@
+"""Unit tests for the bucketed trace recorder (Figure 6 machinery)."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_ticks_land_in_correct_buckets(self):
+        trace = TraceRecorder(bucket_seconds=0.010)
+        trace.tick("sent", 0.001)
+        trace.tick("sent", 0.009)
+        trace.tick("sent", 0.011)
+        series = trace.series("sent")
+        assert series == [(0.0, 2), (pytest.approx(0.010), 1)]
+
+    def test_gaps_are_filled_with_zeros(self):
+        trace = TraceRecorder(bucket_seconds=0.010)
+        trace.tick("sent", 0.005)
+        trace.tick("sent", 0.035)
+        series = trace.series("sent")
+        counts = [c for _, c in series]
+        assert counts == [1, 0, 0, 1]
+
+    def test_counted_ticks(self):
+        trace = TraceRecorder(bucket_seconds=1.0)
+        trace.tick("sent", 0.5, count=5)
+        assert trace.total("sent") == 5
+
+    def test_multiple_series_are_independent(self):
+        trace = TraceRecorder(bucket_seconds=1.0)
+        trace.tick("sent", 0.0)
+        trace.tick("resent", 0.0)
+        trace.tick("sent", 0.0)
+        assert trace.total("sent") == 2
+        assert trace.total("resent") == 1
+        assert trace.names() == ["resent", "sent"]
+
+    def test_unknown_series_is_empty(self):
+        trace = TraceRecorder()
+        assert trace.series("missing") == []
+        assert trace.total("missing") == 0
+
+    def test_invalid_bucket_width_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(bucket_seconds=0.0)
+
+    def test_raw_events_only_when_enabled(self):
+        trace = TraceRecorder(bucket_seconds=1.0)
+        trace.tick("sent", 0.1)
+        assert trace.events == []
+        trace.record_events = True
+        trace.tick("sent", 0.2)
+        assert trace.events == [(0.2, "sent")]
