@@ -299,6 +299,47 @@ def _cmd_violin(args: argparse.Namespace) -> None:
     print(dist.violin())
 
 
+def _cmd_faults(args: argparse.Namespace) -> None:
+    """Run a controller-managed all-reduce through one fault scenario."""
+    from repro.controlplane import (
+        ControlPlaneConfig,
+        Controller,
+        CrashWorker,
+        FaultInjector,
+        FaultPlan,
+        FlapLink,
+        RebootSwitch,
+    )
+    from repro.harness.telemetry import control_plane_summary
+
+    ctl = Controller(
+        ControlPlaneConfig(num_workers=args.workers, pool_size=args.pool,
+                           seed=args.seed)
+    )
+    at = args.at_ms * 1e-3
+    down = args.down_ms * 1e-3
+    if args.scenario == "worker-crash":
+        plan = FaultPlan([CrashWorker(member=args.member, at_s=at)])
+    elif args.scenario == "switch-reboot":
+        plan = FaultPlan([RebootSwitch(at_s=at, down_for_s=down)])
+    else:  # link-flap
+        plan = FaultPlan([FlapLink(member=args.member, at_s=at,
+                                   down_for_s=down)])
+    FaultInjector(ctl, plan).arm()
+
+    n_elem = int(args.mbytes * 1e6 / 4)
+    rng = np.random.default_rng(args.seed)
+    tensors = [rng.integers(-100, 100, n_elem).astype(np.int64)
+               for _ in range(args.workers)]
+    result = ctl.run_collective(tensors, deadline_s=5.0)
+
+    print(f"scenario {args.scenario}: {args.workers} workers, "
+          f"{args.mbytes:g} MB tensor, fault at {args.at_ms:g} ms")
+    print(f"completed={result.completed} survivors={result.survivors} "
+          f"epoch={result.epoch} elapsed={result.elapsed_s * 1e3:.3f} ms")
+    print(control_plane_summary(ctl))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SwitchML reproduction toolbox"
@@ -333,6 +374,28 @@ def main(argv: list[str] | None = None) -> int:
     vio.add_argument("--loss", type=float, default=0.0)
     vio.add_argument("--repetitions", type=int, default=50)
 
+    flt = sub.add_parser(
+        "faults",
+        help="inject a failure into a controller-managed all-reduce and "
+             "report detection, recovery phases, and availability",
+        aliases=["recover"],
+    )
+    flt.add_argument(
+        "--scenario",
+        choices=("worker-crash", "switch-reboot", "link-flap"),
+        default="worker-crash",
+    )
+    flt.add_argument("--workers", type=int, default=4)
+    flt.add_argument("--pool", type=int, default=16)
+    flt.add_argument("--member", type=int, default=2,
+                     help="which worker to crash / whose link to flap")
+    flt.add_argument("--at-ms", type=float, default=0.3,
+                     help="fault injection time")
+    flt.add_argument("--down-ms", type=float, default=10.0,
+                     help="outage duration (reboot / flap)")
+    flt.add_argument("--mbytes", type=float, default=0.5, help="tensor MB")
+    flt.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(_EXPERIMENTS):
@@ -347,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
         _print_resources(args.pool)
     elif args.command == "violin":
         _cmd_violin(args)
+    elif args.command in ("faults", "recover"):
+        _cmd_faults(args)
     elif args.command == "claims":
         from repro.harness.claims import audit
 

@@ -1,0 +1,68 @@
+"""repro.controlplane -- controller, membership & failure recovery.
+
+The paper's protocol machinery (Algorithms 1-4) assumes a surrounding
+control plane: something admits the job to the switch, notices when a
+worker or the switch dies, and reconfigures the survivors (SS3.2
+footnote 4 punts this to "the ML framework").  This package closes that
+loop:
+
+* :mod:`~repro.controlplane.controller` -- job lifecycle + pool-epoch
+  fencing of stale in-flight traffic;
+* :mod:`~repro.controlplane.membership` -- heartbeat suspect/confirm
+  failure detection;
+* :mod:`~repro.controlplane.recovery` -- the detect -> fence -> quiesce
+  -> restart / detect -> quiesce -> reinstall -> replay state machine;
+* :mod:`~repro.controlplane.faults` -- declarative fault injection
+  (crash a worker, reboot the switch, flap a link);
+* :mod:`~repro.controlplane.metrics` -- recovery time and availability
+  accounting.
+"""
+
+from repro.controlplane.controller import (
+    ControlPlaneConfig,
+    ControlPlaneDataplane,
+    ControlledRunResult,
+    Controller,
+)
+from repro.controlplane.faults import (
+    CrashWorker,
+    DropAll,
+    FaultInjector,
+    FaultPlan,
+    FlapLink,
+    RebootSwitch,
+    SwitchDownProgram,
+)
+from repro.controlplane.membership import MemberState, MembershipTracker
+from repro.controlplane.metrics import (
+    ControlPlaneMetrics,
+    availability,
+    recovery_report,
+)
+from repro.controlplane.recovery import (
+    RecoveryManager,
+    RecoveryRecord,
+    RecoveryState,
+)
+
+__all__ = [
+    "ControlPlaneConfig",
+    "ControlPlaneDataplane",
+    "ControlPlaneMetrics",
+    "ControlledRunResult",
+    "Controller",
+    "CrashWorker",
+    "DropAll",
+    "FaultInjector",
+    "FaultPlan",
+    "FlapLink",
+    "MemberState",
+    "MembershipTracker",
+    "RebootSwitch",
+    "RecoveryManager",
+    "RecoveryRecord",
+    "RecoveryState",
+    "SwitchDownProgram",
+    "availability",
+    "recovery_report",
+]

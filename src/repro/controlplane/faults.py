@@ -1,0 +1,180 @@
+"""Declarative fault injection for controller-managed jobs.
+
+A :class:`FaultPlan` is a list of timed faults; a :class:`FaultInjector`
+arms them on the controller's simulator.  Three fault kinds cover the
+paper's SS3.2 failure taxonomy:
+
+* :class:`CrashWorker` -- fail-stop a worker process (it stops sending,
+  retransmitting, and heartbeating; nothing announces the death);
+* :class:`RebootSwitch` -- the switch loses its program and registers
+  for a duration (modelled by mounting a blackhole program), then its
+  management port answers again and the injector raises the controller's
+  ``notify_switch_up`` -- standing in for the reachability probe a real
+  controller runs against a rebooting switch;
+* :class:`FlapLink` -- a worker's cable drops every frame for a
+  duration, then heals.  A flap longer than the detection timeout gets
+  an *alive* worker evicted; when the link heals, the survivor of the
+  eviction is a "zombie" whose epoch-stale traffic the switch must fence
+  forever (the scenario pool-epoch fencing exists for).
+
+Link faults are layered over :mod:`repro.net.loss`: the injector swaps
+the link's loss model for :class:`DropAll` and restores the original at
+the end of the window, so they compose with any probabilistic loss
+already configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.net.packet import Frame
+from repro.net.switchchassis import PortDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.controller import Controller
+
+__all__ = [
+    "CrashWorker",
+    "DropAll",
+    "FaultInjector",
+    "FaultPlan",
+    "FlapLink",
+    "RebootSwitch",
+    "SwitchDownProgram",
+]
+
+
+class DropAll:
+    """A loss model that loses everything (a dead cable)."""
+
+    def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
+        return True
+
+
+class SwitchDownProgram:
+    """What a rebooting switch runs: nothing.
+
+    Every frame -- updates, retransmissions, heartbeats -- is blackholed,
+    which is exactly why a switch outage presents to the membership layer
+    as the entire group going silent at once.
+    """
+
+    def __init__(self) -> None:
+        self.frames_blackholed = 0
+
+    def process(self, frame: Frame, in_port: int) -> PortDecision:
+        self.frames_blackholed += 1
+        return PortDecision.drop()
+
+
+@dataclass(frozen=True)
+class CrashWorker:
+    """Fail-stop ``member`` at ``at_s``."""
+
+    member: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class RebootSwitch:
+    """Switch program + registers lost at ``at_s``; reachable again
+    (program *re-installable*, not reinstalled) ``down_for_s`` later."""
+
+    at_s: float
+    down_for_s: float
+
+
+@dataclass(frozen=True)
+class FlapLink:
+    """Both directions of ``member``'s cable dead during the window."""
+
+    member: int
+    at_s: float
+    down_for_s: float
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of faults to inject into one run."""
+
+    faults: list[CrashWorker | RebootSwitch | FlapLink] = field(
+        default_factory=list
+    )
+
+    def add(self, fault: CrashWorker | RebootSwitch | FlapLink) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def validate(self, members: list[int]) -> None:
+        for f in self.faults:
+            if f.at_s < 0:
+                raise ValueError(f"{f} scheduled in the past")
+            if isinstance(f, (RebootSwitch, FlapLink)) and f.down_for_s <= 0:
+                raise ValueError(f"{f} needs a positive outage duration")
+            if isinstance(f, (CrashWorker, FlapLink)) and f.member not in members:
+                raise ValueError(f"{f} targets unknown member {f.member}")
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` on a controller's simulator."""
+
+    def __init__(self, controller: "Controller", plan: FaultPlan):
+        self.controller = controller
+        self.plan = plan
+        self.armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault; call once, before (or during) the run."""
+        if self.armed:
+            raise RuntimeError("fault plan already armed")
+        ctl = self.controller
+        self.plan.validate(sorted(ctl.endpoints))
+        for f in self.plan.faults:
+            if isinstance(f, CrashWorker):
+                ctl.sim.schedule_at(f.at_s, self._crash, f.member)
+            elif isinstance(f, RebootSwitch):
+                ctl.sim.schedule_at(f.at_s, self._switch_down)
+                ctl.sim.schedule_at(f.at_s + f.down_for_s, self._switch_up)
+            elif isinstance(f, FlapLink):
+                ctl.sim.schedule_at(f.at_s, self._flap_start, f.member)
+                ctl.sim.schedule_at(
+                    f.at_s + f.down_for_s, self._flap_end, f.member
+                )
+            else:  # pragma: no cover - plan.validate catches junk first
+                raise TypeError(f"unknown fault {f!r}")
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    def _crash(self, member: int) -> None:
+        ctl = self.controller
+        ctl.metrics.log(ctl.sim.now, "fault", f"crash worker {member}")
+        ctl.endpoints[member].crash()
+
+    def _switch_down(self) -> None:
+        ctl = self.controller
+        ctl.metrics.log(ctl.sim.now, "fault", "switch down (program wiped)")
+        ctl.notify_switch_down()
+
+    def _switch_up(self) -> None:
+        ctl = self.controller
+        ctl.metrics.log(ctl.sim.now, "fault", "switch reachable again")
+        ctl.notify_switch_up()
+
+    def _flap_start(self, member: int) -> None:
+        ctl = self.controller
+        ctl.metrics.log(ctl.sim.now, "fault", f"link to worker {member} down")
+        up, down = ctl.rack.uplinks[member], ctl.rack.downlinks[member]
+        self._saved = getattr(self, "_saved", {})
+        self._saved[member] = (up.loss, down.loss)
+        up.loss = DropAll()
+        down.loss = DropAll()
+
+    def _flap_end(self, member: int) -> None:
+        ctl = self.controller
+        ctl.metrics.log(ctl.sim.now, "fault", f"link to worker {member} up")
+        up_loss, down_loss = self._saved.pop(member)
+        ctl.rack.uplinks[member].loss = up_loss
+        ctl.rack.downlinks[member].loss = down_loss

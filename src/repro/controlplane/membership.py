@@ -1,0 +1,179 @@
+"""Heartbeat-based worker membership on the simulated clock.
+
+The paper punts fault handling to the framework (SS3.2 footnote 4); this
+module is the detector the control plane acts on.  Every worker emits a
+:class:`repro.core.packet.Heartbeat` through the dataplane (worker NIC ->
+uplink -> switch pipeline -> CPU punt to the controller); the tracker
+sweeps membership on a :class:`repro.sim.engine.Simulator` timer and
+walks each member through ``ALIVE -> SUSPECT -> DEAD`` as heartbeats go
+missing.
+
+Because liveness is measured *in-band*, the three failure modes the
+paper names -- worker, link, switch -- all present identically at this
+layer (silence) and are disambiguated by their *scope*: one silent
+member is a worker or link failure; every member going silent at once is
+the switch.  The :class:`repro.controlplane.recovery.RecoveryManager`
+makes that call after a short correlation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["MemberRecord", "MemberState", "MembershipTracker"]
+
+
+class MemberState(Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class MemberRecord:
+    """One member's liveness bookkeeping."""
+
+    member: int
+    last_heard: float
+    state: MemberState = MemberState.ALIVE
+    progress: int = 0
+    suspected_at: float = field(default=float("nan"))
+    confirmed_at: float = field(default=float("nan"))
+    heartbeats: int = 0
+    flaps_recovered: int = 0  # SUSPECT -> ALIVE transitions
+
+
+class MembershipTracker:
+    """Suspect/confirm failure detection over worker heartbeats.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine (timers run on its clock).
+    heartbeat_interval_s:
+        Expected beacon period; also the sweep period.
+    suspect_after_s:
+        Silence after which a member becomes SUSPECT (typically a few
+        heartbeat intervals, so one lost beacon is not a failure).
+    confirm_after_s:
+        Silence after which a SUSPECT member is confirmed DEAD and
+        reported to ``on_confirm``.  Must exceed ``suspect_after_s``.
+    on_suspect / on_confirm / on_recovered:
+        Callbacks ``(member, time)`` for state transitions, except
+        ``on_confirm`` which receives ``(members: list[int], time)`` --
+        every member confirmed in the same sweep is reported together so
+        the recovery layer can correlate mass failures.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        heartbeat_interval_s: float = 1e-3,
+        suspect_after_s: float = 3e-3,
+        confirm_after_s: float = 5e-3,
+        on_suspect: Callable[[int, float], None] | None = None,
+        on_confirm: Callable[[list[int], float], None] | None = None,
+        on_recovered: Callable[[int, float], None] | None = None,
+    ):
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if not 0 < suspect_after_s < confirm_after_s:
+            raise ValueError(
+                "need 0 < suspect_after_s < confirm_after_s "
+                f"(got {suspect_after_s}, {confirm_after_s})"
+            )
+        self.sim = sim
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.suspect_after_s = suspect_after_s
+        self.confirm_after_s = confirm_after_s
+        self.on_suspect = on_suspect
+        self.on_confirm = on_confirm
+        self.on_recovered = on_recovered
+        self.members: dict[int, MemberRecord] = {}
+        self.ignored_heartbeats = 0  # from evicted/unknown members
+        self._sweep_timer: Event | None = None
+
+    # ------------------------------------------------------------------
+    # Membership roster
+    # ------------------------------------------------------------------
+    def add_member(self, member: int) -> None:
+        if member in self.members:
+            raise ValueError(f"member {member} already tracked")
+        self.members[member] = MemberRecord(member=member, last_heard=self.sim.now)
+
+    def remove_member(self, member: int) -> None:
+        self.members.pop(member, None)
+
+    def reset(self) -> None:
+        """Forgive all silence (e.g. after a switch reinstall restored
+        the heartbeat path): every member back to ALIVE, clocks restart
+        now."""
+        for rec in self.members.values():
+            rec.state = MemberState.ALIVE
+            rec.last_heard = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic sweeps (idempotent)."""
+        if self._sweep_timer is None:
+            self._sweep_timer = self.sim.schedule(
+                self.heartbeat_interval_s, self._sweep
+            )
+
+    def stop(self) -> None:
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+            self._sweep_timer = None
+
+    def on_heartbeat(self, member: int, time: float, progress: int = 0) -> None:
+        rec = self.members.get(member)
+        if rec is None:
+            self.ignored_heartbeats += 1
+            return
+        rec.last_heard = time
+        rec.progress = progress
+        rec.heartbeats += 1
+        if rec.state is MemberState.SUSPECT:
+            rec.state = MemberState.ALIVE
+            rec.flaps_recovered += 1
+            if self.on_recovered is not None:
+                self.on_recovered(member, time)
+        # A DEAD member is never resurrected by a late heartbeat: by the
+        # time it is confirmed, recovery is already reconfiguring around
+        # it.  (Eviction removes it from the roster shortly after.)
+
+    def _sweep(self) -> None:
+        now = self.sim.now
+        newly_dead: list[int] = []
+        for rec in self.members.values():
+            silence = now - rec.last_heard
+            if rec.state is MemberState.ALIVE and silence > self.suspect_after_s:
+                rec.state = MemberState.SUSPECT
+                rec.suspected_at = now
+                if self.on_suspect is not None:
+                    self.on_suspect(rec.member, now)
+            if rec.state is MemberState.SUSPECT and silence > self.confirm_after_s:
+                rec.state = MemberState.DEAD
+                rec.confirmed_at = now
+                newly_dead.append(rec.member)
+        if newly_dead and self.on_confirm is not None:
+            self.on_confirm(newly_dead, now)
+        self._sweep_timer = self.sim.schedule(self.heartbeat_interval_s, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def in_state(self, state: MemberState) -> list[int]:
+        return sorted(m for m, r in self.members.items() if r.state is state)
+
+    def alive_members(self) -> list[int]:
+        return self.in_state(MemberState.ALIVE)
+
+    def dead_members(self) -> list[int]:
+        return self.in_state(MemberState.DEAD)

@@ -1,0 +1,97 @@
+"""Recovery-time and availability accounting.
+
+The paper's evaluation is all steady-state throughput; an operator also
+cares how long a job is *down* when a worker dies or the switch reboots.
+This module turns the control plane's event stream and the recovery
+state machine's :class:`~repro.controlplane.recovery.RecoveryRecord`
+phase timestamps into the two numbers that matter -- time-to-recover per
+incident and availability over a run -- plus human-readable reports
+rendered through :mod:`repro.harness.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.harness.report import format_phase_timeline, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.recovery import RecoveryRecord
+
+__all__ = [
+    "ControlEvent",
+    "ControlPlaneMetrics",
+    "availability",
+    "recovery_report",
+]
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One timestamped control-plane occurrence (suspect, confirm, ...)."""
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class ControlPlaneMetrics:
+    """Append-only event log kept by the controller.
+
+    Everything the control plane observes or decides lands here with its
+    simulated timestamp, so a test (or a human reading a report) can
+    reconstruct the exact sequence detect -> fence -> quiesce -> restart
+    without instrumenting the components.
+    """
+
+    events: list[ControlEvent] = field(default_factory=list)
+
+    def log(self, time: float, kind: str, detail: str = "") -> None:
+        self.events.append(ControlEvent(time=time, kind=kind, detail=detail))
+
+    def of_kind(self, kind: str) -> list[ControlEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def timeline(self) -> str:
+        rows = [[f"{e.time * 1e3:.3f}", e.kind, e.detail] for e in self.events]
+        return format_table(["t (ms)", "event", "detail"], rows,
+                            title="control-plane event log")
+
+
+def availability(records: Iterable["RecoveryRecord"], elapsed_s: float) -> float:
+    """Fraction of the observation window the job was *not* recovering.
+
+    Downtime for an incident is its detect-to-restart span (the job makes
+    no forward progress from the moment the failure is confirmed until
+    the survivors are restarted).  Time before detection is not counted
+    against availability -- the job may still be burning retransmissions
+    then, but that shows up in TAT, not here.
+    """
+    if elapsed_s <= 0:
+        raise ValueError("need a positive observation window")
+    down = sum(r.recovery_time for r in records if r.complete)
+    return max(0.0, 1.0 - down / elapsed_s)
+
+
+def recovery_report(records: Iterable["RecoveryRecord"]) -> str:
+    """Per-incident phase timelines, one table per recovery."""
+    blocks = []
+    for i, rec in enumerate(records):
+        title = (
+            f"recovery #{i}: {rec.cause} "
+            f"(dead={rec.dead_members}, epoch {rec.epoch_before}->"
+            f"{rec.epoch_after}"
+            + (f", resumed at element {rec.resumed_from_element}" if
+               rec.cause == "switch-failure" else "")
+            + ("" if rec.complete else ", IN PROGRESS")
+            + f"), recovery time {rec.recovery_time * 1e3:.3f} ms"
+        )
+        blocks.append(format_phase_timeline(rec.phases, title=title))
+    if not blocks:
+        return "no recoveries"
+    return "\n\n".join(blocks)

@@ -1,0 +1,242 @@
+"""The reconfiguration state machine: from confirmed failure to a
+running job.
+
+The paper leaves recovery to "the ML framework" (SS3.2 footnote 4); this
+module is that framework's controller-side logic, built on two
+primitives the rest of the repo provides:
+
+* **pool-epoch fencing** -- :meth:`repro.core.tenancy.PoolAllocator.renew`
+  replaces the job's lease with a fresh :class:`SwitchMLProgram` whose
+  ``epoch`` is one higher; the program drops (and counts) any packet
+  stamped with an older epoch before touching a register;
+* **worker stream control** -- quiesce / reconfigure / restart_from on
+  :class:`repro.core.worker.SwitchMLWorker`.
+
+Two recovery paths, chosen by the *scope* of the confirmed silence:
+
+Worker fail-stop (a strict subset of members dead)::
+
+    detect -> fence -> (drain) -> quiesce -> restart
+
+    The new program (epoch e+1, n-1 workers) is installed FIRST, while
+    the survivors are still blasting epoch-e traffic -- the fence makes
+    that traffic harmless, and draining *before* quiescing guarantees
+    the epoch-drop counter observably fires (each survivor retransmits
+    at least once within a ``drain_s`` sized to the worker's maximum
+    backed-off timeout).  Survivors are then renumbered to contiguous
+    wids, bumped to the new epoch, and restarted from the last
+    checkpoint (the tensor boundary: chunks aggregated before the crash
+    contain the dead worker's contributions, so a correct (n-1)-worker
+    sum requires re-aggregating the whole tensor).
+
+Switch failure (ALL members dead at once -- their heartbeats share the
+one switch, so a rebooting switch silences everyone)::
+
+    detect -> quiesce -> reinstall -> replay
+
+    Survivor state is intact and membership unchanged, so the
+    already-received prefix is still a valid aggregate; once the switch
+    is reachable again the controller reinstalls the program (fresh
+    registers, epoch e+1) and every worker resumes from the *minimum*
+    completed prefix across the group (the protocol needs all workers
+    streaming the same chunk range; re-aggregated chunks reproduce the
+    same sums).
+
+A short correlation window sits between the first confirm and the
+diagnosis so that a switch outage whose member confirmations straddle
+two membership sweeps is not misread as a partial worker failure.
+Overlapping incidents are out of scope: a failure confirmed while a
+recovery is already in flight is logged and ignored (real controllers
+serialize reconfigurations the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.controller import Controller
+
+__all__ = ["RecoveryManager", "RecoveryRecord", "RecoveryState"]
+
+
+class RecoveryState(Enum):
+    IDLE = "idle"
+    CORRELATING = "correlating"  # confirmed deaths, diagnosing scope
+    DRAINING = "draining"        # worker path: fence up, flushing stale traffic
+    WAIT_SWITCH = "wait-switch"  # switch path: quiesced, switch unreachable
+
+
+@dataclass
+class RecoveryRecord:
+    """One incident's accounting: what died, how it was repaired, when.
+
+    ``phases`` maps phase name to the absolute simulated time it
+    *completed*, in execution order (dict insertion order).  Worker path:
+    detect, fence, quiesce, restart.  Switch path: detect, quiesce,
+    reinstall, replay.
+    """
+
+    cause: str = ""
+    dead_members: list[int] = field(default_factory=list)
+    epoch_before: int = 0
+    epoch_after: int = 0
+    resumed_from_element: int = 0
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return "restart" in self.phases or "replay" in self.phases
+
+    @property
+    def detect_time(self) -> float:
+        return self.phases.get("detect", float("nan"))
+
+    @property
+    def recovered_time(self) -> float:
+        if not self.phases:
+            return float("nan")
+        return list(self.phases.values())[-1]
+
+    @property
+    def recovery_time(self) -> float:
+        """Detect-to-recovered span (the job's downtime for this incident)."""
+        if not self.phases:
+            return float("nan")
+        times = list(self.phases.values())
+        return times[-1] - times[0]
+
+
+class RecoveryManager:
+    """Drives a :class:`Controller` through failure recovery.
+
+    The manager owns only *when* things happen; every actual mutation
+    (reinstalling programs, renumbering workers) is a controller method,
+    so the sequencing logic stays readable and unit-testable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: "Controller",
+        correlation_delay_s: float,
+        drain_s: float,
+    ):
+        if correlation_delay_s < 0:
+            raise ValueError("correlation delay must be non-negative")
+        if drain_s <= 0:
+            raise ValueError("drain window must be positive")
+        self.sim = sim
+        self.controller = controller
+        self.correlation_delay_s = correlation_delay_s
+        self.drain_s = drain_s
+        self.state = RecoveryState.IDLE
+        self.records: list[RecoveryRecord] = []
+        self._open: RecoveryRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Entry points (wired to membership / management signals)
+    # ------------------------------------------------------------------
+    def on_members_dead(self, members: list[int], time: float) -> None:
+        """Membership confirmed these members dead."""
+        ctl = self.controller
+        if self.state is not RecoveryState.IDLE:
+            ctl.metrics.log(
+                time, "confirm-during-recovery",
+                f"members {members} confirmed while {self.state.value}; ignored",
+            )
+            return
+        self._open = RecoveryRecord(phases={"detect": time})
+        self.records.append(self._open)
+        self.state = RecoveryState.CORRELATING
+        ctl.metrics.log(time, "recovery-start", f"confirmed dead: {members}")
+        # Wait one correlation window before diagnosing: a switch outage
+        # can confirm its members across two sweeps, and acting on the
+        # first batch would misread it as a worker failure.
+        self.sim.schedule(self.correlation_delay_s, self._diagnose)
+
+    def on_switch_up(self, time: float) -> None:
+        """Management plane reports the switch reachable again."""
+        if self.state is RecoveryState.WAIT_SWITCH:
+            self._reinstall_and_replay()
+
+    def on_collective_complete(self, time: float) -> None:
+        self.controller.metrics.log(time, "collective-complete")
+
+    # ------------------------------------------------------------------
+    # The state machine
+    # ------------------------------------------------------------------
+    def _diagnose(self) -> None:
+        assert self._open is not None
+        ctl = self.controller
+        dead = ctl.membership.dead_members()  # fresh snapshot, post-window
+        members = ctl.all_members()
+        self._open.dead_members = list(dead)
+        self._open.epoch_before = ctl.current_epoch
+        if set(dead) >= set(members):
+            self._open.cause = "switch-failure"
+            ctl.metrics.log(
+                self.sim.now, "diagnosis",
+                f"all {len(members)} members silent -> switch failure",
+            )
+            # Survivor state is precious here: stop the retransmission
+            # storm immediately, keep every slot's stream position.
+            ctl.quiesce_survivors()
+            self._open.phases["quiesce"] = self.sim.now
+            self.state = RecoveryState.WAIT_SWITCH
+            if ctl.switch_available:
+                # The switch already rebooted before detection finished.
+                self._reinstall_and_replay()
+        else:
+            self._open.cause = "worker-failure"
+            ctl.metrics.log(
+                self.sim.now, "diagnosis",
+                f"members {dead} of {members} silent -> worker failure",
+            )
+            # Fence FIRST: install the (n-1)-worker program at epoch e+1
+            # while survivors still carry epoch e.  Their in-flight and
+            # retransmitted packets hit the fence instead of corrupting
+            # the new pool -- the IO-fencing discipline of classic
+            # distributed storage, applied to aggregator slots.
+            ctl.evict_and_fence(dead)
+            self._open.epoch_after = ctl.current_epoch
+            self._open.phases["fence"] = self.sim.now
+            self.state = RecoveryState.DRAINING
+            self.sim.schedule(self.drain_s, self._after_drain)
+
+    def _after_drain(self) -> None:
+        assert self._open is not None
+        ctl = self.controller
+        ctl.quiesce_survivors()
+        ctl.reconfigure_survivors()
+        self._open.phases["quiesce"] = self.sim.now
+        ctl.restart_from_checkpoint()
+        self._open.phases["restart"] = self.sim.now
+        ctl.metrics.log(
+            self.sim.now, "recovery-done",
+            f"{len(ctl.all_members())} survivors restarted at epoch "
+            f"{ctl.current_epoch}",
+        )
+        self._open = None
+        self.state = RecoveryState.IDLE
+
+    def _reinstall_and_replay(self) -> None:
+        assert self._open is not None
+        ctl = self.controller
+        ctl.reinstall_same_membership()
+        self._open.epoch_after = ctl.current_epoch
+        self._open.phases["reinstall"] = self.sim.now
+        resumed = ctl.replay_from_prefix()
+        self._open.resumed_from_element = resumed
+        self._open.phases["replay"] = self.sim.now
+        ctl.metrics.log(
+            self.sim.now, "recovery-done",
+            f"switch reinstalled at epoch {ctl.current_epoch}, replaying "
+            f"from element {resumed}",
+        )
+        self._open = None
+        self.state = RecoveryState.IDLE

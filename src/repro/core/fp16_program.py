@@ -46,10 +46,11 @@ class Float16SwitchMLProgram:
         pool_size: int,
         elements_per_packet: int = 64,
         check_invariants: bool = False,
+        epoch: int = 0,
     ):
         self.inner = SwitchMLProgram(
             num_workers, pool_size, elements_per_packet,
-            check_invariants=check_invariants,
+            check_invariants=check_invariants, epoch=epoch,
         )
         self.n = num_workers
         self.s = pool_size
@@ -74,6 +75,14 @@ class Float16SwitchMLProgram:
     def sram_bytes(self) -> int:
         return self.inner.sram_bytes
 
+    @property
+    def epoch(self) -> int:
+        return self.inner.epoch
+
+    @property
+    def stale_epoch_drops(self) -> int:
+        return self.inner.stale_epoch_drops
+
     def handle(self, p: SwitchMLPacket) -> SwitchDecision:
         if p.vector is not None:
             fixed = float16_switch_to_fixed(
@@ -84,6 +93,7 @@ class Float16SwitchMLProgram:
                 wid=p.wid, ver=p.ver, idx=p.idx, off=p.off,
                 num_elements=p.num_elements, vector=fixed,
                 is_retransmission=p.is_retransmission, job_id=p.job_id,
+                epoch=p.epoch,
             )
         decision = self.inner.handle(p)
         if (

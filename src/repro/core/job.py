@@ -65,6 +65,9 @@ class SwitchMLConfig:
     #: bound consecutive per-slot retries; exceeded -> the worker reports
     #: failure (SS3.2: the framework handles worker/switch failures)
     max_retries: int | None = None
+    #: control-plane pool epoch stamped into program and workers; the
+    #: managed run mode (:mod:`repro.controlplane`) bumps it on recovery
+    epoch: int = 0
     seed: int = 0
 
 
@@ -83,6 +86,7 @@ class AllReduceResult:
     trace: TraceRecorder
     sim_events: int
     failed_workers: list[int] = field(default_factory=list)
+    switch_stale_epoch_drops: int = 0
 
     @property
     def tats(self) -> list[float]:
@@ -199,6 +203,7 @@ class SwitchMLJob:
             ) = Float16SwitchMLProgram(
                 cfg.num_workers, cfg.pool_size, cfg.elements_per_packet,
                 check_invariants=cfg.check_invariants,
+                epoch=cfg.epoch,
             )
         elif cfg.lossless_switch:
             self.program = (
@@ -212,6 +217,7 @@ class SwitchMLJob:
                 cfg.pool_size,
                 cfg.elements_per_packet,
                 check_invariants=cfg.check_invariants,
+                epoch=cfg.epoch,
             )
         worker_ports = {w: self.rack.host_port(w) for w in range(cfg.num_workers)}
         worker_names = {w: self.rack.hosts[w].name for w in range(cfg.num_workers)}
@@ -243,6 +249,7 @@ class SwitchMLJob:
                 tensor_dtype=np.float16 if cfg.fp16_switch else np.int64,
                 max_retries=cfg.max_retries,
                 on_failure=self._on_worker_failure,
+                epoch=cfg.epoch,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)
@@ -252,6 +259,17 @@ class SwitchMLJob:
 
     def _on_worker_failure(self, wid: int) -> None:
         self._failed.add(wid)
+
+    @staticmethod
+    def managed(control_config=None):
+        """The controller-managed run mode: a deployment whose failures
+        are detected and repaired by the control plane instead of merely
+        reported.  Returns a :class:`repro.controlplane.Controller`;
+        see that package for membership, recovery, and fault injection.
+        """
+        from repro.controlplane.controller import Controller
+
+        return Controller(control_config)
 
     # ------------------------------------------------------------------
     def all_reduce(
@@ -366,4 +384,7 @@ class SwitchMLJob:
             trace=self.trace,
             sim_events=self.sim.events_processed,
             failed_workers=sorted(self._failed),
+            switch_stale_epoch_drops=getattr(
+                self.program, "stale_epoch_drops", 0
+            ),
         )

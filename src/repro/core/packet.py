@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.net.packet import FRAME_OVERHEAD_BYTES, Frame
 
-__all__ = ["SwitchMLPacket"]
+__all__ = ["HEARTBEAT_WIRE_BYTES", "Heartbeat", "SwitchMLPacket"]
 
 
 @dataclass(slots=True)
@@ -47,11 +47,19 @@ class SwitchMLPacket:
     from_switch: bool = False
     is_retransmission: bool = False
     job_id: int = 0
+    #: Control-plane pool epoch (distinct from the 1-bit ``ver``): the
+    #: controller bumps it on every reconfiguration, and the switch
+    #: program drops packets whose epoch does not match its lease, so
+    #: in-flight traffic from a pre-failure configuration can never
+    #: contaminate the recovered job's aggregator slots.
+    epoch: int = 0
 
     def validate(self) -> None:
         """Check field ranges; raises ValueError on malformed packets."""
         if self.ver not in (0, 1):
             raise ValueError(f"pool version must be 0 or 1, got {self.ver}")
+        if self.epoch < 0:
+            raise ValueError(f"pool epoch must be non-negative, got {self.epoch}")
         if self.idx < 0:
             raise ValueError(f"pool index must be non-negative, got {self.idx}")
         if self.off < 0:
@@ -90,6 +98,7 @@ class SwitchMLPacket:
             vector=vector,
             from_switch=True,
             job_id=self.job_id,
+            epoch=self.epoch,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -98,4 +107,40 @@ class SwitchMLPacket:
         return (
             f"<SwitchMLPacket {direction}{retrans} wid={self.wid} ver={self.ver} "
             f"idx={self.idx} off={self.off} k={self.num_elements}>"
+        )
+
+
+#: A heartbeat is a minimal frame: headers plus member id, epoch, and a
+#: progress counter (2 + 4 + 4 = 10 bytes of payload, padded).
+HEARTBEAT_WIRE_BYTES = FRAME_OVERHEAD_BYTES + 12
+
+
+@dataclass(slots=True)
+class Heartbeat:
+    """A worker liveness beacon, sent through the dataplane.
+
+    Heartbeats travel *in-band* -- worker NIC, uplink, switch pipeline --
+    and are punted to the controller at the switch (the CPU port).  This
+    is deliberate: liveness measured through the dataplane reflects
+    exactly the reachability the collective needs, so a dead worker, a
+    downed link, and a rebooting switch all manifest the same way (missed
+    heartbeats), which is how the membership layer detects all three.
+
+    ``member`` is the worker's *stable* member id, which survives the
+    protocol-level ``wid`` renumbering that happens when a job is
+    re-admitted with fewer workers.  ``progress`` carries the worker's
+    result counter so the controller can also observe stalls.
+    """
+
+    member: int
+    epoch: int = 0
+    progress: int = 0
+
+    def to_frame(self, src: str, dst: str, flow_key: int = 0) -> Frame:
+        return Frame(
+            wire_bytes=HEARTBEAT_WIRE_BYTES,
+            message=self,
+            src=src,
+            dst=dst,
+            flow_key=flow_key,
         )

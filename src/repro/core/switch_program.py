@@ -111,6 +111,16 @@ class SwitchMLProgram:
         When True (tests), assert the <=1-phase-lag property: a slot's new
         phase may only begin once the alternate pool's copy of that slot
         has completed aggregation.
+    epoch:
+        Control-plane pool epoch this program instance serves.  The
+        controller (:mod:`repro.controlplane`) bumps the epoch whenever it
+        re-admits a job after a failure; any packet stamped with a
+        different epoch is fenced -- dropped before *any* register access
+        -- and counted in ``stale_epoch_drops``.  The fence is what makes
+        reconfiguration safe: in-flight traffic from the pre-failure
+        configuration (including a partitioned-but-alive "zombie" worker)
+        can never reach the new configuration's slots, whose worker count
+        and ``seen`` addressing may have changed.
     """
 
     def __init__(
@@ -119,15 +129,19 @@ class SwitchMLProgram:
         pool_size: int,
         elements_per_packet: int,
         check_invariants: bool = False,
+        epoch: int = 0,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
         if pool_size < 1:
             raise ValueError("pool size must be positive")
+        if epoch < 0:
+            raise ValueError("pool epoch must be non-negative")
         self.n = num_workers
         self.s = pool_size
         self.k = elements_per_packet
         self.check_invariants = check_invariants
+        self.epoch = epoch
         self.registers = RegisterFile()
         self._pool = self.registers.allocate(
             "pool", 2 * pool_size * self.k, width_bits=32
@@ -140,6 +154,7 @@ class SwitchMLProgram:
         self.multicasts = 0
         self.unicast_retransmits = 0
         self.ignored_duplicates = 0
+        self.stale_epoch_drops = 0
 
     # ------------------------------------------------------------------
     # register addressing
@@ -157,6 +172,12 @@ class SwitchMLProgram:
     # ------------------------------------------------------------------
     def handle(self, p: SwitchMLPacket) -> SwitchDecision:
         """Process one update packet (Algorithm 3 lines 4-23)."""
+        if p.epoch != self.epoch:
+            # Epoch fence: checked before the idx/wid range checks because
+            # a stale packet's coordinates belong to the *previous*
+            # configuration and may be out of range for this one.
+            self.stale_epoch_drops += 1
+            return SwitchDecision(SwitchAction.DROP)
         if not 0 <= p.idx < self.s:
             raise ValueError(f"pool index {p.idx} out of range [0, {self.s})")
         if not 0 <= p.wid < self.n:

@@ -52,7 +52,13 @@ class AdmissionError(RuntimeError):
 
 @dataclass
 class JobHandle:
-    """An admitted job's slice of the switch."""
+    """An admitted job's slice of the switch.
+
+    ``epoch`` versions the lease: :meth:`PoolAllocator.renew` replaces a
+    job's lease (same ``job_id``) with a fresh program whose epoch is one
+    higher, which is how the control plane fences in-flight packets from
+    a pre-failure configuration (see :mod:`repro.controlplane`).
+    """
 
     job_id: int
     num_workers: int
@@ -61,6 +67,7 @@ class JobHandle:
     program: SwitchMLProgram
     sram_bytes: int
     pipeline_id: int = 0
+    epoch: int = 0
 
 
 class PoolAllocator:
@@ -128,14 +135,14 @@ class PoolAllocator:
                 return p
         return None
 
-    def admit(
-        self,
-        num_workers: int,
-        pool_size: int,
-        elements_per_packet: int = 32,
-        check_invariants: bool = False,
-    ) -> JobHandle:
-        """Admit a job, or raise :class:`AdmissionError`."""
+    def _place(
+        self, num_workers: int, pool_size: int, elements_per_packet: int
+    ) -> tuple[int, int]:
+        """Validate and place a pool request.
+
+        Returns ``(sram_bytes, pipeline_id)`` or raises
+        :class:`AdmissionError` (after counting the rejection).
+        """
         report = switchml_resource_report(
             pool_size, elements_per_packet, num_workers, self.pipeline
         )
@@ -160,6 +167,19 @@ class PoolAllocator:
                 f"({report.total_sram_bytes} B) + {num_workers} ports; "
                 f"{self.num_pipelines} pipelines all full"
             )
+        return report.total_sram_bytes, placement
+
+    def admit(
+        self,
+        num_workers: int,
+        pool_size: int,
+        elements_per_packet: int = 32,
+        check_invariants: bool = False,
+    ) -> JobHandle:
+        """Admit a job, or raise :class:`AdmissionError`."""
+        sram_bytes, placement = self._place(
+            num_workers, pool_size, elements_per_packet
+        )
         job_id = self._next_job_id
         self._next_job_id += 1
         handle = JobHandle(
@@ -171,8 +191,56 @@ class PoolAllocator:
                 num_workers, pool_size, elements_per_packet,
                 check_invariants=check_invariants,
             ),
-            sram_bytes=report.total_sram_bytes,
+            sram_bytes=sram_bytes,
             pipeline_id=placement,
+            epoch=0,
+        )
+        self.jobs[job_id] = handle
+        return handle
+
+    def renew(
+        self,
+        job_id: int,
+        num_workers: int | None = None,
+        pool_size: int | None = None,
+        elements_per_packet: int | None = None,
+        check_invariants: bool = False,
+    ) -> JobHandle:
+        """Replace a job's lease with a fresh one under the same job id.
+
+        The new lease carries ``epoch = old.epoch + 1`` and a brand-new
+        (zeroed) :class:`SwitchMLProgram` built to serve that epoch --
+        this is the reconfiguration primitive failure recovery uses to
+        re-admit a job with fewer workers (worker fail-stop) or the same
+        membership (switch reboot).  The old lease's resources are
+        released first, so a shrink always fits; if placement of the new
+        shape fails, the old lease is restored and
+        :class:`AdmissionError` propagates (the job keeps running on its
+        old configuration).
+        """
+        old = self.jobs.pop(job_id, None)
+        if old is None:
+            raise KeyError(f"no admitted job {job_id}")
+        n = old.num_workers if num_workers is None else num_workers
+        s = old.pool_size if pool_size is None else pool_size
+        k = old.elements_per_packet if elements_per_packet is None else elements_per_packet
+        try:
+            sram_bytes, placement = self._place(n, s, k)
+        except AdmissionError:
+            self.jobs[job_id] = old
+            raise
+        epoch = old.epoch + 1
+        handle = JobHandle(
+            job_id=job_id,
+            num_workers=n,
+            pool_size=s,
+            elements_per_packet=k,
+            program=SwitchMLProgram(
+                n, s, k, check_invariants=check_invariants, epoch=epoch
+            ),
+            sram_bytes=sram_bytes,
+            pipeline_id=placement,
+            epoch=epoch,
         )
         self.jobs[job_id] = handle
         return handle

@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.packet import SwitchMLPacket
+from repro.core.packet import Heartbeat, SwitchMLPacket
 from repro.net.host import Host
 from repro.net.packet import Frame
 from repro.sim.engine import Event, Simulator
@@ -104,6 +104,8 @@ class SwitchMLWorker:
         tensor_dtype=np.int64,
         max_retries: int | None = None,
         on_failure: Callable[[int], None] | None = None,
+        epoch: int = 0,
+        member_id: int | None = None,
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
@@ -128,7 +130,20 @@ class SwitchMLWorker:
         # behaviour); an integer bounds consecutive retries per slot.
         self.max_retries = max_retries
         self.on_failure = on_failure
+        # Fail-stop semantics (see crash() / _fail()): ``failed`` is the
+        # observable "this worker is not going to finish" flag, set by
+        # BOTH paths; ``crashed`` additionally marks a fail-stop death
+        # (the worker stopped acting and cannot report).
         self.failed = False
+        self.crashed = False
+        #: control-plane pool epoch stamped into every outgoing packet;
+        #: the controller advances it via :meth:`reconfigure`
+        self.epoch = epoch
+        #: stable identity used by the control plane's membership layer
+        #: (survives protocol ``wid`` renumbering on re-admission)
+        self.member_id = wid if member_id is None else member_id
+        self._hb_interval: float | None = None
+        self._hb_timer: Event | None = None
         # Jacobson estimator state (adaptive mode)
         self._srtt: float | None = None
         self._rttvar = 0.0
@@ -145,6 +160,8 @@ class SwitchMLWorker:
         self._phantom = False
         self._remaining = 0
         self._active = False
+        self._base_off = 0
+        self._active_slots = 0
         # per-slot protocol state
         self._slot_off: list[int] = []
         self._slot_ver: list[int] = []
@@ -203,7 +220,12 @@ class SwitchMLWorker:
         self._slot_sent_at = [0.0] * self.s
         self._slot_retransmitted = [False] * self.s
         self._slot_retries = [0] * self.s
+        # start() models the framework (re)launching the worker process,
+        # so it revives a crashed/failed endpoint.
         self.failed = False
+        self.crashed = False
+        self._base_off = 0
+        self._active_slots = active_slots
         self.stats = WorkerStats(start_time=self.sim.now)
 
         for i in range(active_slots):
@@ -226,6 +248,7 @@ class SwitchMLWorker:
             off=off,
             num_elements=self.k,
             vector=self._chunk_vector(off),
+            epoch=self.epoch,
         )
         self._slot_off[idx] = off
         self._slot_ver[idx] = ver
@@ -314,34 +337,196 @@ class SwitchMLWorker:
             num_elements=original.num_elements,
             vector=original.vector,
             is_retransmission=True,
+            epoch=original.epoch,
         )
         self._transmit(resend, retransmission=True)
         self._arm_timer(idx)
 
-    def _fail(self) -> None:
-        """Give up on the aggregation: a peer (or the switch) is gone.
+    def _deactivate(self) -> None:
+        """Stop sending and retransmitting; shared by every stop path."""
+        self._active = False
+        self._cancel_all_timers()
 
-        Cancels every timer and reports through ``on_failure`` so the
-        framework can tear the job down and restart from a checkpoint
-        (the recovery model the paper assumes).
+    def _fail(self) -> None:
+        """The *detector* path: this worker is alive but gives up because
+        a peer (or the switch) appears gone (``max_retries`` exceeded).
+
+        Sets ``failed``, stops acting, and -- being alive -- reports
+        through ``on_failure`` so the framework / controller can tear the
+        job down and restart from a checkpoint (the recovery model the
+        paper assumes).  Contrast with :meth:`crash`.
         """
         if self.failed:
             return
         self.failed = True
-        self._active = False
-        self._cancel_all_timers()
+        self._deactivate()
         if self.on_failure is not None:
             self.on_failure(self.wid)
 
     def crash(self) -> None:
-        """Simulate this worker dying mid-aggregation (fail-stop): it
-        neither sends nor processes anything from now on."""
-        self._active = False
-        self._cancel_all_timers()
+        """Simulate this worker dying mid-aggregation (fail-stop).
+
+        The *failure* path, unified with :meth:`_fail`'s teardown: both
+        set the observable ``failed`` flag and stop all activity, but a
+        crashed worker is dead -- it does NOT fire ``on_failure`` (a dead
+        process cannot report its own death) and it stops heartbeating;
+        peers and the control plane detect it via retransmission timeouts
+        and missed heartbeats respectively.  ``crashed`` distinguishes
+        the corpse from a live worker that merely gave up.  A later
+        :meth:`start` revives it (the framework relaunching the process).
+        """
+        self.failed = True
+        self.crashed = True
+        self._deactivate()
+        self._stop_heartbeats()
+
+    def quiesce(self) -> None:
+        """Control-plane pause: stop sending/retransmitting but keep all
+        tensor and stream state (and keep heartbeating -- the worker is
+        alive, just held back while the controller reconfigures the
+        switch).  Resume with :meth:`start` (from a checkpoint) or
+        :meth:`restart_from` (from a stream offset)."""
+        self._deactivate()
+
+    def reconfigure(
+        self,
+        wid: int | None = None,
+        num_workers: int | None = None,
+        epoch: int | None = None,
+        pool_size: int | None = None,
+    ) -> None:
+        """Control-plane reconfiguration after a membership change.
+
+        Only legal while not actively aggregating (quiesce first): the
+        protocol identity (``wid``), group size, pool geometry, and epoch
+        all feed packet construction and must not change mid-stream.
+        """
+        if self._active:
+            raise RuntimeError(
+                f"worker {self.wid}: quiesce before reconfiguring"
+            )
+        if wid is not None:
+            self.wid = wid
+        if num_workers is not None:
+            self.n = num_workers
+        if epoch is not None:
+            self.epoch = epoch
+        if pool_size is not None and pool_size != self.s:
+            self.s = pool_size
+            self._slot_backoff = [1.0] * pool_size
+            self._next_ver = [0] * pool_size
 
     def _cancel_all_timers(self) -> None:
         for idx in range(len(self._slot_timer)):
             self._cancel_timer(idx)
+
+    # ------------------------------------------------------------------
+    # Heartbeats (control plane)
+    # ------------------------------------------------------------------
+    def enable_heartbeats(self, interval_s: float) -> None:
+        """Emit a :class:`Heartbeat` through the dataplane every
+        ``interval_s`` seconds until :meth:`crash` (or
+        :meth:`stop_heartbeats`).  Quiescing does not stop heartbeats."""
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.stop_heartbeats()
+        self._hb_interval = interval_s
+        self._hb_timer = self.sim.schedule(interval_s, self._heartbeat_tick)
+
+    def stop_heartbeats(self) -> None:
+        self._stop_heartbeats()
+
+    def _stop_heartbeats(self) -> None:
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+            self._hb_timer = None
+
+    def _heartbeat_tick(self) -> None:
+        beat = Heartbeat(
+            member=self.member_id,
+            epoch=self.epoch,
+            progress=self.stats.results_received,
+        )
+        self.host.send(
+            beat.to_frame(src=self.host.name, dst=self.switch_addr,
+                          flow_key=self.wid)
+        )
+        assert self._hb_interval is not None
+        self._hb_timer = self.sim.schedule(self._hb_interval, self._heartbeat_tick)
+
+    # ------------------------------------------------------------------
+    # Stream checkpoint / replay (control plane)
+    # ------------------------------------------------------------------
+    def completed_prefix_elements(self) -> int:
+        """Largest offset ``m`` (a multiple of ``k``) such that every
+        chunk with ``off < m`` of the current (possibly interrupted)
+        aggregation has been received.
+
+        This is the worker-side stream state the controller replays from
+        after a switch reboot: chunks below the prefix are intact;
+        everything at or above it is re-sent.
+        """
+        if self._size == 0:
+            return 0
+        if self.done:
+            return self._size
+        if not self._slot_off or self._active_slots == 0:
+            return self._base_off
+        stride = self.k * self.s
+        lowest_unreceived = self._size
+        for idx in range(self._active_slots):
+            if self._slot_packet[idx] is not None:
+                low = self._slot_off[idx]
+            else:
+                # outstanding chunk consumed and the stripe either
+                # advanced past the end (exhausted) or never re-armed
+                nxt = self._slot_off[idx] + stride
+                low = nxt if nxt < self._size else self._size
+            lowest_unreceived = min(lowest_unreceived, low)
+        return lowest_unreceived
+
+    def restart_from(self, offset_elements: int) -> None:
+        """Resume an interrupted aggregation from a chunk-aligned stream
+        offset, keeping the tensor and all results below the offset.
+
+        Used by switch-reboot recovery: membership is unchanged, so the
+        already-aggregated prefix is still valid; the switch program was
+        reinstalled fresh, so everything from ``offset_elements`` onward
+        is re-streamed (chunks received beyond the prefix are simply
+        re-aggregated to the same values).
+        """
+        if self._active:
+            raise RuntimeError(f"worker {self.wid} already aggregating")
+        if self._size == 0 or (self._tensor is None and not self._phantom):
+            raise RuntimeError("no interrupted aggregation to resume")
+        if offset_elements < 0 or offset_elements > self._size:
+            raise ValueError(f"offset {offset_elements} outside tensor")
+        if offset_elements % self.k:
+            raise ValueError(
+                f"offset {offset_elements} must be a multiple of k={self.k}"
+            )
+        total_packets = (self._size - offset_elements) // self.k
+        active_slots = min(self.s, total_packets)
+        self._remaining = total_packets
+        self._slot_off = [0] * self.s
+        self._slot_ver = [0] * self.s
+        self._slot_packet = [None] * self.s
+        self._slot_timer = [None] * self.s
+        self._slot_sent_at = [0.0] * self.s
+        self._slot_retransmitted = [False] * self.s
+        self._slot_retries = [0] * self.s
+        self.failed = False
+        self.crashed = False
+        self._base_off = offset_elements
+        self._active_slots = active_slots
+        self._active = True
+        if total_packets == 0:
+            self._finish()
+            return
+        for i in range(active_slots):
+            self._send_chunk(
+                idx=i, ver=self._next_ver[i], off=offset_elements + self.k * i
+            )
 
     # ------------------------------------------------------------------
     # Receiving
@@ -358,6 +543,11 @@ class SwitchMLWorker:
 
     def _on_result(self, p: SwitchMLPacket) -> None:
         if not self._active:
+            return
+        if p.epoch != self.epoch:
+            # Pre-reconfiguration result still in flight; its slot
+            # coordinates belong to a previous pool geometry.
+            self.stats.stale_results_ignored += 1
             return
         # Stale results can arrive: e.g. a unicast retransmitted result
         # racing with the multicast copy.  The (off, ver) pair identifies

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_phase_timeline"]
 
 
 def _cell(value: Any) -> str:
@@ -43,3 +43,21 @@ def format_series(name: str, points: Sequence[tuple[float, float]]) -> str:
     """Render an (x, y) series compactly."""
     body = ", ".join(f"({_cell(x)}, {_cell(y)})" for x, y in points)
     return f"{name}: [{body}]"
+
+
+def format_phase_timeline(
+    phases: dict[str, float], title: str | None = None
+) -> str:
+    """Render ordered phase timestamps (seconds) as a timeline table.
+
+    Used by the control plane's recovery reports: each row shows when a
+    phase completed and the delta from the previous phase, e.g.
+    detect -> quiesce -> reinstall -> replay with per-step durations.
+    """
+    rows = []
+    prev: float | None = None
+    for name, t in phases.items():
+        delta = "" if prev is None else f"+{(t - prev) * 1e3:.3f}"
+        rows.append([name, f"{t * 1e3:.3f}", delta])
+        prev = t
+    return format_table(["phase", "t (ms)", "delta (ms)"], rows, title=title)

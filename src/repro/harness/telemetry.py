@@ -9,11 +9,20 @@ diagnosis: utilizations, drop counts, and the implied bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
-from repro.core.job import SwitchMLJob
 from repro.harness.report import format_table
 
-__all__ = ["LinkReading", "RackTelemetry", "collect_telemetry"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.controller import Controller
+    from repro.core.job import SwitchMLJob
+
+__all__ = [
+    "LinkReading",
+    "RackTelemetry",
+    "collect_telemetry",
+    "control_plane_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -68,8 +77,15 @@ class RackTelemetry:
         return table + f"\nbusiest host CPU: {host} at {busy:.1%}"
 
 
-def collect_telemetry(job: SwitchMLJob, elapsed_s: float | None = None) -> RackTelemetry:
-    """Read a job's rack counters (after running something on it)."""
+def collect_telemetry(
+    job: Union["SwitchMLJob", "Controller"], elapsed_s: float | None = None
+) -> RackTelemetry:
+    """Read a job's rack counters (after running something on it).
+
+    Duck-typed on ``job.sim`` / ``job.rack``, so it accepts both the
+    bare :class:`~repro.core.job.SwitchMLJob` and the managed
+    :class:`~repro.controlplane.controller.Controller`.
+    """
     elapsed = job.sim.now if elapsed_s is None else elapsed_s
     if elapsed <= 0:
         raise ValueError("nothing has run yet; telemetry window is empty")
@@ -88,3 +104,29 @@ def collect_telemetry(job: SwitchMLJob, elapsed_s: float | None = None) -> RackT
         for host in job.rack.hosts
     }
     return RackTelemetry(elapsed_s=elapsed, links=links, core_utilization=cores)
+
+
+def control_plane_summary(controller: "Controller") -> str:
+    """Recovery and availability summary for a managed run.
+
+    Combines the per-incident phase timelines (detect -> fence/quiesce
+    -> reinstall -> restart/replay) with fence and liveness counters.
+    Imports locally to keep :mod:`repro.harness` free of a hard
+    dependency on the control plane.
+    """
+    from repro.controlplane.metrics import availability, recovery_report
+
+    records = controller.recovery.records
+    lines = [recovery_report(records)]
+    elapsed = controller.sim.now
+    if elapsed > 0:
+        lines.append(f"availability: {availability(records, elapsed):.2%} "
+                     f"over {elapsed * 1e3:.3f} ms")
+    lines.append(
+        f"epoch: {controller.current_epoch}, "
+        f"stale-epoch drops: {controller.stale_epoch_drops}, "
+        f"heartbeats punted: "
+        f"{controller.dataplane.heartbeats_punted if controller.dataplane else 0}, "
+        f"ignored heartbeats: {controller.membership.ignored_heartbeats}"
+    )
+    return "\n".join(lines)

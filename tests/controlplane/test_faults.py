@@ -1,0 +1,122 @@
+"""Tests for the declarative fault-injection layer and recovery metrics."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import (
+    ControlPlaneConfig,
+    Controller,
+    CrashWorker,
+    DropAll,
+    FaultInjector,
+    FaultPlan,
+    FlapLink,
+    RebootSwitch,
+    SwitchDownProgram,
+    availability,
+    recovery_report,
+)
+from repro.controlplane.recovery import RecoveryRecord
+from repro.net.packet import Frame
+
+
+class TestFaultPlan:
+    def test_validate_catches_bad_targets_and_times(self):
+        plan = FaultPlan([CrashWorker(member=9, at_s=1e-3)])
+        with pytest.raises(ValueError):
+            plan.validate(members=[0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            FaultPlan([CrashWorker(member=0, at_s=-1.0)]).validate([0])
+        with pytest.raises(ValueError):
+            FaultPlan([RebootSwitch(at_s=0.0, down_for_s=0.0)]).validate([0])
+        with pytest.raises(ValueError):
+            FaultPlan([FlapLink(member=5, at_s=0.0, down_for_s=1e-3)]).validate([0])
+
+    def test_add_chains(self):
+        plan = FaultPlan().add(CrashWorker(0, 1e-3)).add(
+            RebootSwitch(2e-3, 1e-3)
+        )
+        assert len(plan.faults) == 2
+
+    def test_double_arm_rejected(self):
+        ctl = Controller(ControlPlaneConfig(num_workers=2, pool_size=4))
+        injector = FaultInjector(ctl, FaultPlan())
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+
+class TestFaultPrimitives:
+    def test_crash_reaches_the_endpoint(self):
+        ctl = Controller(ControlPlaneConfig(num_workers=2, pool_size=4))
+        FaultInjector(
+            ctl, FaultPlan([CrashWorker(member=1, at_s=1e-6)])
+        ).arm()
+        ctl.sim.run(until=1e-3)
+        assert ctl.endpoints[1].crashed
+        assert not ctl.endpoints[0].crashed
+
+    def test_switch_down_blackholes_everything(self):
+        ctl = Controller(ControlPlaneConfig(num_workers=2, pool_size=4))
+        ctl.notify_switch_down()
+        assert not ctl.switch_available
+        program = ctl.rack.switch.program
+        assert isinstance(program, SwitchDownProgram)
+        decision = program.process(Frame(wire_bytes=100, message=None), 0)
+        assert decision.deliveries == []
+        assert program.frames_blackholed == 1
+
+    def test_flap_swaps_and_restores_the_loss_model(self):
+        ctl = Controller(ControlPlaneConfig(num_workers=2, pool_size=4))
+        original_up = ctl.rack.uplinks[0].loss
+        original_down = ctl.rack.downlinks[0].loss
+        FaultInjector(
+            ctl, FaultPlan([FlapLink(member=0, at_s=1e-3, down_for_s=1e-3)])
+        ).arm()
+        ctl.sim.run(until=1.5e-3)
+        assert isinstance(ctl.rack.uplinks[0].loss, DropAll)
+        assert isinstance(ctl.rack.downlinks[0].loss, DropAll)
+        ctl.sim.run(until=2.5e-3)
+        assert ctl.rack.uplinks[0].loss is original_up
+        assert ctl.rack.downlinks[0].loss is original_down
+
+    def test_drop_all_drops(self):
+        rng = np.random.default_rng(0)
+        assert DropAll().should_drop(rng, frame=None, time=0.0)
+
+
+class TestMetrics:
+    def _record(self, cause="worker-failure", t0=1e-3, span=5e-3):
+        phases = {"detect": t0, "fence": t0 + 1e-3, "quiesce": t0 + span,
+                  "restart": t0 + span}
+        return RecoveryRecord(cause=cause, dead_members=[2],
+                              epoch_before=0, epoch_after=1, phases=phases)
+
+    def test_availability_accounting(self):
+        rec = self._record(span=5e-3)
+        assert availability([rec], elapsed_s=50e-3) == pytest.approx(0.9)
+        assert availability([], elapsed_s=1.0) == 1.0
+        with pytest.raises(ValueError):
+            availability([], elapsed_s=0.0)
+
+    def test_incomplete_records_do_not_count_as_downtime(self):
+        rec = RecoveryRecord(cause="worker-failure",
+                             phases={"detect": 1e-3, "fence": 2e-3})
+        assert not rec.complete
+        assert availability([rec], elapsed_s=10e-3) == 1.0
+
+    def test_recovery_report_renders_phases(self):
+        text = recovery_report([self._record()])
+        for phase in ("detect", "fence", "quiesce", "restart"):
+            assert phase in text
+        assert "worker-failure" in text
+        assert "epoch 0->1" in text
+
+    def test_recovery_report_empty(self):
+        assert recovery_report([]) == "no recoveries"
+
+    def test_recovery_time_span(self):
+        rec = self._record(t0=2e-3, span=7e-3)
+        assert rec.recovery_time == pytest.approx(7e-3)
+        assert rec.detect_time == pytest.approx(2e-3)
+        assert rec.recovered_time == pytest.approx(9e-3)

@@ -1,0 +1,170 @@
+"""Tests for heartbeat-based membership (suspect/confirm detection)."""
+
+import pytest
+
+from repro.controlplane.membership import MemberState, MembershipTracker
+from repro.sim.engine import Simulator
+
+
+def make_tracker(sim, **kwargs):
+    defaults = dict(
+        heartbeat_interval_s=1e-3, suspect_after_s=3e-3, confirm_after_s=5e-3
+    )
+    defaults.update(kwargs)
+    return MembershipTracker(sim, **defaults)
+
+
+def beacon(sim, tracker, member, interval, until):
+    """Schedule periodic heartbeats for a member."""
+    t = interval
+    while t <= until:
+        sim.schedule_at(t, tracker.on_heartbeat, member, t)
+        t += interval
+
+
+class TestDetection:
+    def test_silent_member_walks_suspect_then_dead(self):
+        sim = Simulator()
+        suspects, confirms = [], []
+        tracker = make_tracker(
+            sim,
+            on_suspect=lambda m, t: suspects.append((m, t)),
+            on_confirm=lambda ms, t: confirms.append((ms, t)),
+        )
+        for m in range(3):
+            tracker.add_member(m)
+        tracker.start()
+        beacon(sim, tracker, 0, 1e-3, 20e-3)
+        beacon(sim, tracker, 1, 1e-3, 20e-3)
+        # member 2 never beacons
+        sim.run(until=20e-3)
+        assert [m for m, _ in suspects] == [2]
+        assert confirms and confirms[0][0] == [2]
+        # suspect strictly precedes confirm
+        assert suspects[0][1] < confirms[0][1]
+        assert tracker.alive_members() == [0, 1]
+        assert tracker.dead_members() == [2]
+
+    def test_detection_latency_tracks_confirm_timeout(self):
+        """A member silent from t=0 is confirmed soon after
+        confirm_after_s (within one sweep period)."""
+        sim = Simulator()
+        confirms = []
+        tracker = make_tracker(
+            sim, on_confirm=lambda ms, t: confirms.append(t)
+        )
+        tracker.add_member(0)
+        tracker.start()
+        sim.run(until=20e-3)
+        assert confirms
+        assert 5e-3 < confirms[0] <= 5e-3 + 2 * 1e-3
+
+    def test_flapping_member_recovers_from_suspect(self):
+        sim = Simulator()
+        recovered = []
+        tracker = make_tracker(
+            sim, on_recovered=lambda m, t: recovered.append(m)
+        )
+        tracker.add_member(0)
+        tracker.start()
+        # silent until 4 ms (past suspect_after, short of confirm_after),
+        # then beacons again
+        beacon(sim, tracker, 0, 1e-3, 0)  # no beats
+        sim.schedule_at(4.5e-3, tracker.on_heartbeat, 0, 4.5e-3)
+        beacon_t = 5.5e-3
+        while beacon_t < 20e-3:
+            sim.schedule_at(beacon_t, tracker.on_heartbeat, 0, beacon_t)
+            beacon_t += 1e-3
+        sim.run(until=20e-3)
+        assert recovered == [0]
+        assert tracker.members[0].state is MemberState.ALIVE
+        assert tracker.members[0].flaps_recovered == 1
+        assert tracker.dead_members() == []
+
+    def test_simultaneous_silence_confirms_together(self):
+        """All members going dark at once (a switch outage) are confirmed
+        in one batch -- the signal the recovery layer correlates on."""
+        sim = Simulator()
+        confirms = []
+        tracker = make_tracker(
+            sim, on_confirm=lambda ms, t: confirms.append(list(ms))
+        )
+        for m in range(4):
+            tracker.add_member(m)
+        tracker.start()
+        sim.run(until=20e-3)
+        assert confirms == [[0, 1, 2, 3]]
+
+    def test_dead_member_not_resurrected_by_late_heartbeat(self):
+        sim = Simulator()
+        tracker = make_tracker(sim)
+        tracker.add_member(0)
+        tracker.start()
+        sim.run(until=10e-3)
+        assert tracker.dead_members() == [0]
+        tracker.on_heartbeat(0, sim.now)
+        assert tracker.dead_members() == [0]
+
+    def test_unknown_member_heartbeats_counted_and_ignored(self):
+        sim = Simulator()
+        tracker = make_tracker(sim)
+        tracker.add_member(0)
+        tracker.on_heartbeat(7, 0.0)
+        tracker.on_heartbeat(7, 1e-3)
+        assert tracker.ignored_heartbeats == 2
+        assert 7 not in tracker.members
+
+    def test_reset_forgives_silence(self):
+        sim = Simulator()
+        tracker = make_tracker(sim)
+        for m in range(2):
+            tracker.add_member(m)
+        tracker.start()
+        sim.run(until=10e-3)
+        assert tracker.dead_members() == [0, 1]
+        tracker.reset()
+        assert tracker.alive_members() == [0, 1]
+        # clocks restarted: no instant re-confirmation on the next sweep
+        sim.run(until=12e-3)
+        assert tracker.dead_members() == []
+
+
+class TestRosterAndValidation:
+    def test_duplicate_member_rejected(self):
+        tracker = make_tracker(Simulator())
+        tracker.add_member(0)
+        with pytest.raises(ValueError):
+            tracker.add_member(0)
+
+    def test_removed_member_never_reported(self):
+        sim = Simulator()
+        confirms = []
+        tracker = make_tracker(
+            sim, on_confirm=lambda ms, t: confirms.append(ms)
+        )
+        tracker.add_member(0)
+        tracker.add_member(1)
+        tracker.start()
+        beacon(sim, tracker, 1, 1e-3, 20e-3)
+        tracker.remove_member(0)
+        sim.run(until=20e-3)
+        assert confirms == []
+
+    def test_timeout_ordering_validated(self):
+        with pytest.raises(ValueError):
+            make_tracker(Simulator(), suspect_after_s=5e-3, confirm_after_s=3e-3)
+        with pytest.raises(ValueError):
+            make_tracker(Simulator(), heartbeat_interval_s=0.0)
+
+    def test_stop_halts_sweeps(self):
+        sim = Simulator()
+        confirms = []
+        tracker = make_tracker(
+            sim, on_confirm=lambda ms, t: confirms.append(ms)
+        )
+        tracker.add_member(0)
+        tracker.start()
+        tracker.stop()
+        sim.run(until=20e-3)
+        assert confirms == []
+        assert sim.pending == 0

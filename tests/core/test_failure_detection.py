@@ -66,6 +66,67 @@ class TestCrashDetection:
         assert out.completed
         assert out.failed_workers == []
 
+    def test_crash_sets_failed_and_crashed_flags(self):
+        """Regression: crash() used to silently deactivate without
+        setting ``failed``, so a crashed worker was indistinguishable
+        from an idle one.  Fail-stop must be observable on the object."""
+        job = make_job()
+        worker = job.workers[2]
+        job.sim.schedule(1e-4, worker.crash)
+        job.all_reduce(num_elements=32 * 8 * 40, verify=False, deadline_s=5.0)
+        assert worker.failed
+        assert worker.crashed
+
+    def test_crash_does_not_fire_on_failure(self):
+        """A dead process cannot report its own death: ``on_failure`` is
+        the *detector* path (a live worker giving up), never the corpse.
+        Peers learn of the crash via retransmission timeouts instead."""
+        job = make_job()
+        job.sim.schedule(1e-4, job.workers[2].crash)
+        out = job.all_reduce(num_elements=32 * 8 * 40, verify=False,
+                             deadline_s=5.0)
+        assert 2 not in out.failed_workers  # reported by survivors only
+        assert job.workers[2].failed  # but observable on the object
+
+    def test_detector_path_sets_failed_not_crashed(self):
+        """_fail() (max_retries exceeded) marks the worker failed but
+        alive -- ``crashed`` distinguishes the corpse from the quitter."""
+        job = make_job()
+        job.sim.schedule(1e-4, job.workers[0].crash)
+        job.all_reduce(num_elements=32 * 8 * 40, verify=False, deadline_s=5.0)
+        survivor = job.workers[1]
+        assert survivor.failed and not survivor.crashed
+        corpse = job.workers[0]
+        assert corpse.failed and corpse.crashed
+
+    def test_start_revives_a_crashed_worker(self):
+        """start() models the framework relaunching the process: both
+        flags clear and the worker aggregates normally."""
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, pool_size=4))
+        job.workers[1].crash()
+        assert job.workers[1].failed and job.workers[1].crashed
+        tensors = [np.full(32 * 4 * 2, w + 1, dtype=np.int64)
+                   for w in range(2)]
+        out = job.all_reduce(tensors)
+        assert out.completed
+        assert not job.workers[1].failed
+        assert not job.workers[1].crashed
+
+    def test_crash_stops_all_activity(self):
+        """Fail-stop means fail-STOP: no packets leave the worker after
+        the crash instant."""
+        job = make_job()
+        worker = job.workers[3]
+        sent_at_crash = {}
+
+        def crash_and_snapshot():
+            worker.crash()
+            sent_at_crash["n"] = worker.stats.packets_sent
+
+        job.sim.schedule(2e-4, crash_and_snapshot)
+        job.all_reduce(num_elements=32 * 8 * 40, verify=False, deadline_s=5.0)
+        assert worker.stats.packets_sent == sent_at_crash["n"]
+
     def test_unbounded_retries_by_default(self):
         """Without max_retries (the paper's protocol), workers retry
         forever; the deadline is what stops a doomed run."""

@@ -82,6 +82,81 @@ class TestPoolAllocator:
         with pytest.raises(ValueError):
             PoolAllocator(budget_fraction=0.0)
 
+    def test_release_then_readmit_reuses_the_budget(self):
+        """A released pool's SRAM is immediately reusable: fill the
+        budget, release one job, and an equally-sized job fits again."""
+        alloc = PoolAllocator(budget_fraction=0.01)
+        admitted = []
+        try:
+            while True:
+                admitted.append(alloc.admit(num_workers=2, pool_size=512))
+        except AdmissionError:
+            pass
+        assert admitted, "budget admitted nothing"
+        victim = admitted[0]
+        alloc.release(victim.job_id)
+        replacement = alloc.admit(num_workers=2, pool_size=512)
+        assert replacement.sram_bytes == victim.sram_bytes
+        # and the budget is genuinely full again
+        with pytest.raises(AdmissionError):
+            alloc.admit(num_workers=2, pool_size=512)
+
+    def test_overlapping_pools_are_isolated(self):
+        """Two admitted jobs get disjoint program instances: traffic into
+        one job's slots never perturbs the other's registers."""
+        alloc = PoolAllocator()
+        a = alloc.admit(num_workers=2, pool_size=4)
+        b = alloc.admit(num_workers=2, pool_size=4)
+        assert a.program is not b.program
+        from repro.core.packet import SwitchMLPacket
+
+        update = SwitchMLPacket(wid=0, ver=0, idx=0, off=0, num_elements=32,
+                                vector=np.ones(32, dtype=np.int64))
+        a.program.handle(update)
+        assert a.program.slot_state(0, 0)["count"] == 1
+        assert b.program.slot_state(0, 0)["count"] == 0
+
+    def test_renew_bumps_epoch_and_builds_fresh_program(self):
+        alloc = PoolAllocator()
+        job = alloc.admit(num_workers=4, pool_size=16)
+        assert job.epoch == 0
+        old_program = job.program
+        renewed = alloc.renew(job.job_id, num_workers=3)
+        assert renewed.job_id == job.job_id
+        assert renewed.epoch == 1
+        assert renewed.num_workers == 3
+        assert renewed.program is not old_program
+        assert renewed.program.epoch == 1
+        # another renewal keeps counting up
+        assert alloc.renew(job.job_id).epoch == 2
+
+    def test_renew_shrink_always_fits(self):
+        """The old lease is released before placing the new one, so
+        shrinking a job that fills the budget cannot be rejected."""
+        alloc = PoolAllocator(budget_fraction=0.01)
+        # 768 slots ~86% of budget: old + new would never fit together
+        job = alloc.admit(num_workers=2, pool_size=768)
+        before = alloc.allocated_bytes
+        renewed = alloc.renew(job.job_id, pool_size=512)
+        assert renewed.epoch == 1
+        assert alloc.allocated_bytes < before
+
+    def test_renew_failure_restores_the_old_lease(self):
+        """A renewal that cannot be placed leaves the job running on its
+        old configuration (and old epoch)."""
+        alloc = PoolAllocator(budget_fraction=0.01)
+        job = alloc.admit(num_workers=2, pool_size=512)
+        with pytest.raises(AdmissionError):
+            alloc.renew(job.job_id, pool_size=1_000_000)
+        kept = alloc.jobs[job.job_id]
+        assert kept is job
+        assert kept.epoch == 0
+        assert alloc.allocated_bytes == job.sram_bytes
+
+    def test_renew_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            PoolAllocator().renew(42)
+
 
 class TestMultiTenantRack:
     def test_two_jobs_aggregate_independently(self):
