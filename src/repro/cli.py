@@ -4,17 +4,25 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli experiment table1
-    python -m repro.cli experiment fig4
+    python -m repro.cli experiment fig4 --json
     python -m repro.cli allreduce --workers 8 --rate 10 --mbytes 4
     python -m repro.cli resources --pool 512
+    python -m repro.cli obs trace --out runs/trace
+    python -m repro.cli obs dashboard --scenario worker-crash
 
 Each ``experiment`` subcommand prints the same rows/series the paper's
-table or figure reports (see EXPERIMENTS.md for the recorded runs).
+table or figure reports (see EXPERIMENTS.md for the recorded runs);
+``--json`` emits the raw rows instead of the rendered table.  The
+``obs`` group runs instrumented deployments: ``trace`` exports a
+Perfetto-loadable Chrome trace plus JSONL events, ``metrics`` dumps the
+registry, ``dashboard`` prints the unified post-run report (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -256,6 +264,34 @@ _EXPERIMENTS = {
     "fig10": _print_fig10,
 }
 
+#: the raw rows behind each experiment, for ``--json``
+_EXPERIMENT_DATA = {
+    "table1": E.table1,
+    "fig2": E.fig2_pool_size,
+    "fig3": E.fig3_speedups,
+    "fig4": E.fig4_microbench,
+    "fig5": E.fig5_loss_inflation,
+    "fig6": E.fig6_timeline,
+    "fig7": E.fig7_mtu,
+    "fig8": E.fig8_datatypes,
+    "fig10": E.fig10_quantization,
+}
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def _emit_json(data) -> None:
+    print(json.dumps(data, indent=2, default=_json_default))
+
 
 def _cmd_allreduce(args: argparse.Namespace) -> None:
     rate = args.rate
@@ -270,6 +306,19 @@ def _cmd_allreduce(args: argparse.Namespace) -> None:
     )
     out = job.all_reduce(num_elements=n_elem, verify=False)
     ate = out.aggregated_elements_per_second(n_elem)
+    if getattr(args, "json", False):
+        _emit_json({
+            "workers": args.workers,
+            "rate_gbps": rate,
+            "tensor_mbytes": args.mbytes,
+            "tat_s": out.max_tat,
+            "ate_per_s": ate,
+            "line_rate_fraction": ate / line_rate_ate(rate),
+            "mean_rtt_s": out.mean_rtt,
+            "retransmissions": out.retransmissions,
+            "frames_lost": out.frames_lost,
+        })
+        return
     print(f"{args.workers} workers, {rate:g} Gbps, {args.mbytes:g} MB tensor")
     print(f"TAT {out.max_tat * 1e3:.3f} ms | ATE/s {ate / 1e6:.1f}M "
           f"({ate / line_rate_ate(rate):.1%} of line rate) | "
@@ -340,6 +389,107 @@ def _cmd_faults(args: argparse.Namespace) -> None:
     print(control_plane_summary(ctl))
 
 
+def _obs_allreduce(args: argparse.Namespace):
+    """One fully instrumented all-reduce; returns ``(job, obs)``."""
+    from repro.net.loss import BernoulliLoss, NoLoss
+    from repro.obs import Observability
+
+    obs = Observability()
+    loss = args.loss
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=args.workers,
+            pool_size=pool_size_for_rate(args.rate),
+            timeout_s=1e-4 if loss else 1e-3,
+            link=LinkSpec(rate_gbps=args.rate),
+            loss_factory=(lambda: BernoulliLoss(loss)) if loss else NoLoss,
+            obs=obs,
+            seed=args.seed,
+        )
+    )
+    job.all_reduce(num_elements=int(args.mbytes * 1e6 / 4), verify=False)
+    return job, obs
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> None:
+    """Export a run as Chrome trace JSON + JSONL events + metrics."""
+    from pathlib import Path
+
+    from repro.obs import validate_chrome_trace, write_chrome_trace, write_jsonl
+
+    job, obs = _obs_allreduce(args)
+    out = Path(args.out)
+    trace_path = write_chrome_trace(obs.tracer, out / "trace.json")
+    events_path = write_jsonl(obs.tracer, out / "events.jsonl")
+    metrics_path = out / "metrics.json"
+    metrics_path.write_text(
+        json.dumps(obs.metrics.as_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    n = validate_chrome_trace(trace_path)
+    print(f"{len(obs.tracer)} events over {job.sim.now * 1e3:.3f} ms simulated")
+    print(f"chrome trace: {trace_path} ({n} trace events; open in Perfetto)")
+    print(f"jsonl events: {events_path}")
+    print(f"metrics:      {metrics_path}")
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> None:
+    """Dump the metrics registry after one instrumented run."""
+    _job, obs = _obs_allreduce(args)
+    if args.json:
+        _emit_json(obs.metrics.as_dict())
+    else:
+        print(obs.metrics.render())
+
+
+def _cmd_obs_dashboard(args: argparse.Namespace) -> None:
+    """The unified report, over a bare or fault-injected managed run."""
+    from repro.obs import Dashboard
+
+    if args.scenario == "none":
+        job, _obs = _obs_allreduce(args)
+        print(Dashboard.from_job(job).summary())
+        return
+
+    from repro.controlplane import (
+        ControlPlaneConfig,
+        Controller,
+        CrashWorker,
+        FaultInjector,
+        FaultPlan,
+        FlapLink,
+        RebootSwitch,
+    )
+    from repro.obs import Observability
+
+    obs = Observability()
+    ctl = Controller(
+        ControlPlaneConfig(num_workers=args.workers, obs=obs, seed=args.seed)
+    )
+    at = args.at_ms * 1e-3
+    if args.scenario == "worker-crash":
+        plan = FaultPlan([CrashWorker(member=args.member, at_s=at)])
+    elif args.scenario == "switch-reboot":
+        plan = FaultPlan([RebootSwitch(at_s=at, down_for_s=args.down_ms * 1e-3)])
+    else:  # link-flap
+        plan = FaultPlan([FlapLink(member=args.member, at_s=at,
+                                   down_for_s=args.down_ms * 1e-3)])
+    FaultInjector(ctl, plan).arm()
+    n_elem = int(args.mbytes * 1e6 / 4)
+    rng = np.random.default_rng(args.seed)
+    tensors = [rng.integers(-100, 100, n_elem).astype(np.int64)
+               for _ in range(args.workers)]
+    ctl.run_collective(tensors, deadline_s=5.0)
+    print(Dashboard.from_controller(ctl).summary())
+
+
+def _add_obs_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--rate", type=float, default=10.0, help="link Gbps")
+    p.add_argument("--mbytes", type=float, default=0.1, help="tensor MB")
+    p.add_argument("--loss", type=float, default=0.0, help="loss probability")
+    p.add_argument("--seed", type=int, default=0)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SwitchML reproduction toolbox"
@@ -350,6 +500,8 @@ def main(argv: list[str] | None = None) -> int:
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--json", action="store_true",
+                     help="emit the raw rows as JSON instead of a table")
 
     fig = sub.add_parser("figure", help="draw a figure's shape in the terminal")
     fig.add_argument("name", choices=sorted(_FIGURES))
@@ -359,6 +511,8 @@ def main(argv: list[str] | None = None) -> int:
     ar.add_argument("--rate", type=float, default=10.0, help="link Gbps")
     ar.add_argument("--mbytes", type=float, default=4.0, help="tensor MB")
     ar.add_argument("--seed", type=int, default=0)
+    ar.add_argument("--json", action="store_true",
+                    help="emit the run's measurements as JSON")
 
     res = sub.add_parser("resources", help="switch resource report")
     res.add_argument("--pool", type=int, default=None)
@@ -396,12 +550,45 @@ def main(argv: list[str] | None = None) -> int:
     flt.add_argument("--mbytes", type=float, default=0.5, help="tensor MB")
     flt.add_argument("--seed", type=int, default=0)
 
+    obs_p = sub.add_parser(
+        "obs",
+        help="observability: trace export, metrics dump, unified dashboard",
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    otr = obs_sub.add_parser(
+        "trace",
+        help="run an instrumented all-reduce and export Chrome trace "
+             "(Perfetto), JSONL events, and a metrics snapshot",
+    )
+    _add_obs_run_args(otr)
+    otr.add_argument("--out", default="obs-out", help="output directory")
+    omt = obs_sub.add_parser("metrics", help="dump the metrics registry")
+    _add_obs_run_args(omt)
+    omt.add_argument("--json", action="store_true")
+    odb = obs_sub.add_parser(
+        "dashboard",
+        help="print the unified dashboard for a run, optionally through "
+             "a fault scenario (managed by the control plane)",
+    )
+    _add_obs_run_args(odb)
+    odb.add_argument(
+        "--scenario",
+        choices=("none", "worker-crash", "switch-reboot", "link-flap"),
+        default="none",
+    )
+    odb.add_argument("--member", type=int, default=2)
+    odb.add_argument("--at-ms", type=float, default=0.3)
+    odb.add_argument("--down-ms", type=float, default=10.0)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)
     elif args.command == "experiment":
-        _EXPERIMENTS[args.name]()
+        if args.json:
+            _emit_json(_EXPERIMENT_DATA[args.name]())
+        else:
+            _EXPERIMENTS[args.name]()
     elif args.command == "figure":
         _FIGURES[args.name]()
     elif args.command == "allreduce":
@@ -412,6 +599,13 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_violin(args)
     elif args.command in ("faults", "recover"):
         _cmd_faults(args)
+    elif args.command == "obs":
+        if args.obs_command == "trace":
+            _cmd_obs_trace(args)
+        elif args.obs_command == "metrics":
+            _cmd_obs_metrics(args)
+        else:
+            _cmd_obs_dashboard(args)
     elif args.command == "claims":
         from repro.harness.claims import audit
 

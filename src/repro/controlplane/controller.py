@@ -44,6 +44,7 @@ from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.net.switchchassis import PortDecision
 from repro.net.topology import Rack, RackSpec, build_rack
+from repro.obs.base import NULL_OBS, Observability
 from repro.sim.engine import Simulator
 
 __all__ = [
@@ -87,6 +88,9 @@ class ControlPlaneConfig:
     #: backed-off retransmission gap) so stale traffic observably drains
     drain_s: float = 8e-3
     budget_fraction: float = 0.10
+    #: observability layer threaded through the engine, workers, switch
+    #: program (via the allocator), membership, and recovery
+    obs: "Observability | None" = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -170,8 +174,15 @@ class Controller:
             ),
         )
         self.metrics = ControlPlaneMetrics()
+        self.obs = cfg.obs if cfg.obs is not None else NULL_OBS
+        self.sim.attach_obs(self.obs)
+        self._m_punts = self.obs.metrics.counter(
+            "controlplane_heartbeats_punted_total",
+            "heartbeats punted out of the pipeline to the controller",
+        )
         # Admission: the allocator owns the program and its epoch.
         self.allocator = PoolAllocator(budget_fraction=cfg.budget_fraction)
+        self.allocator.instrument(self.obs, clock=lambda: self.sim.now)
         self.handle = self.allocator.admit(
             cfg.num_workers, cfg.pool_size, cfg.elements_per_packet
         )
@@ -183,6 +194,7 @@ class Controller:
             on_suspect=self._on_suspect,
             on_confirm=self._on_confirm,
             on_recovered=self._on_member_recovered,
+            obs=self.obs,
         )
         correlation = (
             cfg.heartbeat_interval_s
@@ -212,6 +224,7 @@ class Controller:
                 max_retries=cfg.max_retries,
                 epoch=self.handle.epoch,
                 member_id=member,
+                obs=self.obs,
             )
             self.rack.hosts[member].attach_agent(worker)
             self.endpoints[member] = worker
@@ -272,6 +285,7 @@ class Controller:
     # Signals in
     # ------------------------------------------------------------------
     def _on_heartbeat(self, beat: Heartbeat) -> None:
+        self._m_punts.inc()
         self.membership.on_heartbeat(beat.member, self.sim.now, beat.progress)
 
     def _on_suspect(self, member: int, time: float) -> None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from repro.obs.base import NULL_OBS
 from repro.sim.engine import Event, Simulator
 
 __all__ = ["MemberRecord", "MemberState", "MembershipTracker"]
@@ -67,6 +68,11 @@ class MembershipTracker:
         ``on_confirm`` which receives ``(members: list[int], time)`` --
         every member confirmed in the same sweep is reported together so
         the recovery layer can correlate mass failures.
+    obs:
+        Optional :class:`repro.obs.base.Observability` layer: liveness
+        transitions become ``member.suspect`` / ``member.confirm`` /
+        ``member.recovered`` trace events and the ``membership_*``
+        counters tick.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class MembershipTracker:
         on_suspect: Callable[[int, float], None] | None = None,
         on_confirm: Callable[[list[int], float], None] | None = None,
         on_recovered: Callable[[int, float], None] | None = None,
+        obs=None,
     ):
         if heartbeat_interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -96,6 +103,26 @@ class MembershipTracker:
         self.members: dict[int, MemberRecord] = {}
         self.ignored_heartbeats = 0  # from evicted/unknown members
         self._sweep_timer: Event | None = None
+
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        self._m_beats = metrics.counter(
+            "membership_heartbeats_total", "heartbeats from tracked members"
+        )
+        self._m_ignored = metrics.counter(
+            "membership_ignored_heartbeats_total",
+            "heartbeats from evicted/unknown members",
+        )
+        self._m_flaps = metrics.counter(
+            "membership_flaps_total", "SUSPECT members heard again"
+        )
+        self._m_deaths = metrics.counter(
+            "membership_deaths_total", "members confirmed DEAD"
+        )
+        self._g_alive = metrics.gauge(
+            "membership_alive", "members currently ALIVE"
+        )
 
     # ------------------------------------------------------------------
     # Membership roster
@@ -135,13 +162,21 @@ class MembershipTracker:
         rec = self.members.get(member)
         if rec is None:
             self.ignored_heartbeats += 1
+            self._m_ignored.inc()
             return
         rec.last_heard = time
         rec.progress = progress
         rec.heartbeats += 1
+        self._m_beats.inc()
         if rec.state is MemberState.SUSPECT:
             rec.state = MemberState.ALIVE
             rec.flaps_recovered += 1
+            self._m_flaps.inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "member.recovered", time, cat="membership",
+                    actor="controller", member=member,
+                )
             if self.on_recovered is not None:
                 self.on_recovered(member, time)
         # A DEAD member is never resurrected by a late heartbeat: by the
@@ -156,12 +191,27 @@ class MembershipTracker:
             if rec.state is MemberState.ALIVE and silence > self.suspect_after_s:
                 rec.state = MemberState.SUSPECT
                 rec.suspected_at = now
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "member.suspect", now, cat="membership",
+                        actor="controller", member=rec.member,
+                        silence=silence,
+                    )
                 if self.on_suspect is not None:
                     self.on_suspect(rec.member, now)
             if rec.state is MemberState.SUSPECT and silence > self.confirm_after_s:
                 rec.state = MemberState.DEAD
                 rec.confirmed_at = now
                 newly_dead.append(rec.member)
+        if newly_dead:
+            self._m_deaths.inc(len(newly_dead))
+            if self._tracer.enabled:
+                for member in newly_dead:
+                    self._tracer.emit(
+                        "member.confirm", now, cat="membership",
+                        actor="controller", member=member,
+                    )
+        self._g_alive.set(len(self.alive_members()))
         if newly_dead and self.on_confirm is not None:
             self.on_confirm(newly_dead, now)
         self._sweep_timer = self.sim.schedule(self.heartbeat_interval_s, self._sweep)

@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING
 
+from repro.obs.base import NULL_OBS
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -138,6 +139,49 @@ class RecoveryManager:
         self.records: list[RecoveryRecord] = []
         self._open: RecoveryRecord | None = None
 
+        # the controller's observability layer (set before the manager is
+        # constructed); tests that stub the controller get the null layer
+        self.obs = getattr(controller, "obs", None) or NULL_OBS
+        self._tracer = self.obs.tracer
+        self._m_incidents = self.obs.metrics.counter(
+            "recovery_incidents_total", "completed recovery incidents",
+            label_names=("cause",),
+        )
+        self._h_downtime = self.obs.metrics.histogram(
+            "recovery_downtime_seconds",
+            "detect-to-recovered span per incident",
+        )
+
+    # ------------------------------------------------------------------
+    # Phase bookkeeping (record + trace in one place)
+    # ------------------------------------------------------------------
+    def _note_phase(self, name: str, time: float | None = None) -> None:
+        assert self._open is not None
+        when = self.sim.now if time is None else time
+        self._open.phases[name] = when
+        if self._tracer.enabled:
+            self._tracer.emit(
+                f"recovery.{name}", when, cat="recovery",
+                actor="controller", cause=self._open.cause or "undiagnosed",
+            )
+
+    def _finish_incident(self) -> None:
+        """Close the open record: count it, measure downtime, and emit
+        one span covering detect -> recovered (the incident's extent on
+        the Perfetto timeline)."""
+        record = self._open
+        assert record is not None
+        self._m_incidents.labels(record.cause).inc()
+        self._h_downtime.observe(record.recovery_time)
+        if self._tracer.enabled:
+            self._tracer.span(
+                f"recovery.{record.cause}", record.detect_time, self.sim.now,
+                cat="recovery", actor="controller",
+                dead=str(record.dead_members), epoch=record.epoch_after,
+            )
+        self._open = None
+        self.state = RecoveryState.IDLE
+
     # ------------------------------------------------------------------
     # Entry points (wired to membership / management signals)
     # ------------------------------------------------------------------
@@ -150,9 +194,10 @@ class RecoveryManager:
                 f"members {members} confirmed while {self.state.value}; ignored",
             )
             return
-        self._open = RecoveryRecord(phases={"detect": time})
+        self._open = RecoveryRecord()
         self.records.append(self._open)
         self.state = RecoveryState.CORRELATING
+        self._note_phase("detect", time)
         ctl.metrics.log(time, "recovery-start", f"confirmed dead: {members}")
         # Wait one correlation window before diagnosing: a switch outage
         # can confirm its members across two sweeps, and acting on the
@@ -186,7 +231,7 @@ class RecoveryManager:
             # Survivor state is precious here: stop the retransmission
             # storm immediately, keep every slot's stream position.
             ctl.quiesce_survivors()
-            self._open.phases["quiesce"] = self.sim.now
+            self._note_phase("quiesce")
             self.state = RecoveryState.WAIT_SWITCH
             if ctl.switch_available:
                 # The switch already rebooted before detection finished.
@@ -204,7 +249,7 @@ class RecoveryManager:
             # distributed storage, applied to aggregator slots.
             ctl.evict_and_fence(dead)
             self._open.epoch_after = ctl.current_epoch
-            self._open.phases["fence"] = self.sim.now
+            self._note_phase("fence")
             self.state = RecoveryState.DRAINING
             self.sim.schedule(self.drain_s, self._after_drain)
 
@@ -213,30 +258,28 @@ class RecoveryManager:
         ctl = self.controller
         ctl.quiesce_survivors()
         ctl.reconfigure_survivors()
-        self._open.phases["quiesce"] = self.sim.now
+        self._note_phase("quiesce")
         ctl.restart_from_checkpoint()
-        self._open.phases["restart"] = self.sim.now
+        self._note_phase("restart")
         ctl.metrics.log(
             self.sim.now, "recovery-done",
             f"{len(ctl.all_members())} survivors restarted at epoch "
             f"{ctl.current_epoch}",
         )
-        self._open = None
-        self.state = RecoveryState.IDLE
+        self._finish_incident()
 
     def _reinstall_and_replay(self) -> None:
         assert self._open is not None
         ctl = self.controller
         ctl.reinstall_same_membership()
         self._open.epoch_after = ctl.current_epoch
-        self._open.phases["reinstall"] = self.sim.now
+        self._note_phase("reinstall")
         resumed = ctl.replay_from_prefix()
         self._open.resumed_from_element = resumed
-        self._open.phases["replay"] = self.sim.now
+        self._note_phase("replay")
         ctl.metrics.log(
             self.sim.now, "recovery-done",
             f"switch reinstalled at epoch {ctl.current_epoch}, replaying "
             f"from element {resumed}",
         )
-        self._open = None
-        self.state = RecoveryState.IDLE
+        self._finish_incident()

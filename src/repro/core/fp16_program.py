@@ -47,10 +47,14 @@ class Float16SwitchMLProgram:
         elements_per_packet: int = 64,
         check_invariants: bool = False,
         epoch: int = 0,
+        obs=None,
+        clock=None,
+        trace=None,
     ):
         self.inner = SwitchMLProgram(
             num_workers, pool_size, elements_per_packet,
             check_invariants=check_invariants, epoch=epoch,
+            obs=obs, clock=clock, trace=trace,
         )
         self.n = num_workers
         self.s = pool_size

@@ -33,6 +33,7 @@ from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.net.switchchassis import PortDecision
 from repro.net.topology import Rack, RackSpec, build_rack
+from repro.obs.base import NULL_OBS, Observability
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -68,6 +69,9 @@ class SwitchMLConfig:
     #: control-plane pool epoch stamped into program and workers; the
     #: managed run mode (:mod:`repro.controlplane`) bumps it on recovery
     epoch: int = 0
+    #: observability layer shared by the engine, workers, and switch
+    #: program; None falls back to the disabled :data:`NULL_OBS`
+    obs: "Observability | None" = None
     seed: int = 0
 
 
@@ -197,6 +201,12 @@ class SwitchMLJob:
         )
         if cfg.fp16_switch and cfg.lossless_switch:
             raise ValueError("fp16_switch and lossless_switch are exclusive")
+        self.obs = cfg.obs if cfg.obs is not None else NULL_OBS
+        self.sim.attach_obs(self.obs)
+        # the Figure 6 per-bucket series; created before the program so
+        # the switch end ticks the SAME recorder as worker 0
+        self.trace = TraceRecorder(bucket_seconds=0.010)
+        clock = lambda: self.sim.now  # noqa: E731 - bound to this job's sim
         if cfg.fp16_switch:
             self.program: (
                 SwitchMLProgram | LosslessSwitchMLProgram | Float16SwitchMLProgram
@@ -204,6 +214,7 @@ class SwitchMLJob:
                 cfg.num_workers, cfg.pool_size, cfg.elements_per_packet,
                 check_invariants=cfg.check_invariants,
                 epoch=cfg.epoch,
+                obs=self.obs, clock=clock, trace=self.trace,
             )
         elif cfg.lossless_switch:
             self.program = (
@@ -218,6 +229,7 @@ class SwitchMLJob:
                 cfg.elements_per_packet,
                 check_invariants=cfg.check_invariants,
                 epoch=cfg.epoch,
+                obs=self.obs, clock=clock, trace=self.trace,
             )
         worker_ports = {w: self.rack.host_port(w) for w in range(cfg.num_workers)}
         worker_names = {w: self.rack.hosts[w].name for w in range(cfg.num_workers)}
@@ -229,7 +241,6 @@ class SwitchMLJob:
                 bytes_per_element=cfg.bytes_per_element,
             )
         )
-        self.trace = TraceRecorder(bucket_seconds=0.010)
         self._completed: set[int] = set()
         self._failed: set[int] = set()
         self.workers: list[SwitchMLWorker] = []
@@ -250,6 +261,7 @@ class SwitchMLJob:
                 max_retries=cfg.max_retries,
                 on_failure=self._on_worker_failure,
                 epoch=cfg.epoch,
+                obs=self.obs,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)

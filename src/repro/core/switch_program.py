@@ -22,11 +22,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.core.packet import SwitchMLPacket
 from repro.dataplane.registers import RegisterFile
+from repro.obs.base import NULL_OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.base import Observability
+    from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "LosslessSwitchMLProgram",
@@ -121,6 +127,21 @@ class SwitchMLProgram:
         configuration (including a partitioned-but-alive "zombie" worker)
         can never reach the new configuration's slots, whose worker count
         and ``seen`` addressing may have changed.
+    obs:
+        Optional :class:`repro.obs.base.Observability` layer.  When
+        enabled, the program emits ``slot.claim`` / ``slot.release`` /
+        ``slot.contention`` / ``shadow.read`` / ``fence.drop`` events
+        plus a ``slots_occupied`` counter track, and ticks the
+        ``switch_*`` metrics.
+    clock:
+        Zero-argument callable returning the current simulated time;
+        injected by the job/dataplane so the program stays free of a
+        hard simulator dependency (events report t=0 without one).
+    trace:
+        Optional :class:`repro.sim.trace.TraceRecorder` -- the Figure 6
+        bucketed-series mechanism.  The program ticks ``slot_contention``
+        and ``shadow_read`` so loss timelines cover the switch end as
+        well as the worker's ``sent`` / ``resent``.
     """
 
     def __init__(
@@ -130,6 +151,9 @@ class SwitchMLProgram:
         elements_per_packet: int,
         check_invariants: bool = False,
         epoch: int = 0,
+        obs: "Observability | None" = None,
+        clock: Callable[[], float] | None = None,
+        trace: "TraceRecorder | None" = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -155,6 +179,33 @@ class SwitchMLProgram:
         self.unicast_retransmits = 0
         self.ignored_duplicates = 0
         self.stale_epoch_drops = 0
+        #: (version, slot) pairs currently mid-aggregation (claimed, not
+        #: yet released by a completing multicast)
+        self.occupied_slots = 0
+
+        self.obs = obs if obs is not None else NULL_OBS
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.trace = trace
+        self._tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        self._m_contributions = metrics.counter(
+            "switch_contributions_total", "first-time slot contributions"
+        )
+        self._m_multicasts = metrics.counter(
+            "switch_multicasts_total", "completed aggregations multicast"
+        )
+        self._m_shadow = metrics.counter(
+            "switch_shadow_reads_total", "unicast results served from shadow copies"
+        )
+        self._m_dup = metrics.counter(
+            "switch_ignored_duplicates_total", "duplicates during aggregation"
+        )
+        self._m_fence = metrics.counter(
+            "switch_stale_epoch_drops_total", "packets dropped by the epoch fence"
+        )
+        self._g_occupied = metrics.gauge(
+            "switch_slots_occupied", "slots currently mid-aggregation"
+        )
 
     # ------------------------------------------------------------------
     # register addressing
@@ -177,6 +228,12 @@ class SwitchMLProgram:
             # a stale packet's coordinates belong to the *previous*
             # configuration and may be out of range for this one.
             self.stale_epoch_drops += 1
+            self._m_fence.inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fence.drop", self._clock(), cat="fence", actor="switch",
+                    wid=p.wid, packet_epoch=p.epoch, pool_epoch=self.epoch,
+                )
             return SwitchDecision(SwitchAction.DROP)
         if not 0 <= p.idx < self.s:
             raise ValueError(f"pool index {p.idx} out of range [0, {self.s})")
@@ -203,6 +260,20 @@ class SwitchMLProgram:
             self._seen.write(self._seen_index(other, p.idx, p.wid), 0)
             count = (count_before + 1) % self.n
             self._count.write(self._count_index(ver, p.idx), count)
+            self._m_contributions.inc()
+            if count_before == 0:
+                self.occupied_slots += 1
+                self._g_occupied.set(self.occupied_slots)
+                if self._tracer.enabled:
+                    now = self._clock()
+                    self._tracer.emit(
+                        "slot.claim", now, cat="slot", actor="switch",
+                        slot=p.idx, ver=ver, wid=p.wid, off=p.off,
+                    )
+                    self._tracer.counter(
+                        "slots_occupied", now, self.occupied_slots,
+                        cat="slot", actor="switch",
+                    )
             lo, hi = self._value_range(ver, p.idx)
             if p.vector is not None:
                 if count_before == 0:
@@ -219,6 +290,19 @@ class SwitchMLProgram:
                 if p.vector is not None:
                     vector = self._pool.read_range(lo, hi)
                 self.multicasts += 1
+                self._m_multicasts.inc()
+                self.occupied_slots -= 1
+                self._g_occupied.set(self.occupied_slots)
+                if self._tracer.enabled:
+                    now = self._clock()
+                    self._tracer.emit(
+                        "slot.release", now, cat="slot", actor="switch",
+                        slot=p.idx, ver=ver, off=p.off,
+                    )
+                    self._tracer.counter(
+                        "slots_occupied", now, self.occupied_slots,
+                        cat="slot", actor="switch",
+                    )
                 return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
             return SwitchDecision(SwitchAction.DROP)
 
@@ -232,12 +316,28 @@ class SwitchMLProgram:
                 lo, hi = self._value_range(ver, p.idx)
                 vector = self._pool.read_range(lo, hi)
             self.unicast_retransmits += 1
+            self._m_shadow.inc()
+            if self.trace is not None:
+                self.trace.tick("shadow_read", self._clock())
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "shadow.read", self._clock(), cat="slot", actor="switch",
+                    slot=p.idx, ver=ver, wid=p.wid,
+                )
             return SwitchDecision(
                 SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=p.wid
             )
         # Aggregation still in progress: the worker's contribution is
         # already in the slot; ignore the duplicate.
         self.ignored_duplicates += 1
+        self._m_dup.inc()
+        if self.trace is not None:
+            self.trace.tick("slot_contention", self._clock())
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "slot.contention", self._clock(), cat="slot", actor="switch",
+                slot=p.idx, ver=ver, wid=p.wid,
+            )
         return SwitchDecision(SwitchAction.DROP)
 
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.net.switchchassis import PortDecision
 from repro.net.topology import Rack, RackSpec, build_rack
+from repro.obs.base import NULL_OBS
 from repro.sim.engine import Simulator
 
 __all__ = [
@@ -100,6 +101,30 @@ class PoolAllocator:
         self.jobs: dict[int, JobHandle] = {}
         self._next_job_id = 0
         self.rejections = 0
+        self.instrument(None)
+
+    def instrument(self, obs, clock: Callable[[], float] | None = None) -> None:
+        """Report admission-control activity through an
+        :class:`repro.obs.base.Observability` layer.  Programs created by
+        subsequent :meth:`admit` / :meth:`renew` calls inherit the layer
+        and clock, so a managed run's lease renewals land on the same
+        trace as the protocol events.  ``None`` restores the null layer.
+        """
+        self._obs = obs if obs is not None else NULL_OBS
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        metrics = self._obs.metrics
+        self._m_admitted = metrics.counter(
+            "pool_admissions_total", "jobs admitted to aggregator pools"
+        )
+        self._m_rejected = metrics.counter(
+            "pool_rejections_total", "pool admission rejections"
+        )
+        self._m_renewed = metrics.counter(
+            "pool_renewals_total", "lease renewals (epoch bumps)"
+        )
+        self._g_sram = metrics.gauge(
+            "pool_allocated_sram_bytes", "aggregator SRAM currently leased"
+        )
 
     @property
     def allocated_bytes(self) -> int:
@@ -148,12 +173,14 @@ class PoolAllocator:
         )
         if report.stages_used > self.pipeline.num_stages:
             self.rejections += 1
+            self._m_rejected.inc()
             raise AdmissionError(
                 f"k={elements_per_packet} needs {report.stages_used} stages; "
                 f"pipeline has {self.pipeline.num_stages}"
             )
         if num_workers > self.pipeline.ports_per_pipeline:
             self.rejections += 1
+            self._m_rejected.inc()
             raise AdmissionError(
                 f"{num_workers} workers exceed a pipeline's "
                 f"{self.pipeline.ports_per_pipeline} ports; compose "
@@ -162,6 +189,7 @@ class PoolAllocator:
         placement = self._find_pipeline(report.total_sram_bytes, num_workers)
         if placement is None:
             self.rejections += 1
+            self._m_rejected.inc()
             raise AdmissionError(
                 f"no pipeline can host pool={pool_size} slots "
                 f"({report.total_sram_bytes} B) + {num_workers} ports; "
@@ -190,12 +218,21 @@ class PoolAllocator:
             program=SwitchMLProgram(
                 num_workers, pool_size, elements_per_packet,
                 check_invariants=check_invariants,
+                obs=self._obs, clock=self._clock,
             ),
             sram_bytes=sram_bytes,
             pipeline_id=placement,
             epoch=0,
         )
         self.jobs[job_id] = handle
+        self._m_admitted.inc()
+        self._g_sram.set(self.allocated_bytes)
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                "pool.admit", self._clock(), cat="pool", actor="allocator",
+                job=job_id, slots=pool_size, sram=sram_bytes,
+                pipeline=placement,
+            )
         return handle
 
     def renew(
@@ -236,13 +273,21 @@ class PoolAllocator:
             pool_size=s,
             elements_per_packet=k,
             program=SwitchMLProgram(
-                n, s, k, check_invariants=check_invariants, epoch=epoch
+                n, s, k, check_invariants=check_invariants, epoch=epoch,
+                obs=self._obs, clock=self._clock,
             ),
             sram_bytes=sram_bytes,
             pipeline_id=placement,
             epoch=epoch,
         )
         self.jobs[job_id] = handle
+        self._m_renewed.inc()
+        self._g_sram.set(self.allocated_bytes)
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                "pool.renew", self._clock(), cat="pool", actor="allocator",
+                job=job_id, epoch=epoch, workers=n, slots=s,
+            )
         return handle
 
     def release(self, job_id: int) -> None:
@@ -250,6 +295,12 @@ class PoolAllocator:
         if job_id not in self.jobs:
             raise KeyError(f"no admitted job {job_id}")
         del self.jobs[job_id]
+        self._g_sram.set(self.allocated_bytes)
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                "pool.release", self._clock(), cat="pool", actor="allocator",
+                job=job_id,
+            )
 
 
 class MultiJobDataplane:

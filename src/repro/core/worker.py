@@ -18,15 +18,19 @@ switch's slot pool:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.core.packet import Heartbeat, SwitchMLPacket
 from repro.net.host import Host
 from repro.net.packet import Frame
+from repro.obs.base import NULL_OBS
 from repro.sim.engine import Event, Simulator
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.base import Observability
 
 __all__ = ["SwitchMLWorker", "WorkerStats"]
 
@@ -83,6 +87,12 @@ class SwitchMLWorker:
     trace:
         Optional :class:`TraceRecorder`; receives ``sent`` / ``resent``
         ticks (Figure 6's series).
+    obs:
+        Optional :class:`repro.obs.base.Observability` layer.  When
+        enabled, the worker emits ``packet.tx`` / ``packet.retx`` /
+        ``packet.rx`` events on its own trace lane and feeds the
+        ``worker_*`` counters plus the RTT / retransmission-gap / TAT
+        histograms.
     """
 
     def __init__(
@@ -106,6 +116,7 @@ class SwitchMLWorker:
         on_failure: Callable[[int], None] | None = None,
         epoch: int = 0,
         member_id: int | None = None,
+        obs: "Observability | None" = None,
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
@@ -152,6 +163,40 @@ class SwitchMLWorker:
         # a received result) -- keeps a sudden RTT increase (congestion)
         # from degenerating into a retransmission storm
         self._slot_backoff: list[float] = [1.0] * pool_size
+
+        # observability: children resolved once here so the send/receive
+        # paths tick a bound instrument (a no-op when obs is disabled)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer
+        self._actor = f"worker{wid}"
+        metrics = self.obs.metrics
+        self._m_sent = metrics.counter(
+            "worker_packets_sent_total", "update packets put on the wire",
+            label_names=("wid",),
+        ).labels(str(wid))
+        self._m_retx = metrics.counter(
+            "worker_retransmissions_total", "timeout-driven resends",
+            label_names=("wid",),
+        ).labels(str(wid))
+        self._m_results = metrics.counter(
+            "worker_results_total", "aggregated results consumed",
+            label_names=("wid",),
+        ).labels(str(wid))
+        self._m_stale = metrics.counter(
+            "worker_stale_results_total",
+            "results ignored as stale (wrong phase or epoch)",
+            label_names=("wid",),
+        ).labels(str(wid))
+        self._h_rtt = metrics.histogram(
+            "worker_rtt_seconds", "per-chunk send-to-result round trip"
+        )
+        self._h_retx_gap = metrics.histogram(
+            "worker_retx_gap_seconds",
+            "time from a chunk's first send to each timeout-driven resend",
+        )
+        self._h_tat = metrics.histogram(
+            "worker_tat_seconds", "tensor aggregation time (start to finish)"
+        )
 
         self.stats = WorkerStats()
         self._tensor: np.ndarray | None = None
@@ -266,10 +311,18 @@ class SwitchMLWorker:
             bytes_per_element=self.bytes_per_element,
         )
         self.stats.packets_sent += 1
+        self._m_sent.inc()
         if retransmission:
             self.stats.retransmissions += 1
+            self._m_retx.inc()
         if self.trace is not None:
             self.trace.tick("resent" if retransmission else "sent", self.sim.now)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "packet.retx" if retransmission else "packet.tx",
+                self.sim.now, cat="packet", actor=self._actor,
+                slot=packet.idx, ver=packet.ver, off=packet.off,
+            )
         self.host.send(frame)
 
     def current_timeout(self) -> float:
@@ -339,6 +392,7 @@ class SwitchMLWorker:
             is_retransmission=True,
             epoch=original.epoch,
         )
+        self._h_retx_gap.observe(self.sim.now - self._slot_sent_at[idx])
         self._transmit(resend, retransmission=True)
         self._arm_timer(idx)
 
@@ -548,6 +602,7 @@ class SwitchMLWorker:
             # Pre-reconfiguration result still in flight; its slot
             # coordinates belong to a previous pool geometry.
             self.stats.stale_results_ignored += 1
+            self._m_stale.inc()
             return
         # Stale results can arrive: e.g. a unicast retransmitted result
         # racing with the multicast copy.  The (off, ver) pair identifies
@@ -555,9 +610,11 @@ class SwitchMLWorker:
         # has already been consumed.
         if p.off != self._slot_off[p.idx] or p.ver != self._slot_ver[p.idx]:
             self.stats.stale_results_ignored += 1
+            self._m_stale.inc()
             return
         if self._slot_packet[p.idx] is None:
             self.stats.stale_results_ignored += 1
+            self._m_stale.inc()
             return
 
         self._cancel_timer(p.idx)
@@ -565,6 +622,13 @@ class SwitchMLWorker:
         rtt_sample = self.sim.now - self._slot_sent_at[p.idx]
         self.stats.rtt_sum += rtt_sample
         self.stats.rtt_count += 1
+        self._m_results.inc()
+        self._h_rtt.observe(rtt_sample)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "packet.rx", self.sim.now, cat="packet", actor=self._actor,
+                slot=p.idx, ver=p.ver, off=p.off, rtt=rtt_sample,
+            )
         if not self._slot_retransmitted[p.idx]:
             # Karn's rule: only unambiguous samples feed the estimator --
             # and only an unambiguous exchange clears the backoff
@@ -588,6 +652,14 @@ class SwitchMLWorker:
     def _finish(self) -> None:
         self._active = False
         self.stats.finish_time = self.sim.now
+        self._h_tat.observe(self.stats.tensor_aggregation_time)
+        if self._tracer.enabled:
+            self._tracer.span(
+                "worker.aggregate", self.stats.start_time, self.sim.now,
+                cat="tat", actor=self._actor,
+                packets=self.stats.packets_sent,
+                retransmissions=self.stats.retransmissions,
+            )
         for idx in range(self.s):
             self._cancel_timer(idx)
         if self.on_complete is not None:

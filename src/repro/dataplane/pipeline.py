@@ -95,6 +95,36 @@ class PipelineModel:
         the paper's testbed switch)."""
         return self.ports_per_pipeline * self.num_pipelines
 
+    def export_gauges(self, metrics) -> None:
+        """Publish the chip's resource envelope as labelled gauges on a
+        :class:`repro.obs.registry.MetricsRegistry`.
+
+        These are static capacities, not live usage (usage is the
+        allocator's ``pool_allocated_sram_bytes``); exporting them puts
+        the denominator of every utilization question -- stages, SRAM,
+        parser bytes, max k -- in the same snapshot as the numerators.
+        """
+        chip = {"chip": self.name}
+        specs = [
+            ("pipeline_stages", "match-action stages per pipeline",
+             self.num_stages),
+            ("pipeline_sram_bytes", "dataplane SRAM per pipeline",
+             self.sram_bytes),
+            ("pipeline_parser_payload_bytes",
+             "payload bytes the parser exposes", self.parser_payload_bytes),
+            ("pipeline_ports", "front-panel ports per pipeline",
+             self.ports_per_pipeline),
+            ("pipeline_count", "independent pipelines on the chip",
+             self.num_pipelines),
+            ("pipeline_max_elements_per_packet",
+             "largest k the stage and parser budgets admit",
+             self.max_elements_per_packet()),
+        ]
+        for name, help_text, value in specs:
+            metrics.gauge(name, help_text, label_names=("chip",)).labels(
+                **chip
+            ).set(value)
+
 
 #: Default chip model used throughout the reproduction.
 TOFINO = PipelineModel()

@@ -63,16 +63,27 @@ class RackTelemetry:
         host_peak = self.busiest_host[1]
         return "wire" if link_peak >= host_peak else "host-cpu"
 
-    def summary(self) -> str:
+    def summary(self, limit: int | None = 8) -> str:
+        """Render the telemetry table.
+
+        ``limit`` keeps the table to the busiest N links (None = all);
+        anything elided is acknowledged with a footer rather than
+        silently truncated.
+        """
+        ranked = sorted(self.links, key=lambda l: -l.utilization)
+        shown = ranked if limit is None else ranked[:limit]
         rows = [
             [l.name, f"{l.utilization:.1%}", l.frames_sent, l.frames_lost]
-            for l in sorted(self.links, key=lambda l: -l.utilization)[:8]
+            for l in shown
         ]
         table = format_table(
             ["link", "utilization", "frames", "lost"], rows,
             title=f"rack telemetry over {self.elapsed_s * 1e3:.3f} ms "
                   f"(bottleneck: {self.bottleneck})",
         )
+        elided = len(ranked) - len(shown)
+        if elided > 0:
+            table += f"\n... and {elided} more links (pass limit=None for all)"
         host, busy = self.busiest_host
         return table + f"\nbusiest host CPU: {host} at {busy:.1%}"
 

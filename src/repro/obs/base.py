@@ -1,0 +1,74 @@
+"""The :class:`Observability` facade: one handle for metrics + tracing.
+
+Components take an optional ``obs`` parameter and fall back to the
+process-wide default, which starts **disabled** -- the paper's protocol
+paths run uninstrumented unless a caller opts in.  ``Observability.off()``
+(the null object) is shared: its registry hands out no-op instruments
+and its tracer drops events after a single boolean test, so the
+instrumented hot paths cost a few nanoseconds per event when disabled
+(benchmarked in ``benchmarks/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+__all__ = ["NULL_OBS", "Observability", "get_default", "set_default"]
+
+
+class Observability:
+    """Bundle of a :class:`MetricsRegistry` and an :class:`EventTracer`.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; also the default for both sub-layers.
+    metrics_enabled / tracing_enabled:
+        Override per layer -- e.g. metrics on but per-packet tracing off
+        for long sweeps where event volume would dominate.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics_enabled: bool | None = None,
+        tracing_enabled: bool | None = None,
+        max_trace_events: int = 2_000_000,
+    ):
+        self.metrics = MetricsRegistry(
+            enabled=enabled if metrics_enabled is None else metrics_enabled
+        )
+        self.tracer = EventTracer(
+            enabled=enabled if tracing_enabled is None else tracing_enabled,
+            max_events=max_trace_events,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True if either layer records anything."""
+        return self.metrics.enabled or self.tracer.enabled
+
+    @classmethod
+    def off(cls) -> "Observability":
+        return cls(enabled=False)
+
+
+#: The shared disabled instance components fall back to.
+NULL_OBS = Observability.off()
+
+_default: Observability = NULL_OBS
+
+
+def get_default() -> Observability:
+    """The process-wide observability layer (disabled unless replaced)."""
+    return _default
+
+
+def set_default(obs: Observability | None) -> Observability:
+    """Install ``obs`` as the process default (None restores the null
+    layer); returns the previous default so callers can scope it."""
+    global _default
+    previous = _default
+    _default = NULL_OBS if obs is None else obs
+    return previous

@@ -1,0 +1,185 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+
+The Chrome format (the "Trace Event Format" consumed by Perfetto and
+``chrome://tracing``) is a JSON object with a ``traceEvents`` list whose
+entries carry ``name`` / ``ph`` (phase) / ``ts`` (microseconds) /
+``pid`` / ``tid``.  The mapping from :class:`repro.obs.tracer.TraceEvent`:
+
+=========  ====  =======================================================
+kind       ph    notes
+=========  ====  =======================================================
+instant    i     thread-scoped (``s: "t"``)
+span       X     "complete" event with ``dur`` in microseconds
+counter    C     ``args`` holds ``{series: value}``
+=========  ====  =======================================================
+
+Each distinct actor becomes one thread (track): a metadata event
+(``ph: "M"``, ``thread_name``) labels it, so a trace opened in Perfetto
+shows one named lane per worker plus lanes for the switch and the
+controller.  Simulated seconds are scaled to microseconds -- Perfetto's
+native unit -- so a 2 ms aggregation renders as 2,000 us of timeline.
+
+``validate_chrome_trace`` is the schema check the CI smoke job runs on
+the emitted artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import EventTracer, TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "events_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: simulated seconds -> trace-file microseconds
+_US = 1e6
+
+#: every trace carries one process; tracks are threads within it
+_PID = 1
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars etc. into plain JSON types."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (str, bytes)):
+        try:
+            return item()
+        except Exception:  # pragma: no cover - exotic array-likes
+            return str(value)
+    return value
+
+
+def events_jsonl(tracer: "EventTracer") -> str:
+    """One JSON object per line, schema-stable for downstream tooling."""
+    lines = []
+    for e in tracer.events:
+        record: dict = {
+            "ts": e.ts,
+            "name": e.name,
+            "cat": e.cat,
+            "actor": e.actor,
+            "kind": e.kind,
+        }
+        if e.kind == "span":
+            record["dur"] = e.dur
+        if e.kind == "counter":
+            record["value"] = e.value
+        if e.args:
+            record["args"] = {k: _jsonable(v) for k, v in e.args}
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(tracer: "EventTracer") -> dict:
+    """Build the Chrome ``trace_event`` JSON object (not yet serialized)."""
+    trace_events: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
+            "args": {"name": "switchml-sim"},
+        }
+    ]
+    tids: dict[str, int] = {}
+    for actor in tracer.actors():
+        tid = len(tids) + 1
+        tids[actor] = tid
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": _PID, "tid": tid,
+            "args": {"name": actor or "unattributed"},
+        })
+
+    for e in tracer.events:
+        entry: dict = {
+            "name": e.name,
+            "cat": e.cat or "event",
+            "ts": e.ts * _US,
+            "pid": _PID,
+            "tid": tids.get(e.actor, 0),
+        }
+        if e.kind == "span":
+            entry["ph"] = "X"
+            entry["dur"] = e.dur * _US
+            if e.args:
+                entry["args"] = {k: _jsonable(v) for k, v in e.args}
+        elif e.kind == "counter":
+            entry["ph"] = "C"
+            entry["args"] = {e.name: e.value}
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+            if e.args:
+                entry["args"] = {k: _jsonable(v) for k, v in e.args}
+        trace_events.append(entry)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: "EventTracer", path: Union[str, Path]) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer)))
+    return path
+
+
+def write_jsonl(tracer: "EventTracer", path: Union[str, Path]) -> Path:
+    """Serialize :func:`events_jsonl` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_jsonl(tracer))
+    return path
+
+
+_VALID_PHASES = {"B", "E", "X", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(source: Union[str, Path, dict]) -> int:
+    """Validate a Chrome ``trace_event`` document; return the event count.
+
+    Checks the invariants Perfetto's legacy-JSON importer relies on:
+    a ``traceEvents`` list; every entry a dict with a string ``name`` and
+    a known ``ph``; numeric non-negative ``ts`` and integer ``pid`` /
+    ``tid`` on non-metadata events; ``X`` events carry a non-negative
+    numeric ``dur``.  Raises :class:`ValueError` on the first violation.
+    """
+    if isinstance(source, dict):
+        doc = source
+    else:
+        doc = json.loads(Path(source).read_text())
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, entry in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where}: not an object")
+        if not isinstance(entry.get("name"), str):
+            raise ValueError(f"{where}: missing string 'name'")
+        ph = entry.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: 'ts' must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(entry.get(key), int):
+                raise ValueError(f"{where}: '{key}' must be an integer")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'X' event needs non-negative 'dur'")
+        if ph == "C" and not isinstance(entry.get("args"), dict):
+            raise ValueError(f"{where}: 'C' event needs an 'args' object")
+    return len(events)

@@ -1,0 +1,390 @@
+"""The metrics registry: counters, gauges, and histograms with labels.
+
+Every subsystem in the repo keeps counters -- ``WorkerStats`` fields,
+``SwitchMLProgram.multicasts``, ``LinkStats``, the control plane's event
+log.  Those stay (they are cheap and always on); the registry is the
+*unified* layer on top: components register named instruments once at
+construction time and tick them on the hot path, and one
+:meth:`MetricsRegistry.collect` call snapshots the whole process.
+
+Design constraints (ISSUE 2):
+
+* **off-by-default and cheap when off** -- a disabled registry hands out
+  shared null instruments whose ``inc``/``set``/``observe`` are empty
+  methods, so an instrumented call site costs one no-op method call and
+  call sites never need ``if`` guards;
+* **label sets** -- an instrument declared with ``label_names`` is a
+  family; ``labels(...)`` interns one child per label-value tuple, so
+  hot paths resolve their child once at setup and never pay a dict
+  lookup per event.
+
+Naming follows the Prometheus convention (``snake_case``, unit suffix,
+``_total`` for counters) so a future scrape endpoint is a renderer, not
+a refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+#: Default histogram buckets, log-spaced for latencies in seconds:
+#: 1 us .. 1 s, roughly half-decade steps.
+DEFAULT_BUCKETS = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+)
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One collected time-series point: ``(name, labels, value)``.
+
+    Histograms flatten into ``_count`` / ``_sum`` / ``_bucket`` samples,
+    mirroring the Prometheus exposition model.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class _Instrument:
+    """Common child machinery: a named instrument bound to label values."""
+
+    __slots__ = ("name", "help", "_label_names", "_children", "_labels")
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...],
+                 labels: tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self._label_names = label_names
+        self._labels = labels
+        # family-level: interned children by label-value tuple
+        self._children: dict[tuple[str, ...], "_Instrument"] = {}
+
+    def labels(self, *values, **kv):
+        """Return (and intern) the child for one label-value set."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            values = tuple(str(kv[name]) for name in self._label_names)
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self._label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self._label_names}, got {values}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = type(self)(self.name, self.help, self._label_names, values)
+            self._children[values] = child
+        return child
+
+    def _label_pairs(self) -> tuple[tuple[str, str], ...]:
+        return tuple(zip(self._label_names, self._labels))
+
+    def _guard_unlabelled(self) -> None:
+        if self._label_names and not self._labels:
+            raise ValueError(
+                f"{self.name} declares labels {self._label_names}; "
+                "call .labels(...) first"
+            )
+
+    def _leaves(self) -> Iterable["_Instrument"]:
+        if self._label_names and not self._labels:
+            for child in self._children.values():
+                yield child
+        else:
+            yield self
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", label_names=(), labels=()):
+        super().__init__(name, help, tuple(label_names), tuple(labels))
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        self._guard_unlabelled()
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def samples(self) -> list[MetricSample]:
+        return [
+            MetricSample(leaf.name, leaf._label_pairs(), leaf._value)
+            for leaf in self._leaves()
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", label_names=(), labels=()):
+        super().__init__(name, help, tuple(label_names), tuple(labels))
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._guard_unlabelled()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._guard_unlabelled()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._guard_unlabelled()
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def samples(self) -> list[MetricSample]:
+        return [
+            MetricSample(leaf.name, leaf._label_pairs(), leaf._value)
+            for leaf in self._leaves()
+        ]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram plus count / sum / min / max."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name, help="", label_names=(), labels=(),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, tuple(label_names), tuple(labels))
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"{name}: need at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def labels(self, *values, **kv):
+        child = super().labels(*values, **kv)
+        # children inherit the family's bucket bounds
+        if child.buckets != self.buckets:
+            child.buckets = self.buckets
+            child.bucket_counts = [0] * (len(self.buckets) + 1)
+        return child
+
+    def observe(self, value: float) -> None:
+        self._guard_unlabelled()
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper bound of the
+        bucket containing the q-th observation; +Inf bucket reports
+        ``max``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            seen += self.bucket_counts[i]
+            if seen >= target:
+                return bound
+        return self.max
+
+    def samples(self) -> list[MetricSample]:
+        out: list[MetricSample] = []
+        for leaf in self._leaves():
+            pairs = leaf._label_pairs()
+            out.append(MetricSample(f"{leaf.name}_count", pairs, leaf.count))
+            out.append(MetricSample(f"{leaf.name}_sum", pairs, leaf.sum))
+            cumulative = 0
+            for bound, n in zip(leaf.buckets, leaf.bucket_counts):
+                cumulative += n
+                out.append(MetricSample(
+                    f"{leaf.name}_bucket", pairs + (("le", f"{bound:g}"),),
+                    cumulative,
+                ))
+            cumulative += leaf.bucket_counts[-1]
+            out.append(MetricSample(
+                f"{leaf.name}_bucket", pairs + (("le", "+Inf"),), cumulative
+            ))
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry.
+
+    Every mutating method is a no-op ``pass``; ``labels`` returns
+    ``self`` so labelled call sites stay branch-free too.  One instance
+    of each kind serves the whole process.
+    """
+
+    __slots__ = ()
+
+    def labels(self, *values, **kv):
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def samples(self) -> list[MetricSample]:
+        return []
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Parameters
+    ----------
+    enabled:
+        When False the registry hands out the shared null instruments
+        and :meth:`collect` returns nothing -- the whole metrics layer
+        costs a handful of no-op calls.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            if existing._label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} label mismatch: registered "
+                    f"{existing._label_names}, requested {tuple(label_names)}"
+                )
+            return existing
+        metric = cls(name, help=help, label_names=tuple(label_names), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(self, name: str, help: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._get_or_create(
+            Histogram, name, help, label_names, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> _Instrument | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> list[MetricSample]:
+        """Snapshot every instrument as flat samples."""
+        out: list[MetricSample] = []
+        for name in self.names():
+            out.extend(self._metrics[name].samples())
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot: ``{name{labels}: value}``."""
+        out: dict[str, float] = {}
+        for sample in self.collect():
+            if sample.labels:
+                key = sample.name + "{" + ",".join(
+                    f"{k}={v}" for k, v in sample.labels
+                ) + "}"
+            else:
+                key = sample.name
+            out[key] = sample.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable table of every sample (skips empty buckets)."""
+        from repro.harness.report import format_table
+
+        rows = []
+        for sample in self.collect():
+            if sample.name.endswith("_bucket") and sample.value == 0:
+                continue
+            label_text = ", ".join(f"{k}={v}" for k, v in sample.labels)
+            rows.append([sample.name, label_text, sample.value])
+        return format_table(["metric", "labels", "value"], rows,
+                            title="metrics registry")

@@ -1,0 +1,268 @@
+"""Derived views over the raw metrics and event stream.
+
+The raw layers are deliberately dumb -- counters count, the tracer
+appends.  This module derives the diagnostic views the paper's
+evaluation leans on:
+
+* per-slot occupancy timelines (the slot-pool dynamics behind Figure 2's
+  TAT-vs-pool-size knee);
+* retransmission-gap and RTT histograms (SS5.5's loss analysis);
+* TAT distributions (the violin methodology of SS5.1);
+* :class:`Dashboard` -- the one-call report unifying
+  :class:`repro.harness.telemetry.RackTelemetry` (wire vs host-CPU
+  bottleneck), the protocol counters, slot occupancy, and
+  ``control_plane_summary`` (recovery phases) into a single text block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.base import Observability
+from repro.obs.registry import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.telemetry import RackTelemetry
+    from repro.obs.tracer import EventTracer
+
+__all__ = [
+    "Dashboard",
+    "SlotInterval",
+    "histogram_summary",
+    "occupancy_timeline",
+    "slot_intervals",
+]
+
+
+@dataclass(frozen=True)
+class SlotInterval:
+    """One (version, slot) busy interval: claim to release.
+
+    ``end`` is ``None`` for a slot still aggregating when the trace
+    stopped (e.g. a run cut off by a deadline).
+    """
+
+    slot: int
+    ver: int
+    start: float
+    end: float | None
+
+    @property
+    def duration(self) -> float:
+        return float("nan") if self.end is None else self.end - self.start
+
+
+def slot_intervals(tracer: "EventTracer") -> list[SlotInterval]:
+    """Pair ``slot.claim`` / ``slot.release`` events into busy intervals.
+
+    A claim opens a (version, slot) interval; the matching release
+    closes it.  Epoch renewals install a fresh program whose slots start
+    unclaimed, so an open interval superseded by a new claim of the same
+    coordinates is closed at the new claim's time (the old phase never
+    completed -- its state was fenced away).
+    """
+    open_at: dict[tuple[int, int], float] = {}
+    out: list[SlotInterval] = []
+    for e in tracer.events:
+        if e.name not in ("slot.claim", "slot.release"):
+            continue
+        args = e.arg_dict
+        key = (int(args.get("slot", -1)), int(args.get("ver", 0)))
+        if e.name == "slot.claim":
+            stale_start = open_at.pop(key, None)
+            if stale_start is not None:
+                out.append(SlotInterval(key[0], key[1], stale_start, e.ts))
+            open_at[key] = e.ts
+        else:
+            start = open_at.pop(key, None)
+            if start is not None:
+                out.append(SlotInterval(key[0], key[1], start, e.ts))
+    for (slot, ver), start in open_at.items():
+        out.append(SlotInterval(slot, ver, start, None))
+    out.sort(key=lambda i: (i.start, i.slot, i.ver))
+    return out
+
+
+def occupancy_timeline(
+    tracer: "EventTracer", bucket_seconds: float = 1e-4
+) -> list[tuple[float, int]]:
+    """``(bucket_start, peak_occupied_slots)`` per time bucket.
+
+    Built from the ``slots_occupied`` counter samples the switch program
+    emits on every claim/release; gaps carry the last seen value forward
+    (occupancy is a level, not a rate).
+    """
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    samples = [e for e in tracer.events
+               if e.kind == "counter" and e.name == "slots_occupied"]
+    if not samples:
+        return []
+    peaks: dict[int, float] = {}
+    for e in samples:
+        bucket = int(e.ts / bucket_seconds)
+        peaks[bucket] = max(peaks.get(bucket, 0.0), e.value)
+    last_bucket = max(peaks)
+    out: list[tuple[float, int]] = []
+    level = 0.0
+    for bucket in range(0, last_bucket + 1):
+        level = peaks.get(bucket, level)
+        out.append((bucket * bucket_seconds, int(level)))
+    return out
+
+
+def histogram_summary(hist: Histogram | None, unit_scale: float = 1e6,
+                      unit: str = "us") -> str:
+    """One-line count / mean / p50 / p99 / max summary of a histogram."""
+    if hist is None or not isinstance(hist, Histogram) or hist.count == 0:
+        return "no observations"
+    return (
+        f"n={hist.count}  mean={hist.mean * unit_scale:.1f}{unit}  "
+        f"p50<={hist.quantile(0.5) * unit_scale:.1f}{unit}  "
+        f"p99<={hist.quantile(0.99) * unit_scale:.1f}{unit}  "
+        f"max={hist.max * unit_scale:.1f}{unit}"
+    )
+
+
+class Dashboard:
+    """The unified post-run report.
+
+    Build one with :meth:`from_job` (bare :class:`SwitchMLJob`) or
+    :meth:`from_controller` (managed run -- adds membership and recovery
+    sections); :meth:`summary` renders everything as one text block:
+    link/core utilization and the implied bottleneck, protocol counters,
+    slot-pool occupancy, retransmission/RTT/TAT latency summaries, and
+    the control plane's recovery phase timelines.
+    """
+
+    def __init__(
+        self,
+        obs: Observability,
+        telemetry: "RackTelemetry | None" = None,
+        control_summary: str | None = None,
+        link_limit: int = 8,
+    ):
+        self.obs = obs
+        self.telemetry = telemetry
+        self.control_summary = control_summary
+        self.link_limit = link_limit
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_job(cls, job, **kwargs) -> "Dashboard":
+        """Snapshot a finished :class:`repro.core.job.SwitchMLJob`."""
+        from repro.harness.telemetry import collect_telemetry
+
+        telemetry = collect_telemetry(job) if job.sim.now > 0 else None
+        return cls(obs=job.obs, telemetry=telemetry, **kwargs)
+
+    @classmethod
+    def from_controller(cls, controller, **kwargs) -> "Dashboard":
+        """Snapshot a :class:`repro.controlplane.controller.Controller`."""
+        from repro.harness.telemetry import collect_telemetry, control_plane_summary
+
+        telemetry = (
+            collect_telemetry(controller) if controller.sim.now > 0 else None
+        )
+        return cls(
+            obs=controller.obs,
+            telemetry=telemetry,
+            control_summary=control_plane_summary(controller),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def _metric_value(self, name: str) -> float:
+        metric = self.obs.metrics.get(name)
+        if metric is None:
+            return 0.0
+        return sum(s.value for s in metric.samples()
+                   if not s.name.endswith(("_bucket", "_sum")))
+
+    def _counters_section(self) -> str:
+        from repro.harness.report import format_table
+
+        if not self.obs.metrics.enabled:
+            return "protocol counters: metrics registry disabled"
+        rows = [
+            ["packets sent", int(self._metric_value("worker_packets_sent_total"))],
+            ["retransmissions",
+             int(self._metric_value("worker_retransmissions_total"))],
+            ["results received",
+             int(self._metric_value("worker_results_total"))],
+            ["stale results ignored",
+             int(self._metric_value("worker_stale_results_total"))],
+            ["switch multicasts",
+             int(self._metric_value("switch_multicasts_total"))],
+            ["shadow-copy reads",
+             int(self._metric_value("switch_shadow_reads_total"))],
+            ["duplicates ignored",
+             int(self._metric_value("switch_ignored_duplicates_total"))],
+            ["epoch-fence drops",
+             int(self._metric_value("switch_stale_epoch_drops_total"))],
+        ]
+        return format_table(["counter", "value"], rows,
+                            title="protocol counters")
+
+    def _occupancy_section(self) -> str:
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            gauge = self.obs.metrics.get("switch_slots_occupied")
+            if gauge is not None:
+                return (f"slot occupancy: tracing disabled; "
+                        f"current occupied={int(gauge.value)}")
+            return "slot occupancy: tracing disabled"
+        intervals = slot_intervals(tracer)
+        if not intervals:
+            return "slot occupancy: no slot events recorded"
+        timeline = occupancy_timeline(tracer)
+        peak = max((occ for _, occ in timeline), default=0)
+        closed = [i for i in intervals if i.end is not None]
+        mean_busy = (
+            sum(i.duration for i in closed) / len(closed) if closed else
+            float("nan")
+        )
+        slots = {i.slot for i in intervals}
+        return (
+            f"slot occupancy: {len(slots)} slots saw "
+            f"{len(intervals)} phases; peak occupied={peak}; "
+            f"mean busy time={mean_busy * 1e6:.1f}us; "
+            f"{len(intervals) - len(closed)} unfinished"
+        )
+
+    def _latency_section(self) -> str:
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return "latency: metrics registry disabled"
+        lines = [
+            "rtt:      " + histogram_summary(metrics.get("worker_rtt_seconds")),
+            "retx gap: " + histogram_summary(
+                metrics.get("worker_retx_gap_seconds")
+            ),
+            "tat:      " + histogram_summary(
+                metrics.get("worker_tat_seconds"), unit_scale=1e3, unit="ms"
+            ),
+        ]
+        return "latency summaries\n" + "\n".join("  " + l for l in lines)
+
+    def summary(self) -> str:
+        """The unified report, one section per concern."""
+        sections: list[str] = ["=== observability dashboard ==="]
+        if self.telemetry is not None:
+            sections.append(self.telemetry.summary(limit=self.link_limit))
+        else:
+            sections.append("rack telemetry: nothing has run yet")
+        sections.append(self._counters_section())
+        sections.append(self._occupancy_section())
+        sections.append(self._latency_section())
+        if self.control_summary is not None:
+            sections.append("control plane\n" + self.control_summary)
+        else:
+            sections.append("control plane: unmanaged run (no recoveries)")
+        if self.obs.tracer.dropped_events:
+            sections.append(
+                f"warning: {self.obs.tracer.dropped_events} trace events "
+                f"dropped past the {self.obs.tracer.max_events} cap"
+            )
+        return "\n\n".join(sections)

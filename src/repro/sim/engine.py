@@ -84,6 +84,26 @@ class Simulator:
         self._seq = itertools.count()
         self._rngs: dict[str, np.random.Generator] = {}
         self.events_processed = 0
+        # observability hook (attach_obs); None keeps step() at one
+        # extra pointer test per event -- this loop is the hottest in
+        # the repo, so the instrumented path is strictly opt-in
+        self._obs_events = None
+        self._obs_heap = None
+
+    def attach_obs(self, obs) -> None:
+        """Report engine activity through a :class:`repro.obs.base.
+        Observability` layer: total events fired and a pending-heap
+        gauge.  A disabled layer costs nothing (no instruments bound)."""
+        if obs is None or not obs.metrics.enabled:
+            self._obs_events = None
+            self._obs_heap = None
+            return
+        self._obs_events = obs.metrics.counter(
+            "sim_events_total", "simulation events fired"
+        )
+        self._obs_heap = obs.metrics.gauge(
+            "sim_pending_events", "events in the heap (incl. cancelled)"
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -114,6 +134,9 @@ class Simulator:
                 continue
             self.now = time
             self.events_processed += 1
+            if self._obs_events is not None:
+                self._obs_events.inc()
+                self._obs_heap.set(len(heap))
             event.fn(*event.args)
             return True
         return False

@@ -61,3 +61,38 @@ class TestTelemetry:
         job.all_reduce(num_elements=32 * 8, verify=False)
         telemetry = collect_telemetry(job)
         assert len(telemetry.links) == 6  # 3 up + 3 down
+
+
+class TestSummaryLimit:
+    """The summary ranks links by utilization; elision past the limit is
+    announced with a footer, never silent."""
+
+    def make_telemetry(self, num_workers=8):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=num_workers, pool_size=8))
+        job.all_reduce(num_elements=32 * 8 * num_workers, verify=False)
+        return collect_telemetry(job)  # 2 * num_workers links
+
+    def test_default_limit_elides_with_footer(self):
+        telemetry = self.make_telemetry()
+        text = telemetry.summary()  # default limit=8 of 16 links
+        shown = [l for l in telemetry.links if l.name in text]
+        assert len(shown) == 8
+        assert "... and 8 more links" in text
+        assert "limit=None" in text
+
+    def test_limit_none_shows_everything(self):
+        telemetry = self.make_telemetry()
+        text = telemetry.summary(limit=None)
+        assert all(l.name in text for l in telemetry.links)
+        assert "more links" not in text
+
+    def test_no_footer_when_nothing_elided(self):
+        telemetry = self.make_telemetry(num_workers=3)
+        text = telemetry.summary()  # 6 links fit under the default 8
+        assert all(l.name in text for l in telemetry.links)
+        assert "more links" not in text
+
+    def test_custom_limit(self):
+        telemetry = self.make_telemetry()
+        text = telemetry.summary(limit=2)
+        assert "... and 14 more links" in text

@@ -87,3 +87,70 @@ class TestCliViolin:
         ]) == 0
         out = capsys.readouterr().out
         assert "median" in out and "ms |" in out
+
+
+class TestCliJson:
+    def test_experiment_json_is_machine_readable(self, capsys):
+        import json as _json
+
+        assert main(["experiment", "fig7", "--json"]) == 0
+        rows = _json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        assert any("mtu" in str(k).lower() for k in rows[0])
+
+    def test_allreduce_json(self, capsys):
+        import json as _json
+
+        assert main([
+            "allreduce", "--workers", "2", "--mbytes", "0.05", "--json",
+        ]) == 0
+        data = _json.loads(capsys.readouterr().out)
+        assert data["workers"] == 2
+        assert data["tat_s"] > 0
+        assert 0 < data["line_rate_fraction"] <= 1.0
+
+
+class TestCliObs:
+    def test_obs_trace_writes_valid_artifacts(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "run"
+        assert main([
+            "obs", "trace", "--out", str(out),
+            "--workers", "2", "--mbytes", "0.02", "--loss", "0.01",
+        ]) == 0
+        assert validate_chrome_trace(out / "trace.json") > 0
+        events = [_json.loads(line)
+                  for line in (out / "events.jsonl").read_text().splitlines()]
+        assert any(e["name"] == "packet.retx" for e in events)
+        metrics = _json.loads((out / "metrics.json").read_text())
+        assert "worker_packets_sent_total{wid=0}" in metrics
+        assert str(out) in capsys.readouterr().out
+
+    def test_obs_metrics_json(self, capsys):
+        import json as _json
+
+        assert main([
+            "obs", "metrics", "--workers", "2", "--mbytes", "0.02", "--json",
+        ]) == 0
+        data = _json.loads(capsys.readouterr().out)
+        assert data["switch_multicasts_total"] > 0
+
+    def test_obs_dashboard_plain_run(self, capsys):
+        assert main([
+            "obs", "dashboard", "--workers", "2", "--mbytes", "0.02",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "observability dashboard" in out
+        assert "bottleneck" in out
+
+    def test_obs_dashboard_worker_crash(self, capsys):
+        assert main([
+            "obs", "dashboard", "--scenario", "worker-crash",
+            "--workers", "4", "--mbytes", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker-failure" in out
+        assert "epoch-fence drops" in out

@@ -1,0 +1,110 @@
+"""Exporter tests: JSONL round-trip and Chrome trace schema."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    events_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import EventTracer
+
+
+def make_tracer():
+    t = EventTracer()
+    t.emit("packet.tx", 1e-6, cat="packet", actor="worker0", slot=2, off=0)
+    t.emit("slot.claim", 2e-6, cat="slot", actor="switch", slot=2, ver=0)
+    t.counter("slots_occupied", 2e-6, 1, actor="switch")
+    t.span("worker.aggregate", 0.0, 5e-6, cat="tat", actor="worker0",
+           packets=4)
+    return t
+
+
+class TestJsonl:
+    def test_round_trips_line_per_event(self):
+        t = make_tracer()
+        records = [json.loads(line) for line in
+                   events_jsonl(t).strip().split("\n")]
+        assert len(records) == len(t)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["packet.tx"]["args"] == {"slot": 2, "off": 0}
+        assert by_name["worker.aggregate"]["dur"] == 5e-6
+        assert by_name["slots_occupied"]["value"] == 1.0
+        assert by_name["slot.claim"]["actor"] == "switch"
+
+    def test_empty_tracer_is_empty_string(self):
+        assert events_jsonl(EventTracer()) == ""
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(make_tracer(), tmp_path / "sub" / "events.jsonl")
+        assert path.exists()
+        assert len(path.read_text().strip().split("\n")) == 4
+
+
+class TestChromeTrace:
+    def test_metadata_names_process_and_threads(self):
+        doc = chrome_trace(make_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "switchml-sim"
+        thread_names = {e["args"]["name"] for e in meta[1:]}
+        assert thread_names == {"worker0", "switch"}
+
+    def test_phase_mapping_and_microsecond_scaling(self):
+        doc = chrome_trace(make_tracer())
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] != "M"}
+        assert by_name["packet.tx"]["ph"] == "i"
+        assert by_name["packet.tx"]["ts"] == pytest.approx(1.0)  # 1us
+        assert by_name["slots_occupied"]["ph"] == "C"
+        assert by_name["slots_occupied"]["args"] == {"slots_occupied": 1.0}
+        assert by_name["worker.aggregate"]["ph"] == "X"
+        assert by_name["worker.aggregate"]["dur"] == pytest.approx(5.0)
+
+    def test_actors_share_tids_consistently(self):
+        doc = chrome_trace(make_tracer())
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        worker_tids = {e["tid"] for e in events
+                       if e["name"] in ("packet.tx", "worker.aggregate")}
+        switch_tids = {e["tid"] for e in events
+                       if e["name"] in ("slot.claim", "slots_occupied")}
+        assert len(worker_tids) == 1 and len(switch_tids) == 1
+        assert worker_tids != switch_tids
+
+    def test_emitted_document_validates(self, tmp_path):
+        path = write_chrome_trace(make_tracer(), tmp_path / "trace.json")
+        n = validate_chrome_trace(path)
+        assert n == 4 + 3  # 4 events + process + 2 thread metadata
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Q"}]}
+            )
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "i", "ts": -1.0, "pid": 1, "tid": 1}
+            ]})
+
+    def test_rejects_span_without_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "ts": 0.0, "pid": 1, "tid": 1}
+            ]})
+
+    def test_rejects_counter_without_args(self):
+        with pytest.raises(ValueError, match="args"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "C", "ts": 0.0, "pid": 1, "tid": 1}
+            ]})

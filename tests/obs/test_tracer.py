@@ -1,0 +1,100 @@
+"""Unit tests for the structured event tracer."""
+
+import pytest
+
+from repro.obs.base import NULL_OBS, Observability, get_default, set_default
+from repro.obs.tracer import EventTracer
+
+
+class TestEventTracer:
+    def test_emit_records_instant_with_args(self):
+        t = EventTracer()
+        t.emit("packet.tx", 1.5e-6, cat="packet", actor="worker0", slot=3)
+        (e,) = t.events
+        assert e.name == "packet.tx"
+        assert e.ts == 1.5e-6
+        assert e.kind == "instant"
+        assert e.arg_dict == {"slot": 3}
+
+    def test_span_computes_duration(self):
+        t = EventTracer()
+        t.span("worker.aggregate", 1.0, 3.5, actor="worker0")
+        (e,) = t.events
+        assert e.kind == "span"
+        assert e.dur == 2.5
+
+    def test_backwards_span_rejected(self):
+        t = EventTracer()
+        with pytest.raises(ValueError):
+            t.span("x", 2.0, 1.0)
+
+    def test_counter_records_value(self):
+        t = EventTracer()
+        t.counter("slots_occupied", 0.1, 7)
+        (e,) = t.events
+        assert e.kind == "counter"
+        assert e.value == 7.0
+
+    def test_disabled_tracer_drops_everything(self):
+        t = EventTracer(enabled=False)
+        t.emit("x", 0.0)
+        t.span("y", 0.0, 1.0)
+        t.counter("z", 0.0, 1)
+        assert len(t) == 0
+        assert t.dropped_events == 0  # dropped counts only past the cap
+
+    def test_cap_degrades_to_drop_counter(self):
+        t = EventTracer(max_events=2)
+        for i in range(5):
+            t.emit("x", float(i))
+        assert len(t) == 2
+        assert t.dropped_events == 3
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer(max_events=0)
+
+    def test_select_filters_compose(self):
+        t = EventTracer()
+        t.emit("packet.tx", 0.0, cat="packet", actor="worker0")
+        t.emit("packet.tx", 0.1, cat="packet", actor="worker1")
+        t.emit("slot.claim", 0.2, cat="slot", actor="switch")
+        assert len(t.select(name="packet.tx")) == 2
+        assert len(t.select(name="packet.tx", actor="worker1")) == 1
+        assert len(t.select(cat="slot")) == 1
+        assert t.count("packet.tx") == 2
+
+    def test_names_sorted_actors_in_first_appearance_order(self):
+        t = EventTracer()
+        t.emit("b", 0.0, actor="switch")
+        t.emit("a", 0.1, actor="worker0")
+        t.emit("c", 0.2, actor="switch")
+        assert t.names() == ["a", "b", "c"]
+        assert t.actors() == ["switch", "worker0"]
+
+
+class TestObservabilityFacade:
+    def test_master_switch(self):
+        obs = Observability(enabled=False)
+        assert not obs.enabled
+        assert not obs.metrics.enabled
+        assert not obs.tracer.enabled
+
+    def test_per_layer_overrides(self):
+        obs = Observability(metrics_enabled=True, tracing_enabled=False)
+        assert obs.metrics.enabled
+        assert not obs.tracer.enabled
+        assert obs.enabled  # either layer live counts
+
+    def test_null_obs_is_disabled(self):
+        assert not NULL_OBS.enabled
+
+    def test_default_is_scoped_by_set_default(self):
+        assert get_default() is NULL_OBS
+        mine = Observability()
+        previous = set_default(mine)
+        try:
+            assert get_default() is mine
+        finally:
+            set_default(previous)
+        assert get_default() is NULL_OBS

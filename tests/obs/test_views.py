@@ -1,0 +1,126 @@
+"""Derived-view tests: slot intervals, occupancy, dashboard rendering."""
+
+import math
+
+import pytest
+
+from repro.obs.base import Observability
+from repro.obs.registry import Histogram
+from repro.obs.tracer import EventTracer
+from repro.obs.views import (
+    Dashboard,
+    histogram_summary,
+    occupancy_timeline,
+    slot_intervals,
+)
+
+
+def claim(t, ts, slot, ver=0):
+    t.emit("slot.claim", ts, cat="slot", actor="switch", slot=slot, ver=ver)
+
+
+def release(t, ts, slot, ver=0):
+    t.emit("slot.release", ts, cat="slot", actor="switch", slot=slot, ver=ver)
+
+
+class TestSlotIntervals:
+    def test_pairs_claim_and_release(self):
+        t = EventTracer()
+        claim(t, 1.0, slot=0)
+        release(t, 2.0, slot=0)
+        (iv,) = slot_intervals(t)
+        assert (iv.slot, iv.ver, iv.start, iv.end) == (0, 0, 1.0, 2.0)
+        assert iv.duration == 1.0
+
+    def test_versions_are_independent(self):
+        t = EventTracer()
+        claim(t, 1.0, slot=0, ver=0)
+        claim(t, 1.5, slot=0, ver=1)
+        release(t, 2.0, slot=0, ver=0)
+        release(t, 3.0, slot=0, ver=1)
+        ivs = slot_intervals(t)
+        assert [(i.ver, i.start, i.end) for i in ivs] == [
+            (0, 1.0, 2.0), (1, 1.5, 3.0),
+        ]
+
+    def test_unmatched_claim_stays_open(self):
+        t = EventTracer()
+        claim(t, 1.0, slot=3)
+        (iv,) = slot_intervals(t)
+        assert iv.end is None
+        assert math.isnan(iv.duration)
+
+    def test_reclaim_after_fence_closes_stale_interval(self):
+        """An epoch renewal abandons open phases; a later claim of the
+        same (slot, ver) closes the stale interval at its own start."""
+        t = EventTracer()
+        claim(t, 1.0, slot=0)
+        claim(t, 5.0, slot=0)  # fresh program, same coordinates
+        release(t, 6.0, slot=0)
+        ivs = slot_intervals(t)
+        assert [(i.start, i.end) for i in ivs] == [(1.0, 5.0), (5.0, 6.0)]
+
+    def test_unpaired_release_ignored(self):
+        t = EventTracer()
+        release(t, 2.0, slot=0)
+        assert slot_intervals(t) == []
+
+
+class TestOccupancyTimeline:
+    def test_bucket_peaks_with_level_carry_forward(self):
+        t = EventTracer()
+        t.counter("slots_occupied", 0.00005, 1, actor="switch")
+        t.counter("slots_occupied", 0.00008, 3, actor="switch")
+        t.counter("slots_occupied", 0.00035, 2, actor="switch")
+        timeline = occupancy_timeline(t, bucket_seconds=1e-4)
+        assert [occ for _, occ in timeline] == [3, 3, 3, 2]
+        assert [ts for ts, _ in timeline] == pytest.approx(
+            [0.0, 1e-4, 2e-4, 3e-4]
+        )
+
+    def test_empty_without_samples(self):
+        assert occupancy_timeline(EventTracer()) == []
+
+
+class TestHistogramSummary:
+    def test_no_observations(self):
+        assert histogram_summary(None) == "no observations"
+        assert histogram_summary(Histogram("h")) == "no observations"
+
+    def test_renders_stats(self):
+        h = Histogram("h", buckets=(1e-5, 1e-4))
+        h.observe(2e-5)
+        h.observe(5e-5)
+        text = histogram_summary(h)
+        assert "n=2" in text and "us" in text and "max=50.0us" in text
+
+
+class TestDashboard:
+    def test_summary_without_a_run(self):
+        dash = Dashboard(obs=Observability())
+        text = dash.summary()
+        assert "observability dashboard" in text
+        assert "nothing has run yet" in text
+        assert "unmanaged run" in text
+
+    def test_summary_reflects_synthetic_events(self):
+        obs = Observability()
+        obs.metrics.counter("worker_packets_sent_total",
+                            label_names=("wid",)).labels("0").inc(12)
+        claim(obs.tracer, 1e-5, slot=0)
+        release(obs.tracer, 2e-5, slot=0)
+        obs.tracer.counter("slots_occupied", 1e-5, 1, actor="switch")
+        text = Dashboard(obs=obs).summary()
+        assert "packets sent" in text and "12" in text
+        assert "1 slots saw 1 phases" in text
+
+    def test_dropped_events_warning(self):
+        obs = Observability(max_trace_events=1)
+        obs.tracer.emit("a", 0.0)
+        obs.tracer.emit("b", 0.1)
+        assert "1 trace events dropped" in Dashboard(obs=obs).summary()
+
+    def test_disabled_layers_degrade_gracefully(self):
+        text = Dashboard(obs=Observability(enabled=False)).summary()
+        assert "metrics registry disabled" in text
+        assert "tracing disabled" in text

@@ -52,3 +52,56 @@ class TestTraceRecorder:
         trace.record_events = True
         trace.tick("sent", 0.2)
         assert trace.events == [(0.2, "sent")]
+
+
+class TestTraceRecorderEdgeCases:
+    def test_series_always_starts_at_bucket_zero(self):
+        """A series whose first tick lands late still reports the silent
+        prefix as zeros -- a rate plot's x axis starts at t=0."""
+        trace = TraceRecorder(bucket_seconds=0.010)
+        trace.tick("resent", 0.045)
+        series = trace.series("resent")
+        assert [c for _, c in series] == [0, 0, 0, 0, 1]
+        assert series[0][0] == 0.0
+
+    def test_record_events_toggles_mid_run(self):
+        """Figure 6 only needs events at the representative worker, so
+        callers flip recording on and off around the window of interest;
+        buckets keep counting regardless."""
+        trace = TraceRecorder(bucket_seconds=1.0)
+        trace.tick("sent", 0.1)
+        trace.record_events = True
+        trace.tick("sent", 0.2)
+        trace.tick("resent", 0.3)
+        trace.record_events = False
+        trace.tick("sent", 0.4)
+        assert trace.events == [(0.2, "sent"), (0.3, "resent")]
+        assert trace.total("sent") == 3
+
+    def test_total_on_unknown_series_after_others_exist(self):
+        trace = TraceRecorder(bucket_seconds=1.0)
+        trace.tick("sent", 0.1)
+        assert trace.total("shadow_read") == 0
+        assert trace.series("shadow_read") == []
+        assert trace.names() == ["sent"]
+
+    @pytest.mark.parametrize("width", [1e-3, 0.025, 2.0])
+    def test_non_default_bucket_widths(self, width):
+        trace = TraceRecorder(bucket_seconds=width)
+        trace.tick("sent", 0.5 * width)   # bucket 0
+        trace.tick("sent", 1.5 * width)   # bucket 1
+        trace.tick("sent", 3.0 * width)   # boundary: floor -> bucket 3
+        series = trace.series("sent")
+        assert [c for _, c in series] == [1, 1, 0, 1]
+        assert [t for t, _ in series] == pytest.approx(
+            [0.0, width, 2 * width, 3 * width]
+        )
+
+    def test_bucket_width_mutable_before_first_tick(self):
+        """fig6 constructs the job, then tightens ``bucket_seconds`` to
+        its plotting resolution before running -- that knob must bind at
+        tick time, not construction time."""
+        trace = TraceRecorder(bucket_seconds=0.010)
+        trace.bucket_seconds = 0.002
+        trace.tick("sent", 0.003)
+        assert trace.series("sent") == [(0.0, 0), (pytest.approx(0.002), 1)]
