@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Standalone entry point for the performance harness.
+
+Equivalent to ``python -m repro.cli bench``; kept here so the
+benchmark suite is discoverable next to the pytest-benchmark files.
+
+    PYTHONPATH=src python benchmarks/perf/run.py --out BENCH.json \
+        --baseline BENCH_0003.json --check
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli experiment fig4 --json
     python -m repro.cli allreduce --workers 8 --rate 10 --mbytes 4
     python -m repro.cli resources --pool 512
+    python -m repro.cli bench --out BENCH.json --baseline BENCH_0003.json
     python -m repro.cli obs trace --out runs/trace
     python -m repro.cli obs dashboard --scenario worker-crash
 
@@ -389,6 +390,59 @@ def _cmd_faults(args: argparse.Namespace) -> None:
     print(control_plane_summary(ctl))
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the performance suite, emit BENCH.json, optionally gate."""
+    from repro.perf import (
+        WORKLOADS,
+        attach_baseline,
+        check_regression,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    names = None if args.workloads == "all" else args.workloads.split(",")
+    doc = run_suite(
+        names=names, scale=args.scale, repeats=args.repeats, label=args.label
+    )
+
+    baseline = None
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        attach_baseline(doc, baseline)
+
+    if args.out:
+        write_bench(doc, args.out)
+
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"{'workload':<14} {'wall s':>8} {'events':>9} "
+              f"{'events/s':>10} {'packets/s':>10}")
+        for name, m in doc["workloads"].items():
+            print(f"{name:<14} {m['wall_s']:>8.3f} {m['events']:>9d} "
+                  f"{m['events_per_s']:>10,.0f} {m['packets_per_s']:>10,.0f}")
+        for name, delta in doc.get("deltas", {}).items():
+            ratio = delta["events_per_s_ratio"]
+            if ratio is not None:
+                print(f"  vs baseline {name}: {ratio:.2f}x events/s")
+
+    if args.check:
+        if baseline is None:
+            print("bench: --check requires --baseline", file=sys.stderr)
+            return 2
+        failures = check_regression(
+            doc, baseline, max_regression=args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"bench gate passed (allowed regression "
+              f"{args.max_regression:.0%})")
+    return 0
+
+
 def _obs_allreduce(args: argparse.Namespace):
     """One fully instrumented all-reduce; returns ``(job, obs)``."""
     from repro.net.loss import BernoulliLoss, NoLoss
@@ -519,6 +573,28 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("claims", help="run the executable audit of the paper's claims")
 
+    ben = sub.add_parser(
+        "bench",
+        help="run the performance suite and emit/compare BENCH.json "
+             "(see docs/PERFORMANCE.md)",
+    )
+    ben.add_argument("--workloads", default="all",
+                     help="comma-separated workload names, or 'all'")
+    ben.add_argument("--scale", type=float, default=1.0,
+                     help="workload size multiplier (CI smoke uses 0.1)")
+    ben.add_argument("--repeats", type=int, default=3,
+                     help="runs per workload; best wall is kept")
+    ben.add_argument("--label", default="", help="free-form run label")
+    ben.add_argument("--out", default=None, help="write BENCH.json here")
+    ben.add_argument("--baseline", default=None,
+                     help="BENCH.json to compare against (e.g. BENCH_0003.json)")
+    ben.add_argument("--check", action="store_true",
+                     help="exit 1 if events/sec regresses past --max-regression")
+    ben.add_argument("--max-regression", type=float, default=0.20,
+                     help="allowed fractional events/sec drop vs baseline")
+    ben.add_argument("--json", action="store_true",
+                     help="print the full BENCH document")
+
     vio = sub.add_parser(
         "violin", help="SS5.1 methodology: TAT distribution over N tensors"
     )
@@ -599,6 +675,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_violin(args)
     elif args.command in ("faults", "recover"):
         _cmd_faults(args)
+    elif args.command == "bench":
+        return _cmd_bench(args)
     elif args.command == "obs":
         if args.obs_command == "trace":
             _cmd_obs_trace(args)

@@ -39,6 +39,9 @@ from repro.sim.trace import TraceRecorder
 
 __all__ = ["AllReduceResult", "SwitchMLConfig", "SwitchMLDataplane", "SwitchMLJob"]
 
+#: shared drop decision, resolved once (process() runs per frame)
+_PORT_DROP = PortDecision.drop()
+
 
 @dataclass
 class SwitchMLConfig:
@@ -72,6 +75,15 @@ class SwitchMLConfig:
     #: observability layer shared by the engine, workers, and switch
     #: program; None falls back to the disabled :data:`NULL_OBS`
     obs: "Observability | None" = None
+    #: event-engine scheduler: "wheel" (timer-wheel/heap hybrid, default)
+    #: or "heap" (single legacy heap); both fire the identical sequence
+    scheduler: str = "wheel"
+    #: reuse per-slot packet/frame objects on the hot paths instead of
+    #: allocating per packet.  None (default) = auto: enabled exactly
+    #: when ``link.jitter_s == 0`` -- jitter can reorder deliveries, and
+    #: reuse relies on FIFO delivery to prove no frame is mutated while
+    #: still in flight.  Force with True/False for A/B testing.
+    reuse_buffers: bool | None = None
     seed: int = 0
 
 
@@ -130,6 +142,7 @@ class SwitchMLDataplane:
         worker_names: dict[int, str],
         bytes_per_element: int = 4,
         switch_name: str = "sw",
+        reuse_buffers: bool = False,
     ):
         self.program = program
         self.worker_ports = dict(worker_ports)
@@ -137,18 +150,66 @@ class SwitchMLDataplane:
         self.bytes_per_element = bytes_per_element
         self.switch_name = switch_name
         self.corrupt_discarded = 0
+        # (wid, port, dst) resolved once; the multicast loop is per packet
+        self._fanout = [
+            (wid, port, self.worker_names[wid])
+            for wid, port in self.worker_ports.items()
+        ]
+        # Zero-copy multicast (reuse_buffers): per-slot result packet and
+        # per-(slot, worker) frames + deliveries list, mutated per phase.
+        # Safe on jitter-free links: the self-clocking protocol guarantees
+        # a slot's next multicast cannot be emitted until every worker has
+        # consumed (or lost) the previous one, so no pooled object is
+        # still in flight when it is rewritten.  Unicast results are
+        # always freshly allocated -- one can still be in flight alongside
+        # the same slot's pooled multicast objects.
+        self.reuse_buffers = reuse_buffers
+        self._mc_packets: dict[int, SwitchMLPacket] = {}
+        self._mc_deliveries: dict[int, list[tuple[int, Frame]]] = {}
+        self._mc_decisions: dict[int, PortDecision] = {}
+
+    def _multicast_pooled(self, packet: SwitchMLPacket) -> PortDecision:
+        """Reuse the slot's pooled result packet/frames (see __init__)."""
+        idx = packet.idx
+        pooled = self._mc_packets.get(idx)
+        if pooled is None:
+            self._mc_packets[idx] = packet
+            deliveries = [
+                (
+                    port,
+                    packet.to_frame(
+                        src=self.switch_name, dst=dst,
+                        bytes_per_element=self.bytes_per_element,
+                    ),
+                )
+                for _, port, dst in self._fanout
+            ]
+            self._mc_deliveries[idx] = deliveries
+            decision = PortDecision(deliveries=deliveries)
+            self._mc_decisions[idx] = decision
+            return decision
+        pooled.wid = packet.wid
+        pooled.ver = packet.ver
+        pooled.off = packet.off
+        pooled.vector = packet.vector
+        pooled.epoch = packet.epoch
+        pooled.job_id = packet.job_id
+        pooled.is_retransmission = packet.is_retransmission
+        for _, frame in self._mc_deliveries[idx]:
+            frame.corrupted = False  # may have been flipped on a past trip
+        return self._mc_decisions[idx]
 
     def process(self, frame: Frame, in_port: int) -> PortDecision:
         if frame.corrupted:
             # SS3.4 checksum: a corrupt update must not be aggregated.
             self.corrupt_discarded += 1
-            return PortDecision.drop()
+            return _PORT_DROP
         packet = frame.message
         if not isinstance(packet, SwitchMLPacket) or packet.from_switch:
-            return PortDecision.drop()
+            return _PORT_DROP
         decision = self.program.handle(packet)
         if decision.action is SwitchAction.DROP:
-            return PortDecision.drop()
+            return _PORT_DROP
         assert decision.packet is not None
         if decision.action is SwitchAction.UNICAST:
             wid = decision.unicast_wid
@@ -160,14 +221,15 @@ class SwitchMLDataplane:
             )
             return PortDecision(deliveries=[(self.worker_ports[wid], out)])
         # MULTICAST: one replica per worker port.
-        deliveries = []
-        for wid, port in self.worker_ports.items():
-            out = decision.packet.to_frame(
-                src=self.switch_name,
-                dst=self.worker_names[wid],
-                bytes_per_element=self.bytes_per_element,
-            )
-            deliveries.append((port, out))
+        if self.reuse_buffers:
+            return self._multicast_pooled(decision.packet)
+        bpe = self.bytes_per_element
+        switch_name = self.switch_name
+        result = decision.packet
+        deliveries = [
+            (port, result.to_frame(src=switch_name, dst=dst, bytes_per_element=bpe))
+            for _, port, dst in self._fanout
+        ]
         return PortDecision(deliveries=deliveries)
 
 
@@ -188,7 +250,15 @@ class SwitchMLJob:
     def __init__(self, config: SwitchMLConfig | None = None):
         self.config = config if config is not None else SwitchMLConfig()
         cfg = self.config
-        self.sim = Simulator(seed=cfg.seed)
+        self.sim = Simulator(seed=cfg.seed, scheduler=cfg.scheduler)
+        # zero-copy hot paths need FIFO delivery; jitter reorders (see
+        # SwitchMLConfig.reuse_buffers)
+        reuse = (
+            cfg.link.jitter_s == 0.0
+            if cfg.reuse_buffers is None
+            else cfg.reuse_buffers
+        )
+        self._reuse_buffers = reuse
         self.rack: Rack = build_rack(
             self.sim,
             RackSpec(
@@ -239,6 +309,7 @@ class SwitchMLJob:
                 worker_ports,
                 worker_names,
                 bytes_per_element=cfg.bytes_per_element,
+                reuse_buffers=reuse,
             )
         )
         self._completed: set[int] = set()
@@ -262,6 +333,7 @@ class SwitchMLJob:
                 on_failure=self._on_worker_failure,
                 epoch=cfg.epoch,
                 obs=self.obs,
+                reuse_buffers=reuse,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)
@@ -352,9 +424,7 @@ class SwitchMLJob:
                 self.sim.schedule_at(base + offset, worker.start, padded[w])
 
         deadline = base + deadline_s
-        while self.sim.step():
-            if self.sim.now > deadline:
-                break
+        self.sim.run_deadline(deadline)
         completed = len(self._completed) == cfg.num_workers
 
         results: list[np.ndarray | None] = []

@@ -24,8 +24,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Callable
 
-import numpy as np
-
 from repro.core.packet import SwitchMLPacket
 from repro.dataplane.registers import RegisterFile
 from repro.obs.base import NULL_OBS
@@ -57,6 +55,12 @@ class SwitchDecision:
     action: SwitchAction
     packet: SwitchMLPacket | None = None  # result packet for MULTICAST/UNICAST
     unicast_wid: int | None = None
+
+
+#: Shared DROP decision.  Most packets in a healthy run end in a drop
+#: (every non-completing contribution does), and callers only ever read
+#: the decision, so one immutable instance serves them all.
+_DROP = SwitchDecision(SwitchAction.DROP)
 
 
 class LosslessSwitchMLProgram:
@@ -93,11 +97,11 @@ class LosslessSwitchMLProgram:
             vector = None
             if p.vector is not None:
                 vector = self._pool.read_range(lo, hi)
-            self._pool.write_range(lo, hi, np.zeros(self.k, dtype=np.int64))
+            self._pool.fill_range(lo, hi, 0)
             self._count.write(p.idx, 0)
             self.multicasts += 1
             return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
-        return SwitchDecision(SwitchAction.DROP)
+        return _DROP
 
 
 class SwitchMLProgram:
@@ -174,6 +178,12 @@ class SwitchMLProgram:
         self._seen = self.registers.allocate(
             "seen", 2 * pool_size * num_workers, width_bits=1
         )
+        # Direct aliases of the narrow arrays' scalar storage for the
+        # per-packet path below; safe because RegisterArray.reset()
+        # clears in place and never rebinds the list.  The arrays'
+        # `accesses` counters are batch-incremented per packet.
+        self._seen_bits: list[int] = self._seen._scalar
+        self._count_cells: list[int] = self._count._scalar
         self.packets_processed = 0
         self.multicasts = 0
         self.unicast_retransmits = 0
@@ -182,12 +192,17 @@ class SwitchMLProgram:
         #: (version, slot) pairs currently mid-aggregation (claimed, not
         #: yet released by a completing multicast)
         self.occupied_slots = 0
+        #: maintained per-(version, slot) popcount of the ``seen`` bitmap,
+        #: updated on every bit transition so inspection is O(1) instead
+        #: of an O(n) scan over the bit cells
+        self._seen_pop = [0] * (2 * pool_size)
 
         self.obs = obs if obs is not None else NULL_OBS
         self._clock = clock if clock is not None else (lambda: 0.0)
         self.trace = trace
         self._tracer = self.obs.tracer
         metrics = self.obs.metrics
+        self._m_on = metrics.enabled
         self._m_contributions = metrics.counter(
             "switch_contributions_total", "first-time slot contributions"
         )
@@ -222,59 +237,89 @@ class SwitchMLProgram:
 
     # ------------------------------------------------------------------
     def handle(self, p: SwitchMLPacket) -> SwitchDecision:
-        """Process one update packet (Algorithm 3 lines 4-23)."""
+        """Process one update packet (Algorithm 3 lines 4-23).
+
+        This runs once per update packet and is the switch half of the
+        simulation's inner loop, so index arithmetic is inlined (the
+        ``_*_index`` helpers spell out the layout) and observability
+        calls sit behind the cached enabled flags.
+        """
         if p.epoch != self.epoch:
             # Epoch fence: checked before the idx/wid range checks because
             # a stale packet's coordinates belong to the *previous*
             # configuration and may be out of range for this one.
             self.stale_epoch_drops += 1
-            self._m_fence.inc()
+            if self._m_on:
+                self._m_fence.inc()
             if self._tracer.enabled:
                 self._tracer.emit(
                     "fence.drop", self._clock(), cat="fence", actor="switch",
                     wid=p.wid, packet_epoch=p.epoch, pool_epoch=self.epoch,
                 )
-            return SwitchDecision(SwitchAction.DROP)
-        if not 0 <= p.idx < self.s:
-            raise ValueError(f"pool index {p.idx} out of range [0, {self.s})")
-        if not 0 <= p.wid < self.n:
-            raise ValueError(f"worker id {p.wid} out of range [0, {self.n})")
+            return _DROP
+        idx, wid, ver = p.idx, p.wid, p.ver
+        s, n = self.s, self.n
+        if not 0 <= idx < s:
+            raise ValueError(f"pool index {idx} out of range [0, {s})")
+        if not 0 <= wid < n:
+            raise ValueError(f"worker id {wid} out of range [0, {n})")
         self.packets_processed += 1
-        ver, other = p.ver, 1 - p.ver
+        vs = ver * s + idx  # flat (version, slot): count index, pop index
+        ovs = (1 - ver) * s + idx  # the alternate pool's copy of the slot
+        seen_bits = self._seen_bits
+        counts = self._count_cells
+        sb = vs * n + wid
 
-        if self._seen.read(self._seen_index(ver, p.idx, p.wid)) == 0:
+        if seen_bits[sb] == 0:
             # First time this worker's contribution reaches this
             # (version, slot): apply it.
-            count_before = self._count.read(self._count_index(ver, p.idx))
+            count_before = counts[vs]
             if self.check_invariants and count_before == 0:
                 # This packet opens a new phase for the slot; legal only
                 # if the shadow copy's aggregation completed (count == 0).
-                other_count = self._count.read(self._count_index(other, p.idx))
+                other_count = counts[ovs]
                 if other_count != 0:
                     raise AssertionError(
-                        f"phase-lag invariant violated: slot {p.idx} ver {ver} "
-                        f"reused while ver {other} still aggregating "
+                        f"phase-lag invariant violated: slot {idx} ver {ver} "
+                        f"reused while ver {1 - ver} still aggregating "
                         f"(count={other_count})"
                     )
-            self._seen.write(self._seen_index(ver, p.idx, p.wid), 1)
-            self._seen.write(self._seen_index(other, p.idx, p.wid), 0)
-            count = (count_before + 1) % self.n
-            self._count.write(self._count_index(ver, p.idx), count)
-            self._m_contributions.inc()
+            pop = self._seen_pop
+            seen_bits[sb] = 1
+            pop[vs] += 1
+            ob = ovs * n + wid
+            if seen_bits[ob]:
+                # Clear the worker's bit in the alternate pool for the
+                # next reuse (Algorithm 3 line 11); skip the write -- and
+                # keep the popcount exact -- when it is already clear.
+                seen_bits[ob] = 0
+                pop[ovs] -= 1
+                self._seen.accesses += 4
+            else:
+                self._seen.accesses += 3
+            count = count_before + 1
+            if count == n:
+                count = 0
+            counts[vs] = count & 255  # the count cells are 8-bit registers
+            self._count.accesses += 2
+            if self._m_on:
+                self._m_contributions.inc()
             if count_before == 0:
                 self.occupied_slots += 1
-                self._g_occupied.set(self.occupied_slots)
+                if self._m_on:
+                    self._g_occupied.set(self.occupied_slots)
                 if self._tracer.enabled:
                     now = self._clock()
                     self._tracer.emit(
                         "slot.claim", now, cat="slot", actor="switch",
-                        slot=p.idx, ver=ver, wid=p.wid, off=p.off,
+                        slot=idx, ver=ver, wid=wid, off=p.off,
                     )
                     self._tracer.counter(
                         "slots_occupied", now, self.occupied_slots,
                         cat="slot", actor="switch",
                     )
-            lo, hi = self._value_range(ver, p.idx)
+            lo = vs * self.k
+            hi = lo + self.k
             if p.vector is not None:
                 if count_before == 0:
                     # First contribution of the phase overwrites the slot;
@@ -286,65 +331,80 @@ class SwitchMLProgram:
                 # All n workers contributed: emit the aggregate.  The slot
                 # is NOT zeroed -- it becomes the shadow copy that serves
                 # retransmitted results until the next phase overwrites it.
+                if self.check_invariants and pop[vs] != n:
+                    raise AssertionError(
+                        f"seen popcount {pop[vs]} != {n} at completion of "
+                        f"slot {idx} ver {ver}"
+                    )
                 vector = None
                 if p.vector is not None:
                     vector = self._pool.read_range(lo, hi)
                 self.multicasts += 1
-                self._m_multicasts.inc()
                 self.occupied_slots -= 1
-                self._g_occupied.set(self.occupied_slots)
+                if self._m_on:
+                    self._m_multicasts.inc()
+                    self._g_occupied.set(self.occupied_slots)
                 if self._tracer.enabled:
                     now = self._clock()
                     self._tracer.emit(
                         "slot.release", now, cat="slot", actor="switch",
-                        slot=p.idx, ver=ver, off=p.off,
+                        slot=idx, ver=ver, off=p.off,
                     )
                     self._tracer.counter(
                         "slots_occupied", now, self.occupied_slots,
                         cat="slot", actor="switch",
                     )
                 return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
-            return SwitchDecision(SwitchAction.DROP)
+            return _DROP
 
         # Already seen: this is a retransmission.
-        if self._count.read(self._count_index(ver, p.idx)) == 0:
+        self._seen.accesses += 1
+        self._count.accesses += 1
+        if counts[vs] == 0:
             # Aggregation for this (version, slot) is complete; the worker
             # evidently missed the result packet.  Reply unicast from the
             # (possibly shadow) copy.
             vector = None
             if p.vector is not None:
-                lo, hi = self._value_range(ver, p.idx)
-                vector = self._pool.read_range(lo, hi)
+                lo = vs * self.k
+                vector = self._pool.read_range(lo, lo + self.k)
             self.unicast_retransmits += 1
-            self._m_shadow.inc()
+            if self._m_on:
+                self._m_shadow.inc()
             if self.trace is not None:
                 self.trace.tick("shadow_read", self._clock())
             if self._tracer.enabled:
                 self._tracer.emit(
                     "shadow.read", self._clock(), cat="slot", actor="switch",
-                    slot=p.idx, ver=ver, wid=p.wid,
+                    slot=idx, ver=ver, wid=wid,
                 )
             return SwitchDecision(
-                SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=p.wid
+                SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=wid
             )
         # Aggregation still in progress: the worker's contribution is
         # already in the slot; ignore the duplicate.
         self.ignored_duplicates += 1
-        self._m_dup.inc()
+        if self._m_on:
+            self._m_dup.inc()
         if self.trace is not None:
             self.trace.tick("slot_contention", self._clock())
         if self._tracer.enabled:
             self._tracer.emit(
                 "slot.contention", self._clock(), cat="slot", actor="switch",
-                slot=p.idx, ver=ver, wid=p.wid,
+                slot=idx, ver=ver, wid=wid,
             )
-        return SwitchDecision(SwitchAction.DROP)
+        return _DROP
 
     # ------------------------------------------------------------------
     @property
     def sram_bytes(self) -> int:
         """Total register SRAM this instance occupies."""
         return self.registers.total_sram_bytes
+
+    def seen_popcount(self, ver: int, idx: int) -> int:
+        """Number of set ``seen`` bits for ``(ver, idx)`` -- O(1) from the
+        maintained counter, not an O(n) scan of the bit cells."""
+        return self._seen_pop[ver * self.s + idx]
 
     def slot_state(self, ver: int, idx: int) -> dict:
         """Debug/test view of one (version, slot)."""
@@ -353,5 +413,6 @@ class SwitchMLProgram:
             "seen": [
                 self._seen.read(self._seen_index(ver, idx, w)) for w in range(self.n)
             ],
+            "seen_popcount": self.seen_popcount(ver, idx),
             "values": self._pool.read_range(*self._value_range(ver, idx)),
         }

@@ -368,21 +368,14 @@ class MultiJobDataplane:
 
 
 class _JobTaggingWorker(SwitchMLWorker):
-    """A worker whose packets carry its job's id."""
+    """A worker whose packets carry its job's id.
+
+    The base worker stamps ``job_id`` into every packet it builds, so
+    this is now just a constructor-signature adapter.
+    """
 
     def __init__(self, job_id: int, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.job_id = job_id
-
-    def _send_chunk(self, idx: int, ver: int, off: int) -> None:
-        super()._send_chunk(idx, ver, off)
-        packet = self._slot_packet[idx]
-        if packet is not None:
-            packet.job_id = self.job_id
-
-    def _transmit(self, packet: SwitchMLPacket, retransmission: bool) -> None:
-        packet.job_id = self.job_id
-        super()._transmit(packet, retransmission)
+        super().__init__(*args, job_id=job_id, **kwargs)
 
 
 @dataclass

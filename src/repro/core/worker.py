@@ -117,10 +117,13 @@ class SwitchMLWorker:
         epoch: int = 0,
         member_id: int | None = None,
         obs: "Observability | None" = None,
+        reuse_buffers: bool = False,
+        job_id: int = 0,
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
         self.sim = sim
+        self._schedule_at = sim.schedule_at
         self.host = host
         self.wid = wid
         self.n = num_workers
@@ -150,6 +153,9 @@ class SwitchMLWorker:
         #: control-plane pool epoch stamped into every outgoing packet;
         #: the controller advances it via :meth:`reconfigure`
         self.epoch = epoch
+        #: multi-tenant job id stamped into every outgoing packet (0 for
+        #: single-job racks; see :mod:`repro.core.tenancy`)
+        self.job_id = job_id
         #: stable identity used by the control plane's membership layer
         #: (survives protocol ``wid`` renumbering on re-admission)
         self.member_id = wid if member_id is None else member_id
@@ -163,6 +169,18 @@ class SwitchMLWorker:
         # a received result) -- keeps a sudden RTT increase (congestion)
         # from degenerating into a retransmission storm
         self._slot_backoff: list[float] = [1.0] * pool_size
+        # Zero-copy hot path: when enabled, each slot's update packet and
+        # TX frame are allocated once per aggregation and mutated in
+        # place on every phase advance.  Safe only on jitter-free links
+        # (FIFO end to end): by the time a slot's result arrives, the
+        # previous update frame has necessarily been consumed by the
+        # switch or dropped, so nothing still references it.  Resends are
+        # always freshly allocated -- a resend can be in flight
+        # concurrently with its original.  The job enables this when
+        # ``link.jitter_s == 0``.
+        self.reuse_buffers = reuse_buffers
+        self._slot_buf: list[SwitchMLPacket | None] = []
+        self._slot_frame: list[Frame | None] = []
 
         # observability: children resolved once here so the send/receive
         # paths tick a bound instrument (a no-op when obs is disabled)
@@ -197,6 +215,9 @@ class SwitchMLWorker:
         self._h_tat = metrics.histogram(
             "worker_tat_seconds", "tensor aggregation time (start to finish)"
         )
+        # cached so the per-packet paths skip even the no-op instrument
+        # calls when metrics are disabled
+        self._m_on = metrics.enabled
 
         self.stats = WorkerStats()
         self._tensor: np.ndarray | None = None
@@ -265,6 +286,10 @@ class SwitchMLWorker:
         self._slot_sent_at = [0.0] * self.s
         self._slot_retransmitted = [False] * self.s
         self._slot_retries = [0] * self.s
+        # reusable buffers are per-aggregation: wid/epoch/addressing may
+        # change between tensors (reconfigure), never within one
+        self._slot_buf = [None] * self.s
+        self._slot_frame = [None] * self.s
         # start() models the framework (re)launching the worker process,
         # so it revives a crashed/failed endpoint.
         self.failed = False
@@ -286,15 +311,34 @@ class SwitchMLWorker:
         return self._tensor[off : off + self.k]
 
     def _send_chunk(self, idx: int, ver: int, off: int) -> None:
-        packet = SwitchMLPacket(
-            wid=self.wid,
-            ver=ver,
-            idx=idx,
-            off=off,
-            num_elements=self.k,
-            vector=self._chunk_vector(off),
-            epoch=self.epoch,
-        )
+        """Send one chunk; the TX-side instrumentation (the old
+        ``_transmit``) is inlined -- this runs once per in-order send."""
+        if self.reuse_buffers and (packet := self._slot_buf[idx]) is not None:
+            # hot path: mutate the slot's dedicated packet + frame in
+            # place (see the reuse_buffers note in __init__)
+            packet.ver = ver
+            packet.off = off
+            packet.vector = None if self._phantom else self._tensor[off : off + self.k]
+            frame = self._slot_frame[idx]
+            frame.corrupted = False  # may have been flipped on a past trip
+        else:
+            packet = SwitchMLPacket(
+                wid=self.wid,
+                ver=ver,
+                idx=idx,
+                off=off,
+                num_elements=self.k,
+                vector=self._chunk_vector(off),
+                epoch=self.epoch,
+                job_id=self.job_id,
+            )
+            frame = packet.to_frame(
+                src=self.host.name, dst=self.switch_addr,
+                bytes_per_element=self.bytes_per_element,
+            )
+            if self.reuse_buffers:
+                self._slot_buf[idx] = packet
+                self._slot_frame[idx] = frame
         self._slot_off[idx] = off
         self._slot_ver[idx] = ver
         self._next_ver[idx] = 1 - ver  # the version the NEXT phase uses
@@ -302,28 +346,18 @@ class SwitchMLWorker:
         self._slot_sent_at[idx] = self.sim.now
         self._slot_retransmitted[idx] = False
         self._slot_retries[idx] = 0
-        self._transmit(packet, retransmission=False)
-        self._arm_timer(idx)
-
-    def _transmit(self, packet: SwitchMLPacket, retransmission: bool) -> None:
-        frame = packet.to_frame(
-            src=self.host.name, dst=self.switch_addr,
-            bytes_per_element=self.bytes_per_element,
-        )
         self.stats.packets_sent += 1
-        self._m_sent.inc()
-        if retransmission:
-            self.stats.retransmissions += 1
-            self._m_retx.inc()
+        if self._m_on:
+            self._m_sent.inc()
         if self.trace is not None:
-            self.trace.tick("resent" if retransmission else "sent", self.sim.now)
+            self.trace.tick("sent", self.sim.now)
         if self._tracer.enabled:
             self._tracer.emit(
-                "packet.retx" if retransmission else "packet.tx",
-                self.sim.now, cat="packet", actor=self._actor,
-                slot=packet.idx, ver=packet.ver, off=packet.off,
+                "packet.tx", self.sim.now, cat="packet", actor=self._actor,
+                slot=idx, ver=ver, off=off,
             )
         self.host.send(frame)
+        self._arm_timer(idx)
 
     def current_timeout(self) -> float:
         """The retransmission timeout in force right now.
@@ -356,11 +390,22 @@ class SwitchMLWorker:
         self._rtt_peak = max(sample, self._rtt_peak * 0.995)
 
     def _arm_timer(self, idx: int) -> None:
-        self._cancel_timer(idx)
-        duration = min(
-            self.max_timeout_s, self.current_timeout() * self._slot_backoff[idx]
+        # runs once per (re)transmission; _cancel_timer and the fixed-mode
+        # current_timeout() are inlined (the slot entry is overwritten
+        # below, so the cancel need not clear it)
+        timer = self._slot_timer[idx]
+        if timer is not None:
+            timer.cancel()
+        if self.timeout_mode == "fixed" or self._srtt is None:
+            base = self.timeout_s
+        else:
+            base = self.current_timeout()
+        duration = base * self._slot_backoff[idx]
+        if duration > self.max_timeout_s:
+            duration = self.max_timeout_s
+        self._slot_timer[idx] = self._schedule_at(
+            self.sim.now + duration, self._on_timeout, idx
         )
-        self._slot_timer[idx] = self.sim.schedule(duration, self._on_timeout, idx)
 
     def _cancel_timer(self, idx: int) -> None:
         timer = self._slot_timer[idx]
@@ -382,6 +427,9 @@ class SwitchMLWorker:
             return
         self._slot_retransmitted[idx] = True
         self._slot_backoff[idx] = min(64.0, self._slot_backoff[idx] * 2.0)
+        # Resends are always freshly allocated, even with reuse_buffers:
+        # a resend can be in flight concurrently with its original, so
+        # the slot's reusable frame must not carry it.
         resend = SwitchMLPacket(
             wid=original.wid,
             ver=original.ver,
@@ -391,9 +439,27 @@ class SwitchMLWorker:
             vector=original.vector,
             is_retransmission=True,
             epoch=original.epoch,
+            job_id=original.job_id,
         )
-        self._h_retx_gap.observe(self.sim.now - self._slot_sent_at[idx])
-        self._transmit(resend, retransmission=True)
+        frame = resend.to_frame(
+            src=self.host.name, dst=self.switch_addr,
+            bytes_per_element=self.bytes_per_element,
+        )
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.retransmissions += 1
+        if self._m_on:
+            self._m_sent.inc()
+            self._m_retx.inc()
+            self._h_retx_gap.observe(self.sim.now - self._slot_sent_at[idx])
+        if self.trace is not None:
+            self.trace.tick("resent", self.sim.now)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "packet.retx", self.sim.now, cat="packet", actor=self._actor,
+                slot=resend.idx, ver=resend.ver, off=resend.off,
+            )
+        self.host.send(frame)
         self._arm_timer(idx)
 
     def _deactivate(self) -> None:
@@ -569,6 +635,8 @@ class SwitchMLWorker:
         self._slot_sent_at = [0.0] * self.s
         self._slot_retransmitted = [False] * self.s
         self._slot_retries = [0] * self.s
+        self._slot_buf = [None] * self.s
+        self._slot_frame = [None] * self.s
         self.failed = False
         self.crashed = False
         self._base_off = offset_elements
@@ -596,56 +664,72 @@ class SwitchMLWorker:
         self._on_result(packet)
 
     def _on_result(self, p: SwitchMLPacket) -> None:
+        """The per-result hot path (one call per received result frame);
+        locals are hoisted and instruments gated on the cached flags."""
         if not self._active:
             return
-        if p.epoch != self.epoch:
-            # Pre-reconfiguration result still in flight; its slot
-            # coordinates belong to a previous pool geometry.
-            self.stats.stale_results_ignored += 1
-            self._m_stale.inc()
-            return
-        # Stale results can arrive: e.g. a unicast retransmitted result
-        # racing with the multicast copy.  The (off, ver) pair identifies
-        # the phase; anything not matching the slot's outstanding chunk
-        # has already been consumed.
-        if p.off != self._slot_off[p.idx] or p.ver != self._slot_ver[p.idx]:
-            self.stats.stale_results_ignored += 1
-            self._m_stale.inc()
-            return
-        if self._slot_packet[p.idx] is None:
-            self.stats.stale_results_ignored += 1
-            self._m_stale.inc()
+        stats = self.stats
+        idx, off, ver = p.idx, p.off, p.ver
+        # Stale results can arrive: a pre-reconfiguration result whose
+        # slot coordinates belong to a previous pool geometry (epoch), or
+        # e.g. a unicast retransmitted result racing with the multicast
+        # copy.  The (off, ver) pair identifies the phase; anything not
+        # matching the slot's outstanding chunk has already been consumed.
+        # Epoch first: a stale-epoch idx may be out of range here.
+        if (
+            p.epoch != self.epoch
+            or off != self._slot_off[idx]
+            or ver != self._slot_ver[idx]
+            or self._slot_packet[idx] is None
+        ):
+            stats.stale_results_ignored += 1
+            if self._m_on:
+                self._m_stale.inc()
             return
 
-        self._cancel_timer(p.idx)
-        self.stats.results_received += 1
-        rtt_sample = self.sim.now - self._slot_sent_at[p.idx]
-        self.stats.rtt_sum += rtt_sample
-        self.stats.rtt_count += 1
-        self._m_results.inc()
-        self._h_rtt.observe(rtt_sample)
+        timer = self._slot_timer[idx]
+        if timer is not None:
+            timer.cancel()
+            self._slot_timer[idx] = None
+        now = self.sim.now
+        stats.results_received += 1
+        rtt_sample = now - self._slot_sent_at[idx]
+        stats.rtt_sum += rtt_sample
+        stats.rtt_count += 1
+        if self._m_on:
+            self._m_results.inc()
+            self._h_rtt.observe(rtt_sample)
         if self._tracer.enabled:
             self._tracer.emit(
-                "packet.rx", self.sim.now, cat="packet", actor=self._actor,
-                slot=p.idx, ver=p.ver, off=p.off, rtt=rtt_sample,
+                "packet.rx", now, cat="packet", actor=self._actor,
+                slot=idx, ver=ver, off=off, rtt=rtt_sample,
             )
-        if not self._slot_retransmitted[p.idx]:
+        if not self._slot_retransmitted[idx]:
             # Karn's rule: only unambiguous samples feed the estimator --
             # and only an unambiguous exchange clears the backoff
             # (RFC 6298 SS5.7: resetting it on a retransmitted exchange
             # lets a low-biased SRTT re-trigger the same spurious
-            # timeout forever).
-            self._observe_rtt(rtt_sample)
-            self._slot_backoff[p.idx] = 1.0
+            # timeout forever).  _observe_rtt's body, inlined: this runs
+            # once per in-order result.
+            srtt = self._srtt
+            if srtt is None:
+                self._srtt = rtt_sample
+                self._rttvar = rtt_sample / 2.0
+            else:
+                err = rtt_sample - srtt
+                self._srtt = srtt + 0.125 * err
+                self._rttvar += 0.25 * (abs(err) - self._rttvar)
+            self._rtt_peak = max(rtt_sample, self._rtt_peak * 0.995)
+            self._slot_backoff[idx] = 1.0
         if not self._phantom and p.vector is not None:
             assert self._result is not None
-            self._result[p.off : p.off + self.k] = p.vector
-        self._slot_packet[p.idx] = None
+            self._result[off : off + self.k] = p.vector
+        self._slot_packet[idx] = None
         self._remaining -= 1
 
-        next_off = p.off + self.k * self.s
+        next_off = off + self.k * self.s
         if next_off < self._size:
-            self._send_chunk(idx=p.idx, ver=1 - p.ver, off=next_off)
+            self._send_chunk(idx=idx, ver=1 - ver, off=next_off)
         elif self._remaining == 0:
             self._finish()
 

@@ -101,24 +101,52 @@ class RegisterArray:
 
     # -- contiguous vector ops (one access per packet per array) ---------
     def read_range(self, start: int, stop: int) -> np.ndarray:
+        """A *copy* of ``[start, stop)`` in the cells' native dtype.
+
+        The copy is deliberate: result packets assembled from a slot must
+        stay intact when the next phase's first contribution overwrites
+        that slot (the shadow-copy recycling of Algorithm 3).  The copy
+        stays at the native cell width -- values are already wrapped, so
+        the old widening ``astype(int64)`` doubled the bytes moved per
+        read for nothing (consumers upcast on use).
+        """
         self.accesses += 1
-        return self._cells[start:stop].astype(np.int64)
+        return self._cells[start:stop].copy()
+
+    def read_range_view(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy read-only window over ``[start, stop)``.
+
+        Valid only until the next write to the range; for in-pipeline
+        arithmetic that consumes the values immediately (e.g. the fp16
+        egress conversion), never for data handed to packets.
+        """
+        self.accesses += 1
+        return self._cells[start:stop]
 
     def write_range(self, start: int, stop: int, values: np.ndarray) -> None:
         self.accesses += 1
         # astype to the cell dtype wraps exactly like the ALU.
         self._cells[start:stop] = values.astype(self._cells.dtype, copy=False)
 
+    def fill_range(self, start: int, stop: int, value: int = 0) -> None:
+        """Constant-fill ``[start, stop)`` without allocating a source
+        array (the lossless program zeroes a slot on every release)."""
+        self.accesses += 1
+        self._cells[start:stop] = value
+
     def add_range(self, start: int, stop: int, values: np.ndarray) -> np.ndarray:
         """Vectorised read-modify-write add over ``[start, stop)``.
 
         Native fixed-width addition: overflow wraps, as on the switch.
+        Returns the live cell *view* (this runs once per packet; the old
+        ``astype(int64)`` materialized a copy that every protocol caller
+        discarded).  Callers that keep the result must copy it.
         """
         self.accesses += 1
         cells = self._cells
         view = cells[start:stop]
         view += values.astype(cells.dtype, copy=False)
-        return view.astype(np.int64)
+        return view
 
     # -- accounting -----------------------------------------------------
     @property
@@ -126,8 +154,10 @@ class RegisterArray:
         return self.length * self.width_bits // 8
 
     def reset(self) -> None:
+        # clear in place: programs alias `_scalar` for their hot paths,
+        # and rebinding would silently detach those aliases
         if self._scalar is not None:
-            self._scalar = [0] * self.length
+            self._scalar[:] = [0] * self.length
         else:
             self._cells[:] = 0
 

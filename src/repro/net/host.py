@@ -83,17 +83,34 @@ class Host:
     def __init__(self, sim: Simulator, name: str, spec: HostSpec | None = None):
         self.sim = sim
         self.name = name
+        self._schedule_call_at = sim.schedule_call_at
+        # cache key + table for the per-frame-size I/O latency (see
+        # `_io_latency`): [host spec, uplink spec, {wire_bytes: latency}]
+        self._lat_cache: list = [None, None, {}]
+        # `spec` is a property: callers replace the whole object (never
+        # mutate fields), and the setter refreshes the per-frame costs
         self.spec = spec if spec is not None else HostSpec()
         self.cores = [
             SerialResource(sim, name=f"{name}/core{i}")
             for i in range(self.spec.num_cores)
         ]
+        self._ncores = len(self.cores)
         self.uplink: Link | None = None
         self.agent: HostAgent | None = None
         self.frames_received = 0
         self.frames_sent = 0
         #: optional hook (frame, "rx"|"tx", time) for tracing
         self.observer: Callable[[Frame, str, float], Any] | None = None
+
+    @property
+    def spec(self) -> HostSpec:
+        return self._spec
+
+    @spec.setter
+    def spec(self, spec: HostSpec) -> None:
+        self._spec = spec
+        self._rx_cost = spec.per_frame_rx_s
+        self._tx_cost = spec.per_frame_tx_s
 
     def attach_agent(self, agent: HostAgent) -> None:
         self.agent = agent
@@ -108,27 +125,59 @@ class Host:
         at MTU size: aggregate messages (e.g. ring all-reduce chunks) are
         streams of MTU frames on the real wire, and batching delays a
         frame by at most a batch of MTU frames.
+
+        The value depends only on the frame size and the (host spec,
+        uplink spec) pair, so it is memoized per size; replacing either
+        spec object invalidates the table.
         """
-        if self.uplink is None:
-            return self.spec.io_fixed_latency_s
-        batch_s = self.spec.io_batch_frames * self.uplink.spec.serialization_s(
-            min(frame.wire_bytes, 1516)
-        )
-        return self.spec.io_fixed_latency_s + batch_s
+        uplink = self.uplink
+        spec = self._spec
+        if uplink is None:
+            return spec.io_fixed_latency_s
+        cache = self._lat_cache
+        link_spec = uplink._spec
+        if cache[0] is not spec or cache[1] is not link_spec:
+            cache[0] = spec
+            cache[1] = link_spec
+            cache[2] = {}
+        wire_bytes = frame.wire_bytes
+        latency = cache[2].get(wire_bytes)
+        if latency is None:
+            batch_s = spec.io_batch_frames * link_spec.serialization_s(
+                min(wire_bytes, 1516)
+            )
+            latency = spec.io_fixed_latency_s + batch_s
+            cache[2][wire_bytes] = latency
+        return latency
 
     def deliver(self, frame: Frame) -> None:
         """Downlink terminus: shard onto a core, charge RX cost, dispatch.
 
         Dispatch is delayed by the I/O batching latency; the core is only
-        occupied for the per-frame processing cost.
+        occupied for the per-frame processing cost.  This runs once per
+        received frame, so the :meth:`SerialResource.submit` arithmetic
+        and the latency-cache hit are inlined (the accounting matches
+        ``submit`` exactly).
         """
-        core = self.core_for(frame.flow_key)
-        core.submit(
-            self.spec.per_frame_rx_s,
-            self._dispatch,
-            frame,
-            completion_delay=self._io_latency(frame),
-        )
+        core = self.cores[frame.flow_key % self._ncores]
+        uplink = self.uplink
+        cache = self._lat_cache
+        if uplink is not None and cache[0] is self._spec and cache[1] is uplink._spec:
+            latency = cache[2].get(frame.wire_bytes)
+            if latency is None:
+                latency = self._io_latency(frame)
+        else:
+            latency = self._io_latency(frame)
+        sim = self.sim
+        now = sim.now
+        busy = core.busy_until
+        cost = self._rx_cost
+        finish = (busy if busy > now else now) + cost
+        core.busy_until = finish
+        core.jobs_served += 1
+        core.busy_time += cost
+        # completion events are never cancelled: handle-free fast path
+        self._schedule_call_at(finish + latency, self._dispatch, frame)
 
     def _dispatch(self, frame: Frame) -> None:
         if self.agent is None:
@@ -151,19 +200,31 @@ class Host:
         ``flow_key`` defaults to the frame's own flow key so that a slot's
         TX work lands on the same core as its RX work (run-to-completion).
         """
-        if self.uplink is None:
+        uplink = self.uplink
+        if uplink is None:
             raise RuntimeError(f"host {self.name} has no uplink")
         key = frame.flow_key if flow_key is None else flow_key
-        core = self.core_for(key)
+        core = self.cores[key % self._ncores]
         self.frames_sent += 1
         if self.observer is not None:
             self.observer(frame, "tx", self.sim.now)
-        core.submit(
-            self.spec.per_frame_tx_s,
-            self.uplink.send,
-            frame,
-            completion_delay=self._io_latency(frame),
-        )
+        # inlined SerialResource.submit + latency-cache hit (see deliver)
+        cache = self._lat_cache
+        if cache[0] is self._spec and cache[1] is uplink._spec:
+            latency = cache[2].get(frame.wire_bytes)
+            if latency is None:
+                latency = self._io_latency(frame)
+        else:
+            latency = self._io_latency(frame)
+        sim = self.sim
+        now = sim.now
+        busy = core.busy_until
+        cost = self._tx_cost
+        finish = (busy if busy > now else now) + cost
+        core.busy_until = finish
+        core.jobs_served += 1
+        core.busy_time += cost
+        self._schedule_call_at(finish + latency, uplink.send, frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Host {self.name} cores={len(self.cores)}>"

@@ -14,11 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.net.loss import LossModel, NoLoss
+from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.sim.engine import Simulator
 
 __all__ = ["Link", "LinkSpec", "LinkStats"]
+
+#: block size of the inlined Bernoulli draw buffer; must match
+#: BernoulliLoss._BLOCK so draw alignment survives path rebinds
+_BERN_BLOCK = BernoulliLoss._BLOCK
 
 
 @dataclass
@@ -101,15 +105,79 @@ class Link:
         loss: LossModel | None = None,
     ):
         self.sim = sim
-        self.spec = spec
         self.name = name
         self._deliver = deliver
-        self.loss = loss if loss is not None else NoLoss()
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._rng = sim.rng(f"link:{name}")
+        self._schedule_call_at = sim.schedule_call_at
+        # local block buffer for the inlined Bernoulli drop test (see
+        # _refresh_drop_path); survives spec swaps, reset on loss swaps
+        self._drop_buf = None
+        self._drop_i = 0
+        # `spec` and `loss` are properties: fault injection and topology
+        # surgery replace the whole object (never mutate fields in
+        # place), and the setters refresh the hot-path caches below.
+        self.spec = spec
+        self.loss = loss if loss is not None else NoLoss()
         #: optional hook called with (frame, "sent"|"lost"|"delivered", time)
         self.observer: Callable[[Frame, str, float], Any] | None = None
+
+    @property
+    def spec(self) -> LinkSpec:
+        return self._spec
+
+    @spec.setter
+    def spec(self, spec: LinkSpec) -> None:
+        self._spec = spec
+        self._rate_bps = spec.rate_bps
+        self._queue_bytes = spec.queue_bytes
+        self._prop_s = spec.propagation_s
+        self._jitter_s = spec.jitter_s
+        self._corrupt_p = spec.corruption_probability
+        self._refresh_drop_path()
+
+    @property
+    def loss(self) -> LossModel:
+        return self._loss
+
+    @loss.setter
+    def loss(self, loss: LossModel) -> None:
+        self._loss = loss
+        # a NoLoss model needs no per-frame call (and consumes no
+        # randomness), so the send path can skip it entirely
+        self._lossless = type(loss) is NoLoss
+        # a new loss model starts with a fresh draw buffer (a spec swap,
+        # by contrast, keeps any pre-drawn uniforms -- discarding them
+        # would change the rng consumption order mid-run)
+        self._drop_buf = None
+        self._drop_i = 0
+        self._refresh_drop_path()
+
+    def _refresh_drop_path(self) -> None:
+        """Bind the per-frame drop test.  Bernoulli models support block-
+        buffered draws (``rng.random(n)`` walks the same double stream as
+        ``n`` scalar calls), but only when the loss model is the sole
+        consumer of this link's rng -- i.e. the link itself draws no
+        jitter or corruption randomness.  When eligible, ``send`` inlines
+        the draw against a link-local buffer (``_bern`` set); otherwise it
+        calls the model's scalar ``should_drop``."""
+        loss = getattr(self, "_loss", None)
+        if loss is None:  # spec set before loss during __init__
+            self._bern = None
+            self._should_drop = None
+            return
+        spec = self._spec
+        if (
+            type(loss) is BernoulliLoss
+            and spec.jitter_s == 0.0
+            and spec.corruption_probability == 0.0
+        ):
+            self._bern = loss
+            self._should_drop = None
+        else:
+            self._bern = None
+            self._should_drop = loss.should_drop
 
     def connect(self, deliver: Callable[[Frame], Any]) -> None:
         """Set the receiver callback."""
@@ -125,42 +193,70 @@ class Link:
         if self._deliver is None:
             raise RuntimeError(f"link {self.name} has no receiver connected")
 
-        backlog_s = max(0.0, self._busy_until - self.sim.now)
-        if self.spec.queue_bytes is not None:
-            backlog_bytes = backlog_s * self.spec.rate_bps / 8.0
-            if backlog_bytes + frame.wire_bytes > self.spec.queue_bytes:
-                self.stats.frames_queue_dropped += 1
-                if self.observer is not None:
-                    self.observer(frame, "queue_dropped", self.sim.now)
+        sim = self.sim
+        now = sim.now
+        stats = self.stats
+        observer = self.observer
+        wire_bytes = frame.wire_bytes
+        busy = self._busy_until
+        queue_bytes = self._queue_bytes
+        if queue_bytes is not None:
+            backlog_s = busy - now
+            if backlog_s > 0.0:
+                backlog_bytes = backlog_s * self._rate_bps / 8.0
+                if backlog_bytes + wire_bytes > queue_bytes:
+                    stats.frames_queue_dropped += 1
+                    if observer is not None:
+                        observer(frame, "queue_dropped", now)
+                    return False
+            elif wire_bytes > queue_bytes:
+                stats.frames_queue_dropped += 1
+                if observer is not None:
+                    observer(frame, "queue_dropped", now)
                 return False
 
-        serialization = self.spec.serialization_s(frame.wire_bytes)
-        start = max(self.sim.now, self._busy_until)
-        done = start + serialization
+        serialization = wire_bytes * 8.0 / self._rate_bps
+        done = (busy if busy > now else now) + serialization
         self._busy_until = done
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += frame.wire_bytes
-        self.stats.busy_time += serialization
-        if self.observer is not None:
-            self.observer(frame, "sent", self.sim.now)
+        stats.frames_sent += 1
+        stats.bytes_sent += wire_bytes
+        stats.busy_time += serialization
+        if observer is not None:
+            observer(frame, "sent", now)
 
-        if self.loss.should_drop(self._rng, frame, self.sim.now):
-            self.stats.frames_lost += 1
-            if self.observer is not None:
-                self.observer(frame, "lost", self.sim.now)
+        bern = self._bern
+        if bern is not None:
+            # inlined BernoulliLoss.should_drop_buffered against the
+            # link-local buffer (this link's rng has no other consumer)
+            p = bern.probability
+            if p != 0.0:
+                i = self._drop_i
+                buf = self._drop_buf
+                if buf is None or i >= _BERN_BLOCK:
+                    self._drop_buf = buf = self._rng.random(_BERN_BLOCK)
+                    i = 0
+                self._drop_i = i + 1
+                if buf[i] < p:
+                    stats.frames_lost += 1
+                    if observer is not None:
+                        observer(frame, "lost", now)
+                    return True
+        elif not self._lossless and self._should_drop(self._rng, frame, now):
+            stats.frames_lost += 1
+            if observer is not None:
+                observer(frame, "lost", now)
             return True
 
-        if (
-            self.spec.corruption_probability > 0.0
-            and self._rng.random() < self.spec.corruption_probability
-        ):
+        corrupt_p = self._corrupt_p
+        if corrupt_p > 0.0 and self._rng.random() < corrupt_p:
             frame.corrupted = True
-            self.stats.frames_corrupted += 1
+            stats.frames_corrupted += 1
 
-        arrival = done + self.spec.propagation_s
-        if self.spec.jitter_s > 0.0:
-            arrival += float(self._rng.uniform(0.0, self.spec.jitter_s))
-        self.sim.schedule_at(arrival, self._arrive, frame)
+        arrival = done + self._prop_s
+        if self._jitter_s > 0.0:
+            arrival += float(self._rng.uniform(0.0, self._jitter_s))
+        # arrivals are never cancelled: handle-free fast path
+        self._schedule_call_at(arrival, self._arrive, frame)
         return True
 
     def _arrive(self, frame: Frame) -> None:

@@ -42,17 +42,47 @@ class BernoulliLoss:
     """Independent per-frame loss with fixed probability.
 
     This is the paper's loss injection model (SS5.5).
+
+    :meth:`should_drop_buffered` draws uniforms in blocks: ``rng.random(n)``
+    yields bit-for-bit the same doubles as ``n`` scalar ``rng.random()``
+    calls (both walk the generator's double stream in order), so the
+    values and their order are unchanged -- but the block is consumed from
+    the stream up front, so it is only safe when this model is the
+    generator's SOLE consumer.  :class:`~repro.net.link.Link` selects it
+    when the link draws no jitter or corruption randomness of its own;
+    everything else must use the scalar :meth:`should_drop`.
     """
+
+    _BLOCK = 512
 
     def __init__(self, probability: float):
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"loss probability must be in [0, 1], got {probability}")
         self.probability = probability
+        # per-generator buffer (keyed by the generator itself -- identity
+        # hash; an id() key could be recycled after GC): a model is
+        # normally bound to one link (one rng), but sharing stays safe
+        self._buffers: dict = {}
 
     def should_drop(self, rng: np.random.Generator, frame: Any, time: float) -> bool:
         if self.probability == 0.0:
             return False
         return bool(rng.random() < self.probability)
+
+    def should_drop_buffered(
+        self, rng: np.random.Generator, frame: Any, time: float
+    ) -> bool:
+        """Same decisions as :meth:`should_drop`; see the class docstring
+        for when buffering is legal."""
+        p = self.probability
+        if p == 0.0:
+            return False
+        buf = self._buffers.get(rng)
+        if buf is None or buf[1] >= self._BLOCK:
+            self._buffers[rng] = buf = [rng.random(self._BLOCK), 0]
+        i = buf[1]
+        buf[1] = i + 1
+        return bool(buf[0][i] < p)
 
     def __repr__(self) -> str:
         return f"BernoulliLoss({self.probability!r})"

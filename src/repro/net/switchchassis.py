@@ -41,7 +41,13 @@ class PortDecision:
 
     @classmethod
     def drop(cls) -> "PortDecision":
-        return cls(deliveries=[])
+        """The shared drop decision (callers never mutate ``deliveries``;
+        allocating one per dropped frame would tax the inner loop)."""
+        return _DROP
+
+
+#: singleton returned by :meth:`PortDecision.drop`
+_DROP = PortDecision(deliveries=[])
 
 
 class DataplaneProgram(Protocol):
@@ -89,6 +95,10 @@ class SwitchChassis:
         self.pipeline_latency_s = pipeline_latency_s
         self.program: DataplaneProgram | None = None
         self._egress: dict[int, Link] = {}
+        # per-port Link list (index = port number) for the egress fan-out;
+        # rebuilt by attach_port, None-padded for unattached ports
+        self._egress_list: list[Link | None] = []
+        self._schedule_call = sim.schedule_call
         self.frames_in = 0
         self.frames_out = 0
         self.frames_dropped = 0
@@ -101,6 +111,9 @@ class SwitchChassis:
         if port in self._egress:
             raise ValueError(f"{self.name}: port {port} already attached")
         self._egress[port] = egress
+        if port >= len(self._egress_list):
+            self._egress_list.extend([None] * (port + 1 - len(self._egress_list)))
+        self._egress_list[port] = egress
 
     def load_program(self, program: DataplaneProgram) -> None:
         self.program = program
@@ -117,23 +130,39 @@ class SwitchChassis:
         if self.program is None:
             raise RuntimeError(f"{self.name}: no dataplane program loaded")
         self.frames_in += 1
-        self.sim.schedule(self.pipeline_latency_s, self._run_pipeline, frame, in_port)
+        # pipeline completions are never cancelled: handle-free fast path
+        self._schedule_call(
+            self.pipeline_latency_s, self._run_pipeline, frame, in_port
+        )
 
     def _run_pipeline(self, frame: Frame, in_port: int) -> None:
-        decision = self.program.process(frame, in_port)
-        if not decision.deliveries:
+        deliveries = self.program.process(frame, in_port).deliveries
+        if not deliveries:
             self.frames_dropped += 1
             return
-        for port, out_frame in decision.deliveries:
-            egress = self._egress.get(port)
+        egress_list = self._egress_list
+        nports = len(egress_list)
+        self.frames_out += len(deliveries)
+        for port, out_frame in deliveries:
+            egress = egress_list[port] if 0 <= port < nports else None
             if egress is None:
                 raise RuntimeError(f"{self.name}: no egress link on port {port}")
-            self.frames_out += 1
             egress.send(out_frame)
 
     def ingress_callback(self, in_port: int):
-        """A ``deliver(frame)`` closure bound to ``in_port``."""
+        """A ``deliver(frame)`` closure bound to ``in_port``.
+
+        The closure repeats :meth:`ingress` rather than calling it -- it
+        runs once per frame entering the switch, and the extra call frame
+        was measurable on the aggregation hot path.
+        """
+        schedule_call = self._schedule_call
+        run_pipeline = self._run_pipeline
+
         def deliver(frame: Frame) -> None:
-            self.ingress(frame, in_port)
+            if self.program is None:
+                raise RuntimeError(f"{self.name}: no dataplane program loaded")
+            self.frames_in += 1
+            schedule_call(self.pipeline_latency_s, run_pipeline, frame, in_port)
 
         return deliver

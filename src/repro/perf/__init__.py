@@ -1,0 +1,29 @@
+"""Performance measurement: benchmark workloads, the BENCH.json
+harness, and regression gating against a tracked baseline.
+
+See ``docs/PERFORMANCE.md`` for the methodology and the history of
+tracked baselines (``BENCH_*.json`` at the repo root).
+"""
+
+from repro.perf.harness import (
+    SCHEMA,
+    attach_baseline,
+    check_regression,
+    compare,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+from repro.perf.workloads import WORKLOADS, run_workload
+
+__all__ = [
+    "SCHEMA",
+    "WORKLOADS",
+    "attach_baseline",
+    "check_regression",
+    "compare",
+    "load_bench",
+    "run_suite",
+    "run_workload",
+    "write_bench",
+]

@@ -1,0 +1,148 @@
+"""The benchmark harness: run workload suites, emit BENCH.json,
+compare runs against a tracked baseline, and gate regressions.
+
+BENCH.json schema (``"schema": "repro-bench/1"``)::
+
+    {
+      "schema": "repro-bench/1",
+      "label": "<free-form run label>",
+      "scale": 1.0,
+      "repeats": 3,
+      "workloads": {
+        "<name>": {"wall_s": ..., "events": ..., "events_per_s": ...,
+                    "packets": ..., "packets_per_s": ..., "extra": {...}},
+        ...
+      },
+      "baseline": { "label": ..., "workloads": {...} },   # optional
+      "deltas":   { "<name>": {"events_per_s_ratio": ...,
+                                "wall_ratio": ...} }       # vs baseline
+    }
+
+``repeats`` runs each workload N times and keeps the *best* wall (least
+interference); events/sec is the headline metric because it is
+approximately invariant under ``scale``, which lets a small CI smoke
+run be compared against a full-scale committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.perf.workloads import WORKLOADS, run_workload
+
+__all__ = [
+    "SCHEMA",
+    "run_suite",
+    "attach_baseline",
+    "compare",
+    "check_regression",
+    "write_bench",
+    "load_bench",
+]
+
+SCHEMA = "repro-bench/1"
+
+
+def run_suite(
+    names: list[str] | None = None,
+    scale: float = 1.0,
+    repeats: int = 3,
+    label: str = "",
+) -> dict[str, Any]:
+    """Run the named workloads (all of them by default) ``repeats``
+    times each, keeping the fastest run, and return a BENCH document."""
+    if names is None:
+        names = list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(f"unknown workloads: {unknown} (have {sorted(WORKLOADS)})")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    results: dict[str, Any] = {}
+    for name in names:
+        best: dict[str, Any] | None = None
+        for _ in range(repeats):
+            m = run_workload(name, scale=scale)
+            if best is None or m["wall_s"] < best["wall_s"]:
+                best = m
+        results[name] = best
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": results,
+    }
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any]) -> dict[str, Any]:
+    """Per-workload deltas of ``current`` vs ``baseline`` (both BENCH
+    documents).  Only workloads present in both are compared.
+
+    ``events_per_s_ratio`` > 1 means the current run is faster.
+    """
+    deltas: dict[str, Any] = {}
+    base_wl = baseline.get("workloads", {})
+    for name, cur in current.get("workloads", {}).items():
+        base = base_wl.get(name)
+        if base is None:
+            continue
+        base_rate = base.get("events_per_s", 0.0)
+        cur_rate = cur.get("events_per_s", 0.0)
+        entry: dict[str, Any] = {
+            "events_per_s_ratio": (cur_rate / base_rate) if base_rate else None,
+        }
+        base_wall = base.get("wall_s", 0.0)
+        entry["wall_ratio"] = (cur["wall_s"] / base_wall) if base_wall else None
+        deltas[name] = entry
+    return deltas
+
+
+def attach_baseline(current: dict[str, Any], baseline: dict[str, Any]) -> None:
+    """Embed ``baseline`` and the computed deltas into ``current``."""
+    current["baseline"] = {
+        "label": baseline.get("label", ""),
+        "workloads": baseline.get("workloads", {}),
+    }
+    current["deltas"] = compare(current, baseline)
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.20,
+) -> list[str]:
+    """Return a failure message per workload whose events/sec dropped
+    more than ``max_regression`` (fraction) below the baseline.  An
+    empty list means the gate passes."""
+    failures: list[str] = []
+    for name, delta in compare(current, baseline).items():
+        ratio = delta.get("events_per_s_ratio")
+        if ratio is None:
+            continue
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: events/sec regressed to {ratio:.2f}x of baseline "
+                f"(allowed >= {1.0 - max_regression:.2f}x)"
+            )
+    return failures
+
+
+def write_bench(doc: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {doc.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return doc

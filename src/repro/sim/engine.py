@@ -1,14 +1,43 @@
-"""The event-heap simulator core.
+"""The event-engine core: a calendar-queue/heap hybrid scheduler.
 
 All times are float seconds.  Events scheduled at equal times fire in the
 order they were scheduled (FIFO tie-break via a sequence counter), which is
 what makes simulations bit-for-bit reproducible.
+
+Scheduler architecture (see docs/PERFORMANCE.md)
+------------------------------------------------
+The dominant workload is *schedule-then-cancel*: every packet send arms a
+retransmission timer (~100 us .. 1 ms out) that is cancelled when the
+response arrives a few microseconds later.  A single binary heap pays
+``O(log n)`` on every push and pop for entries that will never fire, so the
+engine splits pending events in two:
+
+* a **near heap** holding events inside the current timer-wheel bucket
+  (entries are plain tuples; ordering uses C-level tuple comparison);
+* a **timer wheel** (calendar queue with dict-of-lists buckets of width
+  ``wheel_granularity_s``) holding events at or beyond the bucket horizon.
+  Insertion is an O(1) list append; when the clock reaches a bucket it is
+  *poured* into the near heap, silently discarding entries cancelled in
+  the meantime -- the common fate of retransmission timers, which
+  therefore never tax a single ``heappush``/``heappop``.
+
+Because every wheel entry's time is at or beyond the horizon and every
+heap entry's time is below it, the heap head is always the global
+minimum, and pouring whole buckets in ``(time, seq)`` heap order keeps
+event ordering bit-for-bit identical to the single-heap scheduler
+(``scheduler="heap"`` keeps the legacy layout; the property tests in
+``tests/sim/test_scheduler_equivalence.py`` prove equivalence).
+
+Cancelled entries that do sit in the near heap are removed by periodic
+*compaction*: when the dead fraction of all pending entries exceeds
+``compact_dead_fraction`` the structures are rebuilt without them,
+amortizing to O(1) per cancellation.  ``Simulator.pending`` is a live
+counter maintained on schedule/fire/cancel -- O(1), never a heap scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable
 
 import numpy as np
@@ -26,14 +55,11 @@ class Event:
     Events are returned by :meth:`Simulator.schedule` and can be cancelled
     (e.g. a retransmission timer cancelled when the response arrives, per
     Algorithm 4's ``cancel_timer``).  Cancellation is O(1): the event stays
-    in the heap but is skipped when popped.
-
-    The heap itself stores ``(time, seq, event)`` tuples so ordering uses
-    C-level tuple comparison -- the single hottest operation in large
-    simulations.
+    in its heap/bucket but is skipped when popped or poured, and the
+    engine's live-event counter is decremented immediately.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -41,10 +67,18 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                # still pending: keep the live counter exact and let the
+                # engine decide when lazy deletion warrants a compaction
+                self._sim = None
+                sim._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -53,6 +87,15 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "active"
         return f"<Event t={self.time:.9f} seq={self.seq} {state} fn={self.fn!r}>"
+
+
+#: heap entries are ``(time, seq, event_or_None, fn, args)`` tuples; the
+#: unique ``seq`` guarantees tuple comparison never reaches index 2, so
+#: cancellable events (an :class:`Event` in slot 2) and anonymous fast
+#: entries (``None`` in slot 2) share one heap.
+_EVENT = 2
+_FN = 3
+_ARGS = 4
 
 
 class Simulator:
@@ -65,6 +108,17 @@ class Simulator:
         substream via :meth:`rng`; the stream is seeded from
         ``(seed, name)`` so adding a new consumer never perturbs the
         randomness seen by existing ones.
+    scheduler:
+        ``"wheel"`` (default) uses the timer-wheel/heap hybrid;
+        ``"heap"`` keeps every entry in the single legacy heap.  Both
+        fire the exact same ``(time, seq)`` sequence.
+    wheel_granularity_s:
+        Bucket width of the timer wheel.  The default (64 us) keeps
+        packet-scale events (ns..us apart) in the near heap while
+        retransmission timers (>= 100 us out) land in wheel buckets.
+    compact_dead_fraction:
+        Rebuild the pending structures once cancelled entries exceed this
+        fraction of all pending entries (and ``compact_min_dead``).
 
     Example
     -------
@@ -77,22 +131,53 @@ class Simulator:
     ['a', 'b']
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: str = "wheel",
+        wheel_granularity_s: float = 64e-6,
+        compact_dead_fraction: float = 0.5,
+        compact_min_dead: int = 512,
+    ):
+        if scheduler not in ("wheel", "heap"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if wheel_granularity_s <= 0:
+            raise ValueError("wheel granularity must be positive")
+        if not 0.0 < compact_dead_fraction <= 1.0:
+            raise ValueError("compact_dead_fraction must be in (0, 1]")
         self.seed = int(seed)
+        self.scheduler = scheduler
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple] = []
+        # plain int, bumped inline at each schedule site: a counter object
+        # (itertools.count) costs a call per event in the hottest paths
+        self._seq = 0
         self._rngs: dict[str, np.random.Generator] = {}
         self.events_processed = 0
-        # observability hook (attach_obs); None keeps step() at one
-        # extra pointer test per event -- this loop is the hottest in
+        # live (scheduled, not yet fired or cancelled) entries -- this is
+        # what `pending` reports, in O(1)
+        self._live = 0
+        # cancelled entries still sitting in the heap or a wheel bucket
+        self._dead = 0
+        self.compactions = 0
+        self._compact_frac = float(compact_dead_fraction)
+        self._compact_min = int(compact_min_dead)
+        # timer wheel state: bucket index -> list of entries, plus a heap
+        # of active bucket indices.  `_horizon_idx` is the first bucket
+        # index not yet poured; entries below it go straight to the heap.
+        self._gran = float(wheel_granularity_s)
+        self._buckets: dict[int, list[tuple]] = {}
+        self._bucket_heap: list[int] = []
+        self._horizon_idx = 1 if scheduler == "wheel" else None
+        # observability hook (attach_obs); None keeps the event loop at
+        # one extra pointer test per event -- this loop is the hottest in
         # the repo, so the instrumented path is strictly opt-in
         self._obs_events = None
         self._obs_heap = None
 
     def attach_obs(self, obs) -> None:
         """Report engine activity through a :class:`repro.obs.base.
-        Observability` layer: total events fired and a pending-heap
+        Observability` layer: total events fired and a pending-events
         gauge.  A disabled layer costs nothing (no instruments bound)."""
         if obs is None or not obs.metrics.enabled:
             self._obs_events = None
@@ -102,7 +187,7 @@ class Simulator:
             "sim_events_total", "simulation events fired"
         )
         self._obs_heap = obs.metrics.gauge(
-            "sim_pending_events", "events in the heap (incl. cancelled)"
+            "sim_pending_events", "events pending (incl. cancelled)"
         )
 
     # ------------------------------------------------------------------
@@ -113,36 +198,198 @@ class Simulator:
         return self.schedule_at(self.now + delay, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        The body of ``_insert`` is inlined: this path carries every
+        retransmission timer (one per packet sent).
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, (time, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args)
+        event._sim = self
+        self._live += 1
+        horizon = self._horizon_idx
+        if horizon is not None and int(time / self._gran) >= horizon:
+            bucket = int(time / self._gran)
+            buckets = self._buckets
+            lst = buckets.get(bucket)
+            if lst is None:
+                buckets[bucket] = [(time, seq, event, fn, args)]
+                heapq.heappush(self._bucket_heap, bucket)
+            else:
+                lst.append((time, seq, event, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, seq, event, fn, args))
         return event
+
+    # NOTE: schedule_call / schedule_call_at inline the body of `_insert`
+    # (and the seq bump): they carry the bulk of the event volume -- one
+    # per frame hop -- and a call per insertion is measurable there.
+
+    def schedule_call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast-path schedule with no cancellation handle.
+
+        The network layers (links, serial resources, switch pipelines)
+        schedule one event per frame hop and never cancel them; skipping
+        the :class:`Event` allocation removes the largest single
+        allocation source in the inner loop.
+        """
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        horizon = self._horizon_idx
+        bucket = -1 if horizon is None else int(time / self._gran)
+        if horizon is not None and bucket >= horizon:
+            buckets = self._buckets
+            lst = buckets.get(bucket)
+            if lst is None:
+                buckets[bucket] = [(time, seq, None, fn, args)]
+                heapq.heappush(self._bucket_heap, bucket)
+            else:
+                lst.append((time, seq, None, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, seq, None, fn, args))
+
+    def schedule_call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_call`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        horizon = self._horizon_idx
+        bucket = -1 if horizon is None else int(time / self._gran)
+        if horizon is not None and bucket >= horizon:
+            buckets = self._buckets
+            lst = buckets.get(bucket)
+            if lst is None:
+                buckets[bucket] = [(time, seq, None, fn, args)]
+                heapq.heappush(self._bucket_heap, bucket)
+            else:
+                lst.append((time, seq, None, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, seq, None, fn, args))
+
+    def _insert(self, entry: tuple) -> None:
+        horizon = self._horizon_idx
+        if horizon is not None:
+            bucket = int(entry[0] / self._gran)
+            if bucket >= horizon:
+                buckets = self._buckets
+                lst = buckets.get(bucket)
+                if lst is None:
+                    buckets[bucket] = [entry]
+                    heapq.heappush(self._bucket_heap, bucket)
+                else:
+                    lst.append(entry)
+                return
+        heapq.heappush(self._heap, entry)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for a still-pending event."""
+        self._live -= 1
+        dead = self._dead + 1
+        self._dead = dead
+        if dead >= self._compact_min and dead > self._compact_frac * (
+            dead + self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild pending structures without cancelled entries."""
+        self._heap = [
+            e for e in self._heap if e[_EVENT] is None or not e[_EVENT].cancelled
+        ]
+        heapq.heapify(self._heap)
+        if self._buckets:
+            for idx in list(self._buckets):
+                kept = [
+                    e
+                    for e in self._buckets[idx]
+                    if e[_EVENT] is None or not e[_EVENT].cancelled
+                ]
+                if kept:
+                    self._buckets[idx] = kept
+                else:
+                    del self._buckets[idx]
+            self._bucket_heap = sorted(self._buckets)
+        self._dead = 0
+        self.compactions += 1
+
+    def _pour(self) -> bool:
+        """Advance the wheel: move the earliest bucket into the heap.
+
+        Returns False when no bucket remains.  Cancelled entries are
+        dropped here, never having touched the heap.
+        """
+        bucket_heap = self._bucket_heap
+        heap = self._heap
+        while not heap and bucket_heap:
+            idx = heapq.heappop(bucket_heap)
+            self._horizon_idx = idx + 1
+            dropped = 0
+            for entry in self._buckets.pop(idx):
+                ev = entry[_EVENT]
+                if ev is not None and ev.cancelled:
+                    dropped += 1
+                else:
+                    heapq.heappush(heap, entry)
+            if dropped:
+                self._dead -= dropped
+        return bool(heap)
+
+    def _peek_time(self) -> float | None:
+        """Time of the next live entry, or None; skips/pours dead ones."""
+        heap = self._heap
+        while True:
+            if not heap and not self._pour():
+                return None
+            entry = heap[0]
+            ev = entry[_EVENT]
+            if ev is not None and ev.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            return entry[0]
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the next pending event.  Returns False if the heap is empty."""
+        """Run the next pending event.  Returns False if none remain."""
         heap = self._heap
-        while heap:
-            time, _seq, event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = time
+        pop = heapq.heappop
+        while True:
+            if not heap and not self._pour():
+                return False
+            entry = pop(heap)
+            event = entry[_EVENT]
+            if event is not None:
+                if event.cancelled:
+                    self._dead -= 1
+                    continue
+                event._sim = None  # fired: later cancel() is a no-op
+            self.now = entry[0]
+            self._live -= 1
             self.events_processed += 1
             if self._obs_events is not None:
                 self._obs_events.inc()
-                self._obs_heap.set(len(heap))
-            event.fn(*event.args)
+                self._obs_heap.set(self._live + self._dead)
+            entry[_FN](*entry[_ARGS])
             return True
-        return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until none remain, ``until`` is reached, or
         ``max_events`` have fired.
 
         ``until`` is inclusive: an event at exactly ``until`` still fires.
@@ -150,13 +397,12 @@ class Simulator:
         even if the last event fired earlier, so repeated windows compose.
         """
         fired = 0
-        while self._heap:
+        while True:
             if max_events is not None and fired >= max_events:
                 return
-            head_time, _seq, head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
+            head_time = self._peek_time()
+            if head_time is None:
+                break
             if until is not None and head_time > until:
                 break
             if not self.step():
@@ -164,6 +410,49 @@ class Simulator:
             fired += 1
         if until is not None and self.now < until:
             self.now = until
+
+    def run_deadline(self, deadline: float) -> None:
+        """Fire events until none remain or the clock passes ``deadline``.
+
+        Exactly ``while step(): if now > deadline: break`` -- the event
+        that crosses the deadline still fires (jobs use this to bound
+        wall-clock on runs that will never complete) -- but with the pop
+        loop inlined, saving a method call per event on the hottest loop
+        in the repo.
+        """
+        pop = heapq.heappop
+        instrumented = self._obs_events is not None
+        # `events_processed` is only read between runs (nothing in src/
+        # reads it from inside a callback), so it is accumulated in a
+        # local and synced on every exit path; `_live` stays an attribute
+        # because Event.cancel updates it concurrently from callbacks.
+        fired = 0
+        try:
+            while True:
+                # re-read each iteration: a callback may cancel events and
+                # trigger _compact, which rebinds self._heap to a new list
+                heap = self._heap
+                if not heap and not self._pour():
+                    return
+                entry = pop(heap)
+                event = entry[_EVENT]
+                if event is not None:
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    event._sim = None
+                time = entry[0]
+                self.now = time
+                self._live -= 1
+                fired += 1
+                if instrumented:
+                    self._obs_events.inc()
+                    self._obs_heap.set(self._live + self._dead)
+                entry[_FN](*entry[_ARGS])
+                if time > deadline:
+                    return
+        finally:
+            self.events_processed += fired
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
         """Drain every event; guard against runaway simulations."""
@@ -177,8 +466,15 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still scheduled.  O(1):
+        maintained on schedule/fire/cancel, never a heap scan."""
+        return self._live
+
+    @property
+    def pending_entries(self) -> int:
+        """Total entries in the structures, including cancelled ones
+        awaiting lazy removal (for tests and capacity gauges)."""
+        return self._live + self._dead
 
     # ------------------------------------------------------------------
     # Randomness

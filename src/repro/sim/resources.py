@@ -59,13 +59,17 @@ class SerialResource:
         """
         if duration < 0:
             raise ValueError(f"{self.name}: negative duration {duration}")
-        start = max(self.sim.now, self.busy_until)
-        finish = start + duration
+        sim = self.sim
+        now = sim.now
+        busy = self.busy_until
+        finish = (busy if busy > now else now) + duration
         self.busy_until = finish
         self.jobs_served += 1
         self.busy_time += duration
         if on_done is not None:
-            self.sim.schedule_at(finish + completion_delay, on_done, *args)
+            # completion events are never cancelled: use the handle-free
+            # fast path (no Event allocation)
+            sim.schedule_call_at(finish + completion_delay, on_done, *args)
         return finish
 
     @property

@@ -51,17 +51,48 @@ class TestVectorCells:
         result = reg.add_range(0, 4, np.array([10, 20, 30, 40]))
         assert list(result) == [11, 22, 33, 44]
 
-    def test_add_range_returns_int64_copy(self):
+    def test_add_range_returns_live_native_view(self):
+        # add_range runs once per packet; its result is a zero-copy view
+        # in the native cell dtype (callers that retain it must copy).
         reg = RegisterArray("pool", 8, width_bits=32)
         result = reg.add_range(0, 4, np.array([1, 2, 3, 4]))
-        assert result.dtype == np.int64
-        result[0] = 999
-        assert reg.read(0) == 1  # copy, not a view
+        assert result.dtype == reg.snapshot().dtype or result.dtype == np.int32
+        reg.add_range(0, 4, np.array([10, 10, 10, 10]))
+        assert result[0] == 11  # view tracks the cells
+
+    def test_views_are_copies_where_promised(self):
+        """read_range and snapshot hand out decoupled copies: mutating
+        them must never reach the cells, and cell writes must never leak
+        into previously returned arrays (shadow-copy integrity)."""
+        reg = RegisterArray("pool", 8, width_bits=32)
+        reg.write_range(0, 4, np.array([1, 2, 3, 4]))
+        grabbed = reg.read_range(0, 4)
+        snap = reg.snapshot()
+        grabbed[0] = 999
+        snap[1] = 888
+        assert reg.read(0) == 1 and reg.read(1) == 2
+        # ...and the other direction: later cell writes don't mutate them
+        reg.write_range(0, 4, np.array([7, 7, 7, 7]))
+        assert list(grabbed) == [999, 2, 3, 4]
+        assert list(snap[:4]) == [1, 888, 3, 4]
+        # wraparound must survive the native-dtype copy path
+        reg.write(0, 2**31 - 1)
+        reg.add_range(0, 1, np.array([1]))
+        assert list(reg.read_range(0, 1)) == [-(2**31)]
 
     def test_write_range_then_read_range(self):
         reg = RegisterArray("pool", 8, width_bits=32)
         reg.write_range(2, 6, np.array([-5, 0, 5, 7]))
         assert list(reg.read_range(2, 6)) == [-5, 0, 5, 7]
+
+    def test_fill_range_and_read_range_view(self):
+        reg = RegisterArray("pool", 8, width_bits=32)
+        reg.write_range(0, 8, np.arange(8))
+        reg.fill_range(2, 6, 0)
+        assert list(reg.read_range(0, 8)) == [0, 1, 0, 0, 0, 0, 6, 7]
+        window = reg.read_range_view(0, 2)
+        reg.write(0, 42)
+        assert window[0] == 42  # live window, by design
 
     def test_vector_wraparound_matches_alu(self):
         reg = RegisterArray("pool", 4, width_bits=32)
