@@ -5,7 +5,7 @@ Equivalent to ``python -m repro.cli bench``; kept here so the
 benchmark suite is discoverable next to the pytest-benchmark files.
 
     PYTHONPATH=src python benchmarks/perf/run.py --out BENCH.json \
-        --baseline BENCH_0003.json --check
+        --baseline BENCH_0004.json --check
 """
 
 import sys

@@ -7,7 +7,7 @@ Usage::
     python -m repro.cli experiment fig4 --json
     python -m repro.cli allreduce --workers 8 --rate 10 --mbytes 4
     python -m repro.cli resources --pool 512
-    python -m repro.cli bench --out BENCH.json --baseline BENCH_0003.json
+    python -m repro.cli bench --out BENCH.json --baseline BENCH_0004.json
     python -m repro.cli obs trace --out runs/trace
     python -m repro.cli obs dashboard --scenario worker-crash
 
@@ -587,7 +587,7 @@ def main(argv: list[str] | None = None) -> int:
     ben.add_argument("--label", default="", help="free-form run label")
     ben.add_argument("--out", default=None, help="write BENCH.json here")
     ben.add_argument("--baseline", default=None,
-                     help="BENCH.json to compare against (e.g. BENCH_0003.json)")
+                     help="BENCH.json to compare against (e.g. BENCH_0004.json)")
     ben.add_argument("--check", action="store_true",
                      help="exit 1 if events/sec regresses past --max-regression")
     ben.add_argument("--max-regression", type=float, default=0.20,

@@ -84,6 +84,13 @@ class SwitchMLConfig:
     #: reuse relies on FIFO delivery to prove no frame is mutated while
     #: still in flight.  Force with True/False for A/B testing.
     reuse_buffers: bool | None = None
+    #: execution granularity: "packet" replays the event-per-packet
+    #: schedule (bit-identical to the tracked determinism fingerprints);
+    #: "burst" drains each simultaneous-arrival group through one
+    #: vectorized handler -- same final tensors, retransmission counts,
+    #: and completion times, fewer engine events (DESIGN note in
+    #: docs/ARCHITECTURE.md).
+    granularity: str = "packet"
     seed: int = 0
 
 
@@ -167,6 +174,9 @@ class SwitchMLDataplane:
         self._mc_packets: dict[int, SwitchMLPacket] = {}
         self._mc_deliveries: dict[int, list[tuple[int, Frame]]] = {}
         self._mc_decisions: dict[int, PortDecision] = {}
+        # batch entry point of the mounted program, resolved once (the
+        # fp16/lossless programs have none and take the scalar fallback)
+        self._handle_batch = getattr(program, "handle_batch", None)
 
     def _multicast_pooled(self, packet: SwitchMLPacket) -> PortDecision:
         """Reuse the slot's pooled result packet/frames (see __init__)."""
@@ -232,6 +242,75 @@ class SwitchMLDataplane:
         ]
         return PortDecision(deliveries=deliveries)
 
+    def process_batch(self, group: list[tuple[Frame, int]]) -> list[PortDecision]:
+        """Burst-granularity counterpart of :meth:`process`.
+
+        ``group`` is one simultaneous-arrival batch ``[(frame, in_port),
+        ...]`` in arrival order.  Returns the non-drop decisions in the
+        order the triggering frames arrived -- the order their
+        individual pipeline completions would have emitted in packet
+        mode -- so every downstream link serializes, and draws
+        randomness, identically.  Absorbed frames (drops, corrupt or
+        non-update traffic) produce no decision; the chassis accounts
+        them from the length difference.
+        """
+        updates: list[SwitchMLPacket] = []
+        for frame, _in_port in group:
+            if frame.corrupted:
+                self.corrupt_discarded += 1
+                continue
+            packet = frame.message
+            if not isinstance(packet, SwitchMLPacket) or packet.from_switch:
+                continue
+            updates.append(packet)
+        if not updates:
+            return []
+        handle_batch = self._handle_batch
+        if handle_batch is not None:
+            decisions = handle_batch(updates)
+        else:
+            # programs without a batch entry point (fp16, lossless) get
+            # the per-packet path, packet by packet, in arrival order
+            handle = self.program.handle
+            decisions = [
+                d for d in map(handle, updates)
+                if d.action is not SwitchAction.DROP
+            ]
+        out: list[PortDecision] = []
+        for decision in decisions:
+            assert decision.packet is not None
+            if decision.action is SwitchAction.UNICAST:
+                wid = decision.unicast_wid
+                assert wid is not None
+                reply = decision.packet.to_frame(
+                    src=self.switch_name,
+                    dst=self.worker_names[wid],
+                    bytes_per_element=self.bytes_per_element,
+                )
+                out.append(
+                    PortDecision(deliveries=[(self.worker_ports[wid], reply)])
+                )
+            elif self.reuse_buffers:
+                out.append(self._multicast_pooled(decision.packet))
+            else:
+                bpe = self.bytes_per_element
+                switch_name = self.switch_name
+                result = decision.packet
+                out.append(
+                    PortDecision(
+                        deliveries=[
+                            (
+                                port,
+                                result.to_frame(
+                                    src=switch_name, dst=dst, bytes_per_element=bpe
+                                ),
+                            )
+                            for _, port, dst in self._fanout
+                        ]
+                    )
+                )
+        return out
+
 
 class SwitchMLJob:
     """A SwitchML deployment: rack + program + workers, ready to reduce.
@@ -250,6 +329,11 @@ class SwitchMLJob:
     def __init__(self, config: SwitchMLConfig | None = None):
         self.config = config if config is not None else SwitchMLConfig()
         cfg = self.config
+        if cfg.granularity not in ("packet", "burst"):
+            raise ValueError(
+                f"granularity must be 'packet' or 'burst', got {cfg.granularity!r}"
+            )
+        burst = cfg.granularity == "burst"
         self.sim = Simulator(seed=cfg.seed, scheduler=cfg.scheduler)
         # zero-copy hot paths need FIFO delivery; jitter reorders (see
         # SwitchMLConfig.reuse_buffers)
@@ -301,6 +385,20 @@ class SwitchMLJob:
                 epoch=cfg.epoch,
                 obs=self.obs, clock=clock, trace=self.trace,
             )
+        if burst:
+            # rewire the rack for burst granularity: uplinks feed the
+            # chassis's grouping ingress, downlinks terminate at the
+            # host's grouping RX, and the links themselves coalesce
+            # coinciding arrivals.  Rewiring (instead of branching in
+            # the per-frame paths) keeps packet mode's hot paths
+            # byte-for-byte identical to PR 3.
+            switch = self.rack.switch
+            for w in range(cfg.num_workers):
+                port = self.rack.host_port(w)
+                self.rack.uplinks[w].connect(switch.burst_ingress_callback(port))
+                self.rack.uplinks[w].burst = True
+                self.rack.downlinks[w].connect(self.rack.hosts[w].deliver_burst)
+                self.rack.downlinks[w].burst = True
         worker_ports = {w: self.rack.host_port(w) for w in range(cfg.num_workers)}
         worker_names = {w: self.rack.hosts[w].name for w in range(cfg.num_workers)}
         self.rack.switch.load_program(
@@ -334,6 +432,7 @@ class SwitchMLJob:
                 epoch=cfg.epoch,
                 obs=self.obs,
                 reuse_buffers=reuse,
+                granularity=cfg.granularity,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)

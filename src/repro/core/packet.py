@@ -19,7 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.net.packet import FRAME_OVERHEAD_BYTES, Frame
+# Frame-size accounting is single-sourced in repro.net.packet; the
+# private aliases keep this module from re-exporting the names (import
+# Frame / FRAME_OVERHEAD_BYTES from repro.net.packet, not from here --
+# tests/core/test_packet_module_boundary.py enforces the boundary).
+from repro.net.packet import (
+    FRAME_OVERHEAD_BYTES as _FRAME_OVERHEAD_BYTES,
+    Frame as _Frame,
+)
 
 __all__ = ["HEARTBEAT_WIRE_BYTES", "Heartbeat", "SwitchMLPacket"]
 
@@ -73,12 +80,12 @@ class SwitchMLPacket:
 
     def wire_bytes(self, bytes_per_element: int = 4) -> int:
         """Frame size on the wire for this packet."""
-        return self.num_elements * bytes_per_element + FRAME_OVERHEAD_BYTES
+        return self.num_elements * bytes_per_element + _FRAME_OVERHEAD_BYTES
 
-    def to_frame(self, src: str, dst: str, bytes_per_element: int = 4) -> Frame:
+    def to_frame(self, src: str, dst: str, bytes_per_element: int = 4) -> _Frame:
         """Wrap in a wire frame.  ``flow_key`` is the slot index so that
         flow-director sharding keeps each slot on one core (SSB)."""
-        return Frame(
+        return _Frame(
             wire_bytes=self.wire_bytes(bytes_per_element),
             message=self,
             src=src,
@@ -112,7 +119,7 @@ class SwitchMLPacket:
 
 #: A heartbeat is a minimal frame: headers plus member id, epoch, and a
 #: progress counter (2 + 4 + 4 = 10 bytes of payload, padded).
-HEARTBEAT_WIRE_BYTES = FRAME_OVERHEAD_BYTES + 12
+HEARTBEAT_WIRE_BYTES = _FRAME_OVERHEAD_BYTES + 12
 
 
 @dataclass(slots=True)
@@ -136,8 +143,8 @@ class Heartbeat:
     epoch: int = 0
     progress: int = 0
 
-    def to_frame(self, src: str, dst: str, flow_key: int = 0) -> Frame:
-        return Frame(
+    def to_frame(self, src: str, dst: str, flow_key: int = 0) -> _Frame:
+        return _Frame(
             wire_bytes=HEARTBEAT_WIRE_BYTES,
             message=self,
             src=src,

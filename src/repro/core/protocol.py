@@ -1,0 +1,289 @@
+"""Data-oriented protocol core: pool-wide structure-of-arrays state.
+
+The paper's dataplane is already data-oriented -- Algorithms 1/3 operate
+on fixed-size slot pools with per-slot registers (``pool``, ``count``,
+the ``seen`` bitmap), not on per-packet objects.  This module mirrors
+that layout on both protocol ends:
+
+* :class:`WorkerSlotState` -- Algorithm 2/4's per-slot worker state as
+  NumPy arrays over the slot index: outstanding offset and pool version,
+  send timestamps, retransmission-timer deadlines, retry/backoff
+  bookkeeping, and per-slot RTT accumulators.  The deadline array is
+  what lets burst execution replace ``s`` engine timer events with one:
+  a slot with no outstanding timer holds ``+inf``, the earliest finite
+  deadline is the single armed engine timer, and :meth:`due` yields the
+  expired slots in exactly the order per-slot timers would have fired
+  (deadline, then arming sequence -- the engine's ``(time, seq)`` FIFO
+  rule).
+* :class:`SwitchSlotState` -- Algorithm 1/3's register-file state
+  (``pool`` / ``count`` / ``seen``) plus the maintained per-(version,
+  slot) ``seen`` popcount as a NumPy array.
+
+Both expose ``snapshot()`` / ``restore()`` round trips so state can be
+checkpointed and diffed in tests.
+
+:class:`SwitchAction` / :class:`SwitchDecision` -- the switch program's
+verdict vocabulary -- live here too (re-exported by
+:mod:`repro.core.switch_program` for compatibility) so batch handlers
+and adapters can share them without import cycles.
+
+The adapters (:mod:`repro.core.worker`,
+:mod:`repro.core.switch_program`) alias these arrays directly on their
+hot paths; everything here is storage and ordering policy, free of any
+simulator dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dataplane.registers import RegisterFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.packet import SwitchMLPacket
+
+__all__ = [
+    "SwitchAction",
+    "SwitchDecision",
+    "SwitchSlotState",
+    "WorkerSlotState",
+]
+
+_INF = float("inf")
+
+
+class SwitchAction(Enum):
+    """What the program does with an update packet."""
+
+    DROP = "drop"
+    MULTICAST = "multicast"
+    UNICAST = "unicast"
+
+
+@dataclass
+class SwitchDecision:
+    """Outcome of processing one update packet."""
+
+    action: SwitchAction
+    packet: "SwitchMLPacket | None" = None  # result packet for MULTICAST/UNICAST
+    unicast_wid: int | None = None
+
+
+#: Shared DROP decision.  Most packets in a healthy run end in a drop
+#: (every non-completing contribution does), and callers only ever read
+#: the decision, so one immutable instance serves them all.
+DROP_DECISION = SwitchDecision(SwitchAction.DROP)
+
+
+class WorkerSlotState:
+    """Worker-side per-slot protocol state, one array per field.
+
+    Fields over ``[0, pool_size)``:
+
+    ``off`` / ``ver``
+        The outstanding chunk's element offset and 1-bit pool version
+        (Algorithm 4's per-slot send state).
+    ``next_ver``
+        The version the slot's *next* phase will use.  Persists across
+        aggregations: consecutive tensors form "a single, continuous
+        stream of data across iterations" (Appendix B), so versions keep
+        alternating from one tensor to the next.
+    ``sent_at``
+        First-transmission timestamp of the outstanding chunk (the RTT
+        sample base; Karn's rule invalidates it on retransmission).
+    ``deadline`` / ``arm_seq``
+        Retransmission-timer expiry (``+inf`` = no timer) and a
+        monotonically increasing arming sequence number.  Together they
+        define the firing order burst mode must replay: packet mode's
+        per-slot timers fire in engine ``(time, seq)`` order, which for
+        timers armed through :meth:`WorkerSlotState.due` is exactly
+        ``(deadline, arm_seq)``.
+    ``retransmitted`` / ``retries`` / ``backoff``
+        Karn ambiguity flag, consecutive-timeout count, and the per-slot
+        exponential backoff multiplier.  ``backoff`` persists across
+        aggregations (like ``next_ver``); everything else is reset by
+        :meth:`begin`.
+    ``rtt_sum`` / ``rtt_count``
+        Per-slot accumulators over unambiguous RTT samples -- the
+        per-slot view of the worker's Jacobson estimator inputs.
+    ``tat_start`` / ``tat_finish``
+        Scalar aggregation window (tensor aggregation time endpoints).
+
+    Storage split: fields consumed *vectorially* (scanned, reduced, or
+    lex-sorted pool-wide -- ``off``, the versions, the deadline pair,
+    the RTT accumulators) are NumPy arrays; fields touched only by
+    scalar per-packet bookkeeping (``sent_at``, ``retransmitted``,
+    ``retries``, ``backoff``) are plain Python lists, because a NumPy
+    scalar index costs several times a list index and those fields sit
+    on the per-result/per-send hot paths (measured in the BENCH_0004
+    gap analysis).  Both kinds reset in place, so aliases stay live.
+    """
+
+    #: per-slot NumPy arrays captured by snapshot()/restore()
+    ARRAY_FIELDS = (
+        "off", "ver", "next_ver", "deadline", "arm_seq",
+        "rtt_sum", "rtt_count",
+    )
+    #: per-slot Python lists (scalar-bookkeeping fields; see docstring)
+    LIST_FIELDS = ("sent_at", "retransmitted", "retries", "backoff")
+    #: scalar fields captured alongside them
+    SCALAR_FIELDS = ("tat_start", "tat_finish")
+
+    def __init__(self, pool_size: int):
+        if pool_size < 1:
+            raise ValueError("pool size must be positive")
+        s = int(pool_size)
+        self.s = s
+        self.off = np.zeros(s, dtype=np.int64)
+        self.ver = np.zeros(s, dtype=np.int8)
+        self.next_ver = np.zeros(s, dtype=np.int8)
+        self.sent_at: list[float] = [0.0] * s
+        self.deadline = np.full(s, _INF, dtype=np.float64)
+        self.arm_seq = np.zeros(s, dtype=np.int64)
+        self.retransmitted: list[bool] = [False] * s
+        self.retries: list[int] = [0] * s
+        self.backoff: list[float] = [1.0] * s
+        self.rtt_sum = np.zeros(s, dtype=np.float64)
+        self.rtt_count = np.zeros(s, dtype=np.int64)
+        self.tat_start = 0.0
+        self.tat_finish = float("nan")
+
+    # ------------------------------------------------------------------
+    def begin(self, start_time: float = 0.0) -> None:
+        """Reset the per-aggregation fields in place.
+
+        ``next_ver`` and ``backoff`` survive (see the class docstring);
+        resetting in place keeps any hot-path aliases of these arrays
+        attached, the same discipline as ``RegisterArray.reset()``.
+        """
+        s = self.s
+        self.off[:] = 0
+        self.ver[:] = 0
+        self.sent_at[:] = [0.0] * s
+        self.deadline[:] = _INF
+        self.arm_seq[:] = 0
+        self.retransmitted[:] = [False] * s
+        self.retries[:] = [0] * s
+        self.rtt_sum[:] = 0.0
+        self.rtt_count[:] = 0
+        self.tat_start = float(start_time)
+        self.tat_finish = float("nan")
+
+    # ------------------------------------------------------------------
+    # deadline timer support (burst mode's singleton timer)
+    # ------------------------------------------------------------------
+    def min_deadline(self) -> float:
+        """Earliest outstanding timer deadline (``inf`` when none)."""
+        return float(self.deadline.min()) if self.s else _INF
+
+    def due(self, now: float) -> np.ndarray:
+        """Indices of slots whose deadline has expired at ``now``,
+        ordered by ``(deadline, arm_seq)`` -- the order packet mode's
+        per-slot timer events would fire in."""
+        dl = self.deadline
+        idx = np.nonzero(dl <= now)[0]
+        if idx.size > 1:
+            idx = idx[np.lexsort((self.arm_seq[idx], dl[idx]))]
+        return idx
+
+    def clear_deadlines(self) -> None:
+        self.deadline[:] = _INF
+
+    # ------------------------------------------------------------------
+    def per_slot_mean_rtt(self) -> np.ndarray:
+        """Mean unambiguous RTT per slot (NaN for slots with no sample)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return self.rtt_sum / self.rtt_count
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep copy of every field, suitable for :meth:`restore`."""
+        snap: dict = {name: getattr(self, name).copy() for name in self.ARRAY_FIELDS}
+        for name in self.LIST_FIELDS:
+            snap[name] = list(getattr(self, name))
+        for name in self.SCALAR_FIELDS:
+            snap[name] = getattr(self, name)
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Round-trip counterpart of :meth:`snapshot` (copies in place,
+        preserving aliases)."""
+        for name in self.ARRAY_FIELDS + self.LIST_FIELDS:
+            getattr(self, name)[:] = snap[name]
+        for name in self.SCALAR_FIELDS:
+            setattr(self, name, snap[name])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        armed = int(np.count_nonzero(np.isfinite(self.deadline)))
+        return f"<WorkerSlotState s={self.s} armed_timers={armed}>"
+
+
+class SwitchSlotState:
+    """Switch-side register state for Algorithm 3 (and 1's subset).
+
+    Owns the :class:`~repro.dataplane.registers.RegisterFile` holding
+
+    * ``pool``  -- ``2 x s x k`` 32-bit value cells,
+    * ``count`` -- ``2 x s`` contribution counters,
+    * ``seen``  -- ``2 x s x n`` one-bit contribution flags,
+
+    plus ``seen_pop``, the maintained per-(version, slot) popcount of the
+    ``seen`` bitmap as an int64 array (updated on every bit transition;
+    O(1) inspection instead of an O(n) scan).
+
+    The narrow arrays' scalar storage is exposed as ``seen_bits`` /
+    ``count_cells`` -- the aliases the per-packet path indexes directly.
+    They stay valid across :meth:`reset` because ``RegisterArray.reset``
+    clears in place.
+    """
+
+    def __init__(self, num_workers: int, pool_size: int, elements_per_packet: int):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if pool_size < 1:
+            raise ValueError("pool size must be positive")
+        self.n = num_workers
+        self.s = pool_size
+        self.k = elements_per_packet
+        self.registers = RegisterFile()
+        self.pool = self.registers.allocate(
+            "pool", 2 * pool_size * elements_per_packet, width_bits=32
+        )
+        self.count = self.registers.allocate("count", 2 * pool_size, width_bits=8)
+        self.seen = self.registers.allocate(
+            "seen", 2 * pool_size * num_workers, width_bits=1
+        )
+        self.seen_bits: list[int] = self.seen._scalar
+        self.count_cells: list[int] = self.count._scalar
+        self.seen_pop = np.zeros(2 * pool_size, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear every register and the popcount in place (aliases stay
+        attached)."""
+        self.registers.reset()
+        self.seen_pop[:] = 0
+
+    def snapshot(self) -> dict:
+        """Deep copy of the register contents and popcount."""
+        return {
+            "pool": self.pool.snapshot(),
+            "count": self.count.snapshot(),
+            "seen": self.seen.snapshot(),
+            "seen_pop": self.seen_pop.copy(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Round-trip counterpart of :meth:`snapshot`; writes through the
+        existing storage so hot-path aliases stay live."""
+        self.pool._cells[:] = snap["pool"]
+        self.count_cells[:] = [int(v) for v in snap["count"]]
+        self.seen_bits[:] = [int(v) for v in snap["seen"]]
+        self.seen_pop[:] = snap["seen_pop"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SwitchSlotState n={self.n} s={self.s} k={self.k}>"

@@ -20,11 +20,15 @@ the program asserts that invariant on every slot reuse when
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.packet import SwitchMLPacket
+from repro.core.protocol import (
+    DROP_DECISION as _DROP,
+    SwitchAction,
+    SwitchDecision,
+    SwitchSlotState,
+)
 from repro.dataplane.registers import RegisterFile
 from repro.obs.base import NULL_OBS
 
@@ -38,29 +42,6 @@ __all__ = [
     "SwitchDecision",
     "SwitchMLProgram",
 ]
-
-
-class SwitchAction(Enum):
-    """What the program does with an update packet."""
-
-    DROP = "drop"
-    MULTICAST = "multicast"
-    UNICAST = "unicast"
-
-
-@dataclass
-class SwitchDecision:
-    """Outcome of processing one update packet."""
-
-    action: SwitchAction
-    packet: SwitchMLPacket | None = None  # result packet for MULTICAST/UNICAST
-    unicast_wid: int | None = None
-
-
-#: Shared DROP decision.  Most packets in a healthy run end in a drop
-#: (every non-completing contribution does), and callers only ever read
-#: the decision, so one immutable instance serves them all.
-_DROP = SwitchDecision(SwitchAction.DROP)
 
 
 class LosslessSwitchMLProgram:
@@ -170,20 +151,19 @@ class SwitchMLProgram:
         self.k = elements_per_packet
         self.check_invariants = check_invariants
         self.epoch = epoch
-        self.registers = RegisterFile()
-        self._pool = self.registers.allocate(
-            "pool", 2 * pool_size * self.k, width_bits=32
-        )
-        self._count = self.registers.allocate("count", 2 * pool_size, width_bits=8)
-        self._seen = self.registers.allocate(
-            "seen", 2 * pool_size * num_workers, width_bits=1
-        )
+        #: the data-oriented core: all register/bitmap/popcount storage
+        #: (this class is the per-packet adapter over it)
+        self.state = SwitchSlotState(num_workers, pool_size, elements_per_packet)
+        self.registers = self.state.registers
+        self._pool = self.state.pool
+        self._count = self.state.count
+        self._seen = self.state.seen
         # Direct aliases of the narrow arrays' scalar storage for the
         # per-packet path below; safe because RegisterArray.reset()
         # clears in place and never rebinds the list.  The arrays'
         # `accesses` counters are batch-incremented per packet.
-        self._seen_bits: list[int] = self._seen._scalar
-        self._count_cells: list[int] = self._count._scalar
+        self._seen_bits: list[int] = self.state.seen_bits
+        self._count_cells: list[int] = self.state.count_cells
         self.packets_processed = 0
         self.multicasts = 0
         self.unicast_retransmits = 0
@@ -195,7 +175,7 @@ class SwitchMLProgram:
         #: maintained per-(version, slot) popcount of the ``seen`` bitmap,
         #: updated on every bit transition so inspection is O(1) instead
         #: of an O(n) scan over the bit cells
-        self._seen_pop = [0] * (2 * pool_size)
+        self._seen_pop = self.state.seen_pop
 
         self.obs = obs if obs is not None else NULL_OBS
         self._clock = clock if clock is not None else (lambda: 0.0)
@@ -396,6 +376,188 @@ class SwitchMLProgram:
         return _DROP
 
     # ------------------------------------------------------------------
+    def handle_batch(self, packets: list[SwitchMLPacket]) -> list[SwitchDecision]:
+        """Process one simultaneous-arrival burst of update packets.
+
+        Burst-granularity entry point: the chassis hands over every
+        update that crossed the ingress pipeline at the same timestamp
+        (in arrival order).  Packets are bucketed by (version, slot);
+        a bucket whose contributions are all first-time and from
+        distinct workers takes a vectorized fast path -- the ``seen``
+        bits are set as a group, the counter advances by the group
+        size, and the value vectors are summed once (int64, so the sum
+        modulo 2**32 equals the sequential 32-bit wraparound adds) --
+        while any bucket containing a duplicate, shadow read, or other
+        messy case falls back to the per-packet :meth:`handle`, packet
+        by packet, preserving its exact semantics.
+
+        Equivalence with per-packet execution holds because packets in
+        different buckets touch disjoint registers: ``pool``/``count``
+        cells are per-(version, slot), and the ``seen`` bits a packet
+        touches (its own version's and the alternate pool's) are
+        per-worker -- two same-slot different-version packets in one
+        burst necessarily come from different workers (each worker has
+        at most one chunk outstanding per slot).  Emissions are
+        re-sorted by triggering-packet position, so the egress order --
+        and therefore every downstream link's serialization and RNG
+        draw order -- matches per-packet execution exactly.
+        """
+        s, n = self.s, self.n
+        seen_bits = self._seen_bits
+        counts = self._count_cells
+        pop = self._seen_pop
+        # bucket by flat (version, slot); dict insertion order preserves
+        # first-seen order, so iterating groups.items() replays it
+        groups: dict[int, list[tuple[int, SwitchMLPacket]]] = {}
+        epoch = self.epoch
+        for pos, p in enumerate(packets):
+            if p.epoch != epoch:
+                # epoch fence, identical to handle()'s
+                self.stale_epoch_drops += 1
+                if self._m_on:
+                    self._m_fence.inc()
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "fence.drop", self._clock(), cat="fence", actor="switch",
+                        wid=p.wid, packet_epoch=p.epoch, pool_epoch=self.epoch,
+                    )
+                continue
+            idx, wid = p.idx, p.wid
+            if not 0 <= idx < s:
+                raise ValueError(f"pool index {idx} out of range [0, {s})")
+            if not 0 <= wid < n:
+                raise ValueError(f"worker id {wid} out of range [0, {n})")
+            vs = p.ver * s + idx
+            g = groups.get(vs)
+            if g is None:
+                groups[vs] = [(pos, p)]
+            else:
+                g.append((pos, p))
+
+        out: list[tuple[int, SwitchDecision]] = []
+        for vs, g in groups.items():
+            m = len(g)
+            fast = m > 1
+            if fast:
+                # fast path only when every contribution is first-time
+                # and from a distinct worker
+                base = vs * n
+                wids = set()
+                for _, p in g:
+                    w = p.wid
+                    if seen_bits[base + w] or w in wids:
+                        fast = False
+                        break
+                    wids.add(w)
+            if not fast:
+                for pos, p in g:
+                    d = self.handle(p)
+                    if d.action is not SwitchAction.DROP:
+                        out.append((pos, d))
+                continue
+
+            # ---- vectorized group absorb ------------------------------
+            idx = vs % s
+            ovs = vs - s if vs >= s else vs + s  # alternate pool's copy
+            count_before = counts[vs]
+            if self.check_invariants and count_before == 0:
+                other_count = counts[ovs]
+                if other_count != 0:
+                    raise AssertionError(
+                        f"phase-lag invariant violated: slot {idx} ver "
+                        f"{vs // s} reused while ver {1 - vs // s} still "
+                        f"aggregating (count={other_count})"
+                    )
+            obase = ovs * n
+            seen_accesses = 3 * m
+            for _, p in g:
+                w = p.wid
+                seen_bits[base + w] = 1
+                ob = obase + w
+                if seen_bits[ob]:
+                    seen_bits[ob] = 0
+                    pop[ovs] -= 1
+                    seen_accesses += 1
+            pop[vs] += m
+            self._seen.accesses += seen_accesses
+            self._count.accesses += 2 * m
+            self.packets_processed += m
+            count = count_before + m  # distinct unseen workers: count <= n
+            wrap = count == n
+            counts[vs] = (0 if wrap else count) & 255
+            if self._m_on:
+                self._m_contributions.inc(m)
+            first_pos, first_p = g[0]
+            if count_before == 0:
+                self.occupied_slots += 1
+                if self._m_on:
+                    self._g_occupied.set(self.occupied_slots)
+                if self._tracer.enabled:
+                    now = self._clock()
+                    self._tracer.emit(
+                        "slot.claim", now, cat="slot", actor="switch",
+                        slot=idx, ver=vs // s, wid=first_p.wid, off=first_p.off,
+                    )
+                    self._tracer.counter(
+                        "slots_occupied", now, self.occupied_slots,
+                        cat="slot", actor="switch",
+                    )
+            lo = vs * self.k
+            hi = lo + self.k
+            if first_p.vector is not None:
+                # m >= 2 here; int64 adds, so the sum modulo 2**32
+                # equals the sequential 32-bit wraparound adds.  One
+                # allocation + in-place adds beats np.sum over a
+                # stacked 2-D array at these widths (k ~ 32).
+                total = first_p.vector + g[1][1].vector
+                for _, p in g[2:]:
+                    total += p.vector
+                if count_before == 0:
+                    self._pool.write_range(lo, hi, total)
+                else:
+                    self._pool.add_range(lo, hi, total)
+            if wrap:
+                if self.check_invariants and pop[vs] != n:
+                    raise AssertionError(
+                        f"seen popcount {pop[vs]} != {n} at completion of "
+                        f"slot {idx} ver {vs // s}"
+                    )
+                vector = None
+                if first_p.vector is not None:
+                    vector = self._pool.read_range(lo, hi)
+                self.multicasts += 1
+                self.occupied_slots -= 1
+                if self._m_on:
+                    self._m_multicasts.inc()
+                    self._g_occupied.set(self.occupied_slots)
+                # the group's last packet is the one that completed the
+                # aggregation -- the multicast anchors to its position
+                last_pos, last_p = g[-1]
+                if self._tracer.enabled:
+                    now = self._clock()
+                    self._tracer.emit(
+                        "slot.release", now, cat="slot", actor="switch",
+                        slot=idx, ver=vs // s, off=last_p.off,
+                    )
+                    self._tracer.counter(
+                        "slots_occupied", now, self.occupied_slots,
+                        cat="slot", actor="switch",
+                    )
+                out.append((
+                    last_pos,
+                    SwitchDecision(SwitchAction.MULTICAST, last_p.result_copy(vector)),
+                ))
+
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "burst.switch", self._clock(), cat="burst", actor="switch",
+                packets=len(packets), groups=len(order), emissions=len(out),
+            )
+        if len(out) > 1:
+            out.sort(key=lambda e: e[0])
+        return [d for _, d in out]
+
+    # ------------------------------------------------------------------
     @property
     def sram_bytes(self) -> int:
         """Total register SRAM this instance occupies."""
@@ -404,7 +566,7 @@ class SwitchMLProgram:
     def seen_popcount(self, ver: int, idx: int) -> int:
         """Number of set ``seen`` bits for ``(ver, idx)`` -- O(1) from the
         maintained counter, not an O(n) scan of the bit cells."""
-        return self._seen_pop[ver * self.s + idx]
+        return int(self._seen_pop[ver * self.s + idx])
 
     def slot_state(self, ver: int, idx: int) -> dict:
         """Debug/test view of one (version, slot)."""

@@ -23,11 +23,14 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.core.packet import Heartbeat, SwitchMLPacket
+from repro.core.protocol import WorkerSlotState
 from repro.net.host import Host
 from repro.net.packet import Frame
 from repro.obs.base import NULL_OBS
 from repro.sim.engine import Event, Simulator
 from repro.sim.trace import TraceRecorder
+
+_INF = float("inf")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.base import Observability
@@ -119,9 +122,12 @@ class SwitchMLWorker:
         obs: "Observability | None" = None,
         reuse_buffers: bool = False,
         job_id: int = 0,
+        granularity: str = "packet",
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
+        if granularity not in ("packet", "burst"):
+            raise ValueError(f"unknown granularity {granularity!r}")
         self.sim = sim
         self._schedule_at = sim.schedule_at
         self.host = host
@@ -165,10 +171,29 @@ class SwitchMLWorker:
         self._srtt: float | None = None
         self._rttvar = 0.0
         self._rtt_peak = 0.0  # decaying peak: guards RTT ramp-ups
+        #: execution granularity: "packet" replays the event-per-packet
+        #: schedule; "burst" additionally books the per-slot deadlines
+        #: into the SoA core's deadline array (see _arm_deadline).  Timer
+        #: *events* stay per-slot in both modes: coarsening them into one
+        #: wake-up changes how same-instant expiries interleave with
+        #: other workers' events (the engine breaks time ties by
+        #: scheduling order), which cascades through uplink send order
+        #: into switch arrival order under loss.
+        self.granularity = granularity
+        self._burst = granularity == "burst"
+        # per-packet trace events fire in packet mode; burst mode emits
+        # per-burst aggregate records instead (on_frames/_fire_deadline)
+        self._trace_packets = not self._burst
+        #: the data-oriented core: pool-wide per-slot state as NumPy
+        #: arrays (this class is the per-event adapter over it).  The
+        #: ``_slot_*`` attributes below alias its arrays.
+        self._st = WorkerSlotState(pool_size)
         # per-slot exponential backoff on consecutive timeouts (resets on
         # a received result) -- keeps a sudden RTT increase (congestion)
-        # from degenerating into a retransmission storm
-        self._slot_backoff: list[float] = [1.0] * pool_size
+        # from degenerating into a retransmission storm.  Persists across
+        # aggregations (like _next_ver).
+        self._slot_backoff = self._st.backoff
+        self._arm_counter = 0
         # Zero-copy hot path: when enabled, each slot's update packet and
         # TX frame are allocated once per aggregation and mutated in
         # place on every phase advance.  Safe only on jitter-free links
@@ -228,21 +253,23 @@ class SwitchMLWorker:
         self._active = False
         self._base_off = 0
         self._active_slots = 0
-        # per-slot protocol state
-        self._slot_off: list[int] = []
-        self._slot_ver: list[int] = []
+        # per-slot protocol state: aliases of the SoA core's arrays (the
+        # object-reference columns -- packet, timer, reuse buffers --
+        # stay Python lists; everything numeric is an array)
+        self._slot_off = self._st.off
+        self._slot_ver = self._st.ver
+        self._slot_sent_at = self._st.sent_at
+        self._slot_retransmitted = self._st.retransmitted
+        self._slot_retries = self._st.retries
         self._slot_packet: list[SwitchMLPacket | None] = []
         self._slot_timer: list[Event | None] = []
-        self._slot_sent_at: list[float] = []
-        self._slot_retransmitted: list[bool] = []
-        self._slot_retries: list[int] = []
         # Pool versions persist ACROSS tensors: the implementation treats
         # consecutive tensors "as a single, continuous stream of data
         # across iterations" (Appendix B), so each slot's version keeps
         # alternating from one aggregation to the next.  Resetting to 0
         # would collide with the switch's still-set ``seen`` bits from a
         # previous tensor whose last phase used version 0.
-        self._next_ver: list[int] = [0] * pool_size
+        self._next_ver = self._st.next_ver
 
     # ------------------------------------------------------------------
     # Starting an aggregation
@@ -279,17 +306,7 @@ class SwitchMLWorker:
         active_slots = min(self.s, total_packets)
         self._remaining = total_packets
         self._active = True
-        self._slot_off = [0] * self.s
-        self._slot_ver = [0] * self.s
-        self._slot_packet = [None] * self.s
-        self._slot_timer = [None] * self.s
-        self._slot_sent_at = [0.0] * self.s
-        self._slot_retransmitted = [False] * self.s
-        self._slot_retries = [0] * self.s
-        # reusable buffers are per-aggregation: wid/epoch/addressing may
-        # change between tensors (reconfigure), never within one
-        self._slot_buf = [None] * self.s
-        self._slot_frame = [None] * self.s
+        self._reset_slot_state()
         # start() models the framework (re)launching the worker process,
         # so it revives a crashed/failed endpoint.
         self.failed = False
@@ -299,7 +316,25 @@ class SwitchMLWorker:
         self.stats = WorkerStats(start_time=self.sim.now)
 
         for i in range(active_slots):
-            self._send_chunk(idx=i, ver=self._next_ver[i], off=self.k * i)
+            self._send_chunk(idx=i, ver=int(self._next_ver[i]), off=self.k * i)
+
+    def _reset_slot_state(self) -> None:
+        """Per-aggregation reset: clear the SoA core in place, rebind the
+        array aliases (tests may have rebound them), and reallocate the
+        object-reference columns."""
+        st = self._st
+        st.begin(start_time=self.sim.now)
+        self._slot_off = st.off
+        self._slot_ver = st.ver
+        self._slot_sent_at = st.sent_at
+        self._slot_retransmitted = st.retransmitted
+        self._slot_retries = st.retries
+        self._slot_packet = [None] * self.s
+        self._slot_timer = [None] * self.s
+        # reusable buffers are per-aggregation: wid/epoch/addressing may
+        # change between tensors (reconfigure), never within one
+        self._slot_buf = [None] * self.s
+        self._slot_frame = [None] * self.s
 
     # ------------------------------------------------------------------
     # Sending
@@ -351,13 +386,16 @@ class SwitchMLWorker:
             self._m_sent.inc()
         if self.trace is not None:
             self.trace.tick("sent", self.sim.now)
-        if self._tracer.enabled:
+        if self._trace_packets and self._tracer.enabled:
             self._tracer.emit(
                 "packet.tx", self.sim.now, cat="packet", actor=self._actor,
                 slot=idx, ver=ver, off=off,
             )
         self.host.send(frame)
-        self._arm_timer(idx)
+        if self._burst:
+            self._arm_deadline(idx)
+        else:
+            self._arm_timer(idx)
 
     def current_timeout(self) -> float:
         """The retransmission timeout in force right now.
@@ -407,6 +445,51 @@ class SwitchMLWorker:
             self.sim.now + duration, self._on_timeout, idx
         )
 
+    def _arm_deadline(self, idx: int) -> None:
+        """Burst-mode timer arming: write the slot's expiry into the SoA
+        deadline array and arm the slot's engine timer at it.
+
+        The timeout duration is computed exactly as in :meth:`_arm_timer`,
+        and an engine event is scheduled per arming, exactly as in packet
+        mode: the engine breaks time ties by scheduling order, so giving
+        burst-mode expiries the same scheduling points keeps same-instant
+        interleavings with every other actor's events identical.  What
+        burst mode adds is the SoA bookkeeping -- ``deadline`` mirrors
+        every armed expiry (``+inf`` = none) and ``arm_seq`` the arming
+        order, so pool-wide timer state is inspectable as one array scan.
+        """
+        st = self._st
+        if self.timeout_mode == "fixed" or self._srtt is None:
+            base = self.timeout_s
+        else:
+            base = self.current_timeout()
+        duration = base * st.backoff[idx]
+        if duration > self.max_timeout_s:
+            duration = self.max_timeout_s
+        d = self.sim.now + duration
+        st.deadline[idx] = d
+        st.arm_seq[idx] = self._arm_counter
+        self._arm_counter += 1
+        timer = self._slot_timer[idx]
+        if timer is not None:
+            timer.cancel()
+        self._slot_timer[idx] = self._schedule_at(d, self._fire_deadline, idx)
+
+    def _fire_deadline(self, idx: int) -> None:
+        """Burst mode's timer callback: consume the slot's deadline and
+        resend.  The deadline is cleared *before* the resend re-arms it,
+        and a per-burst aggregate trace record replaces packet mode's
+        per-packet ``packet.retx`` event."""
+        if not self._active:
+            return
+        self._st.deadline[idx] = _INF
+        self._on_timeout(idx)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "burst.timeout", self.sim.now, cat="burst",
+                actor=self._actor, fired=1, slot=idx,
+            )
+
     def _cancel_timer(self, idx: int) -> None:
         timer = self._slot_timer[idx]
         if timer is not None:
@@ -454,13 +537,16 @@ class SwitchMLWorker:
             self._h_retx_gap.observe(self.sim.now - self._slot_sent_at[idx])
         if self.trace is not None:
             self.trace.tick("resent", self.sim.now)
-        if self._tracer.enabled:
+        if self._trace_packets and self._tracer.enabled:
             self._tracer.emit(
                 "packet.retx", self.sim.now, cat="packet", actor=self._actor,
                 slot=resend.idx, ver=resend.ver, off=resend.off,
             )
         self.host.send(frame)
-        self._arm_timer(idx)
+        if self._burst:
+            self._arm_deadline(idx)
+        else:
+            self._arm_timer(idx)
 
     def _deactivate(self) -> None:
         """Stop sending and retransmitting; shared by every stop path."""
@@ -533,12 +619,23 @@ class SwitchMLWorker:
             self.epoch = epoch
         if pool_size is not None and pool_size != self.s:
             self.s = pool_size
-            self._slot_backoff = [1.0] * pool_size
-            self._next_ver = [0] * pool_size
+            # fresh pool geometry: a fresh SoA core (backoff and versions
+            # restart too -- the switch's registers were reinstalled)
+            st = WorkerSlotState(pool_size)
+            self._st = st
+            self._slot_backoff = st.backoff
+            self._next_ver = st.next_ver
+            self._slot_off = st.off
+            self._slot_ver = st.ver
+            self._slot_sent_at = st.sent_at
+            self._slot_retransmitted = st.retransmitted
+            self._slot_retries = st.retries
 
     def _cancel_all_timers(self) -> None:
         for idx in range(len(self._slot_timer)):
             self._cancel_timer(idx)
+        if self._burst:
+            self._st.clear_deadlines()
 
     # ------------------------------------------------------------------
     # Heartbeats (control plane)
@@ -590,7 +687,7 @@ class SwitchMLWorker:
             return 0
         if self.done:
             return self._size
-        if not self._slot_off or self._active_slots == 0:
+        if len(self._slot_off) == 0 or self._active_slots == 0:
             return self._base_off
         stride = self.k * self.s
         lowest_unreceived = self._size
@@ -603,7 +700,7 @@ class SwitchMLWorker:
                 nxt = self._slot_off[idx] + stride
                 low = nxt if nxt < self._size else self._size
             lowest_unreceived = min(lowest_unreceived, low)
-        return lowest_unreceived
+        return int(lowest_unreceived)
 
     def restart_from(self, offset_elements: int) -> None:
         """Resume an interrupted aggregation from a chunk-aligned stream
@@ -628,15 +725,7 @@ class SwitchMLWorker:
         total_packets = (self._size - offset_elements) // self.k
         active_slots = min(self.s, total_packets)
         self._remaining = total_packets
-        self._slot_off = [0] * self.s
-        self._slot_ver = [0] * self.s
-        self._slot_packet = [None] * self.s
-        self._slot_timer = [None] * self.s
-        self._slot_sent_at = [0.0] * self.s
-        self._slot_retransmitted = [False] * self.s
-        self._slot_retries = [0] * self.s
-        self._slot_buf = [None] * self.s
-        self._slot_frame = [None] * self.s
+        self._reset_slot_state()
         self.failed = False
         self.crashed = False
         self._base_off = offset_elements
@@ -647,7 +736,7 @@ class SwitchMLWorker:
             return
         for i in range(active_slots):
             self._send_chunk(
-                idx=i, ver=self._next_ver[i], off=offset_elements + self.k * i
+                idx=i, ver=int(self._next_ver[i]), off=offset_elements + self.k * i
             )
 
     # ------------------------------------------------------------------
@@ -663,6 +752,28 @@ class SwitchMLWorker:
             return
         self._on_result(packet)
 
+    def on_frames(self, frames: list[Frame]) -> None:
+        """Burst-granularity RX entry: one call per group of frames the
+        host dispatched at the same timestamp, in arrival order.  Each
+        result is consumed exactly as :meth:`on_frame` would; the trace
+        record is one per-burst aggregate instead of per-packet events."""
+        stats = self.stats
+        on_result = self._on_result
+        results = 0
+        for frame in frames:
+            if frame.corrupted:
+                stats.corrupt_discarded += 1
+                continue
+            packet = frame.message
+            if isinstance(packet, SwitchMLPacket) and packet.from_switch:
+                results += 1
+                on_result(packet)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "burst.rx", self.sim.now, cat="burst", actor=self._actor,
+                frames=len(frames), results=results,
+            )
+
     def _on_result(self, p: SwitchMLPacket) -> None:
         """The per-result hot path (one call per received result frame);
         locals are hoisted and instruments gated on the cached flags."""
@@ -675,18 +786,27 @@ class SwitchMLWorker:
         # e.g. a unicast retransmitted result racing with the multicast
         # copy.  The (off, ver) pair identifies the phase; anything not
         # matching the slot's outstanding chunk has already been consumed.
-        # Epoch first: a stale-epoch idx may be out of range here.
+        # Epoch first: a stale-epoch idx may be out of range here.  The
+        # outstanding chunk's coordinates are read off its packet object
+        # (kept consistent with the SoA ``off``/``ver`` arrays by
+        # _send_chunk): this check runs per received result, and a list
+        # access plus attribute reads beat two NumPy scalar lookups.
+        if p.epoch != self.epoch:
+            outstanding = None
+        else:
+            outstanding = self._slot_packet[idx]
         if (
-            p.epoch != self.epoch
-            or off != self._slot_off[idx]
-            or ver != self._slot_ver[idx]
-            or self._slot_packet[idx] is None
+            outstanding is None
+            or off != outstanding.off
+            or ver != outstanding.ver
         ):
             stats.stale_results_ignored += 1
             if self._m_on:
                 self._m_stale.inc()
             return
 
+        if self._burst:
+            self._st.deadline[idx] = _INF
         timer = self._slot_timer[idx]
         if timer is not None:
             timer.cancel()
@@ -699,7 +819,7 @@ class SwitchMLWorker:
         if self._m_on:
             self._m_results.inc()
             self._h_rtt.observe(rtt_sample)
-        if self._tracer.enabled:
+        if self._trace_packets and self._tracer.enabled:
             self._tracer.emit(
                 "packet.rx", now, cat="packet", actor=self._actor,
                 slot=idx, ver=ver, off=off, rtt=rtt_sample,
@@ -711,6 +831,9 @@ class SwitchMLWorker:
             # lets a low-biased SRTT re-trigger the same spurious
             # timeout forever).  _observe_rtt's body, inlined: this runs
             # once per in-order result.
+            st = self._st
+            st.rtt_sum[idx] += rtt_sample
+            st.rtt_count[idx] += 1
             srtt = self._srtt
             if srtt is None:
                 self._srtt = rtt_sample
@@ -736,6 +859,7 @@ class SwitchMLWorker:
     def _finish(self) -> None:
         self._active = False
         self.stats.finish_time = self.sim.now
+        self._st.tat_finish = self.sim.now
         self._h_tat.observe(self.stats.tensor_aggregation_time)
         if self._tracer.enabled:
             self._tracer.span(
@@ -744,8 +868,7 @@ class SwitchMLWorker:
                 packets=self.stats.packets_sent,
                 retransmissions=self.stats.retransmissions,
             )
-        for idx in range(self.s):
-            self._cancel_timer(idx)
+        self._cancel_all_timers()
         if self.on_complete is not None:
             self.on_complete(self.wid, self.sim.now)
 

@@ -16,6 +16,7 @@ from typing import Any
 
 __all__ = [
     "ETHERNET_OVERHEAD_BYTES",
+    "FRAME_OVERHEAD_BYTES",
     "MTU_FRAME_BYTES",
     "SWITCHML_FRAME_BYTES",
     "SWITCHML_HEADER_BYTES",

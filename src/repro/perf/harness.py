@@ -122,14 +122,19 @@ def check_regression(
     more than ``max_regression`` (fraction) below the baseline.  An
     empty list means the gate passes."""
     failures: list[str] = []
+    base_wl = baseline.get("workloads", {})
+    cur_wl = current.get("workloads", {})
     for name, delta in compare(current, baseline).items():
         ratio = delta.get("events_per_s_ratio")
         if ratio is None:
             continue
         if ratio < 1.0 - max_regression:
+            base_rate = base_wl.get(name, {}).get("events_per_s", 0.0)
+            cur_rate = cur_wl.get(name, {}).get("events_per_s", 0.0)
             failures.append(
                 f"{name}: events/sec regressed to {ratio:.2f}x of baseline "
-                f"(allowed >= {1.0 - max_regression:.2f}x)"
+                f"(baseline {base_rate:,.0f} ev/s, measured {cur_rate:,.0f} "
+                f"ev/s; allowed >= {1.0 - max_regression:.2f}x)"
             )
     return failures
 

@@ -1,0 +1,80 @@
+"""Module-boundary tests for the two packet modules.
+
+Frame-size accounting is single-sourced in ``repro.net.packet``:
+``repro.core.packet`` (the SwitchML payload format) consumes ``Frame``
+and ``FRAME_OVERHEAD_BYTES`` but must not re-export them, so importers
+can't accidentally couple to the wrong layer and the two modules can't
+drift apart.
+"""
+
+from repro.core import packet as core_packet
+from repro.net import packet as net_packet
+
+
+def _public_names(module):
+    return {name for name in vars(module) if not name.startswith("_")}
+
+
+class TestNetPacketOwnsFrameAccounting:
+    def test_net_packet_exports_frame_names(self):
+        assert "Frame" in net_packet.__all__
+        assert "FRAME_OVERHEAD_BYTES" in net_packet.__all__
+
+    def test_core_packet_does_not_reexport_frame_names(self):
+        # neither declared ...
+        assert "Frame" not in core_packet.__all__
+        assert "FRAME_OVERHEAD_BYTES" not in core_packet.__all__
+        # ... nor reachable as public module attributes
+        assert not hasattr(core_packet, "Frame")
+        assert not hasattr(core_packet, "FRAME_OVERHEAD_BYTES")
+
+    def test_core_packet_frame_sizes_agree_with_net_packet(self):
+        p = core_packet.SwitchMLPacket(wid=0, ver=0, idx=0, off=0, num_elements=32)
+        assert p.wire_bytes() == 32 * 4 + net_packet.FRAME_OVERHEAD_BYTES
+        frame = p.to_frame(src="w0", dst="sw")
+        assert isinstance(frame, net_packet.Frame)
+        assert (
+            core_packet.HEARTBEAT_WIRE_BYTES
+            == net_packet.FRAME_OVERHEAD_BYTES + 12
+        )
+
+
+class TestAllConsistency:
+    """``__all__`` of both packet modules matches their public surface."""
+
+    def test_all_entries_resolvable(self):
+        for module in (core_packet, net_packet):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_no_undeclared_repro_reexports(self):
+        # A public attribute defined in *another* repro module and not
+        # listed in __all__ is exactly the aliasing drift this guards
+        # against (stdlib/typing imports are not the concern).
+        for module in (core_packet, net_packet):
+            declared = set(module.__all__)
+            leaks = set()
+            for name in _public_names(module) - declared:
+                origin = getattr(vars(module)[name], "__module__", None)
+                if (
+                    isinstance(origin, str)
+                    and origin.startswith("repro.")
+                    and origin != module.__name__
+                ):
+                    leaks.add(name)
+            assert leaks == set(), (
+                f"{module.__name__} re-exports without declaring: {leaks}"
+            )
+
+    def test_declared_names_are_defined_locally_or_constants(self):
+        # Everything a packet module declares public it must own:
+        # classes/functions defined in the module itself, or plain
+        # constants (which carry no origin and are defined in place).
+        for module in (core_packet, net_packet):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                origin = getattr(obj, "__module__", None)
+                if origin is not None:
+                    assert origin == module.__name__, (
+                        f"{module.__name__}.{name} belongs to {origin}"
+                    )

@@ -1,0 +1,138 @@
+"""Burst-vs-packet equivalence: the granularity knob's fidelity story.
+
+``granularity="burst"`` coalesces simultaneous arrivals into one engine
+event per stage and drains them through the vectorized batch handlers.
+The contract (ISSUE 5 / docs/ARCHITECTURE.md): burst mode must match
+packet mode on final tensors, per-worker retransmission counts, and
+completion times -- only the engine event count may differ.  Packet
+mode in turn must reproduce the PR-3 determinism fingerprints exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+N_WORKERS = 4
+K = 8
+N_ELEM = K * 512
+SEED = 11
+
+
+def _run(granularity: str, loss: float = 0.0, jitter_s: float = 0.0,
+         seed: int = SEED):
+    kwargs = dict(
+        num_workers=N_WORKERS,
+        pool_size=16,
+        elements_per_packet=K,
+        seed=seed,
+        granularity=granularity,
+    )
+    if loss:
+        kwargs["loss_factory"] = lambda: BernoulliLoss(loss)
+    if jitter_s:
+        kwargs["link"] = LinkSpec(jitter_s=jitter_s)
+    job = SwitchMLJob(SwitchMLConfig(**kwargs))
+    tensors = [
+        np.arange(N_ELEM, dtype=np.int64) * (w + 1) for w in range(N_WORKERS)
+    ]
+    res = job.all_reduce(tensors=tensors)
+    return {
+        "results": np.asarray(res.results),
+        "retx": [s.retransmissions for s in res.worker_stats],
+        "tats": [s.tensor_aggregation_time for s in res.worker_stats],
+        "events": job.sim.events_processed,
+        "completed": res.completed,
+    }
+
+
+CONFIGS = {
+    "clean": {},
+    "loss1pct": {"loss": 0.01},
+    "loss5pct": {"loss": 0.05},
+    "jitter": {"jitter_s": 2e-6},
+    "loss+jitter": {"loss": 0.02, "jitter_s": 2e-6},
+}
+
+
+class TestBurstMatchesPacket:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_equivalent_outcome(self, name):
+        cfg = CONFIGS[name]
+        packet = _run("packet", **cfg)
+        burst = _run("burst", **cfg)
+        assert packet["completed"] and burst["completed"]
+        np.testing.assert_array_equal(packet["results"], burst["results"])
+        assert packet["retx"] == burst["retx"]
+        assert packet["tats"] == burst["tats"]
+
+    def test_burst_coalesces_events_under_loss(self):
+        # with synchronized lossy senders, simultaneous switch arrivals
+        # exist, so burst mode must need strictly fewer engine events
+        packet = _run("packet", loss=0.05)
+        burst = _run("burst", loss=0.05)
+        assert burst["events"] < packet["events"]
+
+    @pytest.mark.parametrize("seed", [3, 77, 2024])
+    def test_equivalence_across_seeds(self, seed):
+        packet = _run("packet", loss=0.02, seed=seed)
+        burst = _run("burst", loss=0.02, seed=seed)
+        np.testing.assert_array_equal(packet["results"], burst["results"])
+        assert packet["retx"] == burst["retx"]
+        assert packet["tats"] == burst["tats"]
+
+
+class TestGranularityKnob:
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            SwitchMLJob(
+                SwitchMLConfig(
+                    num_workers=2, pool_size=4, granularity="frame"
+                )
+            )
+
+    def test_default_is_packet(self):
+        assert SwitchMLConfig(num_workers=2, pool_size=4).granularity == "packet"
+
+
+@pytest.mark.slow
+class TestPacketFingerprint:
+    """PR-3 determinism fingerprints: the packet-granularity schedule is
+    bit-for-bit unchanged by the data-oriented refactor."""
+
+    def test_fig4_lossy_fingerprint(self):
+        cfg = SwitchMLConfig(
+            num_workers=8,
+            pool_size=128,
+            elements_per_packet=32,
+            seed=7,
+            loss_factory=lambda: BernoulliLoss(0.01),
+        )
+        job = SwitchMLJob(cfg)
+        res = job.all_reduce(num_elements=32 * 8192, verify=False)
+        assert job.sim.events_processed == 371_090
+        assert res.retransmissions == 9_645
+        max_tat = max(s.tensor_aggregation_time for s in res.worker_stats)
+        assert max_tat == pytest.approx(0.033694296, abs=1e-12)
+
+    def test_fig4_lossy_burst_same_protocol_outcome(self):
+        def fingerprint(granularity):
+            cfg = SwitchMLConfig(
+                num_workers=8,
+                pool_size=128,
+                elements_per_packet=32,
+                seed=7,
+                loss_factory=lambda: BernoulliLoss(0.01),
+                granularity=granularity,
+            )
+            job = SwitchMLJob(cfg)
+            res = job.all_reduce(num_elements=32 * 8192, verify=False)
+            return (
+                res.retransmissions,
+                [s.retransmissions for s in res.worker_stats],
+                [s.tensor_aggregation_time for s in res.worker_stats],
+            )
+
+        assert fingerprint("packet") == fingerprint("burst")
