@@ -390,6 +390,106 @@ def _cmd_faults(args: argparse.Namespace) -> None:
     print(control_plane_summary(ctl))
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    """Run one all-reduce on a controller-supervised 2-tier Clos."""
+    from repro.net.fabric import (
+        CrashSpine,
+        FabricConfig,
+        FabricFaultInjector,
+        FabricFaultPlan,
+        FabricJob,
+        FlapFabricLink,
+        StragglerRack,
+        fabric_summary,
+    )
+    from repro.net.loss import BernoulliLoss, NoLoss
+    from repro.obs import Observability
+
+    job = FabricJob(
+        FabricConfig(
+            num_leaves=args.leaves,
+            num_spines=args.spines,
+            workers_per_leaf=args.workers_per_leaf,
+            pool_size=args.pool,
+            loss_factory=(lambda: BernoulliLoss(args.loss))
+            if args.loss
+            else NoLoss,
+            obs=Observability(tracing_enabled=False),
+            seed=args.seed,
+        )
+    )
+    at = args.at_ms * 1e-3
+    down = args.down_ms * 1e-3
+    plan = FabricFaultPlan()
+    initial_active = job.active_spine
+    spine = initial_active if args.spine is None else args.spine
+    if args.scenario == "spine-crash":
+        plan.add(CrashSpine(spine=spine, at_s=at))
+    elif args.scenario == "link-flap":
+        plan.add(FlapFabricLink(leaf=args.leaf, spine=spine, at_s=at,
+                                down_for_s=down))
+    elif args.scenario == "straggler":
+        plan.add(StragglerRack(leaf=args.leaf, at_s=at, down_for_s=down))
+    if plan.faults:
+        FabricFaultInjector(job, plan).arm()
+
+    n_elem = args.elements or int(args.mbytes * 1e6 / 4)
+    rng = np.random.default_rng(args.seed)
+    tensors = [rng.integers(-100, 100, n_elem).astype(np.int64)
+               for _ in range(job.config.num_workers)]
+    result = job.all_reduce(tensors, deadline_s=args.deadline_s)
+
+    if args.json:
+        _emit_json({
+            "leaves": args.leaves,
+            "spines": args.spines,
+            "workers": job.config.num_workers,
+            "scenario": args.scenario,
+            "completed": result.completed,
+            "state": result.state,
+            "epoch": result.epoch,
+            "reroutes": [
+                {
+                    "cause": r.cause,
+                    "from_spine": r.from_spine,
+                    "to_spine": r.to_spine,
+                    "epoch_after": r.epoch_after,
+                    "resumed_from_element": r.resumed_from_element,
+                    "recovery_s": r.recovery_time,
+                    "detection_s": r.detection_lag,
+                }
+                for r in result.reroutes
+            ],
+            "stale_epoch_drops": result.stale_epoch_drops,
+            "retransmissions": result.retransmissions,
+            "max_tat_s": result.max_tat if result.completed else None,
+            "elapsed_s": result.elapsed_s,
+        })
+    else:
+        print(f"scenario {args.scenario}: {args.leaves}x{args.spines} Clos, "
+              f"{job.config.num_workers} workers, {n_elem} elements, "
+              f"fault at {args.at_ms:g} ms")
+        print(f"completed={result.completed} epoch={result.epoch} "
+              f"reroutes={len(result.reroutes)} "
+              f"elapsed={result.elapsed_s * 1e3:.3f} ms")
+        if args.dashboard:
+            print(job.dashboard().summary())
+        else:
+            print(fabric_summary(job))
+
+    if args.check_recovery:
+        # a crash of the homing spine, or a flap of one of its trunks,
+        # must have forced a re-homing for the run to count as recovered
+        needs_reroute = args.scenario == "spine-crash" or (
+            args.scenario == "link-flap" and spine == initial_active
+        )
+        ok = result.completed and (not needs_reroute or result.reroutes)
+        if not ok:
+            print("fabric: recovery check FAILED", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the performance suite, emit BENCH.json, optionally gate."""
     from repro.perf import (
@@ -626,6 +726,43 @@ def main(argv: list[str] | None = None) -> int:
     flt.add_argument("--mbytes", type=float, default=0.5, help="tensor MB")
     flt.add_argument("--seed", type=int, default=0)
 
+    fab = sub.add_parser(
+        "fabric",
+        help="run an all-reduce on a 2-tier Clos fabric under the fabric "
+             "controller, optionally through a cross-rack fault",
+    )
+    fab.add_argument("--leaves", type=int, default=4)
+    fab.add_argument("--spines", type=int, default=2)
+    fab.add_argument("--workers-per-leaf", type=int, default=4)
+    fab.add_argument("--pool", type=int, default=16)
+    fab.add_argument("--mbytes", type=float, default=0.04, help="tensor MB")
+    fab.add_argument("--elements", type=int, default=None,
+                     help="tensor elements per worker (overrides --mbytes)")
+    fab.add_argument("--loss", type=float, default=0.0,
+                     help="per-link loss probability")
+    fab.add_argument(
+        "--scenario",
+        choices=("none", "spine-crash", "link-flap", "straggler"),
+        default="none",
+    )
+    fab.add_argument("--leaf", type=int, default=0,
+                     help="target leaf (link-flap / straggler)")
+    fab.add_argument("--spine", type=int, default=None,
+                     help="target spine (defaults to the active one)")
+    fab.add_argument("--at-ms", type=float, default=0.2,
+                     help="fault injection time")
+    fab.add_argument("--down-ms", type=float, default=3.0,
+                     help="outage duration (flap / straggler)")
+    fab.add_argument("--deadline-s", type=float, default=5.0,
+                     help="simulated-time deadline for the collective")
+    fab.add_argument("--seed", type=int, default=0)
+    fab.add_argument("--dashboard", action="store_true",
+                     help="print the full obs dashboard after the run")
+    fab.add_argument("--check-recovery", action="store_true",
+                     help="exit 1 unless the run completed (and rerouted, "
+                          "where the scenario demands one)")
+    fab.add_argument("--json", action="store_true")
+
     obs_p = sub.add_parser(
         "obs",
         help="observability: trace export, metrics dump, unified dashboard",
@@ -675,6 +812,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_violin(args)
     elif args.command in ("faults", "recover"):
         _cmd_faults(args)
+    elif args.command == "fabric":
+        return _cmd_fabric(args)
     elif args.command == "bench":
         return _cmd_bench(args)
     elif args.command == "obs":

@@ -42,6 +42,7 @@ from repro.net.link import Link, LinkSpec
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.net.switchchassis import PortDecision, SwitchChassis
+from repro.net.topology import TreeSpec, build_tree
 from repro.sim.engine import Simulator
 
 __all__ = ["HierarchicalConfig", "HierarchicalJob", "RackAggregatorProgram", "TreeResult"]
@@ -63,13 +64,17 @@ class RackAggregatorProgram:
         num_children: int,
         pool_size: int,
         elements_per_packet: int,
+        epoch: int = 0,
     ):
         if num_children < 1:
             raise ValueError("a rack needs at least one child")
+        if epoch < 0:
+            raise ValueError("pool epoch must be non-negative")
         self.rack_id = rack_id
         self.n = num_children
         self.s = pool_size
         self.k = elements_per_packet
+        self.epoch = epoch
         self.registers = RegisterFile()
         self._pool = self.registers.allocate("pool", 2 * pool_size * self.k, 32)
         self._count = self.registers.allocate("count", 2 * pool_size, 8)
@@ -79,6 +84,7 @@ class RackAggregatorProgram:
         self.partial_retransmits = 0
         self.results_multicast = 0
         self.unicast_replies = 0
+        self.stale_epoch_drops = 0
 
     # -- addressing ------------------------------------------------------
     def _range(self, ver: int, idx: int) -> tuple[int, int]:
@@ -98,7 +104,16 @@ class RackAggregatorProgram:
         Returns MULTICAST to mean "forward the partial upstream" (one
         copy; the adapter maps it to the uplink port) and UNICAST to
         mean "reply to child ``unicast_wid``".
+
+        Packets from a different pool epoch are fenced -- dropped before
+        any register access and counted -- exactly like the flat
+        :class:`~repro.core.switch_program.SwitchMLProgram` fence, so the
+        fabric controller can re-home a rack's aggregation without
+        in-flight pre-failure traffic touching the new registers.
         """
+        if p.epoch != self.epoch:
+            self.stale_epoch_drops += 1
+            return SwitchDecision(SwitchAction.DROP)
         if not 0 <= p.idx < self.s:
             raise ValueError(f"pool index {p.idx} out of range")
         if not 0 <= p.wid < self.n:
@@ -128,6 +143,7 @@ class RackAggregatorProgram:
                 partial = SwitchMLPacket(
                     wid=self.rack_id, ver=ver, idx=p.idx, off=p.off,
                     num_elements=p.num_elements, vector=vector,
+                    job_id=p.job_id, epoch=self.epoch,
                 )
                 return SwitchDecision(SwitchAction.MULTICAST, partial)
             return SwitchDecision(SwitchAction.DROP)
@@ -144,7 +160,7 @@ class RackAggregatorProgram:
             partial = SwitchMLPacket(
                 wid=self.rack_id, ver=ver, idx=p.idx, off=p.off,
                 num_elements=p.num_elements, vector=vector,
-                is_retransmission=True,
+                is_retransmission=True, job_id=p.job_id, epoch=self.epoch,
             )
             return SwitchDecision(SwitchAction.MULTICAST, partial)
         if state == _DONE:
@@ -162,6 +178,9 @@ class RackAggregatorProgram:
     # -- downward path -----------------------------------------------------
     def handle_result(self, p: SwitchMLPacket) -> SwitchDecision:
         """Process a completed aggregate arriving from upstream."""
+        if p.epoch != self.epoch:
+            self.stale_epoch_drops += 1
+            return SwitchDecision(SwitchAction.DROP)
         state = self._state.read(self._ci(p.ver, p.idx))
         if state != _FORWARDED:
             # Duplicate result (a unicast race); children that still miss
@@ -323,11 +342,22 @@ class HierarchicalJob:
         loss_factory = cfg.loss_factory
         make_loss = loss_factory if callable(loss_factory) else NoLoss
 
-        self.root = SwitchChassis(self.sim, "root", cfg.pipeline_latency_s)
+        self.tree = build_tree(
+            self.sim,
+            TreeSpec(
+                num_racks=cfg.num_racks,
+                hosts_per_rack=cfg.workers_per_rack,
+                link=cfg.link,
+                host=cfg.host,
+                pipeline_latency_s=cfg.pipeline_latency_s,
+                loss_factory=make_loss,
+            ),
+        )
+        self.root = self.tree.root
         self.root_program = SwitchMLProgram(
             cfg.num_racks, cfg.pool_size, cfg.elements_per_packet
         )
-        rack_names = [f"rack{r}" for r in range(cfg.num_racks)]
+        rack_names = [rack.switch.name for rack in self.tree.racks]
         self.root.load_program(
             _RootDataplane(self.root_program, rack_names)
         )
@@ -341,60 +371,35 @@ class HierarchicalJob:
         self._completed: set[int] = set()
 
         m = cfg.workers_per_rack
-        for r in range(cfg.num_racks):
-            chassis = SwitchChassis(self.sim, rack_names[r], cfg.pipeline_latency_s)
+        for r, rack in enumerate(self.tree.racks):
             program = RackAggregatorProgram(
                 rack_id=r, num_children=m,
                 pool_size=cfg.pool_size,
                 elements_per_packet=cfg.elements_per_packet,
             )
-            child_names = []
-            for c in range(m):
+            for c, host in enumerate(rack.hosts):
                 gwid = r * m + c
-                host = Host(self.sim, f"w{gwid}", cfg.host)
-                uplink = Link(
-                    self.sim, cfg.link, f"w{gwid}->{rack_names[r]}",
-                    deliver=chassis.ingress_callback(c), loss=make_loss(),
-                )
-                downlink = Link(
-                    self.sim, cfg.link, f"{rack_names[r]}->w{gwid}",
-                    deliver=host.deliver, loss=make_loss(),
-                )
-                host.uplink = uplink
-                chassis.attach_port(c, downlink)
                 worker = SwitchMLWorker(
                     sim=self.sim, host=host, wid=c,
                     num_workers=m, pool_size=cfg.pool_size,
                     elements_per_packet=cfg.elements_per_packet,
                     timeout_s=cfg.timeout_s,
                     on_complete=self._make_on_complete(gwid),
-                    switch_addr=rack_names[r],
+                    switch_addr=rack.switch.name,
                 )
                 host.attach_agent(worker)
-                child_names.append(host.name)
                 self.hosts.append(host)
                 self.workers.append(worker)
-                self.worker_uplinks.append(uplink)
-
-            uplink_port = m
-            rack_up = Link(
-                self.sim, cfg.link, f"{rack_names[r]}->root",
-                deliver=self.root.ingress_callback(r), loss=make_loss(),
-            )
-            root_down = Link(
-                self.sim, cfg.link, f"root->{rack_names[r]}",
-                deliver=chassis.ingress_callback(uplink_port), loss=make_loss(),
-            )
-            chassis.attach_port(uplink_port, rack_up)
-            self.root.attach_port(r, root_down)
-            chassis.load_program(
+                self.worker_uplinks.append(rack.host_uplinks[c])
+            rack.switch.load_program(
                 _RackDataplane(
-                    program, m, child_names, uplink_port, "root", rack_names[r]
+                    program, m, [h.name for h in rack.hosts],
+                    rack.uplink_port, self.root.name, rack.switch.name,
                 )
             )
-            self.rack_switches.append(chassis)
+            self.rack_switches.append(rack.switch)
             self.rack_programs.append(program)
-            self.rack_uplinks.append(rack_up)
+            self.rack_uplinks.append(rack.uplink)
 
     def _make_on_complete(self, gwid: int):
         def on_complete(local_wid: int, time: float) -> None:

@@ -702,7 +702,9 @@ class SwitchMLWorker:
             lowest_unreceived = min(lowest_unreceived, low)
         return int(lowest_unreceived)
 
-    def restart_from(self, offset_elements: int) -> None:
+    def restart_from(
+        self, offset_elements: int, reset_versions: bool = False
+    ) -> None:
         """Resume an interrupted aggregation from a chunk-aligned stream
         offset, keeping the tensor and all results below the offset.
 
@@ -711,6 +713,17 @@ class SwitchMLWorker:
         reinstalled fresh, so everything from ``offset_elements`` onward
         is re-streamed (chunks received beyond the prefix are simply
         re-aggregated to the same values).
+
+        ``reset_versions`` restarts every slot stripe at pool version 0.
+        The slot-version invariant is that all contributors to a pool use
+        the same version for the same stripe; it survives a replay only
+        if every peer's per-slot version counters agree at the restart
+        offset.  Peers that stalled at different points before the
+        failure (e.g. racks behind a flapped trunk while other racks kept
+        streaming) violate that, and replaying into the fresh pool with
+        mixed versions strands every slot half-seen on both versions.
+        Since the recovery installs zeroed pools anyway, a fleet-wide
+        version reset at the common offset restores the invariant.
         """
         if self._active:
             raise RuntimeError(f"worker {self.wid} already aggregating")
@@ -726,6 +739,8 @@ class SwitchMLWorker:
         active_slots = min(self.s, total_packets)
         self._remaining = total_packets
         self._reset_slot_state()
+        if reset_versions:
+            self._next_ver[:] = 0
         self.failed = False
         self.crashed = False
         self._base_off = offset_elements

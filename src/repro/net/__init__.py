@@ -43,7 +43,17 @@ from repro.net.packet import (
     goodput_fraction,
 )
 from repro.net.switchchassis import PortDecision, SwitchChassis
-from repro.net.topology import Rack, RackSpec, build_rack
+from repro.net.topology import (
+    Rack,
+    RackSpec,
+    Tree,
+    TreeRack,
+    TreeSpec,
+    attach_host,
+    build_rack,
+    build_tree,
+    connect_switches,
+)
 
 __all__ = [
     "BernoulliLoss",
@@ -64,7 +74,13 @@ __all__ = [
     "SWITCHML_HEADER_BYTES",
     "ScriptedLoss",
     "SwitchChassis",
+    "Tree",
+    "TreeRack",
+    "TreeSpec",
+    "attach_host",
     "build_rack",
+    "build_tree",
+    "connect_switches",
     "elements_per_packet",
     "frame_bytes_for_elements",
     "goodput_fraction",

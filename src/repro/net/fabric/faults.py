@@ -1,0 +1,168 @@
+"""Declarative fault injection for fabric jobs.
+
+The fabric analogue of :mod:`repro.controlplane.faults`, covering the
+cross-rack failure taxonomy the Clos introduces:
+
+* :class:`CrashSpine` -- a spine dies: program, registers, and local CPU
+  gone.  Every trunk through it goes silent at once; if it was homing
+  the aggregation, the controller must re-home.
+* :class:`FlapFabricLink` -- one leaf-spine trunk drops every frame for
+  a window, then heals (a flapping transceiver).  Only that trunk's
+  beacons stop; a flap on the active spine's trunk forces a reroute even
+  though the spine itself is fine.
+* :class:`StragglerRack` -- every host link in one rack turns heavily
+  lossy for a window (an overloaded or mis-cabled ToR).  No reroute is
+  warranted -- the trunks stay healthy -- but the whole fabric's
+  self-clocked streams slow to the straggler's pace, and the run must
+  still produce exact sums.
+
+Link faults swap the link's loss model for
+:class:`~repro.controlplane.faults.DropAll` (or a heavy Bernoulli) and
+restore the original afterwards, composing with any probabilistic loss
+already configured -- same layering as the single-rack injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.controlplane.faults import DropAll
+from repro.net.loss import BernoulliLoss
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.fabric.job import FabricJob
+
+__all__ = [
+    "CrashSpine",
+    "FabricFaultInjector",
+    "FabricFaultPlan",
+    "FlapFabricLink",
+    "StragglerRack",
+]
+
+
+@dataclass(frozen=True)
+class CrashSpine:
+    """Fail-stop ``spine`` at ``at_s`` (no repair; reroute recovers)."""
+
+    spine: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class FlapFabricLink:
+    """Both directions of the ``leaf``-``spine`` trunk dead during the
+    window."""
+
+    leaf: int
+    spine: int
+    at_s: float
+    down_for_s: float
+
+
+@dataclass(frozen=True)
+class StragglerRack:
+    """Every host link of ``leaf`` drops ``loss`` of frames during the
+    window."""
+
+    leaf: int
+    at_s: float
+    down_for_s: float
+    loss: float = 0.3
+
+
+@dataclass
+class FabricFaultPlan:
+    """An ordered set of fabric faults to inject into one run."""
+
+    faults: list[CrashSpine | FlapFabricLink | StragglerRack] = field(
+        default_factory=list
+    )
+
+    def add(
+        self, fault: CrashSpine | FlapFabricLink | StragglerRack
+    ) -> "FabricFaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def validate(self, num_leaves: int, num_spines: int) -> None:
+        for f in self.faults:
+            if f.at_s < 0:
+                raise ValueError(f"{f} scheduled in the past")
+            if isinstance(f, (FlapFabricLink, StragglerRack)) and f.down_for_s <= 0:
+                raise ValueError(f"{f} needs a positive outage duration")
+            if isinstance(f, (CrashSpine, FlapFabricLink)):
+                if not 0 <= f.spine < num_spines:
+                    raise ValueError(f"{f} targets unknown spine {f.spine}")
+            if isinstance(f, (FlapFabricLink, StragglerRack)):
+                if not 0 <= f.leaf < num_leaves:
+                    raise ValueError(f"{f} targets unknown leaf {f.leaf}")
+            if isinstance(f, StragglerRack) and not 0 < f.loss <= 1:
+                raise ValueError(f"{f} loss must be in (0, 1]")
+
+
+class FabricFaultInjector:
+    """Arms a :class:`FabricFaultPlan` on a fabric job's simulator."""
+
+    def __init__(self, job: "FabricJob", plan: FabricFaultPlan):
+        self.job = job
+        self.plan = plan
+        self.armed = False
+        self._saved_trunk: dict[tuple[int, int], tuple] = {}
+        self._saved_rack: dict[int, list[tuple]] = {}
+
+    def arm(self) -> None:
+        """Schedule every fault; call once, before (or during) the run."""
+        if self.armed:
+            raise RuntimeError("fault plan already armed")
+        spec = self.job.fabric.spec
+        self.plan.validate(spec.num_leaves, spec.num_spines)
+        sim = self.job.sim
+        for f in self.plan.faults:
+            if isinstance(f, CrashSpine):
+                sim.schedule_at(f.at_s, self._crash_spine, f.spine)
+            elif isinstance(f, FlapFabricLink):
+                sim.schedule_at(f.at_s, self._flap_start, f.leaf, f.spine)
+                sim.schedule_at(
+                    f.at_s + f.down_for_s, self._flap_end, f.leaf, f.spine
+                )
+            elif isinstance(f, StragglerRack):
+                sim.schedule_at(f.at_s, self._straggle_start, f.leaf, f.loss)
+                sim.schedule_at(f.at_s + f.down_for_s, self._straggle_end, f.leaf)
+            else:  # pragma: no cover - plan.validate catches junk first
+                raise TypeError(f"unknown fault {f!r}")
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    def _crash_spine(self, spine: int) -> None:
+        self.job.crash_spine(spine)
+
+    def _flap_start(self, leaf: int, spine: int) -> None:
+        up = self.job.fabric.leaf_uplink(leaf, spine)
+        down = self.job.fabric.spine_downlink(leaf, spine)
+        self._saved_trunk[(leaf, spine)] = (up.loss, down.loss)
+        up.loss = DropAll()
+        down.loss = DropAll()
+
+    def _flap_end(self, leaf: int, spine: int) -> None:
+        up_loss, down_loss = self._saved_trunk.pop((leaf, spine))
+        self.job.fabric.leaf_uplink(leaf, spine).loss = up_loss
+        self.job.fabric.spine_downlink(leaf, spine).loss = down_loss
+
+    def _straggle_start(self, leaf: int, loss: float) -> None:
+        rack = self.job.fabric.leaves[leaf]
+        saved = []
+        for up, down in zip(rack.host_uplinks, rack.host_downlinks):
+            saved.append((up.loss, down.loss))
+            up.loss = BernoulliLoss(loss)
+            down.loss = BernoulliLoss(loss)
+        self._saved_rack[leaf] = saved
+
+    def _straggle_end(self, leaf: int) -> None:
+        rack = self.job.fabric.leaves[leaf]
+        for (up_loss, down_loss), up, down in zip(
+            self._saved_rack.pop(leaf), rack.host_uplinks, rack.host_downlinks
+        ):
+            up.loss = up_loss
+            down.loss = down_loss

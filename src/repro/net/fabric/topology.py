@@ -1,0 +1,197 @@
+"""Clos fabric generation: leaves, spines, and every cable between.
+
+A 2-tier k-ary Clos (spine-leaf) fabric: ``num_leaves`` leaf (ToR)
+switches each hosting ``hosts_per_leaf`` workers, fully meshed to
+``num_spines`` spine switches.  Built entirely from the shared
+:mod:`repro.net.topology` primitives -- :func:`~repro.net.topology.attach_host`
+for the rack stars and :func:`~repro.net.topology.connect_switches` for
+the leaf-spine trunks -- so link naming, loss-model instantiation, and
+RNG substream keying are identical to the single-rack and tree builders.
+
+Port conventions (``m = hosts_per_leaf``):
+
+* leaf ports ``0 .. m-1``    -- workers (port ``c`` = local worker ``c``);
+* leaf ports ``m .. m+S-1``  -- uplinks (port ``m + s`` faces spine ``s``);
+* spine port ``l``           -- faces leaf ``l``.
+
+The builder only wires; aggregation programs, dataplanes, and the
+fabric controller live in :mod:`repro.net.fabric.job` and
+:mod:`repro.net.fabric.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.net.host import Host, HostSpec
+from repro.net.link import Link, LinkSpec
+from repro.net.loss import LossModel, NoLoss
+from repro.net.switchchassis import SwitchChassis
+from repro.net.topology import attach_host, connect_switches
+from repro.sim.engine import Simulator
+
+__all__ = ["ClosFabric", "FabricLeaf", "FabricSpec", "FabricSpine", "build_fabric"]
+
+
+@dataclass
+class FabricSpec:
+    """Shape and parts list of a 2-tier Clos fabric."""
+
+    num_leaves: int = 4
+    num_spines: int = 2
+    hosts_per_leaf: int = 4
+    link: LinkSpec = field(default_factory=LinkSpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    pipeline_latency_s: float = 800e-9
+    loss_factory: Callable[[], LossModel] = NoLoss
+    leaf_name_prefix: str = "leaf"
+    spine_name_prefix: str = "spine"
+    host_name_prefix: str = "w"
+
+    def validate(self) -> None:
+        if self.num_leaves < 1:
+            raise ValueError("a fabric needs at least one leaf")
+        if self.num_spines < 1:
+            raise ValueError("a fabric needs at least one spine")
+        if self.hosts_per_leaf < 1:
+            raise ValueError("a leaf needs at least one host")
+
+
+@dataclass
+class FabricLeaf:
+    """One built leaf: its rack star plus one trunk per spine."""
+
+    index: int
+    switch: SwitchChassis
+    hosts: list[Host]
+    host_uplinks: list[Link]
+    host_downlinks: list[Link]
+    #: trunk links indexed by spine: ``uplinks[s]`` carries leaf->spine
+    uplinks: list[Link]
+    downlinks: list[Link]
+
+    def uplink_port(self, spine: int) -> int:
+        """Leaf-switch port of the trunk facing ``spine``."""
+        return len(self.hosts) + spine
+
+
+@dataclass
+class FabricSpine:
+    """One built spine switch.  ``cpu_alive`` models the switch-local
+    control CPU: a crashed spine stops emitting link heartbeats, which is
+    how the fabric controller detects it (a dead CPU cannot announce its
+    own death)."""
+
+    index: int
+    switch: SwitchChassis
+    cpu_alive: bool = True
+
+
+@dataclass
+class ClosFabric:
+    """A built fabric.  Programs, agents, and control are the caller's."""
+
+    sim: Simulator
+    spec: FabricSpec
+    leaves: list[FabricLeaf]
+    spines: list[FabricSpine]
+
+    @property
+    def num_workers(self) -> int:
+        return self.spec.num_leaves * self.spec.hosts_per_leaf
+
+    @property
+    def hosts(self) -> list[Host]:
+        """All hosts in global id order (leaf-major)."""
+        return [h for leaf in self.leaves for h in leaf.hosts]
+
+    def leaf_uplink(self, leaf: int, spine: int) -> Link:
+        return self.leaves[leaf].uplinks[spine]
+
+    def spine_downlink(self, leaf: int, spine: int) -> Link:
+        return self.leaves[leaf].downlinks[spine]
+
+    def trunk_links(self) -> Iterator[tuple[int, int, Link, Link]]:
+        """Yield ``(leaf, spine, uplink, downlink)`` for every trunk."""
+        for leaf in self.leaves:
+            for s in range(self.spec.num_spines):
+                yield leaf.index, s, leaf.uplinks[s], leaf.downlinks[s]
+
+    def all_links(self) -> list[Link]:
+        links: list[Link] = []
+        for leaf in self.leaves:
+            links.extend(leaf.host_uplinks)
+            links.extend(leaf.host_downlinks)
+            links.extend(leaf.uplinks)
+            links.extend(leaf.downlinks)
+        return links
+
+    def conservation_holds(self) -> bool:
+        """Every link satisfies sent == delivered + lost (once idle)."""
+        return all(l.stats.conservation_holds() for l in self.all_links())
+
+    def total_frames_lost(self) -> int:
+        return sum(l.stats.frames_lost for l in self.all_links())
+
+
+def build_fabric(sim: Simulator, spec: FabricSpec) -> ClosFabric:
+    """Instantiate every switch, host, and cable of the Clos."""
+    spec.validate()
+    spines = [
+        FabricSpine(
+            index=s,
+            switch=SwitchChassis(
+                sim, f"{spec.spine_name_prefix}{s}", spec.pipeline_latency_s
+            ),
+        )
+        for s in range(spec.num_spines)
+    ]
+    leaves: list[FabricLeaf] = []
+    m = spec.hosts_per_leaf
+    for l in range(spec.num_leaves):
+        switch = SwitchChassis(
+            sim, f"{spec.leaf_name_prefix}{l}", spec.pipeline_latency_s
+        )
+        hosts: list[Host] = []
+        host_uplinks: list[Link] = []
+        host_downlinks: list[Link] = []
+        for c in range(m):
+            host, up, down = attach_host(
+                sim,
+                switch,
+                port=c,
+                name=f"{spec.host_name_prefix}{l * m + c}",
+                host_spec=spec.host,
+                link_spec=spec.link,
+                loss_factory=spec.loss_factory,
+            )
+            hosts.append(host)
+            host_uplinks.append(up)
+            host_downlinks.append(down)
+        uplinks: list[Link] = []
+        downlinks: list[Link] = []
+        for s in range(spec.num_spines):
+            up, down = connect_switches(
+                sim,
+                lower=switch,
+                lower_port=m + s,
+                upper=spines[s].switch,
+                upper_port=l,
+                link_spec=spec.link,
+                loss_factory=spec.loss_factory,
+            )
+            uplinks.append(up)
+            downlinks.append(down)
+        leaves.append(
+            FabricLeaf(
+                index=l,
+                switch=switch,
+                hosts=hosts,
+                host_uplinks=host_uplinks,
+                host_downlinks=host_downlinks,
+                uplinks=uplinks,
+                downlinks=downlinks,
+            )
+        )
+    return ClosFabric(sim=sim, spec=spec, leaves=leaves, spines=spines)

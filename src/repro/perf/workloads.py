@@ -158,6 +158,48 @@ def engine_churn(scale: float = 1.0) -> dict[str, Any]:
     }
 
 
+def fabric_2tier(scale: float = 1.0) -> dict[str, Any]:
+    """A 2-tier Clos all-reduce under the fabric controller.
+
+    4 leaves x 8 workers on clean links, phantom tensors: the measured
+    region covers the two-tier aggregation path (leaf rack pools, the
+    spine pool, controller heartbeat traffic) end to end.  Packets
+    counted are worker transmissions, as in the flat workloads; leaf
+    partials and beacons show up only as engine events.
+    """
+    from repro.net.fabric import FabricConfig, FabricJob
+
+    job = FabricJob(
+        FabricConfig(
+            num_leaves=4,
+            num_spines=2,
+            workers_per_leaf=8,
+            pool_size=64,
+            elements_per_packet=32,
+            seed=7,
+        )
+    )
+    elements = max(256, int(_FIG4_ELEMENTS * scale) // 4)
+    t0 = time.perf_counter()
+    res = job.all_reduce(num_elements=elements, deadline_s=30.0)
+    wall = time.perf_counter() - t0
+    events = job.sim.events_processed
+    packets = sum(s.packets_sent for s in res.worker_stats)
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_s": packets / wall if wall > 0 else 0.0,
+        "extra": {
+            "completed": res.completed,
+            "reroutes": len(res.reroutes),
+            "retransmissions": res.retransmissions,
+            "max_tat_s": res.max_tat,
+        },
+    }
+
+
 def core_scaling(scale: float = 1.0) -> dict[str, Any]:
     """Worker-count sweep (2/4/8) on clean links, aggregated.
 
@@ -203,6 +245,7 @@ WORKLOADS: dict[str, Callable[[float], dict[str, Any]]] = {
     "fig4_clean_burst": fig4_clean_burst,
     "engine_churn": engine_churn,
     "core_scaling": core_scaling,
+    "fabric_2tier": fabric_2tier,
 }
 
 

@@ -1,0 +1,155 @@
+"""Tests for the fabric controller: discovery, ECMP, liveness, state."""
+
+import pytest
+
+from repro.controlplane.faults import DropAll
+from repro.net.fabric import FabricConfig, FabricController, FabricJob, FabricState
+from repro.net.loss import NoLoss
+from repro.obs.base import Observability
+
+
+def make_job(**kwargs):
+    kwargs.setdefault("num_leaves", 2)
+    kwargs.setdefault("num_spines", 2)
+    kwargs.setdefault("workers_per_leaf", 2)
+    return FabricJob(FabricConfig(**kwargs))
+
+
+def run_until(job, t_s):
+    sim = job.sim
+    while sim.now < t_s and sim.step():
+        pass
+
+
+class TestDiscovery:
+    def test_topology_view_matches_build(self):
+        job = make_job(num_leaves=3, num_spines=2, workers_per_leaf=4)
+        view = job.controller.topology_view()
+        assert view["leaves"] == ["leaf0", "leaf1", "leaf2"]
+        assert view["spines"] == ["spine0", "spine1"]
+        assert view["hosts_per_leaf"] == 4
+        assert len(view["trunks"]) == 6
+        t = next(
+            x for x in view["trunks"] if x["leaf"] == 1 and x["spine"] == 0
+        )
+        assert t["leaf_port"] == 4  # m + s = 4 + 0
+        assert t["spine_port"] == 1  # spine port l
+        assert t["uplink"] == "leaf1->spine0"
+        assert t["downlink"] == "spine0->leaf1"
+
+    def test_one_liveness_entry_per_trunk(self):
+        job = make_job(num_leaves=3, num_spines=2)
+        assert set(job.controller.links) == {
+            (l, s) for l in range(3) for s in range(2)
+        }
+
+
+class TestPathSelection:
+    def test_deterministic_for_job_id(self):
+        job = make_job()
+        c = job.controller
+        assert c.select_spine(7, [0, 1]) == c.select_spine(7, [0, 1])
+
+    def test_selection_is_a_member(self):
+        job = make_job(num_spines=2)
+        c = job.controller
+        for jid in range(16):
+            assert c.select_spine(jid, [0, 1]) in (0, 1)
+            assert c.select_spine(jid, [1]) == 1
+
+    def test_spreads_across_spines(self):
+        job = make_job()
+        c = job.controller
+        picks = {c.select_spine(jid, [0, 1, 2, 3]) for jid in range(64)}
+        assert len(picks) > 1
+
+    def test_no_candidates_raises(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="healthy"):
+            job.controller.select_spine(0, [])
+
+
+class TestValidation:
+    def test_threshold_must_exceed_probe_interval(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="probe interval"):
+            FabricController(job, probe_interval_s=1e-3, link_down_after_s=1e-3)
+
+    def test_probe_interval_positive(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="positive"):
+            FabricController(job, probe_interval_s=0.0)
+
+
+class TestLiveness:
+    def test_standby_trunk_flap_detected_and_healed(self):
+        obs = Observability(tracing_enabled=False)
+        job = make_job(obs=obs, probe_interval_s=1e-4, link_down_after_s=5e-4)
+        standby = 1 - job.active_spine
+        job.controller.start()
+        run_until(job, 2e-3)
+        key = (0, standby)
+        assert job.controller.links[key].up
+
+        up = job.fabric.leaf_uplink(0, standby)
+        down = job.fabric.spine_downlink(0, standby)
+        saved = (up.loss, down.loss)
+        up.loss = DropAll()
+        down.loss = DropAll()
+        run_until(job, 4e-3)
+        link = job.controller.links[key]
+        assert not link.up
+        assert link.down_transitions == 1
+        assert obs.metrics.counter("fabric_link_down_total").value >= 1
+        # standby trunk down must not trigger a reroute
+        assert job.controller.state is FabricState.MONITORING
+        assert not job.controller.records
+
+        up.loss, down.loss = saved
+        run_until(job, 6e-3)
+        assert job.controller.links[key].up
+        assert obs.metrics.counter("fabric_link_up_total").value >= 1
+        job.controller.stop()
+
+    def test_spine_is_dead_signature(self):
+        job = make_job(num_leaves=3)
+        c = job.controller
+        assert not c.spine_is_dead(0)
+        for l in range(3):
+            c.links[(l, 0)].up = False
+        assert c.spine_is_dead(0)
+        c.links[(1, 0)].up = True
+        assert not c.spine_is_dead(0)
+
+    def test_healthy_spines_excludes_dead_cpu_and_down_trunks(self):
+        job = make_job(num_spines=3)
+        c = job.controller
+        assert c.healthy_spines() == [0, 1, 2]
+        job.fabric.spines[1].cpu_alive = False
+        c.links[(0, 2)].up = False
+        assert c.healthy_spines() == [0]
+
+    def test_heartbeats_keep_links_up_on_clean_fabric(self):
+        job = make_job()
+        job.controller.start()
+        run_until(job, 5e-3)
+        assert all(l.up for l in job.controller.links.values())
+        assert job.heartbeats_punted > 0
+        job.controller.stop()
+
+    def test_unknown_heartbeat_ignored(self):
+        from repro.net.fabric import LinkHeartbeat
+
+        job = make_job()
+        job.controller.on_heartbeat(LinkHeartbeat(leaf=99, spine=99, toward_spine=True))
+        # no KeyError, no new liveness entry
+        assert (99, 99) not in job.controller.links
+
+
+class TestSummary:
+    def test_summary_mentions_state_and_trunks(self):
+        job = make_job()
+        text = job.controller.summary()
+        assert "state=monitoring" in text
+        assert "4/4 up" in text
+        assert "reroutes: none" in text

@@ -1,0 +1,105 @@
+"""Tests for the generated 2-tier Clos fabric (repro.net.fabric.topology)."""
+
+import pytest
+
+from repro.net.fabric import ClosFabric, FabricSpec, build_fabric
+from repro.sim.engine import Simulator
+
+
+def small_fabric(num_leaves=3, num_spines=2, hosts_per_leaf=2):
+    sim = Simulator(seed=0)
+    spec = FabricSpec(
+        num_leaves=num_leaves, num_spines=num_spines, hosts_per_leaf=hosts_per_leaf
+    )
+    return build_fabric(sim, spec)
+
+
+class TestBuildFabric:
+    def test_shape(self):
+        fabric = small_fabric()
+        assert isinstance(fabric, ClosFabric)
+        assert len(fabric.leaves) == 3
+        assert len(fabric.spines) == 2
+        assert fabric.num_workers == 6
+        for leaf in fabric.leaves:
+            assert len(leaf.hosts) == 2
+            assert len(leaf.uplinks) == 2
+            assert len(leaf.downlinks) == 2
+
+    def test_host_names_are_global_leaf_major(self):
+        fabric = small_fabric()
+        assert [h.name for h in fabric.hosts] == [f"w{i}" for i in range(6)]
+        # leaf 1's local hosts are global ids 2 and 3
+        assert [h.name for h in fabric.leaves[1].hosts] == ["w2", "w3"]
+
+    def test_switch_names(self):
+        fabric = small_fabric()
+        assert [l.switch.name for l in fabric.leaves] == ["leaf0", "leaf1", "leaf2"]
+        assert [s.switch.name for s in fabric.spines] == ["spine0", "spine1"]
+
+    def test_port_conventions(self):
+        fabric = small_fabric(hosts_per_leaf=4)
+        leaf = fabric.leaves[0]
+        # workers on 0..m-1, spine s on port m+s
+        assert leaf.uplink_port(0) == 4
+        assert leaf.uplink_port(1) == 5
+
+    def test_trunk_link_names_follow_shared_convention(self):
+        fabric = small_fabric()
+        up = fabric.leaf_uplink(1, 0)
+        down = fabric.spine_downlink(1, 0)
+        assert up.name == "leaf1->spine0"
+        assert down.name == "spine0->leaf1"
+
+    def test_host_link_names(self):
+        fabric = small_fabric()
+        leaf = fabric.leaves[2]
+        assert leaf.host_uplinks[0].name == "w4->leaf2"
+        assert leaf.host_downlinks[0].name == "leaf2->w4"
+        assert leaf.hosts[0].uplink is leaf.host_uplinks[0]
+
+    def test_trunk_links_enumerates_full_mesh(self):
+        fabric = small_fabric()
+        trunks = list(fabric.trunk_links())
+        assert len(trunks) == 3 * 2
+        assert {(l, s) for l, s, _, _ in trunks} == {
+            (l, s) for l in range(3) for s in range(2)
+        }
+        for l, s, up, down in trunks:
+            assert up is fabric.leaf_uplink(l, s)
+            assert down is fabric.spine_downlink(l, s)
+
+    def test_all_links_counts_every_cable(self):
+        fabric = small_fabric()
+        # per leaf: 2 host up + 2 host down + 2 trunk up + 2 trunk down
+        assert len(fabric.all_links()) == 3 * (2 + 2 + 2 + 2)
+        names = [l.name for l in fabric.all_links()]
+        assert len(names) == len(set(names))
+
+    def test_conservation_holds_on_idle_fabric(self):
+        fabric = small_fabric()
+        assert fabric.conservation_holds()
+        assert fabric.total_frames_lost() == 0
+
+    def test_spine_cpu_starts_alive(self):
+        fabric = small_fabric()
+        assert all(sp.cpu_alive for sp in fabric.spines)
+
+
+class TestFabricSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_leaves": 0},
+            {"num_spines": 0},
+            {"hosts_per_leaf": 0},
+        ],
+    )
+    def test_bad_shape_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            build_fabric(Simulator(seed=0), FabricSpec(**kwargs))
+
+    def test_single_spine_single_leaf_allowed(self):
+        fabric = small_fabric(num_leaves=1, num_spines=1, hosts_per_leaf=1)
+        assert fabric.num_workers == 1
+        assert len(list(fabric.trunk_links())) == 1

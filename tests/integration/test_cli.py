@@ -154,3 +154,54 @@ class TestCliObs:
         out = capsys.readouterr().out
         assert "worker-failure" in out
         assert "epoch-fence drops" in out
+
+
+class TestCliFabric:
+    def test_fabric_clean_run(self, capsys):
+        assert main(["fabric", "--elements", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+        assert "state=monitoring" in out
+
+    def test_fabric_spine_crash_check_recovery(self, capsys):
+        assert main([
+            "fabric", "--scenario", "spine-crash", "--check-recovery",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reroutes=1" in out
+        assert "epoch=1" in out
+
+    def test_fabric_json(self, capsys):
+        import json as _json
+
+        assert main([
+            "fabric", "--scenario", "spine-crash", "--elements", "10240",
+            "--json",
+        ]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["completed"] is True
+        assert doc["epoch"] == 1
+        assert len(doc["reroutes"]) == 1
+        assert doc["reroutes"][0]["cause"] == "spine-dead"
+        assert doc["reroutes"][0]["recovery_s"] > 0
+
+    def test_fabric_dashboard(self, capsys):
+        assert main([
+            "fabric", "--elements", "2048", "--dashboard",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "observability dashboard" in out
+        assert "rack telemetry" in out
+        assert "->" in out  # per-link utilization rows
+
+    def test_fabric_straggler(self, capsys):
+        assert main([
+            "fabric", "--scenario", "straggler", "--leaf", "1",
+            "--down-ms", "1.0", "--elements", "10240",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+
+    def test_fabric_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fabric", "--scenario", "leaf-crash"])

@@ -65,3 +65,116 @@ class TestBuildRack:
         sim.run()
         assert rack.total_frames_lost() == 1
         assert rack.conservation_holds()
+
+
+class TestAttachHost:
+    def test_wires_host_switch_and_links(self):
+        from repro.net.topology import attach_host
+
+        sim = Simulator()
+        sw = __import__("repro.net.switchchassis", fromlist=["SwitchChassis"]).SwitchChassis(sim, "sw")
+        host, up, down = attach_host(sim, sw, port=3, name="h7")
+        assert host.name == "h7"
+        assert up.name == "h7->sw"
+        assert down.name == "sw->h7"
+        assert host.uplink is up
+        assert 3 in sw.ports
+
+    def test_loss_models_are_per_link(self):
+        from repro.net.switchchassis import SwitchChassis
+        from repro.net.topology import attach_host
+
+        sim = Simulator()
+        sw = SwitchChassis(sim, "sw")
+        _, up, down = attach_host(
+            sim, sw, port=0, name="h0", loss_factory=lambda: ScriptedLoss({0})
+        )
+        assert up.loss is not down.loss
+
+
+class TestConnectSwitches:
+    def test_trunk_names_and_ports(self):
+        from repro.net.switchchassis import SwitchChassis
+        from repro.net.topology import connect_switches
+
+        sim = Simulator()
+        lower = SwitchChassis(sim, "leafX")
+        upper = SwitchChassis(sim, "spineY")
+        up, down = connect_switches(
+            sim, lower=lower, lower_port=4, upper=upper, upper_port=1
+        )
+        assert up.name == "leafX->spineY"
+        assert down.name == "spineY->leafX"
+        assert 4 in lower.ports
+        assert 1 in upper.ports
+
+
+class TestBuildTree:
+    def test_tree_shape_and_names(self):
+        from repro.net.topology import TreeSpec, build_tree
+
+        sim = Simulator()
+        tree = build_tree(sim, TreeSpec(num_racks=3, hosts_per_rack=2))
+        assert tree.root.name == "root"
+        assert [r.switch.name for r in tree.racks] == ["rack0", "rack1", "rack2"]
+        assert [h.name for h in tree.hosts] == [f"w{i}" for i in range(6)]
+        # rack uplink uses port m on the rack switch, port r on the root
+        assert tree.racks[1].uplink_port == 2
+        assert tree.racks[1].uplink.name == "rack1->root"
+        assert tree.racks[1].downlink.name == "root->rack1"
+        assert tree.conservation_holds()
+
+    def test_all_links_unique(self):
+        from repro.net.topology import TreeSpec, build_tree
+
+        sim = Simulator()
+        tree = build_tree(sim, TreeSpec(num_racks=2, hosts_per_rack=3))
+        names = [l.name for l in tree.all_links()]
+        # per rack: 3 host pairs + 1 trunk pair
+        assert len(names) == 2 * (3 * 2 + 2)
+        assert len(names) == len(set(names))
+
+    def test_invalid_spec_rejected(self):
+        from repro.net.topology import TreeSpec, build_tree
+
+        with pytest.raises(ValueError):
+            build_tree(Simulator(), TreeSpec(num_racks=0, hosts_per_rack=1))
+        with pytest.raises(ValueError):
+            build_tree(Simulator(), TreeSpec(num_racks=1, hosts_per_rack=0))
+
+
+class TestNetPackageBoundary:
+    """The repro.net public API surface stays importable and complete."""
+
+    def test_every_all_name_resolves(self):
+        import repro.net as net
+
+        for name in net.__all__:
+            assert getattr(net, name) is not None
+
+    def test_all_is_sorted_and_unique(self):
+        import repro.net as net
+
+        assert sorted(net.__all__) == list(net.__all__)
+        assert len(set(net.__all__)) == len(net.__all__)
+
+    def test_topology_builders_exported(self):
+        import repro.net as net
+
+        for name in (
+            "attach_host",
+            "connect_switches",
+            "build_rack",
+            "build_tree",
+            "Tree",
+            "TreeRack",
+            "TreeSpec",
+        ):
+            assert name in net.__all__
+
+    def test_fabric_subpackage_boundary(self):
+        import repro.net.fabric as fabric
+
+        for name in fabric.__all__:
+            assert getattr(fabric, name) is not None
+        assert sorted(fabric.__all__) == list(fabric.__all__)
