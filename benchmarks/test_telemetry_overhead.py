@@ -1,0 +1,74 @@
+"""In-band telemetry overhead on the fig4-style workload.
+
+The telemetry layer's contract (ISSUE 7): per-hop stamping everywhere,
+but a run without a hub installed pays only one attribute load and an
+``is None`` branch per hop -- under 5% wall time on the packet-simulator
+hot path.  This bench times the same 8-worker all-reduce three ways
+(no obs object at all / null obs (no hub) / hub installed, metrics and
+tracing off) and asserts the no-hub path stays inside the budget.
+
+Methodology matches ``test_obs_overhead.py``: interleaved round-robin
+runs compared by per-configuration minimum, the robust estimator when
+container noise is strictly additive.
+"""
+
+import time
+
+from conftest import once
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.core.tuning import pool_size_for_rate
+from repro.harness.report import format_table
+from repro.obs import Observability
+
+N_ELEM = 32 * 4096
+ROUNDS = 5
+BUDGET = 0.05  # disabled-path overhead budget (fraction of baseline)
+
+
+def run_one(obs) -> float:
+    job = SwitchMLJob(
+        SwitchMLConfig(
+            num_workers=8,
+            pool_size=pool_size_for_rate(10.0),
+            obs=obs,
+        )
+    )
+    t0 = time.perf_counter()
+    job.all_reduce(num_elements=N_ELEM, verify=False)
+    return time.perf_counter() - t0
+
+
+def run_overhead():
+    configs = {
+        "baseline": lambda: None,
+        "no-hub": Observability.off,
+        "stamping": lambda: Observability(enabled=False, telemetry=True),
+    }
+    run_one(None)  # warm-up round, discarded
+    times: dict[str, list[float]] = {name: [] for name in configs}
+    for _ in range(ROUNDS):
+        for name, make in configs.items():
+            times[name].append(run_one(make()))
+    return {name: min(samples) for name, samples in times.items()}
+
+
+def test_telemetry_disabled_overhead_under_budget(benchmark, show):
+    best = once(benchmark, run_overhead)
+    overhead = best["no-hub"] / best["baseline"] - 1.0
+    show(
+        "\n"
+        + format_table(
+            ["configuration", "best wall (s)", "vs baseline"],
+            [
+                [name, f"{best[name]:.3f}",
+                 f"{best[name] / best['baseline']:.2f}x"]
+                for name in ("baseline", "no-hub", "stamping")
+            ],
+            title=f"telemetry overhead, fig4 workload ({N_ELEM} elements, "
+                  f"best of {ROUNDS} interleaved rounds)",
+        )
+    )
+    assert overhead < BUDGET, (
+        f"no-hub overhead {overhead:.1%} exceeds the {BUDGET:.0%} budget"
+    )

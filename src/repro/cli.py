@@ -490,6 +490,98 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """In-band telemetry over a fabric run: series, detectors, placement."""
+    from repro.net.fabric import (
+        CongestTrunk,
+        FabricConfig,
+        FabricFaultInjector,
+        FabricFaultPlan,
+        FabricJob,
+    )
+    from repro.obs import Observability, telemetry_json, write_telemetry_json
+
+    obs = Observability(tracing_enabled=False, telemetry=True)
+    job = FabricJob(
+        FabricConfig(
+            num_leaves=args.leaves,
+            num_spines=args.spines,
+            workers_per_leaf=args.workers_per_leaf,
+            obs=obs,
+            seed=args.seed,
+        )
+    )
+    active = job.active_spine
+    congested_trunk = None
+    if args.congest:
+        congested_trunk = f"leaf{args.leaf}->spine{active}"
+        plan = FabricFaultPlan().add(
+            CongestTrunk(
+                leaf=args.leaf,
+                spine=active,
+                at_s=args.at_ms * 1e-3,
+                down_for_s=args.down_ms * 1e-3,
+                fraction=args.fraction,
+            )
+        )
+        FabricFaultInjector(job, plan).arm()
+
+    n_elem = args.elements or int(args.mbytes * 1e6 / 4)
+    result = job.all_reduce(num_elements=n_elem, deadline_s=args.deadline_s)
+
+    hub = obs.telemetry
+    controller = job.controller
+    loads = controller.spine_loads()
+    placed = controller.place_load_aware(job.job_id)
+    congested = {r.link for r in hub.congestion_reports()}
+
+    if args.out:
+        path = write_telemetry_json(hub, args.out)
+        print(f"telemetry json: {path}", file=sys.stderr)
+    if args.json:
+        _emit_json({
+            "completed": result.completed,
+            "elapsed_s": result.elapsed_s,
+            "congested_trunk_injected": congested_trunk,
+            "telemetry": telemetry_json(hub),
+            "spine_loads": {f"spine{s}": l for s, l in loads.items()},
+            "place_load_aware": placed,
+        })
+    else:
+        print(f"telemetry run: {args.leaves}x{args.spines} Clos, "
+              f"{job.config.num_workers} workers, {n_elem} elements, "
+              f"completed={result.completed}")
+        if congested_trunk is not None:
+            print(f"injected congestion: {congested_trunk} at "
+                  f"{args.fraction:g}x line rate for {args.down_ms:g} ms")
+        print()
+        print(hub.summary())
+        print()
+        print("spine loads: " + ", ".join(
+            f"spine{s}={l:.3f}" for s, l in sorted(loads.items())))
+        print(f"load-aware placement for job {job.job_id}: spine{placed}")
+
+    if args.check:
+        ok = result.completed and hub.collector.frames_drained > 0
+        if not ok:
+            print("telemetry: no frames drained", file=sys.stderr)
+        if args.congest:
+            if congested_trunk not in congested:
+                print(f"telemetry: congestion detector missed "
+                      f"{congested_trunk} (flagged: {sorted(congested)})",
+                      file=sys.stderr)
+                ok = False
+            if placed == active:
+                print(f"telemetry: load-aware placement stayed on the "
+                      f"congested spine{active}", file=sys.stderr)
+                ok = False
+        if not ok:
+            print("telemetry: check FAILED", file=sys.stderr)
+            return 1
+        print("telemetry check passed")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the performance suite, emit BENCH.json, optionally gate."""
     from repro.perf import (
@@ -763,6 +855,39 @@ def main(argv: list[str] | None = None) -> int:
                           "where the scenario demands one)")
     fab.add_argument("--json", action="store_true")
 
+    tel = sub.add_parser(
+        "telemetry",
+        help="in-band network telemetry over a fabric run: per-link time "
+             "series, congestion/straggler/hot-spine detectors, and the "
+             "load-aware placement they feed",
+    )
+    tel.add_argument("--leaves", type=int, default=2)
+    tel.add_argument("--spines", type=int, default=2)
+    tel.add_argument("--workers-per-leaf", type=int, default=4)
+    tel.add_argument("--mbytes", type=float, default=0.26, help="tensor MB")
+    tel.add_argument("--elements", type=int, default=None,
+                     help="tensor elements per worker (overrides --mbytes)")
+    tel.add_argument("--congest", action="store_true",
+                     help="inject background traffic on the active spine's "
+                          "uplink (CongestTrunk fault)")
+    tel.add_argument("--leaf", type=int, default=0,
+                     help="leaf whose uplink gets congested")
+    tel.add_argument("--fraction", type=float, default=1.05,
+                     help="background traffic as a fraction of line rate")
+    tel.add_argument("--at-ms", type=float, default=0.2,
+                     help="congestion start time")
+    tel.add_argument("--down-ms", type=float, default=1.5,
+                     help="congestion duration")
+    tel.add_argument("--deadline-s", type=float, default=5.0)
+    tel.add_argument("--seed", type=int, default=0)
+    tel.add_argument("--out", default=None,
+                     help="write the telemetry snapshot as JSON to this path")
+    tel.add_argument("--check", action="store_true",
+                     help="exit 1 unless series are non-empty (and, with "
+                          "--congest, the detector flags the loaded trunk "
+                          "and placement avoids it)")
+    tel.add_argument("--json", action="store_true")
+
     obs_p = sub.add_parser(
         "obs",
         help="observability: trace export, metrics dump, unified dashboard",
@@ -814,6 +939,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_faults(args)
     elif args.command == "fabric":
         return _cmd_fabric(args)
+    elif args.command == "telemetry":
+        return _cmd_telemetry(args)
     elif args.command == "bench":
         return _cmd_bench(args)
     elif args.command == "obs":

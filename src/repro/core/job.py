@@ -357,6 +357,10 @@ class SwitchMLJob:
             raise ValueError("fp16_switch and lossless_switch are exclusive")
         self.obs = cfg.obs if cfg.obs is not None else NULL_OBS
         self.sim.attach_obs(self.obs)
+        # In-band telemetry: stamp the rack's links and pipeline, drain
+        # at the hosts (off unless the obs layer carries a hub).
+        if self.obs.telemetry is not None:
+            self.obs.telemetry.instrument_rack(self.rack)
         # the Figure 6 per-bucket series; created before the program so
         # the switch end ticks the SAME recorder as worker 0
         self.trace = TraceRecorder(bucket_seconds=0.010)

@@ -551,7 +551,7 @@ class SwitchMLProgram:
         if self._tracer.enabled:
             self._tracer.emit(
                 "burst.switch", self._clock(), cat="burst", actor="switch",
-                packets=len(packets), groups=len(order), emissions=len(out),
+                packets=len(packets), groups=len(groups), emissions=len(out),
             )
         if len(out) > 1:
             out.sort(key=lambda e: e[0])

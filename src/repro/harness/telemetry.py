@@ -27,13 +27,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class LinkReading:
-    """One link's counters over the observation window."""
+    """One link's counters over the observation window.
+
+    ``frames_queue_dropped`` is cumulative (tail drops at the
+    transmitter queue); ``queue_delay_s`` and ``backlog_bytes`` are the
+    *instantaneous* transmitter backlog at collection time -- zero after
+    a drained run, non-zero when snapshotting mid-flight.
+    """
 
     name: str
     utilization: float
     frames_sent: int
     frames_lost: int
     frames_corrupted: int
+    frames_queue_dropped: int = 0
+    queue_delay_s: float = 0.0
+    backlog_bytes: float = 0.0
 
 
 @dataclass
@@ -73,11 +82,12 @@ class RackTelemetry:
         ranked = sorted(self.links, key=lambda l: -l.utilization)
         shown = ranked if limit is None else ranked[:limit]
         rows = [
-            [l.name, f"{l.utilization:.1%}", l.frames_sent, l.frames_lost]
+            [l.name, f"{l.utilization:.1%}", l.frames_sent, l.frames_lost,
+             l.frames_queue_dropped]
             for l in shown
         ]
         table = format_table(
-            ["link", "utilization", "frames", "lost"], rows,
+            ["link", "utilization", "frames", "lost", "qdrops"], rows,
             title=f"rack telemetry over {self.elapsed_s * 1e3:.3f} ms "
                   f"(bottleneck: {self.bottleneck})",
         )
@@ -86,6 +96,41 @@ class RackTelemetry:
             table += f"\n... and {elided} more links (pass limit=None for all)"
         host, busy = self.busiest_host
         return table + f"\nbusiest host CPU: {host} at {busy:.1%}"
+
+    def publish(self, metrics) -> None:
+        """Export the link readings as labelled gauges in ``metrics``
+        (a :class:`repro.obs.registry.MetricsRegistry`).
+
+        No-op on a disabled registry (the null instruments absorb the
+        sets).  Called by the collectors so every dashboard path also
+        feeds the registry -- queue stats previously lived only on
+        :class:`repro.net.link.LinkStats`.
+        """
+        util = metrics.gauge(
+            "link_utilization_ratio",
+            "busy fraction of the link over the observation window",
+            label_names=("link",),
+        )
+        qdrops = metrics.gauge(
+            "link_frames_queue_dropped",
+            "cumulative tail drops at the transmitter queue",
+            label_names=("link",),
+        )
+        qdelay = metrics.gauge(
+            "link_queue_delay_seconds",
+            "instantaneous transmitter backlog delay at collection",
+            label_names=("link",),
+        )
+        backlog = metrics.gauge(
+            "link_backlog_bytes",
+            "instantaneous transmitter backlog at collection",
+            label_names=("link",),
+        )
+        for l in self.links:
+            util.labels(l.name).set(l.utilization)
+            qdrops.labels(l.name).set(l.frames_queue_dropped)
+            qdelay.labels(l.name).set(l.queue_delay_s)
+            backlog.labels(l.name).set(l.backlog_bytes)
 
 
 def collect_telemetry(
@@ -107,6 +152,9 @@ def collect_telemetry(
             frames_sent=link.stats.frames_sent,
             frames_lost=link.stats.frames_lost,
             frames_corrupted=link.stats.frames_corrupted,
+            frames_queue_dropped=link.stats.frames_queue_dropped,
+            queue_delay_s=link.queue_delay,
+            backlog_bytes=link.queue_delay * link.spec.rate_bps / 8.0,
         )
         for link in job.rack.uplinks + job.rack.downlinks
     ]
@@ -114,7 +162,13 @@ def collect_telemetry(
         host.name: sum(c.utilization(elapsed) for c in host.cores) / len(host.cores)
         for host in job.rack.hosts
     }
-    return RackTelemetry(elapsed_s=elapsed, links=links, core_utilization=cores)
+    telemetry = RackTelemetry(
+        elapsed_s=elapsed, links=links, core_utilization=cores
+    )
+    obs = getattr(job, "obs", None)
+    if obs is not None:
+        telemetry.publish(obs.metrics)
+    return telemetry
 
 
 def control_plane_summary(controller: "Controller") -> str:

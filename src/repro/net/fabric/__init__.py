@@ -21,6 +21,7 @@ from repro.net.fabric.controller import (
 )
 from repro.net.fabric.dataplane import LeafDataplane, LinkHeartbeat, SpineDataplane
 from repro.net.fabric.faults import (
+    CongestTrunk,
     CrashSpine,
     FabricFaultInjector,
     FabricFaultPlan,
@@ -44,6 +45,7 @@ from repro.net.fabric.topology import (
 
 __all__ = [
     "ClosFabric",
+    "CongestTrunk",
     "CrashSpine",
     "FabricConfig",
     "FabricController",

@@ -46,6 +46,10 @@ __all__ = ["FabricController", "FabricState", "LinkLiveness", "RerouteRecord"]
 #: job ids over the healthy spines (Python's ``hash`` is salted).
 _ECMP_MIX = 2654435761
 
+#: spines whose load sits within this of the minimum count as tied (and
+#: fall back to the hash): utilization noise below this is not signal
+_LOAD_TIE_EPS = 1e-3
+
 
 class FabricState(enum.Enum):
     MONITORING = "monitoring"
@@ -138,6 +142,10 @@ class FabricController:
         self._g_active_spine = metrics.gauge(
             "fabric_active_spine", "spine currently homing the aggregation"
         )
+        self._m_load_aware = metrics.counter(
+            "fabric_load_aware_placements_total",
+            "pool placements decided from telemetry trunk loads",
+        )
         self._tracer = self.obs.tracer
         # -- topology discovery (the one walk; everything below uses it)
         self.links: dict[tuple[int, int], LinkLiveness] = {}
@@ -195,6 +203,65 @@ class FabricController:
         if not candidates:
             raise ValueError("no healthy spine to select")
         return candidates[(job_id * _ECMP_MIX) % len(candidates)]
+
+    def spine_loads(self, window: int | None = None) -> dict[int, float]:
+        """Mean trunk utilization per spine index over the telemetry
+        load window (empty dict when no telemetry hub is installed)."""
+        telemetry = self.obs.telemetry
+        if telemetry is None:
+            return {}
+        collector = telemetry.collector
+        if window is None:
+            window = telemetry.config.load_window
+        end_idx = collector.interval_index(self.sim.now)
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for adj in self._adjacency:
+            spine = adj["spine"]
+            for key in ("uplink", "downlink"):
+                series = collector.links.get(adj[key])
+                util = (
+                    series.utilization(window, end_idx)
+                    if series is not None
+                    else 0.0
+                )
+                sums[spine] = sums.get(spine, 0.0) + util
+                counts[spine] = counts.get(spine, 0) + 1
+        return {s: sums[s] / counts[s] for s in sums}
+
+    def place_load_aware(
+        self,
+        job_id: int,
+        candidates: list[int] | None = None,
+        window: int | None = None,
+    ) -> int:
+        """Least-loaded-spine placement with an ECMP tie-break.
+
+        Ranks the healthy candidate spines by mean trunk utilization
+        over the telemetry load window and homes the pool on the least
+        loaded; spines within ``_LOAD_TIE_EPS`` of the minimum are tied
+        and resolved by the same deterministic job-id hash as
+        :meth:`select_spine`.  Without a telemetry hub (or before any
+        traffic), every load reads zero, all candidates tie, and the
+        choice degrades to exactly the hash-ECMP placement."""
+        if candidates is None:
+            candidates = self.healthy_spines()
+        if not candidates:
+            raise ValueError("no healthy spine to select")
+        loads = self.spine_loads(window)
+        if not loads:
+            return self.select_spine(job_id, candidates)
+        ranked = {s: loads.get(s, 0.0) for s in candidates}
+        floor = min(ranked.values())
+        tied = [s for s in candidates if ranked[s] <= floor + _LOAD_TIE_EPS]
+        choice = tied[(job_id * _ECMP_MIX) % len(tied)]
+        self._m_load_aware.inc()
+        self._tracer.emit(
+            "fabric.place_load_aware", ts=self.sim.now, cat="fabric",
+            spine=choice,
+            loads={f"spine{s}": round(l, 4) for s, l in ranked.items()},
+        )
+        return choice
 
     # ------------------------------------------------------------------
     # Liveness: beacons out, punts in, sweep
@@ -320,7 +387,9 @@ class FabricController:
                 "fabric.failed", ts=now, cat="fabric", from_spine=old
             )
             return
-        new = self.select_spine(job.job_id, candidates)
+        # load-aware when a telemetry hub is live (break the ECMP tie
+        # toward the least-loaded survivor); pure hash-ECMP otherwise
+        new = self.place_load_aware(job.job_id, candidates)
         job.rehome(new)
         resumed = job.replay_from_prefix()
         self._g_active_spine.set(new)

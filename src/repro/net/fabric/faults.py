@@ -15,6 +15,14 @@ cross-rack failure taxonomy the Clos introduces:
   warranted -- the trunks stay healthy -- but the whole fabric's
   self-clocked streams slow to the straggler's pace, and the run must
   still produce exact sums.
+* :class:`CongestTrunk` -- background traffic offered at a fraction of
+  line rate on one leaf-to-spine uplink for a window (another tenant's
+  elephant flow crossing the fabric).  Nothing fails: the junk frames
+  die at the spine's pipeline, but they occupy the transmitter, so the
+  job's partials and the trunk's heartbeats queue behind them.  This is
+  the load signal the in-band telemetry detectors
+  (:mod:`repro.obs.telemetry`) and the controller's load-aware
+  placement are built to see.
 
 Link faults swap the link's loss model for
 :class:`~repro.controlplane.faults.DropAll` (or a heavy Bernoulli) and
@@ -29,11 +37,14 @@ from typing import TYPE_CHECKING
 
 from repro.controlplane.faults import DropAll
 from repro.net.loss import BernoulliLoss
+from repro.net.packet import MTU_FRAME_BYTES, Frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
     from repro.net.fabric.job import FabricJob
 
 __all__ = [
+    "CongestTrunk",
     "CrashSpine",
     "FabricFaultInjector",
     "FabricFaultPlan",
@@ -72,17 +83,37 @@ class StragglerRack:
     loss: float = 0.3
 
 
+@dataclass(frozen=True)
+class CongestTrunk:
+    """Background traffic at ``fraction`` of line rate on the
+    ``leaf``-to-``spine`` uplink during the window.
+
+    The injector offers one ``frame_bytes`` junk frame every
+    ``serialization / fraction`` seconds; at ``fraction >= 1`` the
+    transmitter never drains and queueing delay grows linearly for the
+    duration.  The junk is not a SwitchML packet, so the spine's
+    pipeline discards it on arrival -- the fault congests the wire
+    without perturbing the aggregation state.
+    """
+
+    leaf: int
+    spine: int
+    at_s: float
+    down_for_s: float
+    fraction: float = 1.05
+    frame_bytes: int = MTU_FRAME_BYTES
+
+
+FabricFault = CrashSpine | FlapFabricLink | StragglerRack | CongestTrunk
+
+
 @dataclass
 class FabricFaultPlan:
     """An ordered set of fabric faults to inject into one run."""
 
-    faults: list[CrashSpine | FlapFabricLink | StragglerRack] = field(
-        default_factory=list
-    )
+    faults: list[FabricFault] = field(default_factory=list)
 
-    def add(
-        self, fault: CrashSpine | FlapFabricLink | StragglerRack
-    ) -> "FabricFaultPlan":
+    def add(self, fault: FabricFault) -> "FabricFaultPlan":
         self.faults.append(fault)
         return self
 
@@ -90,16 +121,24 @@ class FabricFaultPlan:
         for f in self.faults:
             if f.at_s < 0:
                 raise ValueError(f"{f} scheduled in the past")
-            if isinstance(f, (FlapFabricLink, StragglerRack)) and f.down_for_s <= 0:
+            if (
+                isinstance(f, (FlapFabricLink, StragglerRack, CongestTrunk))
+                and f.down_for_s <= 0
+            ):
                 raise ValueError(f"{f} needs a positive outage duration")
-            if isinstance(f, (CrashSpine, FlapFabricLink)):
+            if isinstance(f, (CrashSpine, FlapFabricLink, CongestTrunk)):
                 if not 0 <= f.spine < num_spines:
                     raise ValueError(f"{f} targets unknown spine {f.spine}")
-            if isinstance(f, (FlapFabricLink, StragglerRack)):
+            if isinstance(f, (FlapFabricLink, StragglerRack, CongestTrunk)):
                 if not 0 <= f.leaf < num_leaves:
                     raise ValueError(f"{f} targets unknown leaf {f.leaf}")
             if isinstance(f, StragglerRack) and not 0 < f.loss <= 1:
                 raise ValueError(f"{f} loss must be in (0, 1]")
+            if isinstance(f, CongestTrunk):
+                if f.fraction <= 0:
+                    raise ValueError(f"{f} fraction must be positive")
+                if f.frame_bytes <= 0:
+                    raise ValueError(f"{f} frame_bytes must be positive")
 
 
 class FabricFaultInjector:
@@ -130,6 +169,8 @@ class FabricFaultInjector:
             elif isinstance(f, StragglerRack):
                 sim.schedule_at(f.at_s, self._straggle_start, f.leaf, f.loss)
                 sim.schedule_at(f.at_s + f.down_for_s, self._straggle_end, f.leaf)
+            elif isinstance(f, CongestTrunk):
+                sim.schedule_at(f.at_s, self._congest_start, f)
             else:  # pragma: no cover - plan.validate catches junk first
                 raise TypeError(f"unknown fault {f!r}")
         self.armed = True
@@ -166,3 +207,19 @@ class FabricFaultInjector:
         ):
             up.loss = up_loss
             down.loss = down_loss
+
+    def _congest_start(self, f: CongestTrunk) -> None:
+        link = self.job.fabric.leaf_uplink(f.leaf, f.spine)
+        period = link.spec.serialization_s(f.frame_bytes) / f.fraction
+        self._congest_tick(link, f, period, f.at_s + f.down_for_s)
+
+    def _congest_tick(
+        self, link: "Link", f: CongestTrunk, period: float, until: float
+    ) -> None:
+        sim = self.job.sim
+        if sim.now >= until:
+            return
+        # junk payload: the spine's pipeline has no parser for a None
+        # message and discards the frame, so only the wire sees the load
+        link.send(Frame(wire_bytes=f.frame_bytes, src="congestor"))
+        sim.schedule_at(sim.now + period, self._congest_tick, link, f, period, until)

@@ -121,6 +121,10 @@ class FabricJob:
                 loss_factory=cfg.loss_factory,
             ),
         )
+        # In-band telemetry: stamp every link and pipeline, drain at
+        # hosts and switches (off unless the obs layer carries a hub).
+        if self.obs.telemetry is not None:
+            self.obs.telemetry.instrument_fabric(self.fabric)
         # Admission: the spine pool aggregates *leaves*, so the lease is
         # sized at num_leaves children -- the SS6 composition that keeps
         # a 512-worker job within one pipeline's port budget.
@@ -443,6 +447,9 @@ def collect_fabric_telemetry(job: FabricJob, elapsed_s: float | None = None):
             frames_sent=link.stats.frames_sent,
             frames_lost=link.stats.frames_lost,
             frames_corrupted=link.stats.frames_corrupted,
+            frames_queue_dropped=link.stats.frames_queue_dropped,
+            queue_delay_s=link.queue_delay,
+            backlog_bytes=link.queue_delay * link.spec.rate_bps / 8.0,
         )
         for link in job.fabric.all_links()
     ]
@@ -450,7 +457,11 @@ def collect_fabric_telemetry(job: FabricJob, elapsed_s: float | None = None):
         host.name: sum(c.utilization(elapsed) for c in host.cores) / len(host.cores)
         for host in job.fabric.hosts
     }
-    return RackTelemetry(elapsed_s=elapsed, links=links, core_utilization=cores)
+    telemetry = RackTelemetry(
+        elapsed_s=elapsed, links=links, core_utilization=cores
+    )
+    telemetry.publish(job.obs.metrics)
+    return telemetry
 
 
 def fabric_summary(job: FabricJob) -> str:

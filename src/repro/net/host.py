@@ -106,6 +106,10 @@ class Host:
         self._rx_t = -1.0
         #: optional hook (frame, "rx"|"tx", time) for tracing
         self.observer: Callable[[Frame, str, float], Any] | None = None
+        #: in-band telemetry sink (repro.obs.telemetry.TelemetryCollector),
+        #: installed by Telemetry.instrument_host; frames arriving with
+        #: hop records are drained here at dispatch
+        self.telemetry: Any | None = None
 
     @property
     def spec(self) -> HostSpec:
@@ -191,6 +195,8 @@ class Host:
         self.frames_received += 1
         if self.observer is not None:
             self.observer(frame, "rx", self.sim.now)
+        if frame.hops is not None and self.telemetry is not None:
+            self.telemetry.drain(frame, self.sim.now, sink=self.name)
         self.agent.on_frame(frame)
 
     def core_for(self, flow_key: int) -> SerialResource:
@@ -258,6 +264,13 @@ class Host:
             now = self.sim.now
             for frame in frames:
                 observer(frame, "rx", now)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            now = self.sim.now
+            name = self.name
+            for frame in frames:
+                if frame.hops is not None:
+                    telemetry.drain(frame, now, sink=name)
         on_frames = self._agent_on_frames
         if on_frames is not None:
             on_frames(frames)

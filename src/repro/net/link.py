@@ -129,6 +129,9 @@ class Link:
         self.loss = loss if loss is not None else NoLoss()
         #: optional hook called with (frame, "sent"|"lost"|"delivered", time)
         self.observer: Callable[[Frame, str, float], Any] | None = None
+        #: in-band telemetry tap (repro.obs.telemetry.LinkTap), installed
+        #: by Telemetry.instrument_link; None (one branch) when disabled
+        self.telemetry: Any | None = None
 
     @property
     def spec(self) -> LinkSpec:
@@ -204,6 +207,7 @@ class Link:
         now = sim.now
         stats = self.stats
         observer = self.observer
+        tap = self.telemetry
         wire_bytes = frame.wire_bytes
         busy = self._busy_until
         queue_bytes = self._queue_bytes
@@ -215,11 +219,15 @@ class Link:
                     stats.frames_queue_dropped += 1
                     if observer is not None:
                         observer(frame, "queue_dropped", now)
+                    if tap is not None:
+                        tap.on_drop(now, False)
                     return False
             elif wire_bytes > queue_bytes:
                 stats.frames_queue_dropped += 1
                 if observer is not None:
                     observer(frame, "queue_dropped", now)
+                if tap is not None:
+                    tap.on_drop(now, False)
                 return False
 
         serialization = wire_bytes * 8.0 / self._rate_bps
@@ -247,11 +255,15 @@ class Link:
                     stats.frames_lost += 1
                     if observer is not None:
                         observer(frame, "lost", now)
+                    if tap is not None:
+                        tap.on_drop(now, True)
                     return True
         elif not self._lossless and self._should_drop(self._rng, frame, now):
             stats.frames_lost += 1
             if observer is not None:
                 observer(frame, "lost", now)
+            if tap is not None:
+                tap.on_drop(now, True)
             return True
 
         corrupt_p = self._corrupt_p
@@ -262,6 +274,11 @@ class Link:
         arrival = done + self._prop_s
         if self._jitter_s > 0.0:
             arrival += float(self._rng.uniform(0.0, self._jitter_s))
+        if tap is not None:
+            # stamped only after the loss draw: a lost frame's bits (and
+            # its in-band records) never reach anything that could drain
+            # them, matching real INT
+            tap.on_transmit(frame, now, wire_bytes, done, arrival)
         if self.burst:
             # Coalesce coinciding arrivals into one engine event, FIFO by
             # send order.  Run detection, not a timestamp map: a frame

@@ -94,13 +94,20 @@ class Frame:
     flow_key: int = 0
     #: set by a link's corruption model; receivers checksum and discard
     corrupted: bool = False
+    #: in-band telemetry: per-hop :class:`repro.obs.telemetry.HopRecord`
+    #: stamps, appended by instrumented links and switch pipelines and
+    #: drained (reset to None) at the frame's sink.  None unless a
+    #: telemetry hub is installed -- the common case.
+    hops: list | None = None
 
     def copy_for(self, dst: str) -> "Frame":
         """A replica of this frame addressed to ``dst`` (multicast copy).
 
         The message object is shared, not copied: the switch's traffic
         manager replicates frames, and replicas carry the same payload.
-        Receivers must not mutate messages in place.
+        Receivers must not mutate messages in place.  Replicas start
+        with no telemetry stamps: each copy traverses its own downlink
+        and accumulates its own hop records.
         """
         return Frame(
             wire_bytes=self.wire_bytes,

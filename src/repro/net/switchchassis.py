@@ -109,6 +109,11 @@ class SwitchChassis:
         self._in_t = -1.0
         # the loaded program's batch entry point, cached by load_program
         self._process_batch: Callable | None = None
+        #: in-band telemetry tap (repro.obs.telemetry.ChassisTap),
+        #: installed by Telemetry.instrument_chassis; stamps pool
+        #: occupancy on ingress frames and drains the ones the pipeline
+        #: terminates (aggregated, punted, fenced)
+        self.telemetry: Any | None = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -144,9 +149,14 @@ class SwitchChassis:
         )
 
     def _run_pipeline(self, frame: Frame, in_port: int) -> None:
+        tap = self.telemetry
+        if tap is not None:
+            tap.stamp(frame)
         deliveries = self.program.process(frame, in_port).deliveries
         if not deliveries:
             self.frames_dropped += 1
+            if tap is not None and frame.hops is not None:
+                tap.absorb(frame)
             return
         egress_list = self._egress_list
         nports = len(egress_list)
@@ -156,6 +166,15 @@ class SwitchChassis:
             if egress is None:
                 raise RuntimeError(f"{self.name}: no egress link on port {port}")
             egress.send(out_frame)
+        if tap is not None and frame.hops is not None:
+            # a frame absorbed by the program (its deliveries are new
+            # frames, e.g. an aggregation emitting partials) terminates
+            # here; one forwarded as-is keeps accumulating stamps
+            for _port, out_frame in deliveries:
+                if out_frame is frame:
+                    break
+            else:
+                tap.absorb(frame)
 
     def ingress_callback(self, in_port: int):
         """A ``deliver(frame)`` closure bound to ``in_port``.
@@ -226,12 +245,17 @@ class SwitchChassis:
             for frame, in_port in group:
                 self._run_pipeline(frame, in_port)
             return
+        tap = self.telemetry
+        if tap is not None:
+            for frame, _port in group:
+                tap.stamp(frame)
         decisions = process_batch(group)
         # each returned decision carries the deliveries triggered by one
         # emitting frame; every other frame of the group was absorbed
         self.frames_dropped += len(group) - len(decisions)
         egress_list = self._egress_list
         nports = len(egress_list)
+        forwarded: set[int] | None = set() if tap is not None else None
         for decision in decisions:
             deliveries = decision.deliveries
             self.frames_out += len(deliveries)
@@ -241,4 +265,10 @@ class SwitchChassis:
                     raise RuntimeError(
                         f"{self.name}: no egress link on port {port}"
                     )
+                if forwarded is not None:
+                    forwarded.add(id(out_frame))
                 egress.send(out_frame)
+        if tap is not None:
+            for frame, _port in group:
+                if frame.hops is not None and id(frame) not in forwarded:
+                    tap.absorb(frame)

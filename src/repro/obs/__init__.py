@@ -11,6 +11,10 @@ one API every subsystem reports through:
 * :mod:`~repro.obs.tracer` -- typed events and spans on the simulated
   clock (packet tx/rx, slot claim/release, shadow reads, fence drops,
   recovery phases);
+* :mod:`~repro.obs.telemetry` -- in-band network telemetry: per-hop
+  frame stamping, interval time series per link/switch, and the
+  congestion / straggler / hot-spine detectors feeding load-aware
+  placement (opt-in via ``Observability(telemetry=True)``);
 * :mod:`~repro.obs.export` -- JSONL and Chrome ``trace_event`` JSON
   exporters (a run opens directly in Perfetto);
 * :mod:`~repro.obs.views` -- derived views: slot occupancy timelines,
@@ -35,9 +39,11 @@ from repro.obs.base import NULL_OBS, Observability, get_default, set_default
 from repro.obs.export import (
     chrome_trace,
     events_jsonl,
+    telemetry_json,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_telemetry_json,
 )
 from repro.obs.registry import (
     Counter,
@@ -45,6 +51,18 @@ from repro.obs.registry import (
     Histogram,
     MetricSample,
     MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    CongestionReport,
+    HopRecord,
+    HotSpineReport,
+    StragglerReport,
+    Telemetry,
+    TelemetryCollector,
+    TelemetryConfig,
+    detect_congestion,
+    detect_hot_spines,
+    detect_stragglers,
 )
 from repro.obs.tracer import EventTracer, TraceEvent
 from repro.obs.views import (
@@ -56,25 +74,37 @@ from repro.obs.views import (
 )
 
 __all__ = [
+    "CongestionReport",
     "Counter",
     "Dashboard",
     "EventTracer",
     "Gauge",
     "Histogram",
+    "HopRecord",
+    "HotSpineReport",
     "MetricSample",
     "MetricsRegistry",
     "NULL_OBS",
     "Observability",
     "SlotInterval",
+    "StragglerReport",
+    "Telemetry",
+    "TelemetryCollector",
+    "TelemetryConfig",
     "TraceEvent",
     "chrome_trace",
+    "detect_congestion",
+    "detect_hot_spines",
+    "detect_stragglers",
     "events_jsonl",
     "get_default",
     "histogram_summary",
     "occupancy_timeline",
     "set_default",
     "slot_intervals",
+    "telemetry_json",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_telemetry_json",
 ]

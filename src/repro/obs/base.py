@@ -27,6 +27,14 @@ class Observability:
     metrics_enabled / tracing_enabled:
         Override per layer -- e.g. metrics on but per-packet tracing off
         for long sweeps where event volume would dominate.
+    telemetry:
+        In-band network telemetry (:mod:`repro.obs.telemetry`).  Unlike
+        metrics and tracing it does NOT follow ``enabled`` -- per-hop
+        frame stamping is always opt-in.  Pass ``True`` for default
+        settings, a :class:`~repro.obs.telemetry.TelemetryConfig` to
+        tune intervals/thresholds, or a pre-built
+        :class:`~repro.obs.telemetry.Telemetry` hub to share one across
+        runs.  ``self.telemetry`` is the hub, or ``None`` when off.
     """
 
     def __init__(
@@ -35,6 +43,7 @@ class Observability:
         metrics_enabled: bool | None = None,
         tracing_enabled: bool | None = None,
         max_trace_events: int = 2_000_000,
+        telemetry: "bool | object | None" = None,
     ):
         self.metrics = MetricsRegistry(
             enabled=enabled if metrics_enabled is None else metrics_enabled
@@ -43,6 +52,22 @@ class Observability:
             enabled=enabled if tracing_enabled is None else tracing_enabled,
             max_events=max_trace_events,
         )
+        if telemetry is None or telemetry is False:
+            self.telemetry = None
+        else:
+            from repro.obs.telemetry import Telemetry, TelemetryConfig
+
+            if isinstance(telemetry, Telemetry):
+                self.telemetry = telemetry
+            elif isinstance(telemetry, TelemetryConfig):
+                self.telemetry = Telemetry(config=telemetry)
+            elif telemetry is True:
+                self.telemetry = Telemetry()
+            else:
+                raise TypeError(
+                    "telemetry must be a bool, TelemetryConfig, or "
+                    f"Telemetry hub, got {telemetry!r}"
+                )
 
     @property
     def enabled(self) -> bool:

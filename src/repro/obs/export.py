@@ -30,14 +30,17 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
     from repro.obs.tracer import EventTracer, TraceEvent
 
 __all__ = [
     "chrome_trace",
     "events_jsonl",
+    "telemetry_json",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_telemetry_json",
 ]
 
 #: simulated seconds -> trace-file microseconds
@@ -135,6 +138,24 @@ def write_jsonl(tracer: "EventTracer", path: Union[str, Path]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(events_jsonl(tracer))
+    return path
+
+
+def telemetry_json(hub: "Telemetry") -> dict:
+    """JSON-friendly snapshot of an in-band telemetry hub.
+
+    ``Telemetry.as_dict()`` with the same jsonability pass the trace
+    exporters apply, so detector reports (dataclass ``vars``) and numpy
+    scalars serialize cleanly.
+    """
+    return json.loads(json.dumps(hub.as_dict(), default=_jsonable))
+
+
+def write_telemetry_json(hub: "Telemetry", path: Union[str, Path]) -> Path:
+    """Serialize :func:`telemetry_json` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(telemetry_json(hub), indent=2))
     return path
 
 

@@ -246,6 +246,13 @@ class Dashboard:
         ]
         return "latency summaries\n" + "\n".join("  " + l for l in lines)
 
+    def _inband_section(self) -> str:
+        hub = self.obs.telemetry
+        if hub is None:
+            return ("in-band telemetry: disabled "
+                    "(pass telemetry=True to Observability)")
+        return hub.summary(link_limit=self.link_limit)
+
     def summary(self) -> str:
         """The unified report, one section per concern."""
         sections: list[str] = ["=== observability dashboard ==="]
@@ -253,6 +260,7 @@ class Dashboard:
             sections.append(self.telemetry.summary(limit=self.link_limit))
         else:
             sections.append("rack telemetry: nothing has run yet")
+        sections.append(self._inband_section())
         sections.append(self._counters_section())
         sections.append(self._occupancy_section())
         sections.append(self._latency_section())

@@ -110,6 +110,27 @@ def fig4_clean_burst(scale: float = 1.0) -> dict[str, Any]:
     )
 
 
+def fig4_telemetry(scale: float = 1.0) -> dict[str, Any]:
+    """:func:`fig4_clean` with the in-band telemetry hub stamping every
+    hop (metrics and tracing off, so the delta vs ``fig4_clean`` is the
+    stamping + interval-series cost in isolation).
+
+    The *disabled* path -- no hub installed -- is what the <5% budget in
+    ``benchmarks/test_telemetry_overhead.py`` guards; this workload
+    tracks the opt-in price so regressions in the enabled path are
+    visible in the bench history too.
+    """
+    from repro.obs import Observability
+
+    cfg = _fig4_config(loss=0.0)
+    cfg.obs = Observability(enabled=False, telemetry=True)
+    m = _run_job(cfg, max(256, int(_FIG4_ELEMENTS * scale)))
+    collector = cfg.obs.telemetry.collector
+    m["extra"]["frames_drained"] = collector.frames_drained
+    m["extra"]["hops_drained"] = collector.hops_drained
+    return m
+
+
 def engine_churn(scale: float = 1.0) -> dict[str, Any]:
     """Engine-only replay of the fig4 scheduling mix.
 
@@ -243,6 +264,7 @@ WORKLOADS: dict[str, Callable[[float], dict[str, Any]]] = {
     "fig4_clean": fig4_clean,
     "fig4_lossy_burst": fig4_lossy_burst,
     "fig4_clean_burst": fig4_clean_burst,
+    "fig4_telemetry": fig4_telemetry,
     "engine_churn": engine_churn,
     "core_scaling": core_scaling,
     "fabric_2tier": fabric_2tier,

@@ -1,0 +1,117 @@
+"""Load-aware placement: telemetry-fed spine selection on the Clos.
+
+The acceptance path for ISSUE 7: congest one trunk of the active spine
+with background traffic, and the in-band telemetry must (a) flag that
+trunk as congested, (b) call the spine hot, and (c) steer
+``place_load_aware`` onto the least-loaded survivor -- all without the
+heartbeat machinery misreading queueing as a failure.
+"""
+
+import pytest
+
+from repro.net.fabric import (
+    CongestTrunk,
+    FabricConfig,
+    FabricFaultInjector,
+    FabricFaultPlan,
+    FabricJob,
+)
+from repro.obs import Observability
+
+
+def telemetry_job(**cfg_kwargs):
+    obs = Observability(tracing_enabled=False, telemetry=True)
+    cfg_kwargs.setdefault("num_leaves", 2)
+    cfg_kwargs.setdefault("num_spines", 2)
+    cfg_kwargs.setdefault("workers_per_leaf", 4)
+    return FabricJob(FabricConfig(obs=obs, **cfg_kwargs)), obs
+
+
+class TestCongestedTrunk:
+    @pytest.fixture(scope="class")
+    def congested_run(self):
+        job, obs = telemetry_job()
+        active = job.active_spine
+        plan = FabricFaultPlan().add(
+            CongestTrunk(leaf=0, spine=active, at_s=2e-4, down_for_s=1.5e-3)
+        )
+        FabricFaultInjector(job, plan).arm()
+        result = job.all_reduce(num_elements=16384)
+        return job, obs, active, result
+
+    def test_run_completes_without_spurious_reroute(self, congested_run):
+        _job, _obs, _active, result = congested_run
+        assert result.completed
+        # queueing inflates trunk RTT well below the 1 ms down threshold:
+        # congestion must not masquerade as a link failure
+        assert result.reroutes == []
+
+    def test_detector_flags_the_loaded_trunk(self, congested_run):
+        _job, obs, active, _result = congested_run
+        trunk = f"leaf0->spine{active}"
+        reports = obs.telemetry.congestion_reports()
+        assert trunk in {r.link for r in reports}
+        worst = reports[0]
+        assert worst.link == trunk
+        assert worst.peak_queue_delay_s > obs.telemetry.config.congestion_queue_delay_s
+
+    def test_hot_spine_detector_names_the_active_spine(self, congested_run):
+        _job, obs, active, _result = congested_run
+        hot = obs.telemetry.hot_spine_reports()
+        assert [r.spine for r in hot] == [f"spine{active}"]
+
+    def test_placement_homes_on_least_loaded_spine(self, congested_run):
+        job, _obs, active, _result = congested_run
+        controller = job.controller
+        loads = controller.spine_loads()
+        assert loads[active] > loads[1 - active]
+        placed = controller.place_load_aware(job.job_id)
+        assert placed == 1 - active
+        # and the decision is visible in the metrics registry
+        counter = job.obs.metrics.get("fabric_load_aware_placements_total")
+        assert counter is not None and counter.value >= 1
+
+
+class TestFallback:
+    def test_no_telemetry_degrades_to_ecmp(self):
+        job = FabricJob(FabricConfig(num_leaves=2, num_spines=2,
+                                     workers_per_leaf=2))
+        controller = job.controller
+        assert controller.spine_loads() == {}
+        for job_id in range(8):
+            assert controller.place_load_aware(job_id) == \
+                controller.select_spine(job_id, controller.healthy_spines())
+
+    def test_no_traffic_ties_resolve_like_ecmp(self):
+        # hub installed but nothing has run: every spine loads 0.0, the
+        # tie band covers all candidates, and the hash tie-break must
+        # reproduce plain ECMP
+        job, _obs = telemetry_job(workers_per_leaf=2)
+        controller = job.controller
+        for job_id in range(8):
+            assert controller.place_load_aware(job_id) == \
+                controller.select_spine(job_id, controller.healthy_spines())
+
+    def test_no_healthy_spine_raises(self):
+        job, _obs = telemetry_job(workers_per_leaf=2)
+        with pytest.raises(ValueError):
+            job.controller.place_load_aware(0, candidates=[])
+
+
+class TestCongestTrunkValidation:
+    def test_bad_fraction_rejected(self):
+        job, _obs = telemetry_job(workers_per_leaf=2)
+        plan = FabricFaultPlan().add(
+            CongestTrunk(leaf=0, spine=0, at_s=0.0, down_for_s=1e-3,
+                         fraction=0.0)
+        )
+        with pytest.raises(ValueError):
+            FabricFaultInjector(job, plan).arm()
+
+    def test_unknown_spine_rejected(self):
+        job, _obs = telemetry_job(workers_per_leaf=2)
+        plan = FabricFaultPlan().add(
+            CongestTrunk(leaf=0, spine=9, at_s=0.0, down_for_s=1e-3)
+        )
+        with pytest.raises(ValueError):
+            FabricFaultInjector(job, plan).arm()

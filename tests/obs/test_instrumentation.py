@@ -100,6 +100,20 @@ class TestDisabledPath:
         assert tat_off == tat_on
 
 
+class TestTracedBurstRun:
+    def test_burst_granularity_with_tracing_enabled(self):
+        # regression: the burst.switch trace point referenced a stale
+        # local and crashed any traced run at granularity="burst"
+        obs = Observability()
+        job = run_job(obs, granularity="burst")
+        batches = [dict(e.args) for e in obs.tracer.events
+                   if e.name == "burst.switch"]
+        assert batches
+        assert sum(b["packets"] for b in batches) == \
+            job.program.packets_processed
+        assert all(b["groups"] >= 1 for b in batches)
+
+
 class TestFig5LossScenario:
     """Regression for the Figure 5 pipeline: under Bernoulli loss the
     resends that inflate TAT must appear in the event trace."""

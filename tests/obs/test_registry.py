@@ -75,9 +75,31 @@ class TestHistogram:
     def test_quantile_of_empty_is_nan(self):
         assert math.isnan(Histogram("h", buckets=(1.0,)).quantile(0.5))
 
+    def test_quantile_of_empty_is_nan_at_extremes(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.0))
+        assert math.isnan(h.quantile(1.0))
+
+    def test_quantile_single_sample(self):
+        # one sample in (1, 2]: every q maps to that bucket's bound,
+        # except q=0 whose zero-observation target the first bucket
+        # already satisfies
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_quantile_overflow_bucket_reports_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(7.5)  # beyond every bound: lands in +Inf
+        assert h.quantile(1.0) == 7.5
+
     def test_quantile_bounds_checked(self):
         with pytest.raises(ValueError):
             Histogram("h", buckets=(1.0,)).quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0,)).quantile(-0.1)
 
     def test_empty_bucket_list_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,307 @@
+"""In-band telemetry tests: hop records, interval series, the collector,
+the detectors, and the instrumented single-rack path."""
+
+import math
+
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.packet import Frame
+from repro.obs.base import Observability
+from repro.obs.telemetry import (
+    HopRecord,
+    LinkSeries,
+    LinkTap,
+    SwitchSeries,
+    Telemetry,
+    TelemetryCollector,
+    TelemetryConfig,
+    detect_congestion,
+    detect_hot_spines,
+    detect_stragglers,
+)
+
+INTERVAL = 50e-6
+
+
+def link_series(name="l", rate_bps=10e9, interval=INTERVAL, capacity=64):
+    return LinkSeries(name, rate_bps, interval, capacity)
+
+
+class TestTelemetryConfig:
+    def test_defaults_valid(self):
+        cfg = TelemetryConfig()
+        assert cfg.interval_s == pytest.approx(50e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_s": 0.0},
+            {"capacity": 1},
+            {"congestion_min_intervals": 0},
+            {"load_window": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TelemetryConfig(**kwargs)
+
+
+class TestLinkSeries:
+    def test_sends_bucket_by_interval(self):
+        s = link_series()
+        s.record_send(0.0, 1250, 0.0, 0.0, 0)
+        s.record_send(INTERVAL * 0.9, 1250, 0.0, 0.0, 0)
+        s.record_send(INTERVAL * 1.1, 1250, 0.0, 0.0, 0)
+        assert len(s) == 2
+        first, second = s.intervals()
+        assert (first.idx, first.frames) == (0, 2)
+        assert (second.idx, second.frames) == (1, 1)
+
+    def test_utilization_counts_idle_intervals_as_zero(self):
+        # one fully busy interval then three idle ones
+        s = link_series(rate_bps=10e9)
+        busy_bytes = int(10e9 * INTERVAL / 8)
+        s.record_send(0.0, busy_bytes, 0.0, 0.0, 0)
+        s.record_send(INTERVAL * 3.5, 1, 0.0, 0.0, 0)  # open interval 3
+        assert s.utilization(window=1, end_idx=0) == pytest.approx(1.0)
+        assert s.utilization(window=4, end_idx=3) == pytest.approx(0.25, rel=1e-3)
+
+    def test_queue_delay_quantile_over_interval_peaks(self):
+        s = link_series()
+        for i, qd in enumerate((1e-6, 5e-6, 9e-6)):
+            s.record_send(i * INTERVAL, 100, qd, 0.0, 0)
+        assert s.queue_delay_quantile(1.0) == pytest.approx(9e-6)
+        assert s.queue_delay_quantile(0.0) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            s.queue_delay_quantile(1.5)
+
+    def test_quantile_of_empty_series_is_nan(self):
+        assert math.isnan(link_series().queue_delay_quantile(0.5))
+
+    def test_drop_rate_counts_losses_and_queue_drops(self):
+        s = link_series()
+        for i in range(8):
+            s.record_send(i * 1e-6, 100, 0.0, 0.0, 0)
+        s.record_drop(1e-6, lost=True)
+        s.record_drop(2e-6, lost=False)
+        assert s.drop_rate() == pytest.approx(2 / 10)
+        b = s.intervals()[0]
+        assert (b.losses, b.queue_drops) == (1, 1)
+
+    def test_eviction_drops_late_records(self):
+        s = link_series(capacity=2)
+        for i in range(3):
+            s.record_send(i * INTERVAL, 100, 0.0, 0.0, 0)
+        assert len(s) == 2  # interval 0 evicted
+        assert s.late_drops == 0
+        s.record_send(0.0, 100, 0.0, 0.0, 0)  # behind the horizon
+        assert s.late_drops == 1
+        assert len(s) == 2
+
+
+class TestSwitchSeries:
+    def test_occupancy_peaks_and_mean(self):
+        s = SwitchSeries("spine0", INTERVAL, 64)
+        s.record_occupancy(0.0, 2, epoch=0)
+        s.record_occupancy(1e-6, 6, epoch=1)
+        s.record_occupancy(INTERVAL * 1.5, 4, epoch=1)
+        assert s.peak_occupancy() == 6
+        assert s.mean_occupancy() == pytest.approx(4.0)
+        assert s.last_epoch() == 1
+
+
+class TestLinkTap:
+    def test_transmit_stamps_and_records(self):
+        s = link_series(rate_bps=1e9)
+        tap = LinkTap(s)
+        frame = Frame(wire_bytes=125)
+        # 125 B at 1 Gbps serializes in 1 us; done 2 us from now means
+        # the frame waited 1 us behind the transmitter
+        tap.on_transmit(frame, now=0.0, wire_bytes=125, done=2e-6,
+                        arrival=2.5e-6)
+        (rec,) = frame.hops
+        assert rec.kind == "link" and rec.name == "l"
+        assert rec.queue_delay_s == pytest.approx(1e-6)
+        assert rec.backlog_bytes == pytest.approx(125.0)
+        assert rec.backlog_frames == 0
+        assert rec.hop_latency_s == pytest.approx(2.5e-6)
+        b = s.intervals()[0]
+        assert b.frames == 1
+        assert b.queue_delay_max == pytest.approx(1e-6)
+
+    def test_backlog_frames_counts_undeparted_frames(self):
+        tap = LinkTap(link_series(rate_bps=1e9))
+        f1, f2 = Frame(wire_bytes=125), Frame(wire_bytes=125)
+        tap.on_transmit(f1, now=0.0, wire_bytes=125, done=1e-6, arrival=2e-6)
+        tap.on_transmit(f2, now=0.0, wire_bytes=125, done=2e-6, arrival=3e-6)
+        assert f1.hops[0].backlog_frames == 0
+        assert f2.hops[0].backlog_frames == 1
+
+
+class TestCollector:
+    def test_drain_files_records_and_resets_hops(self):
+        col = TelemetryCollector()
+        link = col.link_series("a->b", 10e9)
+        frame = Frame(wire_bytes=180)
+        frame.hops = [
+            HopRecord(kind="link", name="a->b", ts=1e-6, hop_latency_s=2e-6),
+            HopRecord(kind="switch", name="sw", ts=2e-6, pool_occupancy=5,
+                      pool_epoch=1),
+        ]
+        col.drain(frame, now=5e-6)
+        assert frame.hops is None
+        assert (col.frames_drained, col.hops_drained) == (1, 2)
+        assert link.intervals()[0].latency_n == 1
+        assert col.switches["sw"].peak_occupancy() == 5
+
+    def test_progress_counts_switch_results_per_sink(self):
+        class Result:
+            from_switch = True
+
+        col = TelemetryCollector()
+        frame = Frame(wire_bytes=180, message=Result())
+        frame.hops = []
+        col.drain(frame, now=1e-6, sink="w3")
+        assert col.progress == {"w3": 1}
+        assert col.progress_last_ts["w3"] == pytest.approx(1e-6)
+
+    def test_unstamped_frame_is_a_noop(self):
+        col = TelemetryCollector()
+        col.drain(Frame(wire_bytes=180), now=0.0, sink="w0")
+        assert col.frames_drained == 0
+        assert col.progress == {}
+
+
+class TestDetectCongestion:
+    def _series_with_run(self, col, name, start_idx, length, qd=20e-6):
+        s = col.link_series(name, 10e9)
+        for i in range(start_idx, start_idx + length):
+            s.record_send(i * INTERVAL + 1e-9, 100, qd, qd * 10e9 / 8, 1)
+        return s
+
+    def test_sustained_run_detected(self):
+        col = TelemetryCollector()
+        self._series_with_run(col, "hot", 0, 5)
+        (report,) = detect_congestion(col)
+        assert report.link == "hot"
+        assert report.intervals == 5
+        assert report.start_s == pytest.approx(0.0)
+        assert report.end_s == pytest.approx(5 * INTERVAL)
+        assert report.peak_queue_delay_s == pytest.approx(20e-6)
+
+    def test_gap_breaks_the_run(self):
+        col = TelemetryCollector()
+        # 3 congested, one idle interval, 3 congested: longest run is 3
+        self._series_with_run(col, "gappy", 0, 3)
+        self._series_with_run(col, "gappy", 4, 3)
+        assert detect_congestion(col) == []
+
+    def test_below_threshold_ignored(self):
+        col = TelemetryCollector()
+        self._series_with_run(col, "cool", 0, 10, qd=1e-6)
+        assert detect_congestion(col) == []
+
+
+class TestDetectStragglers:
+    def test_lagging_worker_flagged(self):
+        col = TelemetryCollector()
+        col.progress = {f"w{i}": 100 for i in range(7)}
+        col.progress["w7"] = 40  # z ~= 2.6 against the fleet
+        (report,) = detect_stragglers(col)
+        assert report.worker == "w7"
+        assert report.results == 40
+        assert report.z_score >= 2.0
+
+    def test_needs_three_sinks(self):
+        col = TelemetryCollector()
+        col.progress = {"w0": 100, "w1": 1}
+        assert detect_stragglers(col) == []
+
+    def test_uniform_progress_is_quiet(self):
+        col = TelemetryCollector()
+        col.progress = {f"w{i}": 64 for i in range(8)}
+        assert detect_stragglers(col) == []
+
+
+class TestDetectHotSpines:
+    def _busy(self, col, name, intervals, fill):
+        s = col.link_series(name, 10e9)
+        per_interval = int(10e9 * INTERVAL / 8 * fill)
+        for i in range(intervals):
+            s.record_send(i * INTERVAL + 1e-9, per_interval, 0.0, 0.0, 0)
+
+    def test_loaded_spine_flagged(self):
+        col = TelemetryCollector()
+        self._busy(col, "leaf0->spine0", 20, 0.6)
+        self._busy(col, "leaf0->spine1", 20, 0.05)
+        trunks = {"spine0": ["leaf0->spine0"], "spine1": ["leaf0->spine1"]}
+        (report,) = detect_hot_spines(col, trunks, end_idx=19)
+        assert report.spine == "spine0"
+        assert report.ratio > 1.5
+
+    def test_balanced_spines_quiet(self):
+        col = TelemetryCollector()
+        self._busy(col, "leaf0->spine0", 20, 0.4)
+        self._busy(col, "leaf0->spine1", 20, 0.4)
+        trunks = {"spine0": ["leaf0->spine0"], "spine1": ["leaf0->spine1"]}
+        assert detect_hot_spines(col, trunks, end_idx=19) == []
+
+
+class TestObservabilityTelemetryParam:
+    def test_off_by_default(self):
+        assert Observability().telemetry is None
+        assert Observability.off().telemetry is None
+
+    def test_true_builds_a_hub(self):
+        assert isinstance(Observability(telemetry=True).telemetry, Telemetry)
+
+    def test_config_and_hub_accepted(self):
+        cfg = TelemetryConfig(interval_s=1e-3)
+        obs = Observability(telemetry=cfg)
+        assert obs.telemetry.config is cfg
+        hub = Telemetry()
+        assert Observability(telemetry=hub).telemetry is hub
+
+    def test_junk_rejected(self):
+        with pytest.raises(TypeError):
+            Observability(telemetry="yes")
+
+    def test_independent_of_enabled(self):
+        obs = Observability(enabled=False, telemetry=True)
+        assert obs.telemetry is not None
+        assert not obs.enabled
+
+
+class TestInstrumentedRack:
+    def _run(self, granularity):
+        obs = Observability(enabled=False, telemetry=True)
+        job = SwitchMLJob(SwitchMLConfig(
+            num_workers=4, granularity=granularity, obs=obs
+        ))
+        res = job.all_reduce(num_elements=4096, verify=False)
+        assert res.completed
+        return obs.telemetry.collector
+
+    def test_frames_drain_and_series_fill(self):
+        col = self._run("packet")
+        assert col.frames_drained > 0
+        assert col.hops_drained >= col.frames_drained
+        assert any(len(s) for s in col.links.values())
+        # every worker drained the same number of results
+        assert len(set(col.progress.values())) == 1
+        assert len(col.progress) == 4
+
+    def test_burst_matches_packet_granularity(self):
+        packet = self._run("packet")
+        burst = self._run("burst")
+        assert packet.frames_drained == burst.frames_drained
+        assert packet.hops_drained == burst.hops_drained
+        assert packet.progress == burst.progress
+
+    def test_frames_not_stamped_without_hub(self):
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2))
+        res = job.all_reduce(num_elements=1024, verify=False)
+        assert res.completed
+        for link in job.rack.uplinks + job.rack.downlinks:
+            assert link.telemetry is None

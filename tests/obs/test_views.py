@@ -120,6 +120,21 @@ class TestDashboard:
         obs.tracer.emit("b", 0.1)
         assert "1 trace events dropped" in Dashboard(obs=obs).summary()
 
+    def test_real_run_past_the_cap_degrades_to_the_warning(self):
+        # regression: a traced all-reduce that outruns max_trace_events
+        # must keep the cap's worth of events, count the overflow, and
+        # surface it in the dashboard instead of growing without bound
+        from repro.core.job import SwitchMLConfig, SwitchMLJob
+
+        obs = Observability(max_trace_events=100)
+        job = SwitchMLJob(SwitchMLConfig(num_workers=2, obs=obs))
+        job.all_reduce(num_elements=2048, verify=False)
+        assert len(obs.tracer.events) == 100
+        assert obs.tracer.dropped_events > 0
+        text = Dashboard.from_job(job).summary()
+        assert (f"{obs.tracer.dropped_events} trace events dropped "
+                f"past the 100 cap") in text
+
     def test_disabled_layers_degrade_gracefully(self):
         text = Dashboard(obs=Observability(enabled=False)).summary()
         assert "metrics registry disabled" in text
