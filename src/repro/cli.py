@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -589,6 +590,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         attach_baseline,
         check_regression,
         load_bench,
+        profile_workload,
         run_suite,
         write_bench,
     )
@@ -605,6 +607,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.out:
         write_bench(doc, args.out)
+
+    if args.profile:
+        report = "".join(
+            profile_workload(name, scale=args.scale, top=args.profile_top)
+            for name in (names if names is not None else list(WORKLOADS))
+        )
+        if args.out:
+            prof_path = Path(args.out).with_suffix(".profile.txt")
+            prof_path.write_text(report)
+            print(f"profile written to {prof_path}")
+        else:
+            print(report)
 
     if args.json:
         print(json.dumps(doc, indent=2))
@@ -786,6 +800,12 @@ def main(argv: list[str] | None = None) -> int:
                      help="allowed fractional events/sec drop vs baseline")
     ben.add_argument("--json", action="store_true",
                      help="print the full BENCH document")
+    ben.add_argument("--profile", action="store_true",
+                     help="after timing, run each workload once under "
+                          "cProfile and write the top functions next to "
+                          "--out (<out>.profile.txt) or to stdout")
+    ben.add_argument("--profile-top", type=int, default=25,
+                     help="functions per sort order in the profile dump")
 
     vio = sub.add_parser(
         "violin", help="SS5.1 methodology: TAT distribution over N tensors"

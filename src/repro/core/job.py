@@ -91,6 +91,20 @@ class SwitchMLConfig:
     #: and completion times, fewer engine events (DESIGN note in
     #: docs/ARCHITECTURE.md).
     granularity: str = "packet"
+    #: epsilon-window coalescing (requires ``granularity="burst"``):
+    #: arrivals within ``burst_epsilon`` seconds of a group's opener ride
+    #: the same drain event, growing the batches the vectorized bodies
+    #: see.  0 (default) coalesces only exact ties and stays
+    #: bit-identical to packet mode; positive values (keep them well
+    #: under the retransmission timeout) trade <= epsilon extra latency
+    #: per hop for fewer, larger batches -- protocol-equivalent (same
+    #: tensors, same retransmissions under the same loss draws), not
+    #: schedule-identical.
+    burst_epsilon: float = 0.0
+    #: switch inner-loop backend: None reads $REPRO_BACKEND ("numpy"
+    #: default; "c" = compiled kernel with NumPy fallback).  See
+    #: :mod:`repro.core.backend`.
+    backend: str | None = None
     seed: int = 0
 
 
@@ -334,6 +348,10 @@ class SwitchMLJob:
                 f"granularity must be 'packet' or 'burst', got {cfg.granularity!r}"
             )
         burst = cfg.granularity == "burst"
+        if cfg.burst_epsilon < 0:
+            raise ValueError("burst_epsilon must be non-negative")
+        if cfg.burst_epsilon > 0 and not burst:
+            raise ValueError("burst_epsilon requires granularity='burst'")
         self.sim = Simulator(seed=cfg.seed, scheduler=cfg.scheduler)
         # zero-copy hot paths need FIFO delivery; jitter reorders (see
         # SwitchMLConfig.reuse_buffers)
@@ -388,6 +406,7 @@ class SwitchMLJob:
                 check_invariants=cfg.check_invariants,
                 epoch=cfg.epoch,
                 obs=self.obs, clock=clock, trace=self.trace,
+                backend=cfg.backend,
             )
         if burst:
             # rewire the rack for burst granularity: uplinks feed the
@@ -397,12 +416,17 @@ class SwitchMLJob:
             # the per-frame paths) keeps packet mode's hot paths
             # byte-for-byte identical to PR 3.
             switch = self.rack.switch
+            eps = cfg.burst_epsilon
+            switch.burst_epsilon = eps
             for w in range(cfg.num_workers):
                 port = self.rack.host_port(w)
                 self.rack.uplinks[w].connect(switch.burst_ingress_callback(port))
                 self.rack.uplinks[w].burst = True
+                self.rack.uplinks[w].burst_epsilon = eps
                 self.rack.downlinks[w].connect(self.rack.hosts[w].deliver_burst)
                 self.rack.downlinks[w].burst = True
+                self.rack.downlinks[w].burst_epsilon = eps
+                self.rack.hosts[w].burst_epsilon = eps
         worker_ports = {w: self.rack.host_port(w) for w in range(cfg.num_workers)}
         worker_names = {w: self.rack.hosts[w].name for w in range(cfg.num_workers)}
         self.rack.switch.load_program(
@@ -437,6 +461,7 @@ class SwitchMLJob:
                 obs=self.obs,
                 reuse_buffers=reuse,
                 granularity=cfg.granularity,
+                burst_epsilon=cfg.burst_epsilon,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)

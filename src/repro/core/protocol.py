@@ -110,28 +110,40 @@ class WorkerSlotState:
     ``rtt_sum`` / ``rtt_count``
         Per-slot accumulators over unambiguous RTT samples -- the
         per-slot view of the worker's Jacobson estimator inputs.
+    ``outstanding``
+        Boolean "chunk in flight" flag per slot.  The per-packet path
+        keeps the outstanding :class:`SwitchMLPacket` object per slot
+        (identity carries off/ver); the vectorized batch path masks
+        with this array instead of touching Python objects.
     ``tat_start`` / ``tat_finish``
         Scalar aggregation window (tensor aggregation time endpoints).
 
-    Storage split: fields consumed *vectorially* (scanned, reduced, or
-    lex-sorted pool-wide -- ``off``, the versions, the deadline pair,
-    the RTT accumulators) are NumPy arrays; fields touched only by
-    scalar per-packet bookkeeping (``sent_at``, ``retransmitted``,
-    ``retries``, ``backoff``) are plain Python lists, because a NumPy
-    scalar index costs several times a list index and those fields sit
-    on the per-result/per-send hot paths (measured in the BENCH_0004
-    gap analysis).  Both kinds reset in place, so aliases stay live.
+    Storage: every per-slot field is a NumPy array.  PR 5 kept the
+    scalar-bookkeeping fields (``sent_at``, ``retransmitted``,
+    ``retries``, ``backoff``) as Python lists because a NumPy scalar
+    index costs several times a list index on the per-packet path; the
+    vectorized batch bodies flipped that trade -- those fields are now
+    read and written whole-batch with fancy indexing, and the remaining
+    scalar accesses (packet-granularity mode) go through ``.item()``-free
+    single-element indexing whose cost is amortized by the batch wins.
+    Everything resets in place, so hot-path aliases stay live.
     """
 
     #: per-slot NumPy arrays captured by snapshot()/restore()
     ARRAY_FIELDS = (
-        "off", "ver", "next_ver", "deadline", "arm_seq",
-        "rtt_sum", "rtt_count",
+        "off", "ver", "next_ver", "sent_at", "deadline", "arm_seq",
+        "retransmitted", "retries", "backoff", "rtt_sum", "rtt_count",
+        "outstanding",
     )
-    #: per-slot Python lists (scalar-bookkeeping fields; see docstring)
-    LIST_FIELDS = ("sent_at", "retransmitted", "retries", "backoff")
+    #: retained for compatibility: every per-slot field is an array now
+    LIST_FIELDS: tuple[str, ...] = ()
     #: scalar fields captured alongside them
     SCALAR_FIELDS = ("tat_start", "tat_finish")
+
+    #: pool size above which :meth:`due` switches from a full
+    #: ``nonzero`` + lexsort to ``argpartition`` (pull the expired
+    #: prefix without ordering the rest of the pool)
+    ARGPARTITION_THRESHOLD = 64
 
     def __init__(self, pool_size: int):
         if pool_size < 1:
@@ -141,14 +153,15 @@ class WorkerSlotState:
         self.off = np.zeros(s, dtype=np.int64)
         self.ver = np.zeros(s, dtype=np.int8)
         self.next_ver = np.zeros(s, dtype=np.int8)
-        self.sent_at: list[float] = [0.0] * s
+        self.sent_at = np.zeros(s, dtype=np.float64)
         self.deadline = np.full(s, _INF, dtype=np.float64)
         self.arm_seq = np.zeros(s, dtype=np.int64)
-        self.retransmitted: list[bool] = [False] * s
-        self.retries: list[int] = [0] * s
-        self.backoff: list[float] = [1.0] * s
+        self.retransmitted = np.zeros(s, dtype=bool)
+        self.retries = np.zeros(s, dtype=np.int64)
+        self.backoff = np.ones(s, dtype=np.float64)
         self.rtt_sum = np.zeros(s, dtype=np.float64)
         self.rtt_count = np.zeros(s, dtype=np.int64)
+        self.outstanding = np.zeros(s, dtype=bool)
         self.tat_start = 0.0
         self.tat_finish = float("nan")
 
@@ -160,16 +173,16 @@ class WorkerSlotState:
         resetting in place keeps any hot-path aliases of these arrays
         attached, the same discipline as ``RegisterArray.reset()``.
         """
-        s = self.s
         self.off[:] = 0
         self.ver[:] = 0
-        self.sent_at[:] = [0.0] * s
+        self.sent_at[:] = 0.0
         self.deadline[:] = _INF
         self.arm_seq[:] = 0
-        self.retransmitted[:] = [False] * s
-        self.retries[:] = [0] * s
+        self.retransmitted[:] = False
+        self.retries[:] = 0
         self.rtt_sum[:] = 0.0
         self.rtt_count[:] = 0
+        self.outstanding[:] = False
         self.tat_start = float(start_time)
         self.tat_finish = float("nan")
 
@@ -183,8 +196,26 @@ class WorkerSlotState:
     def due(self, now: float) -> np.ndarray:
         """Indices of slots whose deadline has expired at ``now``,
         ordered by ``(deadline, arm_seq)`` -- the order packet mode's
-        per-slot timer events would fire in."""
+        per-slot timer events would fire in.
+
+        For large pools the expired set is pulled to the front with
+        ``argpartition`` (every expired deadline is ``<= now`` and every
+        armed-but-unexpired one is ``> now``, so the ``m`` smallest
+        deadlines *are* the expired set) and only that prefix is
+        ordered; small pools keep the straightforward ``nonzero`` scan.
+        """
         dl = self.deadline
+        if self.s > self.ARGPARTITION_THRESHOLD:
+            m = int(np.count_nonzero(dl <= now))
+            if m == 0:
+                return np.empty(0, dtype=np.intp)
+            if m < self.s:
+                idx = np.argpartition(dl, m - 1)[:m]
+            else:
+                idx = np.arange(self.s)
+            if m > 1:
+                idx = idx[np.lexsort((self.arm_seq[idx], dl[idx]))]
+            return idx
         idx = np.nonzero(dl <= now)[0]
         if idx.size > 1:
             idx = idx[np.lexsort((self.arm_seq[idx], dl[idx]))]
@@ -203,8 +234,6 @@ class WorkerSlotState:
     def snapshot(self) -> dict:
         """Deep copy of every field, suitable for :meth:`restore`."""
         snap: dict = {name: getattr(self, name).copy() for name in self.ARRAY_FIELDS}
-        for name in self.LIST_FIELDS:
-            snap[name] = list(getattr(self, name))
         for name in self.SCALAR_FIELDS:
             snap[name] = getattr(self, name)
         return snap
@@ -212,7 +241,7 @@ class WorkerSlotState:
     def restore(self, snap: dict) -> None:
         """Round-trip counterpart of :meth:`snapshot` (copies in place,
         preserving aliases)."""
-        for name in self.ARRAY_FIELDS + self.LIST_FIELDS:
+        for name in self.ARRAY_FIELDS:
             getattr(self, name)[:] = snap[name]
         for name in self.SCALAR_FIELDS:
             setattr(self, name, snap[name])
@@ -235,10 +264,13 @@ class SwitchSlotState:
     ``seen`` bitmap as an int64 array (updated on every bit transition;
     O(1) inspection instead of an O(n) scan).
 
-    The narrow arrays' scalar storage is exposed as ``seen_bits`` /
-    ``count_cells`` -- the aliases the per-packet path indexes directly.
-    They stay valid across :meth:`reset` because ``RegisterArray.reset``
-    clears in place.
+    The narrow arrays are NumPy-backed (``numpy_narrow=True``) so the
+    batch bodies and the optional compiled kernel can update the
+    ``seen`` bitmap and contribution counters whole-batch; their raw
+    storage is exposed as ``seen_bits`` / ``count_cells`` (``uint8``
+    arrays) -- the aliases both the per-packet path and the vectorized
+    path index directly.  They stay valid across :meth:`reset` because
+    ``RegisterArray.reset`` clears in place.
     """
 
     def __init__(self, num_workers: int, pool_size: int, elements_per_packet: int):
@@ -253,12 +285,14 @@ class SwitchSlotState:
         self.pool = self.registers.allocate(
             "pool", 2 * pool_size * elements_per_packet, width_bits=32
         )
-        self.count = self.registers.allocate("count", 2 * pool_size, width_bits=8)
-        self.seen = self.registers.allocate(
-            "seen", 2 * pool_size * num_workers, width_bits=1
+        self.count = self.registers.allocate(
+            "count", 2 * pool_size, width_bits=8, numpy_narrow=True
         )
-        self.seen_bits: list[int] = self.seen._scalar
-        self.count_cells: list[int] = self.count._scalar
+        self.seen = self.registers.allocate(
+            "seen", 2 * pool_size * num_workers, width_bits=1, numpy_narrow=True
+        )
+        self.seen_bits: np.ndarray = self.seen._cells
+        self.count_cells: np.ndarray = self.count._cells
         self.seen_pop = np.zeros(2 * pool_size, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -281,8 +315,8 @@ class SwitchSlotState:
         """Round-trip counterpart of :meth:`snapshot`; writes through the
         existing storage so hot-path aliases stay live."""
         self.pool._cells[:] = snap["pool"]
-        self.count_cells[:] = [int(v) for v in snap["count"]]
-        self.seen_bits[:] = [int(v) for v in snap["seen"]]
+        self.count_cells[:] = snap["count"]
+        self.seen_bits[:] = snap["seen"]
         self.seen_pop[:] = snap["seen_pop"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
+from repro.core.backend import backend_name, load_switch_kernel
 from repro.core.packet import SwitchMLPacket
 from repro.core.protocol import (
     DROP_DECISION as _DROP,
@@ -127,7 +130,16 @@ class SwitchMLProgram:
         bucketed-series mechanism.  The program ticks ``slot_contention``
         and ``shadow_read`` so loss timelines cover the switch end as
         well as the worker's ``sent`` / ``resent``.
+    backend:
+        Batch-body backend selection: ``"c"`` for the compiled kernel,
+        ``"numpy"`` for the pure-NumPy body, ``None`` (default) to read
+        ``$REPRO_BACKEND``.  Fail-soft: if the kernel cannot be built
+        the NumPy body is used (see :mod:`repro.core.backend`).
     """
+
+    #: smallest batch the vectorized/compiled bodies pay for themselves
+    #: on; smaller drains loop the per-packet handle() (same semantics)
+    BATCH_MIN = 16
 
     def __init__(
         self,
@@ -139,6 +151,7 @@ class SwitchMLProgram:
         obs: "Observability | None" = None,
         clock: Callable[[], float] | None = None,
         trace: "TraceRecorder | None" = None,
+        backend: str | None = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -158,12 +171,13 @@ class SwitchMLProgram:
         self._pool = self.state.pool
         self._count = self.state.count
         self._seen = self.state.seen
-        # Direct aliases of the narrow arrays' scalar storage for the
-        # per-packet path below; safe because RegisterArray.reset()
-        # clears in place and never rebinds the list.  The arrays'
-        # `accesses` counters are batch-incremented per packet.
-        self._seen_bits: list[int] = self.state.seen_bits
-        self._count_cells: list[int] = self.state.count_cells
+        # Direct aliases of the narrow arrays' uint8 storage, shared by
+        # the per-packet path and the batch bodies; safe because
+        # RegisterArray.reset() clears in place and never rebinds.  The
+        # arrays' `accesses` counters are batch-incremented per packet.
+        self._seen_bits: np.ndarray = self.state.seen_bits
+        self._count_cells: np.ndarray = self.state.count_cells
+        self._kernel = load_switch_kernel(backend)
         self.packets_processed = 0
         self.multicasts = 0
         self.unicast_retransmits = 0
@@ -253,7 +267,7 @@ class SwitchMLProgram:
         if seen_bits[sb] == 0:
             # First time this worker's contribution reaches this
             # (version, slot): apply it.
-            count_before = counts[vs]
+            count_before = int(counts[vs])
             if self.check_invariants and count_before == 0:
                 # This packet opens a new phase for the slot; legal only
                 # if the shadow copy's aggregation completed (count == 0).
@@ -377,30 +391,384 @@ class SwitchMLProgram:
 
     # ------------------------------------------------------------------
     def handle_batch(self, packets: list[SwitchMLPacket]) -> list[SwitchDecision]:
-        """Process one simultaneous-arrival burst of update packets.
+        """Process one coalesced burst of update packets.
 
         Burst-granularity entry point: the chassis hands over every
-        update that crossed the ingress pipeline at the same timestamp
-        (in arrival order).  Packets are bucketed by (version, slot);
-        a bucket whose contributions are all first-time and from
-        distinct workers takes a vectorized fast path -- the ``seen``
-        bits are set as a group, the counter advances by the group
-        size, and the value vectors are summed once (int64, so the sum
-        modulo 2**32 equals the sequential 32-bit wraparound adds) --
-        while any bucket containing a duplicate, shadow read, or other
-        messy case falls back to the per-packet :meth:`handle`, packet
-        by packet, preserving its exact semantics.
+        update that crossed the ingress pipeline in the same drain
+        window (in arrival order).  Three bodies sit behind this
+        interface, picked per call:
 
-        Equivalence with per-packet execution holds because packets in
-        different buckets touch disjoint registers: ``pool``/``count``
-        cells are per-(version, slot), and the ``seen`` bits a packet
-        touches (its own version's and the alternate pool's) are
-        per-worker -- two same-slot different-version packets in one
-        burst necessarily come from different workers (each worker has
-        at most one chunk outstanding per slot).  Emissions are
-        re-sorted by triggering-packet position, so the egress order --
-        and therefore every downstream link's serialization and RNG
-        draw order -- matches per-packet execution exactly.
+        * the **vectorized NumPy body** (default): no per-frame Python
+          loop beyond field extraction -- the batch is grouped by flat
+          (version, slot) key with ``np.unique``, the ``seen`` bitmap
+          and maintained popcount are updated whole-batch, counters
+          advance by group size, and value aggregation is one grouped
+          ``np.add.at`` scatter over the pool viewed as ``(2s, k)``
+          rows.  Only *messy* slots (one with a duplicate, shadow
+          read, or repeated (slot, worker) pair in the batch) fall
+          back to the per-packet :meth:`handle`, preserving its exact
+          semantics;
+        * the **compiled kernel** (``REPRO_BACKEND=c``): the
+          order-dependent classification loop runs in C over the raw
+          ``uint8``/``int64`` register buffers (no messy fallback
+          needed -- it is sequential and exact); Python applies the
+          payload/response plan it returns;
+        * the **grouped reference body**: per-group Python, used when
+          the event tracer or invariant checking is active (it emits
+          the per-event records the others skip for speed) and kept as
+          the behavioral reference for the equivalence suites.
+
+        Equivalence with per-packet execution holds because clean and
+        messy packets touch disjoint *slots*: every register a packet
+        reads or writes -- its ``pool``/``count`` cells and its
+        ``seen`` bits in both pool versions -- belongs to its slot, so
+        absorbing the clean slots wide before replaying the messy
+        slots sequentially commutes with arrival order.  Within the
+        clean set all contributions are first-time from distinct
+        (slot, worker) pairs, so per-group operations are
+        order-insensitive.  Int64 group sums equal the sequential
+        32-bit wraparound adds modulo 2**32.
+        Emissions are ordered by triggering-packet position, so the
+        egress order -- and therefore every downstream link's
+        serialization and RNG draw order -- matches per-packet
+        execution exactly.
+        """
+        if len(packets) == 1:
+            # singleton drain: the per-packet path is cheaper than any
+            # batch setup
+            d = self.handle(packets[0])
+            return [] if d.action is SwitchAction.DROP else [d]
+        if self._tracer.enabled or self.check_invariants:
+            return self._handle_batch_groups(packets)
+        if len(packets) < self.BATCH_MIN:
+            # small drains (epsilon=0 coalescing yields mostly 1-8 frame
+            # groups): the per-packet path beats any batch setup; handle()
+            # fences epochs and checks ranges itself
+            out = []
+            handle = self.handle
+            for p in packets:
+                d = handle(p)
+                if d.action is not SwitchAction.DROP:
+                    out.append(d)
+            return out
+
+        # ---- field extraction + epoch fence (the one per-packet loop)
+        s, n = self.s, self.n
+        epoch = self.epoch
+        pks: list[SwitchMLPacket] = []
+        vs_l: list[int] = []
+        wid_l: list[int] = []
+        fenced = 0
+        for p in packets:
+            if p.epoch != epoch:
+                fenced += 1
+                continue
+            idx, wid = p.idx, p.wid
+            if not 0 <= idx < s:
+                raise ValueError(f"pool index {idx} out of range [0, {s})")
+            if not 0 <= wid < n:
+                raise ValueError(f"worker id {wid} out of range [0, {n})")
+            vs_l.append(p.ver * s + idx)
+            wid_l.append(wid)
+            pks.append(p)
+        if fenced:
+            self.stale_epoch_drops += fenced
+            if self._m_on:
+                self._m_fence.inc(fenced)
+        if not pks:
+            return []
+        if len(pks) == 1:
+            d = self.handle(pks[0])
+            return [] if d.action is SwitchAction.DROP else [d]
+        vs_a = np.array(vs_l, dtype=np.int64)
+        wid_a = np.array(wid_l, dtype=np.int64)
+        if self._kernel is not None:
+            return self._handle_batch_compiled(pks, vs_a, wid_a)
+        return self._handle_batch_numpy(pks, vs_a, wid_a)
+
+    # ------------------------------------------------------------------
+    def _handle_batch_numpy(
+        self,
+        pks: list[SwitchMLPacket],
+        vs_a: np.ndarray,
+        wid_a: np.ndarray,
+    ) -> list[SwitchDecision]:
+        """Vectorized batch body (see :meth:`handle_batch`).
+
+        ``pks`` has passed the epoch fence and range checks; ``vs_a`` is
+        the flat (version, slot) key per packet, in arrival order.
+        """
+        s, n, k = self.s, self.n, self.k
+        seen_bits = self._seen_bits
+        counts = self._count_cells
+        pop = self._seen_pop
+        m = len(pks)
+        sb = vs_a * n + wid_a
+        first = seen_bits[sb] == 0
+        uvs, inv, gcnt = np.unique(vs_a, return_inverse=True, return_counts=True)
+        inv = inv.ravel()  # numpy<2.1 returns the input's shape
+
+        # a *slot* is "messy" -- all its packets, both versions, handled
+        # by the exact per-packet path -- if any packet touching it is a
+        # non-first contribution (duplicate or shadow read) or the same
+        # (slot, worker) pair appears twice in the batch (any versions).
+        # Messiness is per slot, not per (version, slot): an absorb into
+        # one version clears the alternate version's seen bit, so order
+        # between a slot's two versions is observable (e.g. a shadow
+        # read racing the same worker's next-phase packet); keeping the
+        # whole slot on the sequential path preserves arrival order.
+        slot_a = vs_a % s
+        bad_pkt = ~first
+        sw = slot_a * n + wid_a
+        order = np.argsort(sw, kind="stable")
+        ssw = sw[order]
+        dup = ssw[1:] == ssw[:-1]
+        if dup.any():
+            bad_pkt[order[1:][dup]] = True
+            bad_pkt[order[:-1][dup]] = True
+        slot_bad = np.bincount(slot_a, weights=bad_pkt, minlength=s) > 0
+        # counter overflow: cleared seen bits can admit more than
+        # n - count first-time contributors, so the counter would pass
+        # n mid-group -- a multicast plus a new phase opening inside
+        # one group, sequential-only semantics
+        over = counts[uvs].astype(np.int64) + gcnt > n
+        if over.any():
+            slot_bad[uvs[over] % s] = True
+        clean = ~slot_bad[slot_a]
+        g_clean = ~slot_bad[uvs % s]
+
+        out: list[tuple[int, SwitchDecision]] = []
+        cl_idx = np.nonzero(clean)[0]
+        if cl_idx.size:
+            c_vs = vs_a[cl_idx]
+            c_wid = wid_a[cl_idx]
+            c_sb = sb[cl_idx]
+            g_vs = uvs[g_clean]
+            g_cnt = gcnt[g_clean]
+            count_before = counts[g_vs].astype(np.int64)
+
+            # seen bitmap + maintained popcount, whole-batch.  Reading
+            # the alternate-pool bits *after* setting our own is safe:
+            # no clean packet's (vs, wid) bit is another's (ovs, wid)
+            # bit -- that needs the same (slot, worker) under both
+            # versions, which the duplicate check routes to messy.
+            seen_bits[c_sb] = 1
+            pop[g_vs] += g_cnt
+            c_ovs = np.where(c_vs >= s, c_vs - s, c_vs + s)
+            c_ob = c_ovs * n + c_wid
+            need = seen_bits[c_ob] == 1
+            n_clear = int(np.count_nonzero(need))
+            if n_clear:
+                seen_bits[c_ob[need]] = 0
+                np.subtract.at(pop, c_ovs[need], 1)
+            self._seen.accesses += 3 * cl_idx.size + n_clear
+            self._count.accesses += 2 * cl_idx.size
+            self.packets_processed += cl_idx.size
+
+            # grouped counter advance; distinct unseen workers plus the
+            # overflow check above guarantee new_count <= n
+            new_count = count_before + g_cnt
+            wrapped = new_count == n
+            counts[g_vs] = np.where(wrapped, 0, new_count & 255)
+            claims = int(np.count_nonzero(count_before == 0))
+            releases = int(np.count_nonzero(wrapped))
+            self.occupied_slots += claims - releases
+            self.multicasts += releases
+            if self._m_on:
+                self._m_contributions.inc(cl_idx.size)
+                if releases:
+                    self._m_multicasts.inc(releases)
+                if claims or releases:
+                    self._g_occupied.set(self.occupied_slots)
+
+            has_vec = pks[cl_idx[0]].vector is not None
+            if has_vec:
+                # grouped value aggregation: the pool viewed as one row
+                # per (version, slot).  First contribution of a phase
+                # overwrites the slot (shadow-copy recycling): zero the
+                # opening rows, then scatter-add every vector.  astype
+                # int32 wraps per element exactly like the sequential
+                # per-packet adds.
+                pool2 = self._pool._cells.reshape(2 * s, k)
+                opening = g_vs[count_before == 0]
+                if opening.size:
+                    pool2[opening] = 0
+                vecs = np.stack([pks[i].vector for i in cl_idx])
+                np.add.at(pool2, c_vs, vecs.astype(np.int32))
+                self._pool.accesses += g_vs.size
+
+            if releases:
+                # the group's last packet completed the aggregation --
+                # the multicast anchors to its position
+                last = np.zeros(uvs.size, dtype=np.int64)
+                np.maximum.at(last, inv[cl_idx], cl_idx)
+                for g in np.nonzero(g_clean)[0][wrapped]:
+                    i_last = int(last[g])
+                    p_last = pks[i_last]
+                    vector = None
+                    if has_vec:
+                        lo = int(uvs[g]) * k
+                        vector = self._pool.read_range(lo, lo + k)
+                    out.append((
+                        i_last,
+                        SwitchDecision(
+                            SwitchAction.MULTICAST, p_last.result_copy(vector)
+                        ),
+                    ))
+
+        if cl_idx.size != m:
+            # messy groups: exact per-packet semantics, in arrival
+            # order.  Safe after the clean absorb because messy and
+            # clean groups touch disjoint bits/counters (see the
+            # equivalence argument in handle_batch).
+            for i in np.nonzero(~clean)[0]:
+                d = self.handle(pks[i])
+                if d.action is not SwitchAction.DROP:
+                    out.append((int(i), d))
+
+        if len(out) > 1:
+            out.sort(key=lambda e: e[0])
+        return [d for _, d in out]
+
+    # ------------------------------------------------------------------
+    def _handle_batch_compiled(
+        self,
+        pks: list[SwitchMLPacket],
+        vs_a: np.ndarray,
+        wid_a: np.ndarray,
+    ) -> list[SwitchDecision]:
+        """Compiled-kernel batch body (``REPRO_BACKEND=c``).
+
+        The C kernel runs the exact order-dependent classification over
+        the raw register buffers and returns per-packet verdicts; this
+        side applies the payload plan and builds the responses.
+        """
+        from repro.core import backend as _be
+
+        s, n, k = self.s, self.n, self.k
+        m = len(pks)
+        cls, resets, seen_acc, count_acc = self._kernel.absorb(
+            s, n, vs_a, wid_a, self._seen_bits, self._count_cells, self._seen_pop
+        )
+        self._seen.accesses += seen_acc
+        self._count.accesses += count_acc
+        self.packets_processed += m
+
+        completes = cls == _be.CLS_COMPLETES
+        shadow = cls == _be.CLS_SHADOW
+        absorbed = cls <= _be.CLS_COMPLETES
+        n_abs = int(np.count_nonzero(absorbed))
+        n_comp = int(np.count_nonzero(completes))
+        n_shadow = int(np.count_nonzero(shadow))
+        n_dup = m - n_abs - n_shadow
+        claims = int(np.count_nonzero(resets))
+        self.multicasts += n_comp
+        self.unicast_retransmits += n_shadow
+        self.ignored_duplicates += n_dup
+        self.occupied_slots += claims - n_comp
+        if self._m_on:
+            if n_abs:
+                self._m_contributions.inc(n_abs)
+            if n_comp:
+                self._m_multicasts.inc(n_comp)
+            if n_shadow:
+                self._m_shadow.inc(n_shadow)
+            if n_dup:
+                self._m_dup.inc(n_dup)
+            if claims or n_comp:
+                self._g_occupied.set(self.occupied_slots)
+        if self.trace is not None and (n_shadow or n_dup):
+            now = self._clock()
+            for _ in range(n_shadow):
+                self.trace.tick("shadow_read", now)
+            for _ in range(n_dup):
+                self.trace.tick("slot_contention", now)
+
+        has_vec = pks[0].vector is not None
+        shadow_vecs: dict[int, np.ndarray] = {}
+        mc_vecs: dict[int, np.ndarray] = {}
+        if has_vec:
+            pool2 = self._pool._cells.reshape(2 * s, k)
+            shadow_idx = np.nonzero(shadow)[0]
+            reset_mask = resets != 0
+            opening = np.unique(vs_a[reset_mask]) if claims else vs_a[:0]
+            # Rare races needing packet-order replay: a shadow read of
+            # a slot whose next phase also opens in this batch must
+            # observe the *old* copy iff the read precedes the opening
+            # packet; likewise a completed aggregation whose row is
+            # reopened later in the batch must be read before the new
+            # phase overwrites it.  Otherwise apply the batch payload
+            # plan wide, then read the shadows: a shadow sees count==0,
+            # so every in-batch absorb into its row precedes it (a
+            # later one would be a reset, caught by `overlap`) -- the
+            # post-add row is exactly what sequential execution reads.
+            overlap = opening.size and (
+                (shadow_idx.size and bool(np.isin(vs_a[shadow_idx], opening).any()))
+                or (n_comp and bool(np.isin(vs_a[completes], opening).any()))
+            )
+            if not overlap:
+                if opening.size:
+                    pool2[opening] = 0
+                ab_idx = np.nonzero(absorbed)[0]
+                if ab_idx.size:
+                    vecs = np.stack([pks[i].vector for i in ab_idx])
+                    np.add.at(pool2, vs_a[ab_idx], vecs.astype(np.int32))
+                    self._pool.accesses += int(np.unique(vs_a[ab_idx]).size)
+                for i in shadow_idx:
+                    lo = int(vs_a[i]) * k
+                    shadow_vecs[int(i)] = self._pool.read_range(lo, lo + k)
+            else:
+                for i in range(m):
+                    lo = int(vs_a[i]) * k
+                    if absorbed[i]:
+                        if resets[i]:
+                            self._pool.write_range(lo, lo + k, pks[i].vector)
+                        else:
+                            self._pool.add_range(lo, lo + k, pks[i].vector)
+                        if completes[i]:
+                            # capture at completion time: a later packet
+                            # may reopen and overwrite this row
+                            mc_vecs[i] = self._pool.read_range(lo, lo + k)
+                    elif shadow[i]:
+                        shadow_vecs[i] = self._pool.read_range(lo, lo + k)
+
+        out: list[SwitchDecision] = []
+        if n_comp or n_shadow:
+            for i in np.nonzero(completes | shadow)[0]:
+                i = int(i)
+                p = pks[i]
+                if completes[i]:
+                    vector = mc_vecs.get(i)
+                    if vector is None and has_vec:
+                        lo = int(vs_a[i]) * k
+                        vector = self._pool.read_range(lo, lo + k)
+                    out.append(
+                        SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
+                    )
+                else:
+                    out.append(
+                        SwitchDecision(
+                            SwitchAction.UNICAST,
+                            p.result_copy(shadow_vecs.get(i)),
+                            unicast_wid=p.wid,
+                        )
+                    )
+        return out
+
+    @property
+    def backend(self) -> str:
+        """Active batch-body backend label (``"c"`` or ``"numpy"``)."""
+        return backend_name(self._kernel)
+
+    # ------------------------------------------------------------------
+    def _handle_batch_groups(
+        self, packets: list[SwitchMLPacket]
+    ) -> list[SwitchDecision]:
+        """Grouped per-(version, slot) reference body.
+
+        Used when the event tracer or invariant checking is active --
+        both need per-event context the wide bodies skip -- and by the
+        equivalence suites as the behavioral reference.
         """
         s, n = self.s, self.n
         seen_bits = self._seen_bits
@@ -434,13 +802,27 @@ class SwitchMLProgram:
             else:
                 g.append((pos, p))
 
+        # slots with packets under BOTH pool versions in this batch:
+        # order between the versions is observable (an absorb clears
+        # the alternate version's seen bit), so those slots replay
+        # per-packet in global arrival order
+        vers_present = np.zeros(s, dtype=np.uint8)
+        for vs in groups:
+            vers_present[vs % s] |= 1 << (vs // s)
+
         out: list[tuple[int, SwitchDecision]] = []
+        seq: list[tuple[int, SwitchMLPacket]] = []
         for vs, g in groups.items():
+            if vers_present[vs % s] == 3:
+                seq.extend(g)
+                continue
             m = len(g)
-            fast = m > 1
+            # fast path needs every contribution first-time from a
+            # distinct worker AND the counter not to pass n mid-group
+            # (cleared seen bits can admit more than n - count
+            # first-timers; the wrap-and-reopen is sequential-only)
+            fast = m > 1 and int(counts[vs]) + m <= n
             if fast:
-                # fast path only when every contribution is first-time
-                # and from a distinct worker
                 base = vs * n
                 wids = set()
                 for _, p in g:
@@ -459,7 +841,7 @@ class SwitchMLProgram:
             # ---- vectorized group absorb ------------------------------
             idx = vs % s
             ovs = vs - s if vs >= s else vs + s  # alternate pool's copy
-            count_before = counts[vs]
+            count_before = int(counts[vs])
             if self.check_invariants and count_before == 0:
                 other_count = counts[ovs]
                 if other_count != 0:
@@ -547,6 +929,13 @@ class SwitchMLProgram:
                     last_pos,
                     SwitchDecision(SwitchAction.MULTICAST, last_p.result_copy(vector)),
                 ))
+
+        if seq:
+            seq.sort(key=lambda e: e[0])
+            for pos, p in seq:
+                d = self.handle(p)
+                if d.action is not SwitchAction.DROP:
+                    out.append((pos, d))
 
         if self._tracer.enabled:
             self._tracer.emit(

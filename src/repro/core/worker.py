@@ -98,6 +98,10 @@ class SwitchMLWorker:
         histograms.
     """
 
+    #: smallest RX group the vectorized batch body pays for itself on;
+    #: smaller groups replay the per-result loop (same semantics)
+    _RX_BATCH_MIN = 8
+
     def __init__(
         self,
         sim: Simulator,
@@ -123,11 +127,14 @@ class SwitchMLWorker:
         reuse_buffers: bool = False,
         job_id: int = 0,
         granularity: str = "packet",
+        burst_epsilon: float = 0.0,
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
         if granularity not in ("packet", "burst"):
             raise ValueError(f"unknown granularity {granularity!r}")
+        if burst_epsilon < 0:
+            raise ValueError("burst_epsilon must be non-negative")
         self.sim = sim
         self._schedule_at = sim.schedule_at
         self.host = host
@@ -173,14 +180,23 @@ class SwitchMLWorker:
         self._rtt_peak = 0.0  # decaying peak: guards RTT ramp-ups
         #: execution granularity: "packet" replays the event-per-packet
         #: schedule; "burst" additionally books the per-slot deadlines
-        #: into the SoA core's deadline array (see _arm_deadline).  Timer
-        #: *events* stay per-slot in both modes: coarsening them into one
+        #: into the SoA core's deadline array (see _arm_deadline).  With
+        #: eps=0, timer *events* stay per-slot: coarsening them into one
         #: wake-up changes how same-instant expiries interleave with
         #: other workers' events (the engine breaks time ties by
         #: scheduling order), which cascades through uplink send order
-        #: into switch arrival order under loss.
+        #: into switch arrival order under loss -- and eps=0 burst mode
+        #: promises bit-identical protocol outcomes.  With eps>0 the
+        #: schedule is already epsilon-perturbed, so the worker runs ONE
+        #: singleton engine timer at the earliest armed deadline;
+        #: expiries drain through WorkerSlotState.due() in (deadline,
+        #: arm_seq) order -- s timer events collapse to one.
         self.granularity = granularity
         self._burst = granularity == "burst"
+        self.burst_epsilon = float(burst_epsilon)
+        self._single_timer = self._burst and self.burst_epsilon > 0.0
+        self._deadline_event: Event | None = None
+        self._deadline_armed_at = _INF
         # per-packet trace events fire in packet mode; burst mode emits
         # per-burst aggregate records instead (on_frames/_fire_deadline)
         self._trace_packets = not self._burst
@@ -261,6 +277,10 @@ class SwitchMLWorker:
         self._slot_sent_at = self._st.sent_at
         self._slot_retransmitted = self._st.retransmitted
         self._slot_retries = self._st.retries
+        # burst mode mirrors "chunk in flight" into the SoA bool column
+        # so the batch RX body can mask whole-batch instead of touching
+        # the _slot_packet object column per frame
+        self._slot_outstanding = self._st.outstanding
         self._slot_packet: list[SwitchMLPacket | None] = []
         self._slot_timer: list[Event | None] = []
         # Pool versions persist ACROSS tensors: the implementation treats
@@ -329,6 +349,7 @@ class SwitchMLWorker:
         self._slot_sent_at = st.sent_at
         self._slot_retransmitted = st.retransmitted
         self._slot_retries = st.retries
+        self._slot_outstanding = st.outstanding
         self._slot_packet = [None] * self.s
         self._slot_timer = [None] * self.s
         # reusable buffers are per-aggregation: wid/epoch/addressing may
@@ -345,9 +366,12 @@ class SwitchMLWorker:
         assert self._tensor is not None
         return self._tensor[off : off + self.k]
 
-    def _send_chunk(self, idx: int, ver: int, off: int) -> None:
+    def _send_chunk(self, idx: int, ver: int, off: int, arm: bool = True) -> None:
         """Send one chunk; the TX-side instrumentation (the old
-        ``_transmit``) is inlined -- this runs once per in-order send."""
+        ``_transmit``) is inlined -- this runs once per in-order send.
+
+        ``arm=False`` skips the timer arming: the batch RX body computes
+        the whole batch's deadlines vectorially after all its sends."""
         if self.reuse_buffers and (packet := self._slot_buf[idx]) is not None:
             # hot path: mutate the slot's dedicated packet + frame in
             # place (see the reuse_buffers note in __init__)
@@ -378,6 +402,8 @@ class SwitchMLWorker:
         self._slot_ver[idx] = ver
         self._next_ver[idx] = 1 - ver  # the version the NEXT phase uses
         self._slot_packet[idx] = packet
+        if self._burst:
+            self._slot_outstanding[idx] = True
         self._slot_sent_at[idx] = self.sim.now
         self._slot_retransmitted[idx] = False
         self._slot_retries[idx] = 0
@@ -392,6 +418,8 @@ class SwitchMLWorker:
                 slot=idx, ver=ver, off=off,
             )
         self.host.send(frame)
+        if not arm:
+            return
         if self._burst:
             self._arm_deadline(idx)
         else:
@@ -447,16 +475,21 @@ class SwitchMLWorker:
 
     def _arm_deadline(self, idx: int) -> None:
         """Burst-mode timer arming: write the slot's expiry into the SoA
-        deadline array and arm the slot's engine timer at it.
+        deadline array and arm an engine timer to cover it.
 
-        The timeout duration is computed exactly as in :meth:`_arm_timer`,
-        and an engine event is scheduled per arming, exactly as in packet
-        mode: the engine breaks time ties by scheduling order, so giving
-        burst-mode expiries the same scheduling points keeps same-instant
-        interleavings with every other actor's events identical.  What
-        burst mode adds is the SoA bookkeeping -- ``deadline`` mirrors
-        every armed expiry (``+inf`` = none) and ``arm_seq`` the arming
-        order, so pool-wide timer state is inspectable as one array scan.
+        The timeout duration is computed exactly as in :meth:`_arm_timer`.
+        With ``burst_epsilon == 0`` an engine event is scheduled per
+        arming, exactly as in packet mode: the engine breaks time ties
+        by scheduling order, so giving burst-mode expiries the same
+        scheduling points keeps same-instant interleavings with every
+        other actor's events identical (the eps=0 bit-identical
+        promise).  With ``burst_epsilon > 0`` the schedule is already
+        epsilon-perturbed, so one *singleton* timer at the earliest
+        armed deadline covers the whole pool; :meth:`_run_deadlines`
+        drains expiries through ``WorkerSlotState.due()`` and re-arms.
+        Either way the SoA bookkeeping -- ``deadline`` mirrors every
+        armed expiry (``+inf`` = none) and ``arm_seq`` the arming order
+        -- makes pool-wide timer state one array scan.
         """
         st = self._st
         if self.timeout_mode == "fixed" or self._srtt is None:
@@ -470,10 +503,55 @@ class SwitchMLWorker:
         st.deadline[idx] = d
         st.arm_seq[idx] = self._arm_counter
         self._arm_counter += 1
+        if self._single_timer:
+            if d < self._deadline_armed_at:
+                self._rearm_singleton(d)
+            return
         timer = self._slot_timer[idx]
         if timer is not None:
             timer.cancel()
         self._slot_timer[idx] = self._schedule_at(d, self._fire_deadline, idx)
+
+    def _rearm_singleton(self, d: float) -> None:
+        ev = self._deadline_event
+        if ev is not None:
+            ev.cancel()
+        self._deadline_armed_at = d
+        self._deadline_event = self._schedule_at(d, self._run_deadlines)
+
+    def _run_deadlines(self) -> None:
+        """Singleton-timer callback (eps-window burst mode): drain every
+        expired deadline in ``(deadline, arm_seq)`` order -- the order
+        per-slot timers would have fired in -- then re-arm at the next
+        earliest deadline.  Spurious wake-ups (the covered deadline was
+        cleared by a result) simply re-arm."""
+        self._deadline_event = None
+        self._deadline_armed_at = _INF
+        if not self._active:
+            return
+        st = self._st
+        now = self.sim.now
+        fired = 0
+        due = st.due(now)
+        if due.size:
+            deadline = st.deadline
+            for idx in due:
+                i = int(idx)
+                deadline[i] = _INF
+                self._on_timeout(i)
+                fired += 1
+                if not self._active:
+                    break
+        if self._active:
+            # _on_timeout -> _arm_deadline may already have re-armed;
+            # ensure the singleton covers the pool-wide minimum
+            md = st.min_deadline()
+            if md < self._deadline_armed_at:
+                self._rearm_singleton(md)
+        if fired and self._tracer.enabled:
+            self._tracer.emit(
+                "burst.timeout", now, cat="burst", actor=self._actor, fired=fired,
+            )
 
     def _fire_deadline(self, idx: int) -> None:
         """Burst mode's timer callback: consume the slot's deadline and
@@ -630,10 +708,15 @@ class SwitchMLWorker:
             self._slot_sent_at = st.sent_at
             self._slot_retransmitted = st.retransmitted
             self._slot_retries = st.retries
+            self._slot_outstanding = st.outstanding
 
     def _cancel_all_timers(self) -> None:
         for idx in range(len(self._slot_timer)):
             self._cancel_timer(idx)
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+            self._deadline_event = None
+        self._deadline_armed_at = _INF
         if self._burst:
             self._st.clear_deadlines()
 
@@ -769,25 +852,208 @@ class SwitchMLWorker:
 
     def on_frames(self, frames: list[Frame]) -> None:
         """Burst-granularity RX entry: one call per group of frames the
-        host dispatched at the same timestamp, in arrival order.  Each
-        result is consumed exactly as :meth:`on_frame` would; the trace
-        record is one per-burst aggregate instead of per-packet events."""
+        host dispatched in the same drain window, in arrival order.
+
+        Large groups go through the vectorized batch body
+        (:meth:`_on_results_batch`); small ones (and the cases the batch
+        body excludes) replay the per-result path, whose semantics are
+        the reference -- below ``_RX_BATCH_MIN`` results the array
+        setup costs more than the loop it replaces.  The trace record
+        is one per-burst aggregate instead of per-packet events."""
         stats = self.stats
-        on_result = self._on_result
-        results = 0
+        results: list[SwitchMLPacket] = []
         for frame in frames:
             if frame.corrupted:
+                # SS3.4: checksum failure; discard, timeout recovers
                 stats.corrupt_discarded += 1
                 continue
             packet = frame.message
             if isinstance(packet, SwitchMLPacket) and packet.from_switch:
-                results += 1
-                on_result(packet)
+                results.append(packet)
+        if results:
+            if len(results) < self._RX_BATCH_MIN or not self._active:
+                on_result = self._on_result
+                for p in results:
+                    on_result(p)
+            else:
+                self._on_results_batch(results)
         if self._tracer.enabled:
             self._tracer.emit(
                 "burst.rx", self.sim.now, cat="burst", actor=self._actor,
-                frames=len(frames), results=results,
+                frames=len(frames), results=len(results),
             )
+
+    def _on_results_batch(self, pkts: list[SwitchMLPacket]) -> None:
+        """Vectorized result consumption: the whole batch's stale
+        filtering, timer clearing, RTT accounting, and next-chunk timer
+        math run as array operations; only the per-chunk sends (and the
+        order-sensitive Jacobson EWMA) remain loops.
+
+        Two cases fall back to the exact per-result loop:
+
+        * **adaptive timeout mode** -- there the EWMA feeds each send's
+          RTO, and packet mode interleaves (sample i, send i, sample
+          i+1, ...); batching the samples ahead of the sends would skew
+          the RTOs.  Fixed mode's RTO never reads the estimator, so
+          batching is exact (per-slot backoff is reset before the
+          slot's own send in both orders).
+        * **the batch that completes the tensor** -- _finish() may
+          restart the worker synchronously (next aggregation), and any
+          frames after the completing result must observe the restarted
+          state exactly as the sequential path would.
+        """
+        st = self._st
+        m = len(pkts)
+        epoch = self.epoch
+        idx_a = np.fromiter((p.idx for p in pkts), dtype=np.int64, count=m)
+        off_a = np.fromiter((p.off for p in pkts), dtype=np.int64, count=m)
+        ver_a = np.fromiter((p.ver for p in pkts), dtype=np.int64, count=m)
+        # stale filtering: epoch first (a stale-epoch idx may be out of
+        # range for this pool geometry), then the outstanding-phase match
+        if all(p.epoch == epoch for p in pkts):
+            valid = (
+                st.outstanding[idx_a]
+                & (off_a == st.off[idx_a])
+                & (ver_a == st.ver[idx_a])
+            )
+        else:
+            valid = np.zeros(m, dtype=bool)
+            ok = np.fromiter((p.epoch == epoch for p in pkts), dtype=bool, count=m)
+            ok_i = np.nonzero(ok)[0]
+            if ok_i.size:
+                ia = idx_a[ok_i]
+                valid[ok_i] = (
+                    st.outstanding[ia]
+                    & (off_a[ok_i] == st.off[ia])
+                    & (ver_a[ok_i] == st.ver[ia])
+                )
+        acc = np.nonzero(valid)[0]
+        if acc.size > 1:
+            # intra-batch duplicates for one slot (multicast racing a
+            # unicast shadow read): first occurrence wins, the rest are
+            # stale -- exactly what the sequential path does, because
+            # consuming the first changes the slot's outstanding phase
+            slots_acc = idx_a[acc]
+            uniq, first_pos = np.unique(slots_acc, return_index=True)
+            if uniq.size != acc.size:
+                acc = acc[np.sort(first_pos)]
+        n_acc = int(acc.size)
+        if n_acc and (self.timeout_mode != "fixed" or n_acc == self._remaining):
+            on_result = self._on_result
+            for p in pkts:
+                on_result(p)
+            return
+        stats = self.stats
+        n_stale = m - n_acc
+        if n_stale:
+            stats.stale_results_ignored += n_stale
+            if self._m_on:
+                self._m_stale.inc(n_stale)
+        if not n_acc:
+            return
+
+        si = idx_a[acc]
+        now = self.sim.now
+        # timers: one masked store in singleton mode, per-slot cancels
+        # otherwise (eps=0 keeps per-slot events; lazy-cancel order is
+        # unobservable, so batching the cancels ahead of the sends is
+        # exact)
+        st.deadline[si] = _INF
+        if not self._single_timer:
+            slot_timer = self._slot_timer
+            for i in si:
+                timer = slot_timer[i]
+                if timer is not None:
+                    timer.cancel()
+                    slot_timer[i] = None
+        samples = now - st.sent_at[si]
+        stats.results_received += n_acc
+        stats.rtt_sum += float(samples.sum())
+        stats.rtt_count += n_acc
+        if self._m_on:
+            self._m_results.inc(n_acc)
+            observe = self._h_rtt.observe
+            for x in samples:
+                observe(float(x))
+        # Karn's rule, whole-batch: unambiguous samples feed the per-slot
+        # accumulators and clear the backoff; the scalar EWMA stays a
+        # loop in arrival order (its fixed point depends on sample order)
+        unamb = ~st.retransmitted[si]
+        if unamb.any():
+            u_si = si[unamb]
+            u_samples = samples[unamb]
+            st.rtt_sum[u_si] += u_samples
+            st.rtt_count[u_si] += 1
+            st.backoff[u_si] = 1.0
+            srtt = self._srtt
+            rttvar = self._rttvar
+            peak = self._rtt_peak
+            for x in u_samples:
+                x = float(x)
+                if srtt is None:
+                    srtt = x
+                    rttvar = x / 2.0
+                else:
+                    err = x - srtt
+                    srtt += 0.125 * err
+                    rttvar += 0.25 * (abs(err) - rttvar)
+                decayed = peak * 0.995
+                peak = x if x > decayed else decayed
+            self._srtt = srtt
+            self._rttvar = rttvar
+            self._rtt_peak = peak
+        # consume: results land in the tensor, slots free up
+        if not self._phantom:
+            result = self._result
+            k = self.k
+            for j in acc:
+                p = pkts[j]
+                if p.vector is not None:
+                    result[p.off : p.off + k] = p.vector
+        st.outstanding[si] = False
+        slot_packet = self._slot_packet
+        for i in si:
+            slot_packet[i] = None
+        self._remaining -= n_acc
+
+        # next-chunk sends, in the arrival order of their credits.  The
+        # completing batch was routed to the fallback above, so every
+        # accepted result either advances its slot or retires it --
+        # _finish() can never trigger here.
+        next_off = off_a[acc] + self.k * self.s
+        send = next_off < self._size
+        if not send.any():
+            return
+        send_pos = np.nonzero(send)[0]
+        if self._single_timer:
+            # batch timer math: send the frames without arming, then
+            # compute every deadline in one vector op and re-arm the
+            # singleton once
+            for j in send_pos:
+                self._send_chunk(
+                    idx=int(si[j]),
+                    ver=1 - int(ver_a[acc[j]]),
+                    off=int(next_off[j]),
+                    arm=False,
+                )
+            sent_slots = si[send_pos]
+            dur = self.timeout_s * st.backoff[sent_slots]
+            np.minimum(dur, self.max_timeout_s, out=dur)
+            deadlines = now + dur
+            st.deadline[sent_slots] = deadlines
+            c = self._arm_counter
+            st.arm_seq[sent_slots] = np.arange(c, c + sent_slots.size)
+            self._arm_counter = c + int(sent_slots.size)
+            dmin = float(deadlines.min())
+            if dmin < self._deadline_armed_at:
+                self._rearm_singleton(dmin)
+        else:
+            for j in send_pos:
+                self._send_chunk(
+                    idx=int(si[j]),
+                    ver=1 - int(ver_a[acc[j]]),
+                    off=int(next_off[j]),
+                )
 
     def _on_result(self, p: SwitchMLPacket) -> None:
         """The per-result hot path (one call per received result frame);
@@ -863,6 +1129,8 @@ class SwitchMLWorker:
             assert self._result is not None
             self._result[off : off + self.k] = p.vector
         self._slot_packet[idx] = None
+        if self._burst:
+            self._slot_outstanding[idx] = False
         self._remaining -= 1
 
         next_off = off + self.k * self.s

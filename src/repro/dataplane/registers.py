@@ -41,11 +41,25 @@ class RegisterArray:
         Cell width; 32 for SwitchML value cells.  Cells behave as signed
         two's-complement integers of this width (1- and 8-bit cells are
         unsigned flags/counters, as in the P4 program).
+    numpy_narrow:
+        Store narrow (1/8/16-bit) cells in a contiguous ``uint8``/
+        ``uint16`` NumPy array instead of a Python list.  Scalar access
+        is a few times slower than a list index, but the storage can be
+        operated on *vectorially* (whole-batch bitmap updates, grouped
+        counter advances) and handed to a compiled kernel as a raw
+        buffer -- the trade the batch-granularity switch program makes.
     """
 
     _DTYPES = {32: np.int32, 64: np.int64}
+    _NARROW_DTYPES = {1: np.uint8, 8: np.uint8, 16: np.uint16}
 
-    def __init__(self, name: str, length: int, width_bits: int = 32):
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        width_bits: int = 32,
+        numpy_narrow: bool = False,
+    ):
         if length <= 0:
             raise ValueError(f"register array {name}: length must be positive")
         if width_bits not in (1, 8, 16, 32, 64):
@@ -54,11 +68,19 @@ class RegisterArray:
         self.length = length
         self.width_bits = width_bits
         self.accesses = 0
+        self._mask: int | None = None
         if width_bits in self._DTYPES:
             self._cells: np.ndarray | None = np.zeros(
                 length, dtype=self._DTYPES[width_bits]
             )
             self._scalar: list[int] | None = None
+        elif numpy_narrow:
+            # narrow cells, batch-addressable: unsigned NumPy storage
+            # with explicit masking (uint8 wraps mod 256, not mod 2 --
+            # the mask keeps 1-bit semantics exact).
+            self._cells = np.zeros(length, dtype=self._NARROW_DTYPES[width_bits])
+            self._scalar = None
+            self._mask = (1 << width_bits) - 1
         else:
             # narrow cells: scalar access dominates; Python ints win.
             self._cells = None
@@ -76,6 +98,10 @@ class RegisterArray:
         self.accesses += 1
         if self._scalar is not None:
             self._scalar[index] = value & self._mask
+        elif self._mask is not None:
+            # narrow numpy cells keep the list storage's unsigned
+            # mask semantics
+            self._cells[index] = value & self._mask
         else:
             # numpy wraps on assignment of out-of-range ints via masking
             self._cells[index] = self._wrap_scalar(value)
@@ -86,6 +112,10 @@ class RegisterArray:
         if self._scalar is not None:
             result = (self._scalar[index] + value) & self._mask
             self._scalar[index] = result
+            return result
+        if self._mask is not None:
+            result = (int(self._cells[index]) + value) & self._mask
+            self._cells[index] = result
             return result
         result = self._wrap_scalar(int(self._cells[index]) + value)
         self._cells[index] = result
@@ -181,10 +211,16 @@ class RegisterFile:
     def __init__(self) -> None:
         self._arrays: dict[str, RegisterArray] = {}
 
-    def allocate(self, name: str, length: int, width_bits: int = 32) -> RegisterArray:
+    def allocate(
+        self,
+        name: str,
+        length: int,
+        width_bits: int = 32,
+        numpy_narrow: bool = False,
+    ) -> RegisterArray:
         if name in self._arrays:
             raise ValueError(f"register array {name} already allocated")
-        array = RegisterArray(name, length, width_bits)
+        array = RegisterArray(name, length, width_bits, numpy_narrow=numpy_narrow)
         self._arrays[name] = array
         return array
 

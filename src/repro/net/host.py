@@ -102,8 +102,13 @@ class Host:
         self.frames_sent = 0
         # burst-granularity RX: frames whose dispatch time coincides
         # buffered for one agent callback (open run + its timestamp)
-        self._rx_group: list[Frame] | None = None
+        self._rx_group: list | None = None
         self._rx_t = -1.0
+        #: epsilon-window coalescing (burst mode only, set by the job):
+        #: dispatches within ``[t0, t0 + eps]`` of the group opener join
+        #: one agent callback at ``t0 + eps``; zero keeps exact
+        #: same-timestamp coalescing (bit-identical to packet mode)
+        self.burst_epsilon = 0.0
         #: optional hook (frame, "rx"|"tx", time) for tracing
         self.observer: Callable[[Frame, str, float], Any] | None = None
         #: in-band telemetry sink (repro.obs.telemetry.TelemetryCollector),
@@ -237,6 +242,20 @@ class Host:
         # cores or with a zero-cost spec -- missing one costs an event,
         # not correctness
         t = finish + latency
+        eps = self.burst_epsilon
+        if eps > 0.0:
+            # epsilon window: dispatches in [t0, t0 + eps] of the open
+            # group join its drain (scheduled at t0 + eps); the drain
+            # clears the group ref so late frames open a fresh window
+            group = self._rx_group
+            t0 = self._rx_t
+            if group is not None and t0 <= t <= t0 + eps:
+                group.append((t, frame))
+            else:
+                self._rx_group = group = [(t, frame)]
+                self._rx_t = t
+                self._schedule_call_at(t + eps, self._dispatch_window, group)
+            return
         group = self._rx_group
         if group is not None and t == self._rx_t:
             group.append(frame)
@@ -278,6 +297,14 @@ class Host:
             on_frame = agent.on_frame
             for frame in frames:
                 on_frame(frame)
+
+    def _dispatch_window(self, pairs: list[tuple[float, Frame]]) -> None:
+        """Hand one epsilon-window group to the agent at ``t0 + eps``,
+        in dispatch order (stable sort keeps arrival order for ties)."""
+        if pairs is self._rx_group:
+            self._rx_group = None
+        pairs.sort(key=lambda p: p[0])
+        self._dispatch_burst([frame for _, frame in pairs])
 
     # ------------------------------------------------------------------
     # Send path

@@ -107,6 +107,13 @@ class SwitchChassis:
         # engine time is monotone, so run detection groups ties exactly
         self._in_group: list[tuple[Frame, int]] | None = None
         self._in_t = -1.0
+        #: epsilon-window coalescing (burst mode only, set by the job):
+        #: arrivals within ``[t0, t0 + eps]`` of the group opener share
+        #: one pipeline drain at ``t0 + eps + pipeline_latency_s``; zero
+        #: keeps exact same-instant grouping (bit-identical to packet
+        #: mode).  Engine time is monotone at ingress, so within-group
+        #: arrival order needs no sort either way.
+        self.burst_epsilon = 0.0
         # the loaded program's batch entry point, cached by load_program
         self._process_batch: Callable | None = None
         #: in-band telemetry tap (repro.obs.telemetry.ChassisTap),
@@ -218,7 +225,23 @@ class SwitchChassis:
                 raise RuntimeError(f"{self.name}: no dataplane program loaded")
             self.frames_in += 1
             t = sim.now
+            eps = self.burst_epsilon
             group = self._in_group
+            if eps > 0.0:
+                # epsilon window: arrivals in [t0, t0 + eps] of the open
+                # group ride its drain (already scheduled at t0 + eps +
+                # pipeline latency); the drain clears the group ref
+                if group is not None and self._in_t <= t <= self._in_t + eps:
+                    group.append((frame, in_port))
+                else:
+                    self._in_group = group = [(frame, in_port)]
+                    self._in_t = t
+                    schedule_call(
+                        eps + self.pipeline_latency_s,
+                        self._run_pipeline_burst,
+                        group,
+                    )
+                return
             if group is not None and t == self._in_t:
                 group.append((frame, in_port))
             else:

@@ -11,6 +11,7 @@ from repro.perf.harness import (
     check_regression,
     compare,
     load_bench,
+    profile_workload,
     run_suite,
     write_bench,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "check_regression",
     "compare",
     "load_bench",
+    "profile_workload",
     "run_suite",
     "run_workload",
     "write_bench",

@@ -40,6 +40,7 @@ __all__ = [
     "attach_baseline",
     "compare",
     "check_regression",
+    "profile_workload",
     "write_bench",
     "load_bench",
 ]
@@ -79,6 +80,34 @@ def run_suite(
         "repeats": repeats,
         "workloads": results,
     }
+
+
+def profile_workload(name: str, scale: float = 1.0, top: int = 25) -> str:
+    """Run one workload under :mod:`cProfile` and return a formatted
+    report: the top ``top`` functions by total (self) time, then by
+    cumulative time.
+
+    Kept separate from the timed repeats -- profiling overhead would
+    pollute the wall numbers -- so ``repro bench --profile`` times
+    first and profiles after.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        run_workload(name, scale=scale)
+    finally:
+        prof.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    buf.write(f"== {name} (scale={scale}) -- top {top} by self time ==\n")
+    stats.sort_stats("tottime").print_stats(top)
+    buf.write(f"== {name} (scale={scale}) -- top {top} by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
 
 
 def compare(current: dict[str, Any], baseline: dict[str, Any]) -> dict[str, Any]:

@@ -24,6 +24,7 @@ def _scrambled_worker_state(s: int = 8) -> WorkerSlotState:
     st.arm_seq[:] = np.arange(s) + 10
     st.rtt_sum[:] = np.arange(s) * 1e-6
     st.rtt_count[:] = np.arange(s)
+    st.outstanding[:] = np.arange(s) % 3 == 0
     for i in range(s):
         st.sent_at[i] = i * 0.5
         st.retransmitted[i] = bool(i % 2)
@@ -43,8 +44,10 @@ class TestWorkerSlotState:
         st = WorkerSlotState(4)
         for name in WorkerSlotState.ARRAY_FIELDS:
             assert isinstance(getattr(st, name), np.ndarray), name
-        for name in WorkerSlotState.LIST_FIELDS:
-            assert isinstance(getattr(st, name), list), name
+        # every per-slot field is a NumPy array now (the batch bodies
+        # read and write them whole-batch); LIST_FIELDS survives only
+        # as an empty compatibility tuple
+        assert WorkerSlotState.LIST_FIELDS == ()
         for name in WorkerSlotState.SCALAR_FIELDS:
             assert isinstance(getattr(st, name), float), name
 
@@ -58,8 +61,6 @@ class TestWorkerSlotState:
             np.testing.assert_array_equal(
                 getattr(st, name), getattr(fresh, name), err_msg=name
             )
-        for name in WorkerSlotState.LIST_FIELDS:
-            assert getattr(st, name) == getattr(fresh, name), name
         for name in WorkerSlotState.SCALAR_FIELDS:
             assert getattr(st, name) == getattr(fresh, name), name
 
@@ -92,9 +93,10 @@ class TestWorkerSlotState:
         # per-aggregation state cleared ...
         assert not st.off.any()
         assert not st.ver.any()
-        assert st.sent_at == [0.0] * st.s
-        assert not any(st.retransmitted)
-        assert st.retries == [0] * st.s
+        assert not st.sent_at.any()
+        assert not st.retransmitted.any()
+        assert not st.retries.any()
+        assert not st.outstanding.any()
         assert not st.rtt_sum.any()
         assert st.tat_start == 2.5
         assert math.isnan(st.tat_finish)
@@ -103,7 +105,7 @@ class TestWorkerSlotState:
         assert all(d == INF for d in deadline_alias)
         # ... while stream-continuity state survives (Appendix B)
         np.testing.assert_array_equal(st.next_ver, next_ver_before)
-        assert st.backoff == backoff_before
+        assert list(st.backoff) == backoff_before
 
     def test_due_orders_by_deadline_then_arm_seq(self):
         st = WorkerSlotState(6)
@@ -114,6 +116,32 @@ class TestWorkerSlotState:
         # expired: deadline <= 2e-3 -> slots 1, 2, 3, 5; ties at 1e-3
         # fire in arming order (3: seq 2, 5: seq 5, 1: seq 7)
         assert due == [3, 5, 1, 2]
+
+    def test_due_argpartition_matches_small_pool_reference(self):
+        # pools above ARGPARTITION_THRESHOLD take the argpartition path;
+        # it must return exactly the (deadline, arm_seq)-ordered expired
+        # set the nonzero+lexsort reference produces
+        rng = np.random.default_rng(3)
+        s = 8 * WorkerSlotState.ARGPARTITION_THRESHOLD
+        st = WorkerSlotState(s)
+        dl = rng.uniform(0.0, 2e-3, size=s)
+        dl[rng.random(s) < 0.4] = INF
+        dl[:48] = 1e-3  # a fat tie right at the expiry boundary
+        st.deadline[:] = dl
+        st.arm_seq[:] = rng.permutation(s)
+        now = 1e-3
+        expect = np.nonzero(dl <= now)[0]
+        expect = expect[np.lexsort((st.arm_seq[expect], dl[expect]))]
+        assert expect.size > 1  # the partition path, not an edge case
+        assert list(st.due(now)) == list(expect)
+
+    def test_due_argpartition_none_and_all_expired(self):
+        s = 2 * WorkerSlotState.ARGPARTITION_THRESHOLD
+        st = WorkerSlotState(s)
+        assert st.due(1.0).size == 0  # nothing armed
+        st.deadline[:] = 5e-4  # everything expired, tied
+        st.arm_seq[:] = np.arange(s)[::-1]
+        assert list(st.due(1e-3)) == list(range(s - 1, -1, -1))
 
     def test_min_deadline_and_clear(self):
         st = WorkerSlotState(4)

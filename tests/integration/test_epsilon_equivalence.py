@@ -1,0 +1,145 @@
+"""Epsilon-window coalescing equivalence (ISSUE 8).
+
+``burst_epsilon`` widens burst mode's coalescing windows: arrivals
+within ``eps`` seconds of a group's opener share one drain event, so
+the vectorized batch bodies see larger batches.  The contract has two
+tiers:
+
+* ``eps == 0`` is *bit-identical* to plain burst mode -- which is in
+  turn protocol-identical to packet mode (test_burst_equivalence.py):
+  same tensors, same per-worker retransmission counts, same TATs.
+* ``eps > 0`` is *protocol-equivalent*, not schedule-identical: the
+  drains move arrivals by up to ``eps`` per hop, so timings (and which
+  individual packets get lost) may differ, but every aggregation must
+  complete, verify against the exact integer sum, and keep
+  retransmissions in the regime the loss rate implies -- the epsilon
+  window must never manufacture or suppress recovery.
+
+The sweep covers eps = 0, sub-RTT values (the intended operating
+range; RTT here is ~11 us), and a pathological eps well above the RTT
+-- but still far below the 1 ms retransmission timeout -- under clean,
+lossy, and jittered links.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.job import SwitchMLConfig, SwitchMLJob
+from repro.net.link import LinkSpec
+from repro.net.loss import BernoulliLoss
+
+N_WORKERS = 4
+K = 8
+N_ELEM = K * 512
+SEED = 11
+
+#: eps values (seconds): exact-tie only, well under the ~11 us RTT,
+#: about one RTT, and pathological (several RTTs, still << timeout)
+EPSILONS = [0.0, 5e-7, 2e-6, 1e-5, 5e-5]
+
+LINKS = {
+    "clean": {},
+    "loss2pct": {"loss": 0.02},
+    "jitter": {"jitter_s": 2e-6},
+    "loss+jitter": {"loss": 0.02, "jitter_s": 2e-6},
+}
+
+
+def _run(granularity, eps=0.0, loss=0.0, jitter_s=0.0, seed=SEED):
+    kwargs = dict(
+        num_workers=N_WORKERS,
+        pool_size=16,
+        elements_per_packet=K,
+        seed=seed,
+        granularity=granularity,
+        burst_epsilon=eps,
+    )
+    if loss:
+        kwargs["loss_factory"] = lambda: BernoulliLoss(loss)
+    if jitter_s:
+        kwargs["link"] = LinkSpec(jitter_s=jitter_s)
+    job = SwitchMLJob(SwitchMLConfig(**kwargs))
+    tensors = [
+        np.arange(N_ELEM, dtype=np.int64) * (w + 1) for w in range(N_WORKERS)
+    ]
+    res = job.all_reduce(tensors=tensors)  # verify=True: exact-sum check
+    return {
+        "results": np.asarray(res.results),
+        "retx": [s.retransmissions for s in res.worker_stats],
+        "tats": [s.tensor_aggregation_time for s in res.worker_stats],
+        "events": job.sim.events_processed,
+        "completed": res.completed,
+    }
+
+
+class TestEpsilonZeroIsExact:
+    """eps=0 must not perturb the bit-exact burst/packet equivalence."""
+
+    @pytest.mark.parametrize("name", sorted(LINKS))
+    def test_matches_packet_mode_exactly(self, name):
+        cfg = LINKS[name]
+        packet = _run("packet", **cfg)
+        burst = _run("burst", eps=0.0, **cfg)
+        assert packet["completed"] and burst["completed"]
+        np.testing.assert_array_equal(packet["results"], burst["results"])
+        assert packet["retx"] == burst["retx"]
+        assert packet["tats"] == burst["tats"]
+
+
+class TestEpsilonWindowEquivalence:
+    @pytest.mark.parametrize("name", sorted(LINKS))
+    @pytest.mark.parametrize("eps", EPSILONS[1:])
+    def test_completes_and_verifies(self, name, eps):
+        # all_reduce(verify=True) raises if any worker's aggregate
+        # differs from the exact integer sum, so completion here means
+        # the tensors are right
+        out = _run("burst", eps=eps, **LINKS[name])
+        assert out["completed"]
+
+    @pytest.mark.parametrize("eps", EPSILONS[1:])
+    def test_clean_links_need_no_retransmissions(self, eps):
+        # the window delays arrivals, it must never drop them: on clean
+        # links nothing times out (eps << the 1 ms RTO)
+        out = _run("burst", eps=eps)
+        assert out["retx"] == [0] * N_WORKERS
+
+    @pytest.mark.parametrize("eps", EPSILONS[1:])
+    def test_lossy_retransmissions_stay_in_regime(self, eps):
+        # epsilon reshuffles WHICH packets the Bernoulli draws hit, so
+        # counts differ from packet mode -- but recovery volume is set
+        # by the loss rate, so totals stay within a factor band
+        packet = _run("packet", loss=0.02)
+        out = _run("burst", eps=eps, loss=0.02)
+        total_p, total_e = sum(packet["retx"]), sum(out["retx"])
+        assert total_e > 0
+        assert 0.5 * total_p <= total_e <= 2.0 * total_p
+
+    def test_wider_windows_coalesce_more(self):
+        # the point of the knob: strictly fewer engine events as eps
+        # grows across the sweep's extremes
+        tight = _run("burst", eps=0.0, loss=0.02)
+        wide = _run("burst", eps=EPSILONS[-1], loss=0.02)
+        assert wide["events"] < tight["events"]
+
+    def test_tat_inflation_is_bounded(self):
+        # each hop adds at most eps of drain delay, so the self-clocked
+        # pipeline slows by at most (hops per round) * eps per slot
+        # round -- additive and linear in eps, never super-linear
+        base = _run("burst", eps=0.0)
+        eps = EPSILONS[-1]
+        wide = _run("burst", eps=eps)
+        rounds = N_ELEM // K // 16  # chunks per slot (pool_size=16)
+        hops = 6  # uplink, chassis, downlink, host (+ slack)
+        assert max(wide["tats"]) <= max(base["tats"]) + hops * rounds * eps
+
+
+class TestConfigValidation:
+    def test_epsilon_requires_burst(self):
+        with pytest.raises(ValueError):
+            SwitchMLJob(SwitchMLConfig(burst_epsilon=1e-6))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchMLJob(
+                SwitchMLConfig(granularity="burst", burst_epsilon=-1e-9)
+            )
