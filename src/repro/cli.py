@@ -649,6 +649,119 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_knob(text: str) -> tuple[str, object]:
+    """``key=value`` with JSON-typed values (bare words stay strings)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Shard one scenario across seeds/grid points/processes."""
+    from repro.perf import write_bench
+    from repro.sweep import SCENARIOS, make_tasks, run_sweep, sweep_summary
+
+    if args.scenario not in SCENARIOS:
+        print(f"sweep: unknown scenario {args.scenario!r} "
+              f"(have {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+        return 2
+    params = dict(p for p in (args.param or []))
+    grid: dict[str, list] = {}
+    for key, raw in (args.grid or []):
+        values = raw if isinstance(raw, list) else [
+            _parse_knob(f"_={v}")[1] for v in str(raw).split(",")
+        ]
+        grid[key] = values
+    tasks = make_tasks(
+        args.scenario, args.seed, args.seeds, params=params, grid=grid
+    )
+
+    def _progress(rec: dict) -> None:
+        mark = "ok" if rec.get("ok") else "FAIL"
+        print(f"  [{mark}] {rec['task_id']} ({rec.get('wall_s', 0.0):.2f}s)")
+
+    result = run_sweep(
+        tasks, artifact=args.out, procs=args.procs, resume=args.resume,
+        on_record=None if args.json else _progress,
+    )
+    summary = sweep_summary(result, label=args.label)
+    if args.summary_out:
+        write_bench(summary, args.summary_out)
+    if args.json:
+        _emit_json(summary)
+    else:
+        print(f"sweep {args.scenario}: {summary['tasks_total']} tasks "
+              f"({summary['tasks_run']} ran, {summary['tasks_skipped']} "
+              f"resumed, {summary['tasks_failed']} failed)")
+        for tid in summary["failed_task_ids"]:
+            rec = result.records[tid]
+            print(f"  FAIL {tid}: {rec.get('error', '?')}", file=sys.stderr)
+    if args.check and not result.ok:
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Random fault plans against the tier-1 invariants."""
+    from repro.sweep import replay_draw, run_fuzz
+
+    if args.replay:
+        payload = json.loads(Path(args.replay).read_text())
+        # accept a bare draw, a fuzz record, or a minimized entry
+        draw = payload.get("draw", payload) if isinstance(payload, dict) else payload
+        if "result" in draw:
+            draw = draw["result"]["draw"]
+        out = replay_draw(draw)
+        _emit_json({"draw": draw, **out})
+        return 1 if out["violations"] else 0
+
+    domains = tuple(args.domains.split(","))
+    report = run_fuzz(
+        budget=args.budget,
+        root_seed=args.seed,
+        procs=args.procs,
+        artifact=args.out,
+        domains=domains,
+        minimize=not args.no_minimize,
+        resume=args.resume,
+    )
+    if args.json:
+        _emit_json({
+            "budget": report.budget,
+            "root_seed": report.root_seed,
+            "draws": report.draws,
+            "ok": report.ok,
+            "errors": report.errors,
+            "failures": [
+                {"task_id": f.task_id, "draw": f.draw,
+                 "violations": f.violations, "observables": f.observables}
+                for f in report.failures
+            ],
+            "minimized": report.minimized,
+        })
+    else:
+        print(f"fuzz: {report.draws}/{report.budget} draws, "
+              f"{len(report.failures)} failing, "
+              f"{len(report.errors)} harness errors "
+              f"(root seed {report.root_seed}, domains {','.join(domains)})")
+        for err in report.errors:
+            print(f"  ERROR {err}", file=sys.stderr)
+        for entry in report.minimized:
+            print(f"  FAIL {entry['task_id']}: {entry['violations']}",
+                  file=sys.stderr)
+            print(f"    replay: {json.dumps(entry['draw'], sort_keys=True)}",
+                  file=sys.stderr)
+        if report.ok:
+            print("fuzz: all invariants held")
+    return 0 if report.ok else 1
+
+
 def _obs_allreduce(args: argparse.Namespace):
     """One fully instrumented all-reduce; returns ``(job, obs)``."""
     from repro.net.loss import BernoulliLoss, NoLoss
@@ -908,6 +1021,64 @@ def main(argv: list[str] | None = None) -> int:
                           "and placement avoids it)")
     tel.add_argument("--json", action="store_true")
 
+    swp = sub.add_parser(
+        "sweep",
+        help="shard many independent simulations across processes, "
+             "streaming a resumable JSONL artifact (see docs/TESTING.md)",
+    )
+    swp.add_argument("--scenario", default="fig4_lossy",
+                     help="scenario name from the sweep registry")
+    swp.add_argument("--seeds", type=int, default=8,
+                     help="number of seed indices per grid point")
+    swp.add_argument("--seed", type=int, default=0,
+                     help="root seed; per-task seeds derive from it")
+    swp.add_argument("--procs", type=int, default=1,
+                     help="worker processes (1 = inline)")
+    swp.add_argument("--out", default=None,
+                     help="JSONL artifact path (one record per task)")
+    swp.add_argument("--resume", action="store_true",
+                     help="skip tasks already completed in --out")
+    swp.add_argument("--param", type=_parse_knob, action="append",
+                     metavar="KEY=VALUE",
+                     help="scenario knob shared by every task (repeatable)")
+    swp.add_argument("--grid", type=_parse_knob, action="append",
+                     metavar="KEY=V1,V2,...",
+                     help="sweep axis: the cartesian product over all "
+                          "--grid axes expands into tasks (repeatable)")
+    swp.add_argument("--label", default="", help="free-form summary label")
+    swp.add_argument("--summary-out", default=None,
+                     help="write the BENCH-style sweep summary JSON here")
+    swp.add_argument("--check", action="store_true",
+                     help="exit 1 if any task failed")
+    swp.add_argument("--json", action="store_true",
+                     help="print the full summary document")
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="random fault plans + protocol knobs, tier-1 invariants "
+             "asserted on every draw; failures minimized and replayable",
+    )
+    fz.add_argument("--budget", type=int, default=50,
+                    help="number of fuzz draws")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="root seed; draw i replays as fuzz#d<i>")
+    fz.add_argument("--procs", type=int, default=1,
+                    help="worker processes (1 = inline)")
+    fz.add_argument("--out", default=None,
+                    help="JSONL artifact path (doubles as replay corpus)")
+    fz.add_argument("--resume", action="store_true",
+                    help="skip draws already completed in --out")
+    fz.add_argument("--domains", default="flat,rack,fabric",
+                    help="comma-separated fuzz domains")
+    fz.add_argument("--no-minimize", action="store_true",
+                    help="report failures without shrinking them")
+    fz.add_argument("--replay", default=None, metavar="DRAW_JSON",
+                    help="re-run one serialized draw (a JSON file holding "
+                         "a draw, a fuzz record, or a minimized entry) "
+                         "instead of fuzzing")
+    fz.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+
     obs_p = sub.add_parser(
         "obs",
         help="observability: trace export, metrics dump, unified dashboard",
@@ -963,6 +1134,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_telemetry(args)
     elif args.command == "bench":
         return _cmd_bench(args)
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
+    elif args.command == "fuzz":
+        return _cmd_fuzz(args)
     elif args.command == "obs":
         if args.obs_command == "trace":
             _cmd_obs_trace(args)

@@ -392,7 +392,15 @@ class Controller:
         """Switch path: resume every worker from the group-wide minimum
         completed prefix (all workers must stream the same chunk range;
         chunks re-aggregated above a worker's own prefix reproduce the
-        same sums).  Returns the resume offset in elements."""
+        same sums).  Returns the resume offset in elements.
+
+        Versions are reset fleet-wide: a worker whose link flapped
+        before the reboot stalled with per-slot version counters behind
+        its peers', and replaying mixed versions into the reinstalled
+        (zeroed) pool strands every half-seen slot on both versions --
+        the survivors then retransmit forever and the collective never
+        finishes.  See :meth:`SwitchMLWorker.restart_from`.
+        """
         resume = min(
             worker.completed_prefix_elements()
             for worker in self.workers.values()
@@ -400,7 +408,7 @@ class Controller:
         self._done_members.clear()
         for worker in self.workers.values():
             worker.reconfigure(epoch=self.handle.epoch)
-            worker.restart_from(resume)
+            worker.restart_from(resume, reset_versions=True)
         return resume
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ already configured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -96,6 +96,15 @@ class FlapLink:
     down_for_s: float
 
 
+#: fault kind name -> class, for (de)serialization
+_FAULT_KINDS: dict[str, type] = {
+    "crash_worker": CrashWorker,
+    "reboot_switch": RebootSwitch,
+    "flap_link": FlapLink,
+}
+_KIND_NAMES = {cls: name for name, cls in _FAULT_KINDS.items()}
+
+
 @dataclass
 class FaultPlan:
     """An ordered set of faults to inject into one run."""
@@ -107,6 +116,35 @@ class FaultPlan:
     def add(self, fault: CrashWorker | RebootSwitch | FlapLink) -> "FaultPlan":
         self.faults.append(fault)
         return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; round-trips via :meth:`from_dict`.
+
+        The representation is what sweep/fuzz artifacts persist, so a
+        recorded draw can be replayed standalone from its JSONL line.
+        """
+        return {
+            "faults": [
+                {"kind": _KIND_NAMES[type(f)], **asdict(f)}
+                for f in self.faults
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FaultPlan":
+        faults = []
+        for entry in d.get("faults", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            try:
+                fault_cls = _FAULT_KINDS[kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} "
+                    f"(have {sorted(_FAULT_KINDS)})"
+                ) from None
+            faults.append(fault_cls(**entry))
+        return cls(faults)
 
     def validate(self, members: list[int]) -> None:
         for f in self.faults:
@@ -167,14 +205,26 @@ class FaultInjector:
         ctl = self.controller
         ctl.metrics.log(ctl.sim.now, "fault", f"link to worker {member} down")
         up, down = ctl.rack.uplinks[member], ctl.rack.downlinks[member]
+        # Overlapping windows on one member nest: only the outermost
+        # start saves the real loss model (a second save would capture
+        # our own DropAll and restore a dead cable forever), and only
+        # the matching outermost end restores it.
         self._saved = getattr(self, "_saved", {})
-        self._saved[member] = (up.loss, down.loss)
+        self._flap_depth = getattr(self, "_flap_depth", {})
+        depth = self._flap_depth.get(member, 0)
+        self._flap_depth[member] = depth + 1
+        if depth == 0:
+            self._saved[member] = (up.loss, down.loss)
         up.loss = DropAll()
         down.loss = DropAll()
 
     def _flap_end(self, member: int) -> None:
         ctl = self.controller
         ctl.metrics.log(ctl.sim.now, "fault", f"link to worker {member} up")
+        depth = self._flap_depth[member] - 1
+        self._flap_depth[member] = depth
+        if depth > 0:
+            return  # an overlapping window still holds the link down
         up_loss, down_loss = self._saved.pop(member)
         ctl.rack.uplinks[member].loss = up_loss
         ctl.rack.downlinks[member].loss = down_loss

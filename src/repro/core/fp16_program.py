@@ -87,6 +87,9 @@ class Float16SwitchMLProgram:
     def stale_epoch_drops(self) -> int:
         return self.inner.stale_epoch_drops
 
+    def begin_reduction(self) -> None:
+        self.inner.begin_reduction()
+
     def handle(self, p: SwitchMLPacket) -> SwitchDecision:
         if p.vector is not None:
             fixed = float16_switch_to_fixed(

@@ -541,6 +541,11 @@ class SwitchMLJob:
 
         self._completed.clear()
         self._failed.clear()
+        # worker tensor offsets restart at zero each reduction; the
+        # switch's phase-offset discipline must re-anchor with them
+        begin = getattr(self.program, "begin_reduction", None)
+        if begin is not None:
+            begin()
         base = self.sim.now
         for w, worker in enumerate(self.workers):
             offset = 0.0 if start_times is None else float(start_times[w])

@@ -178,11 +178,30 @@ class SwitchMLProgram:
         self._seen_bits: np.ndarray = self.state.seen_bits
         self._count_cells: np.ndarray = self.state.count_cells
         self._kernel = load_switch_kernel(backend)
+        # Per-(version, slot) tensor offset of the last phase opened
+        # there.  Within one program's life a slot's phases carry
+        # strictly increasing offsets (the worker round-robin strides
+        # by 2*s*k elements per reuse), which makes the offset a phase
+        # identity the discipline in handle() checks: a packet whose
+        # offset predates the stored phase is a reordered late
+        # retransmission and must never reopen the slot with stale
+        # data.  Switch metadata, not one of the paper's register
+        # arrays, so reads/writes are not access-counted.
+        self._off_cells = np.full(
+            2 * pool_size, -1, dtype=np.int64
+        )
         self.packets_processed = 0
         self.multicasts = 0
         self.unicast_retransmits = 0
         self.ignored_duplicates = 0
         self.stale_epoch_drops = 0
+        #: reordered retransmissions of an already-recycled phase,
+        #: dropped (or answered from the shadow copy) by the offset
+        #: discipline instead of poisoning the slot
+        self.stale_phase_drops = 0
+        #: poisoned (version, slot) states wiped when a newer phase
+        #: arrived over residue a stale packet left behind
+        self.phase_resets = 0
         #: (version, slot) pairs currently mid-aggregation (claimed, not
         #: yet released by a completing multicast)
         self.occupied_slots = 0
@@ -229,6 +248,38 @@ class SwitchMLProgram:
     def _seen_index(self, ver: int, idx: int, wid: int) -> int:
         return (ver * self.s + idx) * self.n + wid
 
+    def begin_reduction(self) -> None:
+        """Re-anchor the phase-offset discipline at a reduction boundary.
+
+        Worker tensor offsets restart at zero for every all-reduce while
+        the register state (seen bits, counters, shadow copies)
+        deliberately carries over; a job reusing this program must call
+        this before the next reduction or its first phases would read as
+        stale.  Register state is untouched -- a straggler's in-flight
+        retransmission from the finished reduction still finds its
+        shadow copy (see the pop != 0 rule in :meth:`handle`).
+        """
+        self._off_cells.fill(-1)
+
+    def _reset_phase(self, vs: int) -> None:
+        """Wipe a poisoned (version, slot) before a newer phase opens.
+
+        Only reachable when stale reordered traffic slipped past the
+        offset discipline's ancestors (a slot opened with relic data):
+        clear the seen bits, popcount, and counter so the genuine phase
+        starts from a clean slate instead of inheriting the residue.
+        """
+        n = self.n
+        base = vs * n
+        self._seen_bits[base:base + n] = 0
+        self._seen_pop[vs] = 0
+        if self._count_cells[vs] != 0:
+            self._count_cells[vs] = 0
+            self.occupied_slots -= 1
+            if self._m_on:
+                self._g_occupied.set(self.occupied_slots)
+        self.phase_resets += 1
+
     # ------------------------------------------------------------------
     def handle(self, p: SwitchMLPacket) -> SwitchDecision:
         """Process one update packet (Algorithm 3 lines 4-23).
@@ -263,6 +314,112 @@ class SwitchMLProgram:
         seen_bits = self._seen_bits
         counts = self._count_cells
         sb = vs * n + wid
+
+        # ---- phase-offset discipline (reordering robustness) ---------
+        # A jittered link can deliver a phase's retransmission after the
+        # same worker's *next*-version contribution already cleared its
+        # seen bit for this (version, slot).  Without an offset check
+        # that packet reads as the first contribution of a new phase: it
+        # overwrites the pool with stale data and the genuine next phase
+        # is later dropped as a duplicate -- every worker then receives
+        # an identical wrong sum.  The stored per-(version, slot) phase
+        # offset disambiguates: equal offset is the stored phase itself,
+        # a greater offset legitimately opens the next phase (offsets
+        # stride by 2*s*k per slot reuse), and a smaller offset is a
+        # relic of an already-recycled phase.
+        off = p.off
+        stored = self._off_cells[vs]
+        if off != stored:
+            if counts[vs] == 0 and self._seen_pop[vs] == 0:
+                # Fully recycled idle slot: any different offset opens a
+                # new phase.  Deliberately no ordering test here --
+                # worker offsets restart at zero when a finished program
+                # is reused for another reduction, so a smaller offset
+                # on an idle slot is a legitimate restart.  (A truly
+                # stale frame would have to outlive two full phase
+                # cycles of its slot to get here; if one ever does, the
+                # phantom phase it opens is repaired by the genuine
+                # opening's reset below.)
+                self._off_cells[vs] = off
+            elif off < stored:
+                # Late retransmission of a phase the slot has recycled
+                # past, caught mid-phase or mid-recycling.  The worker's
+                # own later packets prove it saw that phase's result, so
+                # the frame is pure noise -- drop it before any register
+                # write.
+                self.stale_phase_drops += 1
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "phase.stale", self._clock(), cat="slot",
+                        actor="switch", slot=idx, ver=ver, wid=wid,
+                        off=off, phase_off=int(stored),
+                    )
+                return _DROP
+            elif counts[vs] == 0:
+                # The slot is a completed shadow copy still
+                # mid-recycling.  A genuine opening only ever finds
+                # pop == 0 (the previous phase's bits are fully cleared
+                # by the alternate version's absorbs before any worker
+                # can advance this far), so this is a straggler's
+                # retransmission racing a reduction boundary that reset
+                # the offset anchor: serve the shadow copy it missed.
+                self._seen.accesses += 1
+                self._count.accesses += 1
+                vector = None
+                if p.vector is not None:
+                    lo = vs * self.k
+                    vector = self._pool.read_range(lo, lo + self.k)
+                self.unicast_retransmits += 1
+                if self._m_on:
+                    self._m_shadow.inc()
+                if self.trace is not None:
+                    self.trace.tick("shadow_read", self._clock())
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "shadow.read", self._clock(), cat="slot",
+                        actor="switch", slot=idx, ver=ver, wid=wid,
+                    )
+                return SwitchDecision(
+                    SwitchAction.UNICAST, p.result_copy(vector),
+                    unicast_wid=wid,
+                )
+            if counts[vs] != 0:
+                # A phase is mid-aggregation under a different offset:
+                # stale reordered traffic poisoned the slot -- wipe it
+                # so the genuine phase opens clean.
+                self._reset_phase(vs)
+            self._off_cells[vs] = off
+        elif counts[vs] == 0 and self._seen_pop[vs] != 0:
+            # The stored phase itself, already complete with its shadow
+            # copy still live: the sender missed the result (perhaps so
+            # long ago that its own seen bit was recycled by the
+            # alternate version's absorbs).  Serve the shadow copy;
+            # never reopen a live shadow with a stale chunk.  When
+            # pop == 0 instead, every worker has provably advanced past
+            # the stored phase, so nobody can still need its copy and
+            # the packet falls through to the opening absorb below --
+            # that is how a reused program accepts a fresh reduction
+            # whose first chunk reuses the exact (version, slot, offset)
+            # triple of the previous one.
+            self._seen.accesses += 1
+            self._count.accesses += 1
+            vector = None
+            if p.vector is not None:
+                lo = vs * self.k
+                vector = self._pool.read_range(lo, lo + self.k)
+            self.unicast_retransmits += 1
+            if self._m_on:
+                self._m_shadow.inc()
+            if self.trace is not None:
+                self.trace.tick("shadow_read", self._clock())
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "shadow.read", self._clock(), cat="slot", actor="switch",
+                    slot=idx, ver=ver, wid=wid,
+                )
+            return SwitchDecision(
+                SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=wid
+            )
 
         if seen_bits[sb] == 0:
             # First time this worker's contribution reaches this
@@ -351,32 +508,12 @@ class SwitchMLProgram:
                 return SwitchDecision(SwitchAction.MULTICAST, p.result_copy(vector))
             return _DROP
 
-        # Already seen: this is a retransmission.
+        # Already seen with the phase still aggregating (a completed
+        # phase's retransmissions were answered by the offset discipline
+        # above): the worker's contribution is already in the slot;
+        # ignore the duplicate.
         self._seen.accesses += 1
         self._count.accesses += 1
-        if counts[vs] == 0:
-            # Aggregation for this (version, slot) is complete; the worker
-            # evidently missed the result packet.  Reply unicast from the
-            # (possibly shadow) copy.
-            vector = None
-            if p.vector is not None:
-                lo = vs * self.k
-                vector = self._pool.read_range(lo, lo + self.k)
-            self.unicast_retransmits += 1
-            if self._m_on:
-                self._m_shadow.inc()
-            if self.trace is not None:
-                self.trace.tick("shadow_read", self._clock())
-            if self._tracer.enabled:
-                self._tracer.emit(
-                    "shadow.read", self._clock(), cat="slot", actor="switch",
-                    slot=idx, ver=ver, wid=wid,
-                )
-            return SwitchDecision(
-                SwitchAction.UNICAST, p.result_copy(vector), unicast_wid=wid
-            )
-        # Aggregation still in progress: the worker's contribution is
-        # already in the slot; ignore the duplicate.
         self.ignored_duplicates += 1
         if self._m_on:
             self._m_dup.inc()
@@ -458,6 +595,7 @@ class SwitchMLProgram:
         pks: list[SwitchMLPacket] = []
         vs_l: list[int] = []
         wid_l: list[int] = []
+        off_l: list[int] = []
         fenced = 0
         for p in packets:
             if p.epoch != epoch:
@@ -470,6 +608,7 @@ class SwitchMLProgram:
                 raise ValueError(f"worker id {wid} out of range [0, {n})")
             vs_l.append(p.ver * s + idx)
             wid_l.append(wid)
+            off_l.append(p.off)
             pks.append(p)
         if fenced:
             self.stale_epoch_drops += fenced
@@ -482,9 +621,58 @@ class SwitchMLProgram:
             return [] if d.action is SwitchAction.DROP else [d]
         vs_a = np.array(vs_l, dtype=np.int64)
         wid_a = np.array(wid_l, dtype=np.int64)
+        off_a = np.array(off_l, dtype=np.int64)
+
+        # ---- phase-offset screen (see handle()): a batch containing a
+        # reordered stale retransmission -- a packet whose offset does
+        # not match what its pre-batch (seen, count) state implies -- or
+        # mixed offsets within one (version, slot) group is replayed
+        # entirely on the per-packet path, which enforces the full
+        # offset discipline in arrival order.  Rare (jitter races only),
+        # so the wide bodies stay free of offset bookkeeping beyond
+        # recording the phases they open.
+        stored = self._off_cells[vs_a]
+        openingish = (self._seen_bits[vs_a * n + wid_a] == 0) & (
+            self._count_cells[vs_a] == 0
+        )
+        suspect = bool(
+            np.where(
+                openingish,
+                (off_a <= stored) | (self._seen_pop[vs_a] != 0),
+                off_a != stored,
+            ).any()
+        )
+        if not suspect:
+            order = np.argsort(vs_a, kind="stable")
+            sv = vs_a[order]
+            so = off_a[order]
+            suspect = bool(((sv[1:] == sv[:-1]) & (so[1:] != so[:-1])).any())
+        if not suspect:
+            # Same (slot, worker) under both pool versions in one drain:
+            # an absorb into one version clears the pair's alternate-
+            # version seen bit mid-batch, so a stale same-offset
+            # retransmission later in the drain would read as a fresh
+            # phase opening inside the wide bodies.  The screen above
+            # only sees pre-batch state, so divert these to the
+            # per-packet path (which answers from the shadow copy).
+            sw = (vs_a % s) * n + wid_a
+            o2 = np.argsort(sw, kind="stable")
+            same = sw[o2][1:] == sw[o2][:-1]
+            if same.any():
+                sver = vs_a[o2] >= s
+                suspect = bool((same & (sver[1:] != sver[:-1])).any())
+        if suspect:
+            out = []
+            handle = self.handle
+            for p in pks:
+                d = handle(p)
+                if d.action is not SwitchAction.DROP:
+                    out.append(d)
+            return out
+
         if self._kernel is not None:
-            return self._handle_batch_compiled(pks, vs_a, wid_a)
-        return self._handle_batch_numpy(pks, vs_a, wid_a)
+            return self._handle_batch_compiled(pks, vs_a, wid_a, off_a)
+        return self._handle_batch_numpy(pks, vs_a, wid_a, off_a)
 
     # ------------------------------------------------------------------
     def _handle_batch_numpy(
@@ -492,11 +680,15 @@ class SwitchMLProgram:
         pks: list[SwitchMLPacket],
         vs_a: np.ndarray,
         wid_a: np.ndarray,
+        off_a: np.ndarray,
     ) -> list[SwitchDecision]:
         """Vectorized batch body (see :meth:`handle_batch`).
 
-        ``pks`` has passed the epoch fence and range checks; ``vs_a`` is
-        the flat (version, slot) key per packet, in arrival order.
+        ``pks`` has passed the epoch fence, range checks, and the
+        phase-offset screen; ``vs_a`` is the flat (version, slot) key
+        per packet, in arrival order, ``off_a`` the tensor offsets
+        (uniform within each (version, slot) group -- mixed groups were
+        screened out).
         """
         s, n, k = self.s, self.n, self.k
         seen_bits = self._seen_bits
@@ -546,6 +738,15 @@ class SwitchMLProgram:
             g_vs = uvs[g_clean]
             g_cnt = gcnt[g_clean]
             count_before = counts[g_vs].astype(np.int64)
+
+            # record the phase offset each opening group claims (the
+            # messy slots' bookkeeping happens inside handle()); offsets
+            # are uniform per group, so any packet's value serves
+            g_opens = count_before == 0
+            if g_opens.any():
+                g_off = np.empty(uvs.size, dtype=np.int64)
+                g_off[inv] = off_a
+                self._off_cells[g_vs[g_opens]] = g_off[g_clean][g_opens]
 
             # seen bitmap + maintained popcount, whole-batch.  Reading
             # the alternate-pool bits *after* setting our own is safe:
@@ -636,6 +837,7 @@ class SwitchMLProgram:
         pks: list[SwitchMLPacket],
         vs_a: np.ndarray,
         wid_a: np.ndarray,
+        off_a: np.ndarray,
     ) -> list[SwitchDecision]:
         """Compiled-kernel batch body (``REPRO_BACKEND=c``).
 
@@ -662,6 +864,12 @@ class SwitchMLProgram:
         n_shadow = int(np.count_nonzero(shadow))
         n_dup = m - n_abs - n_shadow
         claims = int(np.count_nonzero(resets))
+        if claims:
+            # the kernel marks each phase-opening packet in `resets`;
+            # record the offsets those phases claim (offsets are uniform
+            # per group -- the phase-offset screen diverted mixed ones)
+            ropk = resets != 0
+            self._off_cells[vs_a[ropk]] = off_a[ropk]
         self.multicasts += n_comp
         self.unicast_retransmits += n_shadow
         self.ignored_duplicates += n_dup
@@ -778,6 +986,9 @@ class SwitchMLProgram:
         # first-seen order, so iterating groups.items() replays it
         groups: dict[int, list[tuple[int, SwitchMLPacket]]] = {}
         epoch = self.epoch
+        off_cells = self._off_cells
+        suspect = False  # phase-offset screen, same rules as handle_batch's
+        g_first_off: dict[int, int] = {}
         for pos, p in enumerate(packets):
             if p.epoch != epoch:
                 # epoch fence, identical to handle()'s
@@ -796,11 +1007,38 @@ class SwitchMLProgram:
             if not 0 <= wid < n:
                 raise ValueError(f"worker id {wid} out of range [0, {n})")
             vs = p.ver * s + idx
+            if not suspect:
+                stored = off_cells[vs]
+                if counts[vs] == 0 and seen_bits[vs * n + wid] == 0:
+                    if p.off <= stored or pop[vs] != 0:
+                        suspect = True
+                elif p.off != stored:
+                    suspect = True
+                if g_first_off.setdefault(vs, p.off) != p.off:
+                    suspect = True  # mixed offsets within one group
             g = groups.get(vs)
             if g is None:
                 groups[vs] = [(pos, p)]
             else:
                 g.append((pos, p))
+
+        if suspect:
+            # a reordered stale retransmission (or poisoned-phase repair)
+            # is order-sensitive: replay the whole drain per-packet, in
+            # arrival order, through the full offset discipline
+            allp = [e for g in groups.values() for e in g]
+            allp.sort(key=lambda e: e[0])
+            out = []
+            for pos, p in allp:
+                d = self.handle(p)
+                if d.action is not SwitchAction.DROP:
+                    out.append((pos, d))
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "burst.switch", self._clock(), cat="burst", actor="switch",
+                    packets=len(packets), groups=len(groups), emissions=len(out),
+                )
+            return [d for _, d in out]
 
         # slots with packets under BOTH pool versions in this batch:
         # order between the versions is observable (an absorb clears
@@ -871,6 +1109,7 @@ class SwitchMLProgram:
                 self._m_contributions.inc(m)
             first_pos, first_p = g[0]
             if count_before == 0:
+                off_cells[vs] = first_p.off  # the phase this opening claims
                 self.occupied_slots += 1
                 if self._m_on:
                     self._g_occupied.set(self.occupied_slots)

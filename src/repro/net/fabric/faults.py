@@ -32,8 +32,8 @@ already configured -- same layering as the single-rack injector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.controlplane.faults import DropAll
 from repro.net.loss import BernoulliLoss
@@ -106,6 +106,15 @@ class CongestTrunk:
 
 FabricFault = CrashSpine | FlapFabricLink | StragglerRack | CongestTrunk
 
+#: fault kind name -> class, for (de)serialization
+_FAULT_KINDS: dict[str, type] = {
+    "crash_spine": CrashSpine,
+    "flap_fabric_link": FlapFabricLink,
+    "straggler_rack": StragglerRack,
+    "congest_trunk": CongestTrunk,
+}
+_KIND_NAMES = {cls: name for name, cls in _FAULT_KINDS.items()}
+
 
 @dataclass
 class FabricFaultPlan:
@@ -116,6 +125,36 @@ class FabricFaultPlan:
     def add(self, fault: FabricFault) -> "FabricFaultPlan":
         self.faults.append(fault)
         return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; round-trips via :meth:`from_dict`.
+
+        Same contract as :meth:`repro.controlplane.faults.FaultPlan
+        .to_dict`: what the sweep/fuzz artifacts persist so a recorded
+        draw replays standalone.
+        """
+        return {
+            "faults": [
+                {"kind": _KIND_NAMES[type(f)], **asdict(f)}
+                for f in self.faults
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FabricFaultPlan":
+        faults = []
+        for entry in d.get("faults", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            try:
+                fault_cls = _FAULT_KINDS[kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown fabric fault kind {kind!r} "
+                    f"(have {sorted(_FAULT_KINDS)})"
+                ) from None
+            faults.append(fault_cls(**entry))
+        return cls(faults)
 
     def validate(self, num_leaves: int, num_spines: int) -> None:
         for f in self.faults:
@@ -150,6 +189,12 @@ class FabricFaultInjector:
         self.armed = False
         self._saved_trunk: dict[tuple[int, int], tuple] = {}
         self._saved_rack: dict[int, list[tuple]] = {}
+        # overlap depth per target: only the outermost window saves the
+        # real loss model and only its matching end restores it (a
+        # nested save would capture the fault's own loss model and the
+        # "heal" would leave the link broken forever)
+        self._trunk_depth: dict[tuple[int, int], int] = {}
+        self._rack_depth: dict[int, int] = {}
 
     def arm(self) -> None:
         """Schedule every fault; call once, before (or during) the run."""
@@ -182,25 +227,40 @@ class FabricFaultInjector:
     def _flap_start(self, leaf: int, spine: int) -> None:
         up = self.job.fabric.leaf_uplink(leaf, spine)
         down = self.job.fabric.spine_downlink(leaf, spine)
-        self._saved_trunk[(leaf, spine)] = (up.loss, down.loss)
+        depth = self._trunk_depth.get((leaf, spine), 0)
+        self._trunk_depth[(leaf, spine)] = depth + 1
+        if depth == 0:
+            self._saved_trunk[(leaf, spine)] = (up.loss, down.loss)
         up.loss = DropAll()
         down.loss = DropAll()
 
     def _flap_end(self, leaf: int, spine: int) -> None:
+        depth = self._trunk_depth[(leaf, spine)] - 1
+        self._trunk_depth[(leaf, spine)] = depth
+        if depth > 0:
+            return  # an overlapping window still holds the trunk down
         up_loss, down_loss = self._saved_trunk.pop((leaf, spine))
         self.job.fabric.leaf_uplink(leaf, spine).loss = up_loss
         self.job.fabric.spine_downlink(leaf, spine).loss = down_loss
 
     def _straggle_start(self, leaf: int, loss: float) -> None:
         rack = self.job.fabric.leaves[leaf]
-        saved = []
+        depth = self._rack_depth.get(leaf, 0)
+        self._rack_depth[leaf] = depth + 1
+        if depth == 0:
+            self._saved_rack[leaf] = [
+                (up.loss, down.loss)
+                for up, down in zip(rack.host_uplinks, rack.host_downlinks)
+            ]
         for up, down in zip(rack.host_uplinks, rack.host_downlinks):
-            saved.append((up.loss, down.loss))
             up.loss = BernoulliLoss(loss)
             down.loss = BernoulliLoss(loss)
-        self._saved_rack[leaf] = saved
 
     def _straggle_end(self, leaf: int) -> None:
+        depth = self._rack_depth[leaf] - 1
+        self._rack_depth[leaf] = depth
+        if depth > 0:
+            return  # an overlapping window still degrades the rack
         rack = self.job.fabric.leaves[leaf]
         for (up_loss, down_loss), up, down in zip(
             self._saved_rack.pop(leaf), rack.host_uplinks, rack.host_downlinks

@@ -36,6 +36,7 @@ from repro.perf.workloads import WORKLOADS, run_workload
 
 __all__ = [
     "SCHEMA",
+    "SWEEP_SCHEMA",
     "run_suite",
     "attach_baseline",
     "compare",
@@ -43,9 +44,16 @@ __all__ = [
     "profile_workload",
     "write_bench",
     "load_bench",
+    "load_sweep_summary",
 ]
 
 SCHEMA = "repro-bench/1"
+
+#: the sweep orchestrator's summary document (same envelope as
+#: BENCH.json -- label + per-"workload" aggregates -- plus per-task
+#: records; produced by :func:`repro.sweep.runner.sweep_summary` and
+#: written with :func:`write_bench`)
+SWEEP_SCHEMA = "repro-sweep/1"
 
 
 def run_suite(
@@ -172,11 +180,20 @@ def write_bench(doc: dict[str, Any], path: str | Path) -> None:
     Path(path).write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
 
 
-def load_bench(path: str | Path) -> dict[str, Any]:
+def _load_schema_doc(path: str | Path, expected: str) -> dict[str, Any]:
     doc = json.loads(Path(path).read_text())
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") != expected:
         raise ValueError(
-            f"{path}: unsupported bench schema {doc.get('schema')!r} "
-            f"(expected {SCHEMA!r})"
+            f"{path}: unsupported schema {doc.get('schema')!r} "
+            f"(expected {expected!r})"
         )
     return doc
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    return _load_schema_doc(path, SCHEMA)
+
+
+def load_sweep_summary(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check a ``repro sweep`` summary document."""
+    return _load_schema_doc(path, SWEEP_SCHEMA)

@@ -38,6 +38,35 @@ class TestFaultPlan:
         )
         assert len(plan.faults) == 2
 
+    def test_dict_roundtrip(self):
+        plan = (
+            FaultPlan()
+            .add(CrashWorker(member=2, at_s=3e-4))
+            .add(RebootSwitch(at_s=5e-4, down_for_s=6e-3))
+            .add(FlapLink(member=0, at_s=1e-4, down_for_s=4e-3))
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.faults == plan.faults
+        # and the serialized form itself is stable (what JSONL sweep
+        # artifacts persist, so replay must not depend on object identity)
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_dict_form_is_json_serializable(self):
+        import json
+
+        plan = FaultPlan([FlapLink(member=1, at_s=2e-4, down_for_s=1e-3)])
+        assert FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        ).faults == plan.faults
+
+    def test_empty_plan_roundtrip(self):
+        assert FaultPlan.from_dict({"faults": []}).faults == []
+        assert FaultPlan.from_dict({}).faults == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict({"faults": [{"kind": "meteor", "at_s": 0.0}]})
+
     def test_double_arm_rejected(self):
         ctl = Controller(ControlPlaneConfig(num_workers=2, pool_size=4))
         injector = FaultInjector(ctl, FaultPlan())

@@ -224,6 +224,94 @@ class TestPhaseLagInvariant:
             prog.handle(pkt(0, 0, ver=1, off=8))
 
 
+class TestPhaseOffsetDiscipline:
+    """The per-(version, slot) phase-offset discipline.
+
+    Found by the fault fuzzer (see
+    tests/integration/test_fuzz_regressions.py): under jitter a late
+    retransmission of a *completed* phase can arrive after its sender's
+    next-version absorb cleared the sender's seen bit, making the frame
+    indistinguishable from a new phase's opening packet by seen/count
+    alone.  The program records the offset of the last phase opened per
+    (version, slot) and uses it as the tiebreaker.
+    """
+
+    def test_stale_retx_after_bit_recycle_gets_shadow_not_reopen(self):
+        prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        prog.handle(pkt(0, 0, ver=0, off=0, values=[1] * K))
+        prog.handle(pkt(1, 0, ver=0, off=0, values=[2] * K))  # result 3
+        # worker 1 advances; its ver-0 seen bit is cleared by the absorb
+        prog.handle(pkt(1, 0, ver=1, off=8, values=[50] * K))
+        # jitter-delayed stale retransmission of the completed phase:
+        # seen == 0 AND count == 0, exactly a new phase's signature --
+        # but the offset matches the stored phase, so the switch serves
+        # the shadow copy instead of poisoning the slot
+        reply = prog.handle(pkt(1, 0, ver=0, off=0, values=[2] * K))
+        assert reply.action is SwitchAction.UNICAST
+        assert reply.unicast_wid == 1
+        assert list(reply.packet.vector) == [3] * K
+        # the laggard's own retransmission still works too
+        reply0 = prog.handle(pkt(0, 0, ver=0, off=0, values=[1] * K))
+        assert list(reply0.packet.vector) == [3] * K
+
+    def test_stale_lower_offset_retx_dropped_mid_phase(self):
+        prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        for off, ver in ((0, 0), (8, 1)):
+            prog.handle(pkt(0, 0, ver=ver, off=off))
+            prog.handle(pkt(1, 0, ver=ver, off=off))
+        # ver 0 reopens at off=16; worker 0 contributes
+        prog.handle(pkt(0, 0, ver=0, off=16, values=[9] * K))
+        # an ancient retransmission of the off=0 phase arrives mid-phase
+        stale = prog.handle(pkt(1, 0, ver=0, off=0))
+        assert stale.action is SwitchAction.DROP
+        assert prog.stale_phase_drops == 1
+        # the live phase is untouched
+        out = prog.handle(pkt(1, 0, ver=0, off=16, values=[4] * K))
+        assert list(out.packet.vector) == [13] * K
+
+    def test_greater_offset_resets_poisoned_phase(self):
+        prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        for off, ver in ((0, 0), (8, 1), (16, 0)):
+            prog.handle(pkt(0, 0, ver=ver, off=off))
+            prog.handle(pkt(1, 0, ver=ver, off=off))
+        # every worker advanced past the ver-1 off=8 phase (pop == 0),
+        # so a very stale retransmission of it re-opens the slot ...
+        ghost = prog.handle(pkt(0, 0, ver=1, off=8, values=[7] * K))
+        assert ghost.action is SwitchAction.DROP
+        # ... harmlessly: the genuine next phase claims the slot with a
+        # greater offset, which wipes the phantom before aggregating
+        prog.handle(pkt(1, 0, ver=1, off=24, values=[100] * K))
+        assert prog.phase_resets == 1
+        out = prog.handle(pkt(0, 0, ver=1, off=24, values=[200] * K))
+        assert out.action is SwitchAction.MULTICAST
+        assert list(out.packet.vector) == [300] * K
+
+    def test_program_reuse_restarts_offsets(self):
+        """A finished program accepts a fresh reduction whose offsets
+        restart at zero -- the exact (version, slot, offset) triples of
+        the previous reduction included."""
+        prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        for off, ver in ((0, 0), (8, 1)):
+            prog.handle(pkt(0, 0, ver=ver, off=off))
+            prog.handle(pkt(1, 0, ver=ver, off=off))
+        # next reduction: version continues (Appendix B), offset restarts
+        prog.handle(pkt(0, 0, ver=0, off=0, values=[10] * K))
+        out = prog.handle(pkt(1, 0, ver=0, off=0, values=[20] * K))
+        assert out.action is SwitchAction.MULTICAST
+        assert list(out.packet.vector) == [30] * K
+
+    def test_begin_reduction_reanchors_explicitly(self):
+        prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)
+        for off, ver in ((0, 0), (8, 1)):
+            prog.handle(pkt(0, 0, ver=ver, off=off))
+            prog.handle(pkt(1, 0, ver=ver, off=off))
+        prog.begin_reduction()
+        prog.handle(pkt(0, 0, ver=0, off=0, values=[5] * K))
+        out = prog.handle(pkt(1, 0, ver=0, off=0, values=[6] * K))
+        assert out.action is SwitchAction.MULTICAST
+        assert list(out.packet.vector) == [11] * K
+
+
 class TestPhantomMode:
     def test_phantom_packets_aggregate_nothing_but_count(self):
         prog = SwitchMLProgram(2, pool_size=1, elements_per_packet=K)

@@ -13,6 +13,7 @@ from repro.core.hierarchy import RackAggregatorProgram
 from repro.core.packet import SwitchMLPacket
 from repro.core.switch_program import SwitchAction
 from repro.net.fabric import (
+    CongestTrunk,
     CrashSpine,
     FabricConfig,
     FabricFaultInjector,
@@ -268,3 +269,42 @@ class TestFaultPlanValidation:
         inj.arm()
         with pytest.raises(RuntimeError, match="armed"):
             inj.arm()
+
+
+class TestFabricFaultPlanRoundTrip:
+    def test_dict_roundtrip_all_kinds(self):
+        plan = (
+            FabricFaultPlan()
+            .add(CrashSpine(spine=1, at_s=2e-4))
+            .add(FlapFabricLink(leaf=0, spine=1, at_s=3e-4, down_for_s=2e-3))
+            .add(StragglerRack(leaf=1, at_s=1e-4, down_for_s=3e-3, loss=0.4))
+            .add(CongestTrunk(leaf=0, spine=0, at_s=5e-4, down_for_s=1e-3,
+                              fraction=1.1, frame_bytes=1500))
+        )
+        rebuilt = FabricFaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.faults == plan.faults
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_dict_form_is_json_serializable(self):
+        import json
+
+        plan = FabricFaultPlan([CongestTrunk(leaf=1, spine=0, at_s=1e-4,
+                                             down_for_s=2e-3)])
+        assert FabricFaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        ).faults == plan.faults
+
+    def test_defaults_survive_roundtrip(self):
+        # fields left at their dataclass defaults serialize explicitly,
+        # so a replay on a future default change still reproduces
+        plan = FabricFaultPlan([StragglerRack(leaf=0, at_s=0.0,
+                                              down_for_s=1e-3)])
+        entry = plan.to_dict()["faults"][0]
+        assert entry["loss"] == 0.3
+        assert FabricFaultPlan.from_dict(plan.to_dict()).faults == plan.faults
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fabric fault kind"):
+            FabricFaultPlan.from_dict(
+                {"faults": [{"kind": "solar_flare", "at_s": 0.0}]}
+            )

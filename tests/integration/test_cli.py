@@ -61,7 +61,9 @@ class TestCliFigures:
         out = capsys.readouterr().out
         assert "#" in out and "vgg16" in out
 
+    @pytest.mark.slow
     def test_figure_fig2_line_plot(self, capsys):
+        # re-simulates the full fig2 TAT-vs-RTT curve (~25 s)
         from repro.cli import main as cli_main
 
         assert cli_main(["figure", "fig2"]) == 0

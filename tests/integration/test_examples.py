@@ -21,7 +21,9 @@ def run_example(name: str, timeout: int = 240) -> str:
 
 
 class TestExamples:
+    @pytest.mark.slow
     def test_quickstart(self):
+        # a 1M-element all-reduce at line rate (~12 s of simulation)
         out = run_example("quickstart.py")
         assert "result verified" in out
         assert "ATE/s" in out

@@ -1,0 +1,88 @@
+"""Cross-config determinism: the protocol fingerprint is invariant
+across execution strategies.
+
+``granularity`` (packet vs epsilon-0 burst) and ``backend`` (numpy vs
+the compiled C kernel) change how the simulator *executes* a run, never
+what the protocol *does*.  The witness is
+:func:`repro.sweep.scenarios.protocol_fingerprint`: per-worker TATs,
+packet/retransmission counts, frames lost, and the result checksum --
+everything a paper figure would be built from.  Engine event counts are
+deliberately outside the fingerprint (burst mode coalesces events by
+design).
+
+Each equivalence is checked over clean, lossy, jittered, and
+lossy+jittered links: loss exercises the retransmission path, jitter
+the reordering path, and their product the interaction the fuzzer's
+finding 3 lived in.
+"""
+
+import pytest
+
+from repro.core.backend import load_switch_kernel
+from repro.sweep.scenarios import run_scenario
+from repro.sweep.tasks import derive_seed
+
+LINKS = {
+    "clean": {"loss": 0.0, "jitter_us": 0.0},
+    "lossy": {"loss": 0.01, "jitter_us": 0.0},
+    "jittered": {"loss": 0.0, "jitter_us": 2.0},
+    "lossy_jittered": {"loss": 0.01, "jitter_us": 2.0},
+}
+
+BASE = {"workers": 4, "pool": 8, "elements": 32 * 96, "timeout_s": 1e-4}
+
+
+def fingerprint(seed: int, **knobs):
+    rec = run_scenario("fig4", {**BASE, **knobs}, seed)
+    return rec["fingerprint"], rec
+
+
+def seeds(tag: str, n: int = 3):
+    return [derive_seed(0, f"xcfg:{tag}#{i}") for i in range(n)]
+
+
+@pytest.mark.parametrize("link", sorted(LINKS))
+class TestPacketVsBurst:
+    def test_epsilon0_burst_matches_packet(self, link):
+        for seed in seeds(link):
+            packet, _ = fingerprint(
+                seed, **LINKS[link], granularity="packet"
+            )
+            burst, _ = fingerprint(
+                seed, **LINKS[link], granularity="burst", burst_epsilon=0.0
+            )
+            assert packet == burst
+
+    def test_fingerprints_complete_and_exact(self, link):
+        for seed in seeds(link):
+            fp, _ = fingerprint(seed, **LINKS[link], granularity="packet")
+            assert fp["completed"]
+            assert fp["result_sha"] is not None
+
+
+@pytest.mark.parametrize("link", sorted(LINKS))
+class TestNumpyVsC:
+    def test_compiled_backend_matches_numpy(self, link):
+        if load_switch_kernel("c") is None:
+            pytest.skip("no C toolchain: compiled backend unavailable")
+        for seed in seeds(link):
+            ref, _ = fingerprint(
+                seed, **LINKS[link], granularity="burst", backend="numpy"
+            )
+            compiled, rec = fingerprint(
+                seed, **LINKS[link], granularity="burst", backend="c"
+            )
+            assert rec["backend"] == "c"
+            assert ref == compiled
+
+
+class TestLossActuallyExercisesRecovery:
+    """Guard the guards: the lossy rows must really retransmit, else
+    the matrix silently degenerates to the clean case."""
+
+    def test_lossy_runs_retransmit(self):
+        hit = 0
+        for seed in seeds("lossy"):
+            fp, _ = fingerprint(seed, **LINKS["lossy"], granularity="packet")
+            hit += sum(fp["retransmissions"]) > 0
+        assert hit > 0
