@@ -589,11 +589,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         WORKLOADS,
         attach_baseline,
         check_regression,
+        format_trend,
         load_bench,
+        load_trend,
         profile_workload,
         run_suite,
+        trend_table,
         write_bench,
     )
+
+    if args.trend:
+        docs = load_trend(args.trend_dir)
+        if not docs:
+            print(f"bench: no BENCH_*.json baselines in {args.trend_dir}",
+                  file=sys.stderr)
+            return 2
+        trend = trend_table(docs)
+        if args.json:
+            print(json.dumps(trend, indent=2))
+        else:
+            print(format_trend(trend), end="")
+        if args.out:
+            write_bench(trend, args.out)
+        return 0
 
     names = None if args.workloads == "all" else args.workloads.split(",")
     doc = run_suite(
@@ -919,6 +937,12 @@ def main(argv: list[str] | None = None) -> int:
                           "--out (<out>.profile.txt) or to stdout")
     ben.add_argument("--profile-top", type=int, default=25,
                      help="functions per sort order in the profile dump")
+    ben.add_argument("--trend", action="store_true",
+                     help="instead of running: read the committed "
+                          "BENCH_*.json baselines and print the "
+                          "per-workload events/sec and wall trajectory")
+    ben.add_argument("--trend-dir", default=".",
+                     help="directory holding the BENCH_*.json baselines")
 
     vio = sub.add_parser(
         "violin", help="SS5.1 methodology: TAT distribution over N tensors"

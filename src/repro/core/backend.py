@@ -41,8 +41,10 @@ from pathlib import Path
 import numpy as np
 
 __all__ = [
+    "CompiledLinkKernel",
     "CompiledSwitchKernel",
     "backend_name",
+    "load_link_kernel",
     "load_switch_kernel",
     "unavailable_reason",
 ]
@@ -109,11 +111,66 @@ void switchml_absorb(
     counters[0] = seen_acc;
     counters[1] = count_acc;
 }
+
+/* Frame-train send bodies, clean-link fast path: the busy-chain scan
+ * plus Bernoulli loss draws of Link.send_bodies for links with no
+ * queue cap, no corruption, no jitter, and no observer/telemetry tap.
+ *
+ * The float arithmetic is the Python loop's, operation for operation
+ * (Python floats are IEEE doubles; the build disables FP contraction),
+ * so busy_until / busy_time / arrival come out bit-identical -- the
+ * sequential max-then-add busy chain is exactly why this can't be a
+ * NumPy vectorization.
+ *
+ * Draws consume the caller's block buffer u[0..u_len); when a draw is
+ * needed but the block is spent, the function returns the index of the
+ * first unprocessed frame so the caller can refill the block (with the
+ * same generator call the per-frame path would make) and re-enter.
+ * Returns n when every frame was processed.
+ *
+ *   ok[i]:      1 delivered, 0 lost (arrival[i] only valid when 1)
+ *   fstate:     [0] busy_until, [1] stats.busy_time   (in/out)
+ *   istate:     [0] block cursor u_i                  (in/out)
+ */
+int64_t link_train_bodies(
+    int64_t n, int64_t start,
+    const double *t, const int64_t *wb,
+    double rate, double prop, double loss_p,
+    const double *u, int64_t u_len,
+    double *arrival, int8_t *ok,
+    double *fstate, int64_t *istate)
+{
+    double busy = fstate[0];
+    double busy_time = fstate[1];
+    int64_t u_i = istate[0];
+    int64_t i = start;
+    for (; i < n; i++) {
+        if (loss_p != 0.0 && u_i >= u_len)
+            break;
+        double ti = t[i];
+        double ser = (double)wb[i] * 8.0 / rate;
+        double done = (busy > ti ? busy : ti) + ser;
+        busy = done;
+        busy_time = busy_time + ser;
+        if (loss_p != 0.0 && u[u_i++] < loss_p) {
+            ok[i] = 0;
+            arrival[i] = 0.0;
+            continue;
+        }
+        ok[i] = 1;
+        arrival[i] = done + prop;
+    }
+    fstate[0] = busy;
+    fstate[1] = busy_time;
+    istate[0] = u_i;
+    return i;
+}
 """
 
 _I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
 _U8P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
 _I8P = np.ctypeslib.ndpointer(dtype=np.int8, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
 
 
 class CompiledSwitchKernel:
@@ -150,9 +207,29 @@ class CompiledSwitchKernel:
         return cls, resets, int(counters[0]), int(counters[1])
 
 
+class CompiledLinkKernel:
+    """ctypes wrapper around the compiled ``link_train_bodies`` symbol."""
+
+    def __init__(self, lib: ctypes.CDLL, path: Path):
+        self.path = path
+        fn = lib.link_train_bodies
+        fn.restype = ctypes.c_int64
+        fn.argtypes = [
+            ctypes.c_int64, ctypes.c_int64,
+            _F64P, _I64P,
+            ctypes.c_double, ctypes.c_double, ctypes.c_double,
+            _F64P, ctypes.c_int64,
+            _F64P, _I8P, _F64P, _I64P,
+        ]
+        self.train_bodies = fn
+
+
 _cached_kernel: CompiledSwitchKernel | None = None
 _cache_state: str | None = None  # None = not attempted yet
 _unavailable_reason: str | None = None
+
+_cached_link_kernel: CompiledLinkKernel | None = None
+_link_cache_state: str | None = None
 
 
 def _build_dir() -> Path:
@@ -170,7 +247,7 @@ def _find_compiler() -> str | None:
     return None
 
 
-def _compile_kernel() -> CompiledSwitchKernel:
+def _compile_lib() -> tuple[ctypes.CDLL, Path]:
     digest = hashlib.sha256(_KERNEL_SOURCE.encode()).hexdigest()[:16]
     build = _build_dir()
     so_path = build / f"switchml_kernel_{digest}.so"
@@ -182,14 +259,24 @@ def _compile_kernel() -> CompiledSwitchKernel:
         c_path = build / f"switchml_kernel_{digest}.c"
         c_path.write_text(_KERNEL_SOURCE)
         tmp_path = build / f".switchml_kernel_{digest}.{os.getpid()}.so"
-        cmd = [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp_path), str(c_path)]
+        # -ffp-contract=off: the link kernel's doubles must match the
+        # Python interpreter's operation-for-operation; a fused
+        # multiply-add would round differently
+        cmd = [
+            compiler, "-O2", "-ffp-contract=off", "-shared", "-fPIC",
+            "-o", str(tmp_path), str(c_path),
+        ]
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
         if proc.returncode != 0:
             raise RuntimeError(
                 f"kernel compilation failed ({' '.join(cmd)}): {proc.stderr.strip()}"
             )
         os.replace(tmp_path, so_path)  # atomic vs concurrent builders
-    lib = ctypes.CDLL(str(so_path))
+    return ctypes.CDLL(str(so_path)), so_path
+
+
+def _compile_kernel() -> CompiledSwitchKernel:
+    lib, so_path = _compile_lib()
     return CompiledSwitchKernel(lib, so_path)
 
 
@@ -219,6 +306,30 @@ def load_switch_kernel(name: str | None = None) -> CompiledSwitchKernel | None:
             _cache_state = "failed"
             _unavailable_reason = str(exc)
     return _cached_kernel
+
+
+def load_link_kernel() -> CompiledLinkKernel | None:
+    """The frame-train send-body kernel, or ``None``.
+
+    Unlike the switch kernel this is not opt-in: its output is
+    bit-identical to the Python loop by construction (pinned by
+    ``tests/core/test_backend_equivalence.py``), so it is built on
+    first use whenever a C compiler is available and silently skipped
+    otherwise.  ``REPRO_LINK_KERNEL=off`` forces the Python loop (for
+    A/B timing and for exercising the fallback in tests).
+    """
+    global _cached_link_kernel, _link_cache_state
+    if os.environ.get("REPRO_LINK_KERNEL", "").strip().lower() in ("off", "0", "no"):
+        return None
+    if _link_cache_state is None:
+        try:
+            lib, so_path = _compile_lib()
+            _cached_link_kernel = CompiledLinkKernel(lib, so_path)
+            _link_cache_state = "ok"
+        except (RuntimeError, OSError, subprocess.SubprocessError, AttributeError):
+            _cached_link_kernel = None
+            _link_cache_state = "failed"
+    return _cached_link_kernel
 
 
 def backend_name(kernel: CompiledSwitchKernel | None) -> str:

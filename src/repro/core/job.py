@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.fp16_program import Float16SwitchMLProgram
-from repro.core.packet import SwitchMLPacket
+from repro.core.packet import SwitchMLPacket, fanout_frames
 from repro.core.switch_program import (
     LosslessSwitchMLProgram,
     SwitchAction,
@@ -105,6 +105,17 @@ class SwitchMLConfig:
     #: default; "c" = compiled kernel with NumPy fallback).  See
     #: :mod:`repro.core.backend`.
     backend: str | None = None
+    #: frame-train egress (requires ``granularity="burst"``): workers and
+    #: the switch emit each batch of outbound frames as one *train* --
+    #: one engine event carrying the ordered frame vector, with per-frame
+    #: RNG draws pre-sampled in stream order -- instead of one event per
+    #: frame.  At ``burst_epsilon == 0`` the schedule stays bit-identical
+    #: to packet mode (same draws, same stats, same fingerprints); see
+    #: tests/integration/test_train_equivalence.py.
+    train_egress: bool = False
+    #: split trains longer than this many frames into consecutive
+    #: sub-trains (bounds per-event work); 0 = unlimited
+    train_cap: int = 0
     seed: int = 0
 
 
@@ -176,6 +187,10 @@ class SwitchMLDataplane:
             (wid, port, self.worker_names[wid])
             for wid, port in self.worker_ports.items()
         ]
+        # split views for the batched replica build (fanout_frames): the
+        # zip with _fanout_ports restores the (port, frame) pairing
+        self._fanout_ports = [port for _, port, _ in self._fanout]
+        self._fanout_dsts = [dst for _, _, dst in self._fanout]
         # Zero-copy multicast (reuse_buffers): per-slot result packet and
         # per-(slot, worker) frames + deliveries list, mutated per phase.
         # Safe on jitter-free links: the self-clocking protocol guarantees
@@ -198,16 +213,15 @@ class SwitchMLDataplane:
         pooled = self._mc_packets.get(idx)
         if pooled is None:
             self._mc_packets[idx] = packet
-            deliveries = [
-                (
-                    port,
-                    packet.to_frame(
-                        src=self.switch_name, dst=dst,
-                        bytes_per_element=self.bytes_per_element,
+            deliveries = list(
+                zip(
+                    self._fanout_ports,
+                    fanout_frames(
+                        packet, self.switch_name, self._fanout_dsts,
+                        self.bytes_per_element,
                     ),
                 )
-                for _, port, dst in self._fanout
-            ]
+            )
             self._mc_deliveries[idx] = deliveries
             decision = PortDecision(deliveries=deliveries)
             self._mc_decisions[idx] = decision
@@ -247,13 +261,15 @@ class SwitchMLDataplane:
         # MULTICAST: one replica per worker port.
         if self.reuse_buffers:
             return self._multicast_pooled(decision.packet)
-        bpe = self.bytes_per_element
-        switch_name = self.switch_name
-        result = decision.packet
-        deliveries = [
-            (port, result.to_frame(src=switch_name, dst=dst, bytes_per_element=bpe))
-            for _, port, dst in self._fanout
-        ]
+        deliveries = list(
+            zip(
+                self._fanout_ports,
+                fanout_frames(
+                    decision.packet, self.switch_name, self._fanout_dsts,
+                    self.bytes_per_element,
+                ),
+            )
+        )
         return PortDecision(deliveries=deliveries)
 
     def process_batch(self, group: list[tuple[Frame, int]]) -> list[PortDecision]:
@@ -307,20 +323,17 @@ class SwitchMLDataplane:
             elif self.reuse_buffers:
                 out.append(self._multicast_pooled(decision.packet))
             else:
-                bpe = self.bytes_per_element
-                switch_name = self.switch_name
-                result = decision.packet
                 out.append(
                     PortDecision(
-                        deliveries=[
-                            (
-                                port,
-                                result.to_frame(
-                                    src=switch_name, dst=dst, bytes_per_element=bpe
+                        deliveries=list(
+                            zip(
+                                self._fanout_ports,
+                                fanout_frames(
+                                    decision.packet, self.switch_name,
+                                    self._fanout_dsts, self.bytes_per_element,
                                 ),
                             )
-                            for _, port, dst in self._fanout
-                        ]
+                        )
                     )
                 )
         return out
@@ -352,6 +365,10 @@ class SwitchMLJob:
             raise ValueError("burst_epsilon must be non-negative")
         if cfg.burst_epsilon > 0 and not burst:
             raise ValueError("burst_epsilon requires granularity='burst'")
+        if cfg.train_cap < 0:
+            raise ValueError("train_cap must be non-negative")
+        if cfg.train_egress and not burst:
+            raise ValueError("train_egress requires granularity='burst'")
         self.sim = Simulator(seed=cfg.seed, scheduler=cfg.scheduler)
         # zero-copy hot paths need FIFO delivery; jitter reorders (see
         # SwitchMLConfig.reuse_buffers)
@@ -418,12 +435,20 @@ class SwitchMLJob:
             switch = self.rack.switch
             eps = cfg.burst_epsilon
             switch.burst_epsilon = eps
+            switch.train_egress = cfg.train_egress
+            switch.train_cap = cfg.train_cap
             for w in range(cfg.num_workers):
                 port = self.rack.host_port(w)
-                self.rack.uplinks[w].connect(switch.burst_ingress_callback(port))
+                self.rack.uplinks[w].connect(
+                    switch.burst_ingress_callback(port),
+                    switch.burst_ingress_many_callback(port),
+                )
                 self.rack.uplinks[w].burst = True
                 self.rack.uplinks[w].burst_epsilon = eps
-                self.rack.downlinks[w].connect(self.rack.hosts[w].deliver_burst)
+                self.rack.downlinks[w].connect(
+                    self.rack.hosts[w].deliver_burst,
+                    self.rack.hosts[w].deliver_burst_many,
+                )
                 self.rack.downlinks[w].burst = True
                 self.rack.downlinks[w].burst_epsilon = eps
                 self.rack.hosts[w].burst_epsilon = eps
@@ -462,6 +487,8 @@ class SwitchMLJob:
                 reuse_buffers=reuse,
                 granularity=cfg.granularity,
                 burst_epsilon=cfg.burst_epsilon,
+                train_egress=cfg.train_egress,
+                train_cap=cfg.train_cap,
             )
             self.rack.hosts[w].attach_agent(worker)
             self.workers.append(worker)

@@ -28,7 +28,13 @@ from repro.net.packet import (
     Frame as _Frame,
 )
 
-__all__ = ["HEARTBEAT_WIRE_BYTES", "Heartbeat", "SwitchMLPacket"]
+__all__ = [
+    "HEARTBEAT_WIRE_BYTES",
+    "Heartbeat",
+    "SwitchMLPacket",
+    "fanout_frames",
+    "to_frames",
+]
 
 
 @dataclass(slots=True)
@@ -115,6 +121,56 @@ class SwitchMLPacket:
             f"<SwitchMLPacket {direction}{retrans} wid={self.wid} ver={self.ver} "
             f"idx={self.idx} off={self.off} k={self.num_elements}>"
         )
+
+
+def to_frames(
+    packets: list[SwitchMLPacket],
+    src: str,
+    dst: str,
+    bytes_per_element: int = 4,
+) -> list[_Frame]:
+    """Batched :meth:`SwitchMLPacket.to_frame` over a slot group.
+
+    Frames come back in input order.  The wire size is computed once per
+    distinct ``num_elements`` (a train is normally homogeneous -- every
+    chunk of a window carries ``k`` elements -- so the common case is a
+    single multiply for the whole batch).
+    """
+    sizes: dict[int, int] = {}
+    frames: list[_Frame] = []
+    append = frames.append
+    for packet in packets:
+        k = packet.num_elements
+        wire = sizes.get(k)
+        if wire is None:
+            sizes[k] = wire = k * bytes_per_element + _FRAME_OVERHEAD_BYTES
+        append(
+            _Frame(
+                wire_bytes=wire,
+                message=packet,
+                src=src,
+                dst=dst,
+                flow_key=packet.idx,
+            )
+        )
+    return frames
+
+
+def fanout_frames(
+    packet: SwitchMLPacket,
+    src: str,
+    dests: list[str],
+    bytes_per_element: int = 4,
+) -> list[_Frame]:
+    """Multicast replica build: one frame per destination, one wire-size
+    computation for all of them (the switch's result fan-out sends the
+    same packet to every member)."""
+    wire = packet.num_elements * bytes_per_element + _FRAME_OVERHEAD_BYTES
+    idx = packet.idx
+    return [
+        _Frame(wire_bytes=wire, message=packet, src=src, dst=dst, flow_key=idx)
+        for dst in dests
+    ]
 
 
 #: A heartbeat is a minimal frame: headers plus member id, epoch, and a

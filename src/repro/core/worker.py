@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.packet import Heartbeat, SwitchMLPacket
+from repro.core.packet import Heartbeat, SwitchMLPacket, to_frames
 from repro.core.protocol import WorkerSlotState
 from repro.net.host import Host
 from repro.net.packet import Frame
@@ -128,6 +128,8 @@ class SwitchMLWorker:
         job_id: int = 0,
         granularity: str = "packet",
         burst_epsilon: float = 0.0,
+        train_egress: bool = False,
+        train_cap: int = 0,
     ):
         if timeout_mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown timeout mode {timeout_mode!r}")
@@ -135,6 +137,8 @@ class SwitchMLWorker:
             raise ValueError(f"unknown granularity {granularity!r}")
         if burst_epsilon < 0:
             raise ValueError("burst_epsilon must be non-negative")
+        if train_cap < 0:
+            raise ValueError("train_cap must be non-negative")
         self.sim = sim
         self._schedule_at = sim.schedule_at
         self.host = host
@@ -193,6 +197,18 @@ class SwitchMLWorker:
         #: arm_seq) order -- s timer events collapse to one.
         self.granularity = granularity
         self._burst = granularity == "burst"
+        #: frame-train egress: a window of same-destination chunk sends
+        #: leaves through one :meth:`Host.send_train` call (one engine
+        #: event) instead of one ``host.send`` per chunk.  Per-chunk
+        #: bookkeeping, stats, and timer arming are identical; in packet
+        #: mode the result is bit-for-bit the per-frame schedule (the
+        #: train replays every frame at its own submit time).
+        self._train = bool(train_egress)
+        #: longest train put on the wire in one piece; 0 = unlimited.
+        #: Splitting trades batching for pacing (each sub-train charges
+        #: the TX cores when *it* is built, same as this implementation's
+        #: single-callback semantics -- the cap only bounds list sizes).
+        self.train_cap = int(train_cap)
         self.burst_epsilon = float(burst_epsilon)
         self._single_timer = self._burst and self.burst_epsilon > 0.0
         self._deadline_event: Event | None = None
@@ -335,8 +351,13 @@ class SwitchMLWorker:
         self._active_slots = active_slots
         self.stats = WorkerStats(start_time=self.sim.now)
 
-        for i in range(active_slots):
-            self._send_chunk(idx=i, ver=int(self._next_ver[i]), off=self.k * i)
+        if self._train and active_slots > 1:
+            self._send_chunks(
+                [(i, int(self._next_ver[i]), self.k * i) for i in range(active_slots)]
+            )
+        else:
+            for i in range(active_slots):
+                self._send_chunk(idx=i, ver=int(self._next_ver[i]), off=self.k * i)
 
     def _reset_slot_state(self) -> None:
         """Per-aggregation reset: clear the SoA core in place, rebind the
@@ -424,6 +445,119 @@ class SwitchMLWorker:
             self._arm_deadline(idx)
         else:
             self._arm_timer(idx)
+
+    def _send_chunks(
+        self, items: list[tuple[int, int, int]], arm: bool = True
+    ) -> None:
+        """Batched :meth:`_send_chunk` over a slot group (train egress).
+
+        ``items`` is ``[(idx, ver, off), ...]`` in slot order.  Per-slot
+        bookkeeping replicates :meth:`_send_chunk` exactly; the fresh
+        frames are built in one :func:`to_frames` call and the whole
+        group leaves through :meth:`Host.send_train` (split by
+        ``train_cap``), after which the timers are armed in slot order
+        -- the same relative timer-event scheduling order the per-chunk
+        loop produces (TX events and timers never share a fire time:
+        I/O latency is microseconds, timeouts are 100 us and up).
+        """
+        now = self.sim.now
+        host = self.host
+        reuse = self.reuse_buffers
+        phantom = self._phantom
+        tensor = self._tensor
+        k = self.k
+        burst = self._burst
+        slot_buf = self._slot_buf
+        slot_frame = self._slot_frame
+        slot_off = self._slot_off
+        slot_ver = self._slot_ver
+        next_ver = self._next_ver
+        slot_packet = self._slot_packet
+        slot_outstanding = self._slot_outstanding
+        slot_sent_at = self._slot_sent_at
+        slot_retransmitted = self._slot_retransmitted
+        slot_retries = self._slot_retries
+        n = len(items)
+        frames: list[Frame | None] = [None] * n
+        fresh_pos: list[int] = []
+        fresh_packets: list[SwitchMLPacket] = []
+        for pos, (idx, ver, off) in enumerate(items):
+            if reuse and (packet := slot_buf[idx]) is not None:
+                packet.ver = ver
+                packet.off = off
+                packet.vector = None if phantom else tensor[off : off + k]
+                frame = slot_frame[idx]
+                frame.corrupted = False
+                frames[pos] = frame
+            else:
+                packet = SwitchMLPacket(
+                    wid=self.wid,
+                    ver=ver,
+                    idx=idx,
+                    off=off,
+                    num_elements=k,
+                    vector=None if phantom else tensor[off : off + k],
+                    epoch=self.epoch,
+                    job_id=self.job_id,
+                )
+                fresh_pos.append(pos)
+                fresh_packets.append(packet)
+            slot_packet[idx] = packet
+        # SoA bookkeeping in one fancy-indexed pass per array (slots are
+        # distinct within a train, so store order is unobservable)
+        idx_a = np.fromiter((it[0] for it in items), dtype=np.int64, count=n)
+        ver_a = np.fromiter((it[1] for it in items), dtype=np.int64, count=n)
+        slot_off[idx_a] = np.fromiter((it[2] for it in items), dtype=np.int64, count=n)
+        slot_ver[idx_a] = ver_a
+        next_ver[idx_a] = 1 - ver_a
+        if burst:
+            slot_outstanding[idx_a] = True
+        slot_sent_at[idx_a] = now
+        slot_retransmitted[idx_a] = False
+        slot_retries[idx_a] = 0
+        if fresh_packets:
+            built = to_frames(
+                fresh_packets,
+                src=host.name,
+                dst=self.switch_addr,
+                bytes_per_element=self.bytes_per_element,
+            )
+            for i, pos in enumerate(fresh_pos):
+                frames[pos] = built[i]
+                if reuse:
+                    idx = items[pos][0]
+                    slot_buf[idx] = fresh_packets[i]
+                    slot_frame[idx] = built[i]
+        self.stats.packets_sent += n
+        if self._m_on:
+            self._m_sent.inc(n)
+        if self.trace is not None:
+            tick = self.trace.tick
+            for _ in range(n):
+                tick("sent", now)
+        if self._trace_packets and self._tracer.enabled:
+            emit = self._tracer.emit
+            for idx, ver, off in items:
+                emit(
+                    "packet.tx", now, cat="packet", actor=self._actor,
+                    slot=idx, ver=ver, off=off,
+                )
+        cap = self.train_cap
+        if cap and n > cap:
+            for s0 in range(0, n, cap):
+                host.send_train(frames[s0 : s0 + cap])
+        else:
+            host.send_train(frames)
+        if not arm:
+            return
+        if burst:
+            arm_deadline = self._arm_deadline
+            for idx, _ver, _off in items:
+                arm_deadline(idx)
+        else:
+            arm_timer = self._arm_timer
+            for idx, _ver, _off in items:
+                arm_timer(idx)
 
     def current_timeout(self) -> float:
         """The retransmission timeout in force right now.
@@ -832,10 +966,18 @@ class SwitchMLWorker:
         if total_packets == 0:
             self._finish()
             return
-        for i in range(active_slots):
-            self._send_chunk(
-                idx=i, ver=int(self._next_ver[i]), off=offset_elements + self.k * i
+        if self._train and active_slots > 1:
+            self._send_chunks(
+                [
+                    (i, int(self._next_ver[i]), offset_elements + self.k * i)
+                    for i in range(active_slots)
+                ]
             )
+        else:
+            for i in range(active_slots):
+                self._send_chunk(
+                    idx=i, ver=int(self._next_ver[i]), off=offset_elements + self.k * i
+                )
 
     # ------------------------------------------------------------------
     # Receiving
@@ -932,10 +1074,12 @@ class SwitchMLWorker:
             # intra-batch duplicates for one slot (multicast racing a
             # unicast shadow read): first occurrence wins, the rest are
             # stale -- exactly what the sequential path does, because
-            # consuming the first changes the slot's outstanding phase
+            # consuming the first changes the slot's outstanding phase.
+            # Duplicates are rare, so a set-size probe screens the batch
+            # before paying for np.unique's sort.
             slots_acc = idx_a[acc]
-            uniq, first_pos = np.unique(slots_acc, return_index=True)
-            if uniq.size != acc.size:
+            if len(set(slots_acc.tolist())) != slots_acc.size:
+                uniq, first_pos = np.unique(slots_acc, return_index=True)
                 acc = acc[np.sort(first_pos)]
         n_acc = int(acc.size)
         if n_acc and (self.timeout_mode != "fixed" or n_acc == self._remaining):
@@ -988,8 +1132,7 @@ class SwitchMLWorker:
             srtt = self._srtt
             rttvar = self._rttvar
             peak = self._rtt_peak
-            for x in u_samples:
-                x = float(x)
+            for x in u_samples.tolist():
                 if srtt is None:
                     srtt = x
                     rttvar = x / 2.0
@@ -1012,7 +1155,7 @@ class SwitchMLWorker:
                     result[p.off : p.off + k] = p.vector
         st.outstanding[si] = False
         slot_packet = self._slot_packet
-        for i in si:
+        for i in si.tolist():
             slot_packet[i] = None
         self._remaining -= n_acc
 
@@ -1029,13 +1172,22 @@ class SwitchMLWorker:
             # batch timer math: send the frames without arming, then
             # compute every deadline in one vector op and re-arm the
             # singleton once
-            for j in send_pos:
-                self._send_chunk(
-                    idx=int(si[j]),
-                    ver=1 - int(ver_a[acc[j]]),
-                    off=int(next_off[j]),
+            if self._train and send_pos.size > 1:
+                self._send_chunks(
+                    [
+                        (int(si[j]), 1 - int(ver_a[acc[j]]), int(next_off[j]))
+                        for j in send_pos
+                    ],
                     arm=False,
                 )
+            else:
+                for j in send_pos:
+                    self._send_chunk(
+                        idx=int(si[j]),
+                        ver=1 - int(ver_a[acc[j]]),
+                        off=int(next_off[j]),
+                        arm=False,
+                    )
             sent_slots = si[send_pos]
             dur = self.timeout_s * st.backoff[sent_slots]
             np.minimum(dur, self.max_timeout_s, out=dur)
@@ -1047,6 +1199,13 @@ class SwitchMLWorker:
             dmin = float(deadlines.min())
             if dmin < self._deadline_armed_at:
                 self._rearm_singleton(dmin)
+        elif self._train and send_pos.size > 1:
+            self._send_chunks(
+                [
+                    (int(si[j]), 1 - int(ver_a[acc[j]]), int(next_off[j]))
+                    for j in send_pos
+                ]
+            )
         else:
             for j in send_pos:
                 self._send_chunk(

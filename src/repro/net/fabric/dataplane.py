@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.hierarchy import RackAggregatorProgram
-from repro.core.packet import Heartbeat, SwitchMLPacket
+from repro.core.packet import Heartbeat, SwitchMLPacket, fanout_frames
 from repro.core.switch_program import SwitchAction, SwitchMLProgram
 from repro.net.packet import ETHERNET_OVERHEAD_BYTES, Frame
 from repro.net.switchchassis import PortDecision
@@ -143,17 +143,16 @@ class LeafDataplane:
                 if t0 is not None:
                     self._h_spine.observe(self._clock() - t0)
             return PortDecision(
-                deliveries=[
-                    (
-                        port,
-                        decision.packet.to_frame(
+                deliveries=list(
+                    enumerate(
+                        fanout_frames(
+                            decision.packet,
                             self.switch_name,
-                            self.child_names[port],
+                            self.child_names,
                             self.bytes_per_element,
-                        ),
+                        )
                     )
-                    for port in range(self.num_children)
-                ]
+                )
             )
 
         # From a worker.
@@ -236,13 +235,14 @@ class SpineDataplane:
             )
             return PortDecision(deliveries=[(leaf, out)])
         return PortDecision(
-            deliveries=[
-                (
-                    leaf,
-                    decision.packet.to_frame(
-                        self.switch_name, name, self.bytes_per_element
-                    ),
+            deliveries=list(
+                enumerate(
+                    fanout_frames(
+                        decision.packet,
+                        self.switch_name,
+                        self.leaf_names,
+                        self.bytes_per_element,
+                    )
                 )
-                for leaf, name in enumerate(self.leaf_names)
-            ]
+            )
         )

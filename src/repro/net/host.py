@@ -23,6 +23,7 @@ Default per-frame costs are 40 ns on each of the RX and TX paths.  With
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Callable, Protocol
 
 from repro.net.link import Link
@@ -31,6 +32,9 @@ from repro.sim.engine import Simulator
 from repro.sim.resources import SerialResource
 
 __all__ = ["Host", "HostSpec", "HostAgent"]
+
+#: sort key for (submit_time, frame) pairs (stable: ties keep charge order)
+_submit_key = itemgetter(0)
 
 
 @dataclass
@@ -306,6 +310,67 @@ class Host:
         pairs.sort(key=lambda p: p[0])
         self._dispatch_burst([frame for _, frame in pairs])
 
+    def deliver_burst_many(self, frames: list[Frame]) -> None:
+        """Batched :meth:`deliver_burst`: one call per link drain group.
+
+        Wired as the downlink's ``deliver_many`` callback.  Behaviorally
+        identical to calling :meth:`deliver_burst` once per frame in
+        order -- no event fires between the iterations, so the core
+        accounting, RX-group membership, and scheduled drains come out
+        the same; the loop just hoists the per-frame attribute lookups
+        and the callback invocation itself.
+        """
+        cores = self.cores
+        ncores = self._ncores
+        uplink = self.uplink
+        cache = self._lat_cache
+        lat_map = (
+            cache[2]
+            if uplink is not None
+            and cache[0] is self._spec
+            and cache[1] is uplink._spec
+            else None
+        )
+        io_latency = self._io_latency
+        now = self.sim.now
+        cost = self._rx_cost
+        eps = self.burst_epsilon
+        schedule = self._schedule_call_at
+        group = self._rx_group
+        t0 = self._rx_t
+        for frame in frames:
+            core = cores[frame.flow_key % ncores]
+            if lat_map is not None:
+                latency = lat_map.get(frame.wire_bytes)
+                if latency is None:
+                    latency = io_latency(frame)
+            else:
+                latency = io_latency(frame)
+            busy = core.busy_until
+            finish = (busy if busy > now else now) + cost
+            core.busy_until = finish
+            core.jobs_served += 1
+            core.busy_time += cost
+            t = finish + latency
+            if eps > 0.0:
+                if group is not None and t0 <= t <= t0 + eps:
+                    group.append((t, frame))
+                else:
+                    group = [(t, frame)]
+                    t0 = t
+                    self._rx_group = group
+                    self._rx_t = t0
+                    schedule(t + eps, self._dispatch_window, group)
+                continue
+            if group is not None and t == t0:
+                group.append(frame)
+            else:
+                group = [frame]
+                t0 = t
+                self._rx_group = group
+                self._rx_t = t0
+                schedule(t, self._dispatch_burst, group)
+
     # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------
@@ -340,6 +405,70 @@ class Host:
         core.jobs_served += 1
         core.busy_time += cost
         self._schedule_call_at(finish + latency, uplink.send, frame)
+
+    def send_train(self, frames: list[Frame]) -> None:
+        """Charge TX cores for a batch and put it on the uplink as one
+        frame train: one cursor entry replaces one event per frame.
+
+        The core accounting is identical to ``len(frames)`` back-to-back
+        :meth:`send` calls from the same callback (those all charge at
+        the same ``sim.now``); each frame's link submit time
+        (``finish + latency``) rides inside the train, and
+        :meth:`~repro.net.link.Link.send_train` replays every frame at
+        its own submit time.  Submit times can run backwards across
+        cores (a busy core finishes later than an idle one charged
+        after it); the stable sort restores the ``(time, seq)`` order
+        the per-frame TX events would have fired in.
+
+        The link call happens *inside this event*, not at the first
+        submit time: the per-frame path schedules all its TX entries
+        right here, so their tie-breaking sequence numbers date from
+        this event -- and the train's dispatch cursor must be created
+        now to inherit exactly that position (see
+        :meth:`~repro.sim.engine.Simulator.schedule_train`).
+        """
+        n = len(frames)
+        if n == 0:
+            return
+        if n == 1:
+            self.send(frames[0])
+            return
+        uplink = self.uplink
+        if uplink is None:
+            raise RuntimeError(f"host {self.name} has no uplink")
+        now = self.sim.now
+        observer = self.observer
+        cores = self.cores
+        ncores = self._ncores
+        cost = self._tx_cost
+        cache = self._lat_cache
+        if cache[0] is not self._spec or cache[1] is not uplink._spec:
+            self._io_latency(frames[0])  # prime/refresh the size table
+        table = cache[2]
+        self.frames_sent += n
+        pairs: list[tuple[float, Frame]] = []
+        monotone = True
+        last = -1.0
+        for frame in frames:
+            if observer is not None:
+                observer(frame, "tx", now)
+            core = cores[frame.flow_key % ncores]
+            busy = core.busy_until
+            finish = (busy if busy > now else now) + cost
+            core.busy_until = finish
+            core.jobs_served += 1
+            core.busy_time += cost
+            latency = table.get(frame.wire_bytes)
+            if latency is None:
+                latency = self._io_latency(frame)
+            t = finish + latency
+            if t < last:
+                monotone = False
+            last = t
+            pairs.append((t, frame))
+        if not monotone:
+            pairs.sort(key=_submit_key)
+        uplink.send_train(pairs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Host {self.name} cores={len(self.cores)}>"

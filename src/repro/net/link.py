@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.packet import Frame
 from repro.sim.engine import Simulator
@@ -23,6 +25,28 @@ __all__ = ["Link", "LinkSpec", "LinkStats"]
 #: block size of the inlined Bernoulli draw buffer; must match
 #: BernoulliLoss._BLOCK so draw alignment survives path rebinds
 _BERN_BLOCK = BernoulliLoss._BLOCK
+
+#: compiled send-body kernel, resolved lazily (the import reaches into
+#: repro.core, which imports this module -- resolving at first use
+#: instead of import time breaks the cycle).  False = not yet resolved.
+_TRAIN_KERNEL: Any = False
+
+#: placeholder block for kernel calls that take no draws (loss_p == 0)
+#: or enter with a spent buffer (u_len=0 makes the kernel return
+#: immediately so the caller refills)
+_NO_U = np.zeros(1, dtype=np.float64)
+
+
+def _link_kernel() -> Any:
+    global _TRAIN_KERNEL
+    if _TRAIN_KERNEL is False:
+        try:
+            from repro.core.backend import load_link_kernel
+
+            _TRAIN_KERNEL = load_link_kernel()
+        except Exception:
+            _TRAIN_KERNEL = None
+    return _TRAIN_KERNEL
 
 
 @dataclass
@@ -107,14 +131,17 @@ class Link:
         self.sim = sim
         self.name = name
         self._deliver = deliver
+        self._deliver_many: Callable[[list[Frame]], Any] | None = None
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._rng = sim.rng(f"link:{name}")
         self._schedule_call_at = sim.schedule_call_at
-        # local block buffer for the inlined Bernoulli drop test (see
+        self._schedule_train = sim.schedule_train
+        # local block buffer of uniforms feeding ALL of this link's own
+        # draws -- loss, corruption, jitter -- in per-frame order (see
         # _refresh_drop_path); survives spec swaps, reset on loss swaps
-        self._drop_buf = None
-        self._drop_i = 0
+        self._u_buf = None
+        self._u_i = 0
         #: burst granularity: coalesce same-timestamp arrivals into one
         #: engine event (set by the job when ``granularity="burst"``)
         self.burst = False
@@ -166,38 +193,58 @@ class Link:
         # a new loss model starts with a fresh draw buffer (a spec swap,
         # by contrast, keeps any pre-drawn uniforms -- discarding them
         # would change the rng consumption order mid-run)
-        self._drop_buf = None
-        self._drop_i = 0
+        self._u_buf = None
+        self._u_i = 0
         self._refresh_drop_path()
 
     def _refresh_drop_path(self) -> None:
-        """Bind the per-frame drop test.  Bernoulli models support block-
-        buffered draws (``rng.random(n)`` walks the same double stream as
-        ``n`` scalar calls), but only when the loss model is the sole
-        consumer of this link's rng -- i.e. the link itself draws no
-        jitter or corruption randomness.  When eligible, ``send`` inlines
-        the draw against a link-local buffer (``_bern`` set); otherwise it
-        calls the model's scalar ``should_drop``."""
+        """Bind the per-frame draw path.
+
+        ``_buffered`` links feed every draw the link makes -- the
+        Bernoulli loss test, the corruption test, and the jitter sample
+        -- from one block buffer of uniforms, consumed in per-frame
+        order.  The decisions are bit-for-bit what the scalar calls
+        produce: ``rng.random(n)`` walks the same double stream as ``n``
+        scalar ``rng.random()`` calls, and ``rng.uniform(0, j)`` computes
+        exactly ``j * rng.random()``.  Buffering is legal because the
+        link's named substream has no other consumer -- which is also
+        why it is restricted to the known-pure loss models: a stateful
+        or user-supplied model may draw any number of uniforms per frame
+        through its own ``should_drop``, so those keep the scalar calls
+        (``_should_drop`` bound) in the exact historical order."""
         loss = getattr(self, "_loss", None)
         if loss is None:  # spec set before loss during __init__
             self._bern = None
             self._should_drop = None
+            self._buffered = False
             return
-        spec = self._spec
-        if (
-            type(loss) is BernoulliLoss
-            and spec.jitter_s == 0.0
-            and spec.corruption_probability == 0.0
-        ):
+        if type(loss) is BernoulliLoss:
             self._bern = loss
             self._should_drop = None
+            self._buffered = True
+        elif type(loss) is NoLoss:
+            self._bern = None
+            self._should_drop = None
+            self._buffered = True
         else:
             self._bern = None
             self._should_drop = loss.should_drop
+            self._buffered = False
 
-    def connect(self, deliver: Callable[[Frame], Any]) -> None:
-        """Set the receiver callback."""
+    def connect(
+        self,
+        deliver: Callable[[Frame], Any],
+        deliver_many: Callable[[list[Frame]], Any] | None = None,
+    ) -> None:
+        """Set the receiver callback.
+
+        ``deliver_many``, when given, takes a whole coinciding-arrival
+        group in one call; it must be behaviorally identical to calling
+        ``deliver`` once per frame in order (the burst drains use it to
+        skip the per-frame callback overhead).
+        """
         self._deliver = deliver
+        self._deliver_many = deliver_many
 
     # ------------------------------------------------------------------
     def send(self, frame: Frame) -> bool:
@@ -251,12 +298,12 @@ class Link:
             # link-local buffer (this link's rng has no other consumer)
             p = bern.probability
             if p != 0.0:
-                i = self._drop_i
-                buf = self._drop_buf
+                i = self._u_i
+                buf = self._u_buf
                 if buf is None or i >= _BERN_BLOCK:
-                    self._drop_buf = buf = self._rng.random(_BERN_BLOCK)
+                    self._u_buf = buf = self._rng.random(_BERN_BLOCK).tolist()
                     i = 0
-                self._drop_i = i + 1
+                self._u_i = i + 1
                 if buf[i] < p:
                     stats.frames_lost += 1
                     if observer is not None:
@@ -272,14 +319,38 @@ class Link:
                 tap.on_drop(now, True)
             return True
 
+        buffered = self._buffered
         corrupt_p = self._corrupt_p
-        if corrupt_p > 0.0 and self._rng.random() < corrupt_p:
-            frame.corrupted = True
-            stats.frames_corrupted += 1
+        if corrupt_p > 0.0:
+            if buffered:
+                i = self._u_i
+                buf = self._u_buf
+                if buf is None or i >= _BERN_BLOCK:
+                    self._u_buf = buf = self._rng.random(_BERN_BLOCK).tolist()
+                    i = 0
+                self._u_i = i + 1
+                u = buf[i]
+            else:
+                u = self._rng.random()
+            if u < corrupt_p:
+                frame.corrupted = True
+                stats.frames_corrupted += 1
 
         arrival = done + self._prop_s
-        if self._jitter_s > 0.0:
-            arrival += float(self._rng.uniform(0.0, self._jitter_s))
+        jit = self._jitter_s
+        if jit > 0.0:
+            if buffered:
+                # uniform(0, j) computes exactly j * random(): same draw,
+                # same double, bit-identical arrival
+                i = self._u_i
+                buf = self._u_buf
+                if buf is None or i >= _BERN_BLOCK:
+                    self._u_buf = buf = self._rng.random(_BERN_BLOCK).tolist()
+                    i = 0
+                self._u_i = i + 1
+                arrival += jit * buf[i]
+            else:
+                arrival += float(self._rng.uniform(0.0, jit))
         if tap is not None:
             # stamped only after the loss draw: a lost frame's bits (and
             # its in-band records) never reach anything that could drain
@@ -327,6 +398,430 @@ class Link:
         self._schedule_call_at(arrival, self._arrive, frame)
         return True
 
+    # ------------------------------------------------------------------
+    def send_train(self, pairs: list[tuple[float, Frame]]) -> int:
+        """Process an ordered train of submits in one call.
+
+        ``pairs`` is ``[(submit_time, frame), ...]`` with non-decreasing
+        submit times at or after ``sim.now``.  Each frame's *send body*
+        -- queue/backlog test, busy-chain serialization, stats, observer
+        and telemetry taps, and the loss/corruption/jitter draws in
+        per-frame stream order -- runs now, in one Python frame instead
+        of one engine event per frame (the math uses each pair's submit
+        time, never ``sim.now``, so running early is invisible).  The
+        *dispatch* of each surviving frame (scheduling its arrival, or
+        folding it into a burst coalescing group) is deferred to the
+        frame's own submit time via one :meth:`~repro.sim.engine.
+        Simulator.schedule_train` cursor.  The cursor is created in this
+        very call -- the caller's event is where the per-frame path would
+        have scheduled its TX entries -- and keeps that sequence number
+        across re-insertions, so every entry it later creates lands at
+        exactly the time, and with exactly the tie-breaking order, the
+        per-frame path would have produced.  Frames submitting at
+        ``sim.now`` itself (the chassis egress fan-out case) dispatch
+        inline.
+
+        Interleaving: the busy chain is replayed in submit order within
+        the train, so a per-frame :meth:`send` submitting inside the
+        train's span observes the whole train's backlog (and draws after
+        the whole train), not the prefix in flight at its submit time --
+        as if the NIC had enqueued the burst's TX descriptors in one
+        shot, which is what DPDK's TX burst does.  At epsilon = 0 the
+        wired call sites never overlap a train (timeout resends live on
+        a far coarser grid than the TX sweep), so the bit-for-bit
+        equivalence with the per-frame path holds; positive epsilon
+        widens trains until resends can land inside a span, and there
+        the two paths model the wire differently (both validly).
+
+        Returns the number of frames accepted (= ``len(pairs)`` minus
+        queue tail-drops, mirroring :meth:`send`'s return value).
+        """
+        if self.burst and self.burst_epsilon > 0.0:
+            # epsilon-window fast path: the window logic keys on each
+            # frame's *arrival* value only, so the appends can run here
+            # instead of at the submit times -- no cursor, no dispatch
+            # events at all.  The one observable difference from the
+            # per-frame schedule: a group stays joinable until its drain
+            # *fires*, so a frame whose submit falls after the drain
+            # instant joins early here where the per-frame path would
+            # open a fresh window.  Positive epsilon is already
+            # protocol-equivalent-not-bit-exact (see the interleaving
+            # note above); epsilon = 0 keeps the exact deferred dispatch
+            # below.
+            if (
+                self._queue_bytes is None
+                and self.observer is None
+                and self.telemetry is None
+                and self._corrupt_p == 0.0
+                and self._jitter_s == 0.0
+                and (self._bern is not None or self._lossless)
+            ):
+                self._send_train_window_fused(pairs)
+                return len(pairs)
+            records, accepted = self.send_bodies(pairs)
+            self.dispatch_window_records(records)
+            return accepted
+        records, accepted = self.send_bodies(pairs)
+        dispatch = [r for r in records if r is not None]
+        n = len(dispatch)
+        if n:
+            dispatch_one = self._dispatch_one
+            # the leading run submitting at this very instant dispatches
+            # inline -- this event occupies the sequence position the
+            # per-frame path's first submit event would have
+            now = self.sim.now
+            i = 0
+            while i < n and dispatch[i][0] == now:
+                dispatch_one(dispatch[i])
+                i += 1
+            if i < n:
+                self._schedule_train(
+                    [d[0] for d in dispatch[i:]], dispatch_one, dispatch[i:]
+                )
+        return accepted
+
+    def dispatch_window_records(
+        self, records: list[tuple[float, float, Frame] | None]
+    ) -> None:
+        """Fold a body sweep's surviving records into the epsilon window.
+
+        Only valid on a burst link with a positive ``burst_epsilon`` --
+        the batched form of :meth:`_dispatch_one`'s window branch, with
+        the group state hoisted out of the per-frame loop.  Used by the
+        :meth:`send_train` fast path and the chassis egress fan-out
+        (which at positive epsilon needs no cross-link delivery-order
+        interleaving: appends to different links' windows commute, and
+        entries are only created when a window opens, at arrival-derived
+        times).
+        """
+        eps = self.burst_epsilon
+        group = self._arrive_group
+        t0 = self._arrive_t
+        schedule = self._schedule_call_at
+        drain = self._drain_window
+        for rec in records:
+            if rec is None:
+                continue
+            arrival = rec[1]
+            if group is not None and t0 <= arrival <= t0 + eps:
+                group.append((arrival, rec[2]))
+            else:
+                group = [(arrival, rec[2])]
+                t0 = arrival
+                self._arrive_group = group
+                self._arrive_t = t0
+                schedule(t0 + eps, drain, group)
+
+    def _send_train_window_fused(self, pairs: list[tuple[float, Frame]]) -> None:
+        """Fused clean-link body sweep + epsilon-window fold.
+
+        One pass over ``pairs`` doing what :meth:`send_bodies` followed
+        by :meth:`dispatch_window_records` would do, without building
+        the intermediate record list -- valid only for the
+        configuration the caller checked (burst with a positive window,
+        no queue cap, no corruption, no jitter, no observer/telemetry,
+        Bernoulli-or-no loss).  Interleaving each frame's window fold
+        with its send body is unobservable: the body phase touches only
+        the RNG stream and link counters, the fold only the group state,
+        and no event can fire inside this call.
+        """
+        stats = self.stats
+        rng = self._rng
+        rate = self._rate_bps
+        prop = self._prop_s
+        bern = self._bern
+        p = bern.probability if bern is not None else 0.0
+        busy = self._busy_until
+        busy_time = stats.busy_time
+        u_i = self._u_i
+        u_buf = self._u_buf
+        lost = 0
+        bytes_sent = 0
+        eps = self.burst_epsilon
+        group = self._arrive_group
+        t0 = self._arrive_t
+        schedule = self._schedule_call_at
+        drain = self._drain_window
+        for t, frame in pairs:
+            wire_bytes = frame.wire_bytes
+            serialization = wire_bytes * 8.0 / rate
+            done = (busy if busy > t else t) + serialization
+            busy = done
+            bytes_sent += wire_bytes
+            busy_time += serialization
+            if p != 0.0:
+                if u_buf is None or u_i >= _BERN_BLOCK:
+                    u_buf = rng.random(_BERN_BLOCK).tolist()
+                    u_i = 0
+                u = u_buf[u_i]
+                u_i += 1
+                if u < p:
+                    lost += 1
+                    continue
+            arrival = done + prop
+            if group is not None and t0 <= arrival <= t0 + eps:
+                group.append((arrival, frame))
+            else:
+                group = [(arrival, frame)]
+                t0 = arrival
+                self._arrive_group = group
+                self._arrive_t = t0
+                schedule(t0 + eps, drain, group)
+        self._busy_until = busy
+        self._u_i = u_i
+        self._u_buf = u_buf
+        stats.busy_time = busy_time
+        stats.frames_sent += len(pairs)
+        stats.frames_lost += lost
+        stats.bytes_sent += bytes_sent
+
+    def send_bodies(
+        self, pairs: list[tuple[float, Frame]]
+    ) -> tuple[list[tuple[float, float, Frame] | None], int]:
+        """Run the send bodies of a train; leave the dispatch to the caller.
+
+        The body phase of :meth:`send_train`, split out for callers that
+        fan one drain out over *several* links (the chassis egress): they
+        batch the bodies per link but must create each frame's engine
+        entry in the original cross-link delivery order -- the order the
+        per-frame loop would have -- so they interleave the returned
+        records themselves through :meth:`_dispatch_one`.
+
+        Returns ``(records, accepted)``: ``records`` is aligned with
+        ``pairs`` (``None`` where the frame was tail-dropped or lost),
+        and ``accepted`` is ``len(pairs)`` minus queue tail-drops.
+        """
+        if self._deliver is None:
+            raise RuntimeError(f"link {self.name} has no receiver connected")
+
+        stats = self.stats
+        observer = self.observer
+        tap = self.telemetry
+        rng = self._rng
+        rate = self._rate_bps
+        queue_bytes = self._queue_bytes
+        prop = self._prop_s
+        jit = self._jitter_s
+        corrupt_p = self._corrupt_p
+        buffered = self._buffered
+        bern = self._bern
+        lossless = self._lossless
+        should_drop = self._should_drop
+        busy = self._busy_until
+        sent = 0
+        lost = 0
+        qdrops = 0
+        bytes_sent = 0
+        # the block-buffer cursor lives in locals for the whole sweep
+        # (written back below); nothing else consumes this link's stream
+        # while the bodies run
+        u_i = self._u_i
+        u_buf = self._u_buf
+
+        if (
+            queue_bytes is None
+            and observer is None
+            and tap is None
+            and corrupt_p == 0.0
+            and jit == 0.0
+            and (bern is not None or lossless)
+            and len(pairs) >= 64
+        ):
+            # below ~64 frames the ctypes marshalling (ndpointer checks,
+            # fromiter, scratch arrays) costs more than the loop it
+            # replaces; steady-state windows here are ~25 frames, so the
+            # kernel effectively serves the pool-sized opening trains
+            kernel = _link_kernel()
+            if kernel is not None:
+                # compiled body sweep: same float ops in the same order
+                # as the loop below (see repro.core.backend), covering
+                # the clean-link common case -- no queue cap, no
+                # corruption, no jitter, no per-frame observer/tap
+                n = len(pairs)
+                t_arr = np.fromiter((p[0] for p in pairs), dtype=np.float64, count=n)
+                wb_arr = np.fromiter(
+                    (p[1].wire_bytes for p in pairs), dtype=np.int64, count=n
+                )
+                p_loss = bern.probability if bern is not None else 0.0
+                arrival = np.empty(n, dtype=np.float64)
+                ok = np.empty(n, dtype=np.int8)
+                fstate = np.array([busy, stats.busy_time], dtype=np.float64)
+                istate = np.array(
+                    [u_i if u_buf is not None else _BERN_BLOCK], dtype=np.int64
+                )
+                train_bodies = kernel.train_bodies
+                # the block buffer is kept as a plain list elsewhere (the
+                # per-draw paths index it); the kernel wants contiguous
+                # doubles, so convert at the boundary -- same bits either
+                # way, and this path only runs for >=64-frame trains
+                u_np = (
+                    np.array(u_buf, dtype=np.float64)
+                    if u_buf is not None
+                    else None
+                )
+                i = 0
+                while True:
+                    buf = u_np if u_np is not None else _NO_U
+                    ulen = _BERN_BLOCK if u_np is not None else 0
+                    i = train_bodies(
+                        n, i, t_arr, wb_arr, rate, prop, p_loss,
+                        buf, ulen, arrival, ok, fstate, istate,
+                    )
+                    if i >= n:
+                        break
+                    # block spent mid-train: refill exactly as the
+                    # per-frame draw would have, re-enter at frame i
+                    u_np = rng.random(_BERN_BLOCK)
+                    istate[0] = 0
+                self._busy_until = float(fstate[0])
+                stats.busy_time = float(fstate[1])
+                if u_np is not None:
+                    # only when draws ran: a lossless sweep leaves the
+                    # cursor exactly as the per-frame path would
+                    self._u_i = int(istate[0])
+                    self._u_buf = u_np.tolist()
+                records = [
+                    (pair[0], a, pair[1]) if okj else None
+                    for pair, a, okj in zip(pairs, arrival.tolist(), ok.tolist())
+                ]
+                delivered = int(np.count_nonzero(ok))
+                stats.frames_sent += n
+                stats.frames_lost += n - delivered
+                stats.bytes_sent += int(wb_arr.sum())
+                return records, n
+
+        records: list[tuple[float, float, Frame] | None] = []
+
+        for t, frame in pairs:
+            wire_bytes = frame.wire_bytes
+            if queue_bytes is not None:
+                backlog_s = busy - t
+                if backlog_s > 0.0:
+                    if backlog_s * rate / 8.0 + wire_bytes > queue_bytes:
+                        qdrops += 1
+                        records.append(None)
+                        if observer is not None:
+                            observer(frame, "queue_dropped", t)
+                        if tap is not None:
+                            tap.on_drop(t, False)
+                        continue
+                elif wire_bytes > queue_bytes:
+                    qdrops += 1
+                    records.append(None)
+                    if observer is not None:
+                        observer(frame, "queue_dropped", t)
+                    if tap is not None:
+                        tap.on_drop(t, False)
+                    continue
+
+            serialization = wire_bytes * 8.0 / rate
+            done = (busy if busy > t else t) + serialization
+            busy = done
+            sent += 1
+            bytes_sent += wire_bytes
+            # accumulated per frame, not batched: float addition is not
+            # associative, and busy_time must match the per-frame path
+            # bit for bit
+            stats.busy_time += serialization
+            if observer is not None:
+                observer(frame, "sent", t)
+
+            if bern is not None:
+                p = bern.probability
+                if p != 0.0:
+                    if u_buf is None or u_i >= _BERN_BLOCK:
+                        u_buf = rng.random(_BERN_BLOCK).tolist()
+                        u_i = 0
+                    u = u_buf[u_i]
+                    u_i += 1
+                    if u < p:
+                        lost += 1
+                        records.append(None)
+                        if observer is not None:
+                            observer(frame, "lost", t)
+                        if tap is not None:
+                            tap.on_drop(t, True)
+                        continue
+            elif not lossless and should_drop(rng, frame, t):
+                lost += 1
+                records.append(None)
+                if observer is not None:
+                    observer(frame, "lost", t)
+                if tap is not None:
+                    tap.on_drop(t, True)
+                continue
+
+            if corrupt_p > 0.0:
+                if buffered:
+                    if u_buf is None or u_i >= _BERN_BLOCK:
+                        u_buf = rng.random(_BERN_BLOCK).tolist()
+                        u_i = 0
+                    u = u_buf[u_i]
+                    u_i += 1
+                else:
+                    u = rng.random()
+                if u < corrupt_p:
+                    frame.corrupted = True
+                    stats.frames_corrupted += 1
+
+            arrival = done + prop
+            if jit > 0.0:
+                if buffered:
+                    if u_buf is None or u_i >= _BERN_BLOCK:
+                        u_buf = rng.random(_BERN_BLOCK).tolist()
+                        u_i = 0
+                    arrival += jit * u_buf[u_i]
+                    u_i += 1
+                else:
+                    arrival += float(rng.uniform(0.0, jit))
+
+            if tap is not None:
+                tap.on_transmit(frame, t, wire_bytes, done, arrival)
+
+            records.append((t, arrival, frame))
+
+        self._busy_until = busy
+        self._u_i = u_i
+        self._u_buf = u_buf
+        stats.frames_sent += sent
+        stats.frames_lost += lost
+        stats.frames_queue_dropped += qdrops
+        stats.bytes_sent += bytes_sent
+        return records, len(pairs) - qdrops
+
+    def _dispatch_one(self, rec: tuple[float, float, Frame]) -> None:
+        """Dispatch one train frame at its submit time.
+
+        Replicates the tail of :meth:`send` -- the part that creates
+        engine entries or mutates coalescing groups -- for a frame whose
+        send body already ran in :meth:`send_train`.  Running at the
+        frame's own submit time keeps group open/closed state and entry
+        insertion order identical to the per-frame path.
+        """
+        arrival = rec[1]
+        frame = rec[2]
+        if self.burst:
+            eps = self.burst_epsilon
+            if eps > 0.0:
+                group = self._arrive_group
+                t0 = self._arrive_t
+                if group is not None and t0 <= arrival <= t0 + eps:
+                    group.append((arrival, frame))
+                else:
+                    self._arrive_group = group = [(arrival, frame)]
+                    self._arrive_t = arrival
+                    self._schedule_call_at(arrival + eps, self._drain_window, group)
+                return
+            group = self._arrive_group
+            if group is not None and arrival == self._arrive_t:
+                group.append(frame)
+            else:
+                self._arrive_group = group = [frame]
+                self._arrive_t = arrival
+                self._schedule_call_at(arrival, self._arrive_burst, group)
+            return
+        self._schedule_call_at(arrival, self._arrive, frame)
+
     def _arrive(self, frame: Frame) -> None:
         self.stats.frames_delivered += 1
         if self.observer is not None:
@@ -350,6 +845,10 @@ class Link:
             t = self.sim.now
             for frame in frames:
                 observer(frame, "delivered", t)
+        deliver_many = self._deliver_many
+        if deliver_many is not None:
+            deliver_many(frames)
+            return
         deliver = self._deliver
         for frame in frames:
             deliver(frame)
@@ -372,6 +871,10 @@ class Link:
             t = self.sim.now
             for _, frame in pairs:
                 observer(frame, "delivered", t)
+        deliver_many = self._deliver_many
+        if deliver_many is not None:
+            deliver_many([frame for _, frame in pairs])
+            return
         deliver = self._deliver
         for _, frame in pairs:
             deliver(frame)

@@ -10,9 +10,12 @@ from repro.perf.harness import (
     attach_baseline,
     check_regression,
     compare,
+    format_trend,
     load_bench,
+    load_trend,
     profile_workload,
     run_suite,
+    trend_table,
     write_bench,
 )
 from repro.perf.workloads import WORKLOADS, run_workload
@@ -23,9 +26,12 @@ __all__ = [
     "attach_baseline",
     "check_regression",
     "compare",
+    "format_trend",
     "load_bench",
+    "load_trend",
     "profile_workload",
     "run_suite",
     "run_workload",
+    "trend_table",
     "write_bench",
 ]

@@ -45,6 +45,9 @@ __all__ = [
     "write_bench",
     "load_bench",
     "load_sweep_summary",
+    "load_trend",
+    "trend_table",
+    "format_trend",
 ]
 
 SCHEMA = "repro-bench/1"
@@ -197,3 +200,106 @@ def load_bench(path: str | Path) -> dict[str, Any]:
 def load_sweep_summary(path: str | Path) -> dict[str, Any]:
     """Load and schema-check a ``repro sweep`` summary document."""
     return _load_schema_doc(path, SWEEP_SCHEMA)
+
+
+TREND_SCHEMA = "repro-bench-trend/1"
+
+
+def load_trend(directory: str | Path = ".") -> list[tuple[str, dict[str, Any]]]:
+    """All committed ``BENCH_*.json`` baselines in name order.
+
+    The committed baselines are numbered (``BENCH_0003.json`` ...), so
+    lexicographic name order is PR order.  Files matching the glob but
+    carrying a different schema (sweep summaries) are skipped.
+    """
+    docs: list[tuple[str, dict[str, Any]]] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            docs.append((path.name, load_bench(path)))
+        except (ValueError, json.JSONDecodeError):
+            continue
+    return docs
+
+
+def trend_table(docs: list[tuple[str, dict[str, Any]]]) -> dict[str, Any]:
+    """Per-workload trajectory across a sequence of BENCH documents.
+
+    Returns a ``repro-bench-trend/1`` document: the baseline names and
+    labels in order, and for each workload (ordered by first
+    appearance) the per-baseline ``{wall_s, events, events_per_s}``
+    triple -- ``None`` where a baseline predates the workload.
+    """
+    order: list[str] = []
+    for _, doc in docs:
+        for name in doc.get("workloads", {}):
+            if name not in order:
+                order.append(name)
+    workloads: dict[str, list[dict[str, Any] | None]] = {}
+    for name in order:
+        row: list[dict[str, Any] | None] = []
+        for _, doc in docs:
+            m = doc.get("workloads", {}).get(name)
+            row.append(
+                None if m is None else {
+                    "wall_s": m["wall_s"],
+                    "events": m["events"],
+                    "events_per_s": m["events_per_s"],
+                }
+            )
+        workloads[name] = row
+    return {
+        "schema": TREND_SCHEMA,
+        "baselines": [
+            {"file": fname, "label": doc.get("label", "")}
+            for fname, doc in docs
+        ],
+        "workloads": workloads,
+    }
+
+
+def format_trend(trend: dict[str, Any]) -> str:
+    """Render a trend document as aligned text tables.
+
+    One table per metric (events/sec, then wall seconds); the last
+    column is the newest-over-oldest ratio for the workload, computed
+    between its first and last appearances.
+    """
+    baselines = trend["baselines"]
+    if not baselines:
+        return "no BENCH_*.json baselines found\n"
+    cols = [b["file"].removesuffix(".json").removeprefix("BENCH_")
+            for b in baselines]
+    lines = []
+    for i, b in enumerate(baselines):
+        lines.append(f"  {cols[i]:<6} {b['file']}: {b['label']}")
+    name_w = max(len("workload"),
+                 *(len(n) for n in trend["workloads"])) if trend["workloads"] else 8
+
+    def table(title: str, cell, ratio) -> None:
+        lines.append("")
+        lines.append(title)
+        lines.append(
+            f"{'workload':<{name_w}} "
+            + " ".join(f"{c:>10}" for c in cols)
+            + f" {'trend':>8}"
+        )
+        for name, row in trend["workloads"].items():
+            cells = [("         -" if m is None else f"{cell(m):>10}")
+                     for m in row]
+            present = [m for m in row if m is not None]
+            if len(present) >= 2:
+                try:
+                    tail = f"{ratio(present[0], present[-1]):>7.2f}x"
+                except ZeroDivisionError:
+                    tail = f"{'-':>8}"
+            else:
+                tail = f"{'-':>8}"
+            lines.append(f"{name:<{name_w}} " + " ".join(cells) + f" {tail}")
+
+    table("events/sec (best of repeats; scale-invariant headline)",
+          lambda m: f"{m['events_per_s']:,.0f}",
+          lambda first, last: last["events_per_s"] / first["events_per_s"])
+    table("wall seconds (speedup = oldest wall / newest wall)",
+          lambda m: f"{m['wall_s']:.3f}",
+          lambda first, last: first["wall_s"] / last["wall_s"])
+    return "\n".join(lines) + "\n"

@@ -42,6 +42,7 @@ def _fig4_config(
     scheduler: str = "wheel",
     granularity: str = "packet",
     burst_epsilon: float = 0.0,
+    train_egress: bool = False,
 ) -> SwitchMLConfig:
     factory = (lambda: BernoulliLoss(loss)) if loss > 0.0 else NoLoss
     return SwitchMLConfig(
@@ -53,6 +54,7 @@ def _fig4_config(
         scheduler=scheduler,
         granularity=granularity,
         burst_epsilon=burst_epsilon,
+        train_egress=train_egress,
     )
 
 
@@ -133,6 +135,26 @@ def fig4_lossy_burst_eps(scale: float = 1.0) -> dict[str, Any]:
     """
     return _run_job(
         _fig4_config(loss=0.01, granularity="burst", burst_epsilon=2e-5),
+        max(256, int(_FIG4_ELEMENTS * scale)),
+    )
+
+
+def fig4_lossy_train(scale: float = 1.0) -> dict[str, Any]:
+    """:func:`fig4_lossy_burst_eps` with frame-train egress on top.
+
+    The full batched TX path: worker chunk groups leave through one
+    :meth:`~repro.net.host.Host.send_train` call (one dispatch cursor
+    instead of one engine event per frame), and the switch fans each
+    drain out through per-port batched send bodies.  At eps=0 the train
+    path is bit-identical to per-frame sends (the equivalence tests pin
+    it); at this workload's 20 us window it inherits burst_eps's
+    protocol-equivalent-not-schedule-identical caveat.  This is the
+    headline egress workload: compare ``wall_s`` against fig4_lossy.
+    """
+    return _run_job(
+        _fig4_config(
+            loss=0.01, granularity="burst", burst_epsilon=2e-5, train_egress=True
+        ),
         max(256, int(_FIG4_ELEMENTS * scale)),
     )
 
@@ -292,6 +314,7 @@ WORKLOADS: dict[str, Callable[[float], dict[str, Any]]] = {
     "fig4_lossy_burst": fig4_lossy_burst,
     "fig4_clean_burst": fig4_clean_burst,
     "fig4_lossy_burst_eps": fig4_lossy_burst_eps,
+    "fig4_lossy_train": fig4_lossy_train,
     "fig4_telemetry": fig4_telemetry,
     "engine_churn": engine_churn,
     "core_scaling": core_scaling,

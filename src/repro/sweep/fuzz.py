@@ -110,6 +110,11 @@ def _draw_flat(rng: np.random.Generator) -> dict[str, Any]:
         # either way (the lockstep equivalence suite is the contract),
         # so draws stay machine-independent
         knobs["backend"] = ["numpy", "c"][int(rng.integers(2))]
+        # frame-train egress x epsilon x backend interplay (ISSUE 10):
+        # train on/off over every epsilon and backend combination, with
+        # the cap split exercised at a short and an odd length
+        knobs["train_egress"] = bool(rng.integers(2))
+        knobs["train_cap"] = int([0, 0, 3, 17][int(rng.integers(4))])
     # stragglers: skewed gradient availability at some workers
     if rng.random() < 0.3:
         knobs["start_times_us"] = [
@@ -165,6 +170,9 @@ def _draw_fabric(rng: np.random.Generator) -> dict[str, Any]:
         "pool": 16,
         "elements": 32 * 120,
         "loss": float([0.0, 0.0, 0.01][int(rng.integers(3))]),
+        # worker-side frame trains over the fabric ingest path
+        "train_egress": bool(rng.integers(2)),
+        "train_cap": int([0, 0, 5][int(rng.integers(3))]),
     }
     faults: list[dict[str, Any]] = []
     # at most spines-1 spine crashes: some spine must survive to home
@@ -256,6 +264,8 @@ def _run_flat(draw: dict[str, Any]) -> dict[str, Any]:
         granularity=str(knobs.get("granularity", "packet")),
         burst_epsilon=float(knobs.get("burst_epsilon", 0.0)),
         backend=knobs.get("backend"),
+        train_egress=bool(knobs.get("train_egress", False)),
+        train_cap=int(knobs.get("train_cap", 0)),
         obs=obs,
         seed=int(draw["run_seed"]),
     )
@@ -373,6 +383,8 @@ def _run_fabric(draw: dict[str, Any]) -> dict[str, Any]:
             workers_per_leaf=int(knobs["workers_per_leaf"]),
             pool_size=int(knobs["pool"]),
             loss_factory=(lambda: BernoulliLoss(loss)) if loss else NoLoss,
+            train_egress=bool(knobs.get("train_egress", False)),
+            train_cap=int(knobs.get("train_cap", 0)),
             obs=obs,
             seed=int(draw["run_seed"]),
         )

@@ -207,3 +207,84 @@ class TestCliFabric:
     def test_fabric_bad_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["fabric", "--scenario", "leaf-crash"])
+
+
+class TestCliBenchTrend:
+    """``bench --trend`` reads committed BENCH_*.json baselines and
+    prints the per-workload trajectory without running anything."""
+
+    def _write_bench(self, path, label, workloads):
+        import json as _json
+
+        doc = {
+            "schema": "repro-bench/1",
+            "label": label,
+            "scale": 1.0,
+            "repeats": 3,
+            "workloads": {
+                name: {
+                    "wall_s": wall, "events": ev,
+                    "events_per_s": ev / wall,
+                    "packets": 100, "packets_per_s": 100 / wall,
+                    "extra": {},
+                }
+                for name, (wall, ev) in workloads.items()
+            },
+        }
+        path.write_text(_json.dumps(doc))
+
+    def test_trend_table(self, tmp_path, capsys):
+        self._write_bench(tmp_path / "BENCH_0001.json", "first",
+                          {"fig4_lossy": (2.0, 1000)})
+        self._write_bench(tmp_path / "BENCH_0002.json", "second",
+                          {"fig4_lossy": (1.0, 1000),
+                           "fabric_2tier": (3.0, 600)})
+        assert main(["bench", "--trend", "--trend-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_0001.json: first" in out
+        assert "fig4_lossy" in out
+        assert "2.00x" in out  # events/s doubled first -> second
+        assert "fabric_2tier" in out  # later-added workload shows up
+
+    def test_trend_json_document(self, tmp_path, capsys):
+        import json as _json
+
+        self._write_bench(tmp_path / "BENCH_0001.json", "first",
+                          {"fig4_lossy": (2.0, 1000)})
+        self._write_bench(tmp_path / "BENCH_0002.json", "second",
+                          {"fig4_lossy": (1.0, 1000)})
+        assert main(["bench", "--trend", "--trend-dir", str(tmp_path),
+                     "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-bench-trend/1"
+        assert [b["file"] for b in doc["baselines"]] == [
+            "BENCH_0001.json", "BENCH_0002.json",
+        ]
+        row = doc["workloads"]["fig4_lossy"]
+        assert row[0]["wall_s"] == 2.0 and row[1]["wall_s"] == 1.0
+
+    def test_trend_skips_foreign_schemas(self, tmp_path, capsys):
+        import json as _json
+
+        self._write_bench(tmp_path / "BENCH_0001.json", "only",
+                          {"fig4_lossy": (1.0, 1000)})
+        (tmp_path / "BENCH_sweep.json").write_text(
+            _json.dumps({"schema": "repro-sweep/1"})
+        )
+        assert main(["bench", "--trend", "--trend-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sweep" not in out
+
+    def test_trend_empty_dir_errors(self, tmp_path, capsys):
+        assert main(["bench", "--trend", "--trend-dir", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_trend_on_committed_baselines(self, capsys):
+        # the real repo-root baselines must parse and render
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        assert main(["bench", "--trend", "--trend-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_lossy" in out
+        assert "BENCH_0003.json" in out

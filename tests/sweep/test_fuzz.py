@@ -61,6 +61,46 @@ class TestDrawGeneration:
             ]
             assert len(crashes) < draw["knobs"]["spines"]
 
+    def test_flat_burst_draws_cover_train_knobs(self):
+        # the ISSUE-10 egress knobs: train on/off, cap lengths, and the
+        # train x epsilon x backend cross all reachable in burst draws;
+        # packet draws never carry them (train_egress requires burst)
+        trains, caps, crossed = set(), set(), set()
+        for seed in range(200):
+            k = draw_scenario(seed, domains=("flat",))["knobs"]
+            if k["granularity"] != "burst":
+                assert "train_egress" not in k
+                continue
+            trains.add(k["train_egress"])
+            caps.add(k["train_cap"])
+            crossed.add(
+                (k["train_egress"], k["burst_epsilon"] > 0.0, k["backend"])
+            )
+        assert trains == {True, False}
+        assert {0, 3, 17} <= caps
+        assert (True, True, "numpy") in crossed
+        assert (True, True, "c") in crossed
+        assert (True, False, "numpy") in crossed
+
+    def test_fabric_draws_cover_train_knobs(self):
+        trains, caps = set(), set()
+        for seed in range(120):
+            k = draw_scenario(seed, domains=("fabric",))["knobs"]
+            trains.add(k["train_egress"])
+            caps.add(k["train_cap"])
+        assert trains == {True, False}
+        assert {0, 5} <= caps
+
+    def test_train_draws_replay_clean(self):
+        # seed 6 (flat): burst + train_egress + train_cap=3 + loss;
+        # seed 0 (fabric): train_egress + cap=5 -- both must run with
+        # zero invariant violations
+        for domain, seed in (("flat", 6), ("fabric", 0)):
+            draw = draw_scenario(seed, domains=(domain,))
+            assert draw["knobs"]["train_egress"], (domain, seed)
+            out = run_draw(draw)
+            assert out["violations"] == [], (domain, out["violations"])
+
 
 class TestReplay:
     def test_replay_is_deterministic(self):
